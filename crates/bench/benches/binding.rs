@@ -1,0 +1,32 @@
+//! Criterion bench: the binding (leader election) protocol (EXP-8 driver).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsn_net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn_runtime::PhysicalRuntime;
+
+fn bench_binding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binding");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let deployment = DeploymentSpec::per_cell(8, k).generate(23);
+                let range = deployment.grid().range_for_adjacent_cell_reachability();
+                let mut rt: PhysicalRuntime<u32> = PhysicalRuntime::new(
+                    deployment,
+                    RadioModel::uniform(range),
+                    LinkModel::ideal(),
+                    None,
+                    1,
+                    23,
+                    |_| 0.0,
+                );
+                rt.run_topology_emulation();
+                rt.run_binding()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binding);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: full D&C runs on the virtual machine (EXP-5 driver).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsn_topoquery::{run_dandc_vm, Implementation};
+
+fn bench_dandc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dandc_vm");
+    group.sample_size(10);
+    for side in [8u32, 16, 32] {
+        let field = wsn_bench::blob_field(side, 42);
+        group.bench_with_input(BenchmarkId::new("native", side), &side, |b, &side| {
+            b.iter(|| run_dandc_vm(side, &field, 5.0, 1, Implementation::Native));
+        });
+        group.bench_with_input(BenchmarkId::new("synthesized", side), &side, |b, &side| {
+            b.iter(|| run_dandc_vm(side, &field, 5.0, 1, Implementation::Synthesized));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dandc);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: D&C vs centralized simulation runs (EXP-6 driver).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsn_topoquery::{run_centralized_vm, run_dandc_vm, Implementation};
+
+fn bench_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dandc_vs_central");
+    group.sample_size(10);
+    for side in [8u32, 16] {
+        let field = wsn_bench::blob_field(side, 7);
+        group.bench_with_input(BenchmarkId::new("dandc", side), &side, |b, &side| {
+            b.iter(|| run_dandc_vm(side, &field, 5.0, 1, Implementation::Native));
+        });
+        group.bench_with_input(BenchmarkId::new("central", side), &side, |b, &side| {
+            b.iter(|| run_centralized_vm(side, &field, 5.0, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair);
+criterion_main!(benches);

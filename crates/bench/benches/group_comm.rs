@@ -1,0 +1,16 @@
+//! Criterion bench: group-communication probe on the VM (EXP-10 driver).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_group(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_comm");
+    group.sample_size(10);
+    for level in [1u8, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| wsn_bench::exp10_group_cost(16, &[level]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_group);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: mapping strategies (EXP-13 driver).
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsn_core::CostModel;
+use wsn_synth::{
+    quadtree_task_graph, AnnealingMapper, CentroidMapper, Mapper, MappingCost, QuadrantMapper,
+};
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(10);
+    let qt = quadtree_task_graph(16, &wsn_bench::full_boundary_units, &|_| 1);
+    let cost = CostModel::uniform();
+    group.bench_function("quadrant_evaluate", |b| {
+        b.iter(|| {
+            let m = QuadrantMapper.map(&qt);
+            MappingCost::evaluate(&qt, &m, &cost)
+        });
+    });
+    group.bench_function("centroid_evaluate", |b| {
+        b.iter(|| {
+            let m = CentroidMapper.map(&qt);
+            MappingCost::evaluate(&qt, &m, &cost)
+        });
+    });
+    group.bench_function("anneal_200", |b| {
+        b.iter(|| {
+            let mut a = AnnealingMapper::new(5, cost, 200, 0.5);
+            let m = a.map(&qt);
+            MappingCost::evaluate(&qt, &m, &cost)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

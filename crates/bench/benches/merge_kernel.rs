@@ -1,0 +1,39 @@
+//! Criterion bench: the boundary-summary merge kernel (EXP-6's inner loop).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsn_core::GridCoord;
+use wsn_topoquery::{BoundarySummary, Field, FieldSpec};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_four");
+    group.sample_size(20);
+    for side in [8u32, 16, 32] {
+        let field = Field::generate(
+            FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 },
+            2 * side,
+            9,
+        );
+        let map = field.threshold(0.5);
+        let quads = [
+            BoundarySummary::from_feature_map(&map, GridCoord::new(0, 0), side),
+            BoundarySummary::from_feature_map(&map, GridCoord::new(side, 0), side),
+            BoundarySummary::from_feature_map(&map, GridCoord::new(0, side), side),
+            BoundarySummary::from_feature_map(&map, GridCoord::new(side, side), side),
+        ];
+        group.bench_with_input(BenchmarkId::new("quadrant_side", side), &quads, |b, quads| {
+            b.iter(|| wsn_topoquery::merge_four(std::hint::black_box(quads)));
+        });
+        group.bench_with_input(BenchmarkId::new("reference_side", side), &map, |b, map| {
+            b.iter(|| {
+                BoundarySummary::from_feature_map(
+                    std::hint::black_box(map),
+                    GridCoord::new(0, 0),
+                    2 * side,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

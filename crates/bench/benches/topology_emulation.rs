@@ -1,0 +1,35 @@
+//! Criterion bench: the topology-emulation protocol (EXP-7 driver).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsn_net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn_runtime::PhysicalRuntime;
+
+fn bench_topo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_emulation");
+    group.sample_size(10);
+    for (m, k) in [(4u32, 4usize), (8, 4), (8, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("m{m}"), k),
+            &(m, k),
+            |b, &(m, k)| {
+                b.iter(|| {
+                    let deployment = DeploymentSpec::per_cell(m, k).generate(11);
+                    let range = deployment.grid().range_for_adjacent_cell_reachability();
+                    let mut rt: PhysicalRuntime<u32> = PhysicalRuntime::new(
+                        deployment,
+                        RadioModel::uniform(range),
+                        LinkModel::ideal(),
+                        None,
+                        1,
+                        11,
+                        |_| 0.0,
+                    );
+                    rt.run_topology_emulation()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topo);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! EXP-10: group-communication (follower to leader) cost.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp10_group_cost(32, &[1, 2, 3, 4, 5]));
+}

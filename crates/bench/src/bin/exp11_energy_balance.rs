@@ -1,0 +1,4 @@
+//! EXP-11: leader placement vs energy balance across rounds.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp11_energy_balance(16, 64));
+}

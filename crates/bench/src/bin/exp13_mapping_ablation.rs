@@ -1,0 +1,4 @@
+//! EXP-13: mapping-strategy ablation under the paper's constraints.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp13_mapping_ablation(&[8, 16, 32]));
+}

@@ -1,0 +1,4 @@
+//! EXP-14: collective primitives (reduce / disseminate / sort).
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp14_collectives(&[4, 8, 16]));
+}

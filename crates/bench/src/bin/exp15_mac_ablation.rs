@@ -1,0 +1,4 @@
+//! EXP-15: asynchronous vs TDMA channel access.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp15_mac_ablation(8, 3, &[4, 8, 16, 32]));
+}

@@ -1,0 +1,4 @@
+//! EXP-17: election policy vs system lifetime under energy budgets.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp17_election_lifetime(4, 4, 3000.0, 400));
+}

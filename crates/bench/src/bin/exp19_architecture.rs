@@ -1,0 +1,4 @@
+//! EXP-19: grid vs tree virtual architecture.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp19_architecture_selection(&[4, 8, 16, 32]));
+}

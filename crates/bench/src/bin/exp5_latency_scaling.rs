@@ -1,0 +1,4 @@
+//! EXP-5: O(sqrt N) latency scaling of the divide-and-conquer algorithm.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp5_latency_scaling(&[4, 8, 16, 32, 64]));
+}

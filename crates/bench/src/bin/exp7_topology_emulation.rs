@@ -1,0 +1,14 @@
+//! EXP-7: topology emulation protocol cost (paper section 5.1).
+//!
+//! Two sweeps: (a) network-size independence at the guaranteed range —
+//! setup latency does not grow with N; (b) proportionality to the worst
+//! intra-cell path length when the radio range shrinks below the cell
+//! size and real relay chains form.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp7_topology_emulation(&[4, 8, 16], &[4], &[2.24]));
+    wsn_bench::emit(&wsn_bench::exp7_topology_emulation(
+        &[8],
+        &[8, 16, 32],
+        &[0.4, 0.5, 0.7, 1.0],
+    ));
+}

@@ -1,0 +1,4 @@
+//! EXP-9: analytic estimate vs virtual machine vs emulated physical network.
+fn main() {
+    wsn_bench::emit(&wsn_bench::exp9_model_fidelity(&[4, 8, 16], 3));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: the quad-tree representation of the algorithm.
+fn main() {
+    print!("{}", wsn_bench::fig2_quadtree());
+}

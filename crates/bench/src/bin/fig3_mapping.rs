@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: the example task-to-grid mapping.
+fn main() {
+    print!("{}", wsn_bench::fig3_mapping());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: the synthesized program specification.
+fn main() {
+    print!("{}", wsn_bench::fig4_program());
+}

@@ -1,0 +1,602 @@
+//! Collective computation primitives on the virtual architecture.
+//!
+//! §2: "Computation primitives could include summing, sorting, or ranking
+//! a set of data values from a set of sensor nodes" (citing Bhuvaneswaran
+//! et al.'s fundamental protocols). This module provides three such
+//! primitives as ordinary [`NodeProgram`]s over the grid and its group
+//! hierarchy, so they run on the VM and on the physical runtime like any
+//! application:
+//!
+//! * [`ReduceProgram`] — hierarchical reduction (sum/min/max/count) up the
+//!   leader quad-tree; the root exfiltrates the aggregate. Ranking a query
+//!   value is a reduction of an indicator (see [`ReduceProgram::rank`]).
+//! * [`DisseminateProgram`] — the inverse: the root's value flows down the
+//!   hierarchy until every node holds it; leaves exfiltrate receipt.
+//! * [`SortProgram`] — odd-even transposition sort along the grid's
+//!   boustrophedon (snake) order: neighbors exchange values in alternating
+//!   pair phases until, after N phases, node `i` of the linear order holds
+//!   the i-th smallest value. Purely message-driven — no global
+//!   synchronizer — with out-of-order phase messages buffered, which is
+//!   how a BSP-style algorithm is expressed in the architecture's
+//!   asynchronous model (§2's "combination of the two").
+
+use crate::grid::{GridCoord, VirtualGrid};
+use crate::groups::Hierarchy;
+use crate::program::{NodeApi, NodeProgram};
+use std::collections::HashMap;
+use wsn_sim::Payload;
+
+/// Messages of the collective primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveMsg {
+    /// Partial aggregate flowing toward the root.
+    Reduce {
+        /// Hierarchy level this partial merges at.
+        level: u8,
+        /// Aggregated value.
+        value: f64,
+        /// Number of readings aggregated.
+        count: u64,
+    },
+    /// The root's value flowing down the hierarchy.
+    Disseminate {
+        /// Hierarchy level of the *sender* (receivers re-fan-out below).
+        level: u8,
+        /// The disseminated value.
+        value: f64,
+    },
+    /// One odd-even transposition exchange.
+    Sort {
+        /// Phase number of the exchange.
+        phase: u32,
+        /// The sender's current value.
+        value: f64,
+    },
+}
+
+impl Payload for CollectiveMsg {
+    fn discriminant(&self) -> u64 {
+        match self {
+            CollectiveMsg::Reduce { .. } => 1,
+            CollectiveMsg::Disseminate { .. } => 2,
+            CollectiveMsg::Sort { .. } => 3,
+        }
+    }
+}
+
+/// The associative operation of a reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Σ of readings.
+    Sum,
+    /// Minimum reading.
+    Min,
+    /// Maximum reading.
+    Max,
+}
+
+impl ReduceOp {
+    fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// What each node contributes to a reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReduceSource {
+    /// The (transformed) sensor reading.
+    Sensor,
+    /// The node's residual energy budget (§3.1's resource-management
+    /// query); contributes +∞ on platforms without budgets so a Min
+    /// reduction still finds the weakest budgeted node.
+    ResidualEnergy,
+}
+
+/// Hierarchical reduce: every node contributes its (transformed) reading;
+/// level-k leaders combine their quadrant's four partials and pass the
+/// result up; the root exfiltrates `Reduce { value, count }`.
+pub struct ReduceProgram {
+    op: ReduceOp,
+    source: ReduceSource,
+    /// Maps the raw reading to the contributed value (identity for plain
+    /// aggregates; an indicator for ranking).
+    transform: Box<dyn Fn(f64) -> f64>,
+    hierarchy: Hierarchy,
+    partial: Vec<(f64, u64, u8)>, // (value, count, seen) per level
+}
+
+impl ReduceProgram {
+    /// A reduction of the raw readings under `op`.
+    pub fn new(side: u32, op: ReduceOp) -> Self {
+        Self::with_transform(side, op, |x| x)
+    }
+
+    /// A reduction of `transform(reading)` under `op`.
+    pub fn with_transform(side: u32, op: ReduceOp, transform: impl Fn(f64) -> f64 + 'static) -> Self {
+        let hierarchy = Hierarchy::new(side);
+        let levels = hierarchy.max_level() as usize + 2;
+        ReduceProgram {
+            op,
+            source: ReduceSource::Sensor,
+            transform: Box::new(transform),
+            hierarchy,
+            partial: vec![(f64::NAN, 0, 0); levels],
+        }
+    }
+
+    /// The resource-management query of §3.1: the minimum residual energy
+    /// across the network (the weakest node's budget).
+    pub fn min_residual_energy(side: u32) -> Self {
+        let mut p = Self::new(side, ReduceOp::Min);
+        p.source = ReduceSource::ResidualEnergy;
+        p
+    }
+
+    /// The rank query of §2's "ranking" primitive: counts readings
+    /// strictly below `query` (a Sum of indicators).
+    pub fn rank(side: u32, query: f64) -> Self {
+        Self::with_transform(side, ReduceOp::Sum, move |x| f64::from(x < query))
+    }
+
+    fn ship(&self, api: &mut dyn NodeApi<CollectiveMsg>, level: u8, value: f64, count: u64) {
+        if level > self.hierarchy.max_level() {
+            api.exfiltrate(CollectiveMsg::Reduce {
+                level: self.hierarchy.max_level(),
+                value,
+                count,
+            });
+        } else {
+            let dest = self.hierarchy.leader(api.coord(), level);
+            api.send(dest, 1, CollectiveMsg::Reduce { level, value, count });
+        }
+    }
+
+    fn absorb(&mut self, api: &mut dyn NodeApi<CollectiveMsg>, level: u8, value: f64, count: u64) {
+        api.compute(1);
+        let slot = &mut self.partial[level as usize];
+        slot.0 = if slot.2 == 0 { value } else { self.op.combine(slot.0, value) };
+        slot.1 += count;
+        slot.2 += 1;
+        if slot.2 == 4 {
+            let (v, c, _) = *slot;
+            self.ship(api, level + 1, v, c);
+        }
+    }
+}
+
+impl NodeProgram<CollectiveMsg> for ReduceProgram {
+    fn on_init(&mut self, api: &mut dyn NodeApi<CollectiveMsg>) {
+        let contribution = match self.source {
+            ReduceSource::Sensor => (self.transform)(api.read_sensor()),
+            ReduceSource::ResidualEnergy => api.residual_energy().unwrap_or(f64::INFINITY),
+        };
+        api.compute(1);
+        if self.hierarchy.max_level() == 0 {
+            api.exfiltrate(CollectiveMsg::Reduce { level: 0, value: contribution, count: 1 });
+        } else {
+            self.ship(api, 1, contribution, 1);
+        }
+    }
+
+    fn on_receive(
+        &mut self,
+        api: &mut dyn NodeApi<CollectiveMsg>,
+        _from: GridCoord,
+        msg: CollectiveMsg,
+    ) {
+        match msg {
+            CollectiveMsg::Reduce { level, value, count } => self.absorb(api, level, value, count),
+            other => panic!("reduce program received {other:?}"),
+        }
+    }
+}
+
+/// Hierarchical dissemination: the root injects a value that fans out
+/// through the leader tree; every node exfiltrates on receipt (so the
+/// harness can check full coverage).
+pub struct DisseminateProgram {
+    /// The value the root injects.
+    root_value: f64,
+    hierarchy: Hierarchy,
+    delivered: bool,
+}
+
+impl DisseminateProgram {
+    /// A disseminate program for one node; only the root's `root_value`
+    /// matters.
+    pub fn new(side: u32, root_value: f64) -> Self {
+        DisseminateProgram { root_value, hierarchy: Hierarchy::new(side), delivered: false }
+    }
+
+    fn fan_out(&mut self, api: &mut dyn NodeApi<CollectiveMsg>, my_level: u8, value: f64) {
+        if self.delivered {
+            return;
+        }
+        self.delivered = true;
+        api.exfiltrate(CollectiveMsg::Disseminate { level: 0, value });
+        // Re-fan-out to the three non-self children at every level this
+        // node leads, top-down.
+        let mut level = my_level;
+        while level >= 1 {
+            let children = self.hierarchy.children(api.coord(), level);
+            for child in children {
+                if child != api.coord() {
+                    api.send(
+                        child,
+                        1,
+                        CollectiveMsg::Disseminate { level: level - 1, value },
+                    );
+                }
+            }
+            level -= 1;
+        }
+    }
+}
+
+impl NodeProgram<CollectiveMsg> for DisseminateProgram {
+    fn on_init(&mut self, api: &mut dyn NodeApi<CollectiveMsg>) {
+        if api.coord() == GridCoord::new(0, 0) {
+            let level = self.hierarchy.max_level();
+            let value = self.root_value;
+            self.fan_out(api, level, value);
+        }
+    }
+
+    fn on_receive(
+        &mut self,
+        api: &mut dyn NodeApi<CollectiveMsg>,
+        _from: GridCoord,
+        msg: CollectiveMsg,
+    ) {
+        match msg {
+            CollectiveMsg::Disseminate { level, value } => self.fan_out(api, level, value),
+            other => panic!("disseminate program received {other:?}"),
+        }
+    }
+}
+
+/// Boustrophedon (snake) linear order over the grid: row-major with every
+/// odd row reversed, so consecutive linear indices are grid neighbors.
+pub fn snake_index(grid: VirtualGrid, c: GridCoord) -> usize {
+    let side = grid.side();
+    let row_base = c.row as usize * side as usize;
+    if c.row.is_multiple_of(2) {
+        row_base + c.col as usize
+    } else {
+        row_base + (side - 1 - c.col) as usize
+    }
+}
+
+/// Inverse of [`snake_index`].
+pub fn snake_coord(grid: VirtualGrid, index: usize) -> GridCoord {
+    let side = grid.side() as usize;
+    assert!(index < side * side, "snake index out of range");
+    let row = index / side;
+    let col = if row.is_multiple_of(2) { index % side } else { side - 1 - index % side };
+    GridCoord::new(col as u32, row as u32)
+}
+
+/// Odd-even transposition sort along the snake order. After `N` phases,
+/// node with linear index `i` holds the i-th smallest reading and
+/// exfiltrates `Sort { phase: i, value }`.
+pub struct SortProgram {
+    grid: VirtualGrid,
+    index: Option<usize>,
+    value: f64,
+    phase: u32,
+    total_phases: u32,
+    inbox: HashMap<u32, f64>,
+    sent_phase: Option<u32>,
+}
+
+impl SortProgram {
+    /// A sort program for one node of a `side × side` grid.
+    pub fn new(side: u32) -> Self {
+        let grid = VirtualGrid::new(side);
+        SortProgram {
+            grid,
+            index: None,
+            value: f64::NAN,
+            phase: 0,
+            total_phases: (grid.node_count()) as u32,
+            inbox: HashMap::new(),
+            sent_phase: None,
+        }
+    }
+
+    fn partner(&self, phase: u32) -> Option<usize> {
+        let i = self.index.expect("initialized");
+        let n = self.grid.node_count();
+        let partner = if phase.is_multiple_of(2) {
+            // pairs (0,1), (2,3), …
+            if i.is_multiple_of(2) { i + 1 } else { i - 1 }
+        } else {
+            // pairs (1,2), (3,4), …
+            if i == 0 {
+                return None;
+            } else if !i.is_multiple_of(2) {
+                i + 1
+            } else {
+                i - 1
+            }
+        };
+        (partner < n).then_some(partner)
+    }
+
+    /// Drives phases forward as far as buffered messages allow.
+    fn advance(&mut self, api: &mut dyn NodeApi<CollectiveMsg>) {
+        let i = self.index.expect("initialized");
+        while self.phase < self.total_phases {
+            let Some(partner) = self.partner(self.phase) else {
+                self.phase += 1;
+                continue;
+            };
+            // Send my value for this phase exactly once.
+            if self.sent_phase != Some(self.phase) {
+                self.sent_phase = Some(self.phase);
+                let dest = snake_coord(self.grid, partner);
+                api.send(dest, 1, CollectiveMsg::Sort { phase: self.phase, value: self.value });
+            }
+            let Some(theirs) = self.inbox.remove(&self.phase) else {
+                return; // wait for the partner
+            };
+            api.compute(1);
+            self.value = if i < partner {
+                self.value.min(theirs)
+            } else {
+                self.value.max(theirs)
+            };
+            self.phase += 1;
+        }
+        api.exfiltrate(CollectiveMsg::Sort { phase: i as u32, value: self.value });
+    }
+}
+
+impl NodeProgram<CollectiveMsg> for SortProgram {
+    fn on_init(&mut self, api: &mut dyn NodeApi<CollectiveMsg>) {
+        self.index = Some(snake_index(self.grid, api.coord()));
+        self.value = api.read_sensor();
+        api.compute(1);
+        self.advance(api);
+    }
+
+    fn on_receive(
+        &mut self,
+        api: &mut dyn NodeApi<CollectiveMsg>,
+        _from: GridCoord,
+        msg: CollectiveMsg,
+    ) {
+        match msg {
+            CollectiveMsg::Sort { phase, value } => {
+                let stale = self.inbox.insert(phase, value);
+                debug_assert!(stale.is_none(), "duplicate phase {phase} message");
+                self.advance(api);
+            }
+            other => panic!("sort program received {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::vm::Vm;
+
+    fn run_reduce(side: u32, op: ReduceOp) -> (f64, u64) {
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            |c| f64::from(c.col * 7 + c.row * 3),
+            move |_| Box::new(ReduceProgram::new(side, op)),
+        );
+        vm.run();
+        let ex = vm.take_exfiltrated();
+        assert_eq!(ex.len(), 1);
+        match ex.into_iter().next().unwrap().payload {
+            CollectiveMsg::Reduce { value, count, .. } => (value, count),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_reduce_is_exact() {
+        for side in [1u32, 2, 4, 8, 16] {
+            let (value, count) = run_reduce(side, ReduceOp::Sum);
+            let expect: f64 = (0..side)
+                .flat_map(|r| (0..side).map(move |c| f64::from(c * 7 + r * 3)))
+                .sum();
+            assert_eq!(value, expect, "side {side}");
+            assert_eq!(count, u64::from(side * side));
+        }
+    }
+
+    #[test]
+    fn min_max_reduce() {
+        let (min, _) = run_reduce(8, ReduceOp::Min);
+        let (max, _) = run_reduce(8, ReduceOp::Max);
+        assert_eq!(min, 0.0);
+        assert_eq!(max, f64::from(7 * 7 + 7 * 3));
+    }
+
+    #[test]
+    fn rank_counts_strictly_below_query() {
+        let side = 4u32;
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            |c| f64::from(c.col + 4 * c.row), // readings 0..16, distinct
+            move |_| Box::new(ReduceProgram::rank(side, 5.0)),
+        );
+        vm.run();
+        match vm.take_exfiltrated().pop().unwrap().payload {
+            CollectiveMsg::Reduce { value, .. } => assert_eq!(value, 5.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_energy_matches_quadtree_estimate() {
+        let side = 8u32;
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            |_| 1.0,
+            move |_| Box::new(ReduceProgram::new(side, ReduceOp::Sum)),
+        );
+        vm.run();
+        let est = crate::estimate::quadtree_merge_estimate(
+            side,
+            &CostModel::uniform(),
+            &|_| 1,
+            &|_| 4, // absorb charges 1 per incoming ×4
+            1,
+        );
+        assert!((vm.ledger().total() - est.total_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dissemination_reaches_every_node() {
+        for side in [1u32, 2, 4, 8] {
+            let mut vm: Vm<CollectiveMsg> = Vm::new(
+                side,
+                CostModel::uniform(),
+                1,
+                |_| 0.0,
+                move |_| Box::new(DisseminateProgram::new(side, 42.5)),
+            );
+            vm.run();
+            let ex = vm.take_exfiltrated();
+            assert_eq!(ex.len(), (side as usize).pow(2), "side {side}");
+            for e in &ex {
+                match e.payload {
+                    CollectiveMsg::Disseminate { value, .. } => assert_eq!(value, 42.5),
+                    ref other => panic!("{other:?}"),
+                }
+            }
+            // Every node exfiltrated exactly once.
+            let mut froms: Vec<GridCoord> = ex.iter().map(|e| e.from).collect();
+            froms.sort();
+            froms.dedup();
+            assert_eq!(froms.len(), (side as usize).pow(2));
+        }
+    }
+
+    #[test]
+    fn snake_order_is_a_neighbor_path() {
+        for side in [1u32, 2, 3, 4, 8] {
+            let grid = VirtualGrid::new(side);
+            let n = grid.node_count();
+            let mut prev: Option<GridCoord> = None;
+            for i in 0..n {
+                let c = snake_coord(grid, i);
+                assert_eq!(snake_index(grid, c), i);
+                if let Some(p) = prev {
+                    assert_eq!(p.manhattan(c), 1, "snake jump at {i} (side {side})");
+                }
+                prev = Some(c);
+            }
+        }
+    }
+
+    fn run_sort(side: u32, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = wsn_sim::DetRng::new(seed);
+        let n = (side as usize).pow(2);
+        let readings: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 100.0)).collect();
+        let grid = VirtualGrid::new(side);
+        let r = readings.clone();
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            CostModel::uniform(),
+            seed,
+            move |c| r[grid.index(c)],
+            move |_| Box::new(SortProgram::new(side)),
+        );
+        vm.run();
+        let mut out = vec![f64::NAN; n];
+        for e in vm.take_exfiltrated() {
+            match e.payload {
+                CollectiveMsg::Sort { phase, value } => out[phase as usize] = value,
+                other => panic!("{other:?}"),
+            }
+        }
+        (readings, out)
+    }
+
+    #[test]
+    fn odd_even_transposition_sorts() {
+        for (side, seed) in [(2u32, 1u64), (4, 2), (8, 3)] {
+            let (mut input, output) = run_sort(side, seed);
+            input.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(input, output, "side {side}");
+        }
+    }
+
+    #[test]
+    fn sort_of_presorted_input_is_stable_fixpoint() {
+        let side = 4u32;
+        let grid = VirtualGrid::new(side);
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            move |c| snake_index(grid, c) as f64,
+            move |_| Box::new(SortProgram::new(side)),
+        );
+        vm.run();
+        for e in vm.take_exfiltrated() {
+            match e.payload {
+                CollectiveMsg::Sort { phase, value } => assert_eq!(value, f64::from(phase)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::vm::Vm;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sorting any random multiset yields the sorted multiset.
+        #[test]
+        fn sort_correct_on_random_inputs(seed in 0u64..10_000, pow in 1u32..4) {
+            let side = 1u32 << pow;
+            let grid = VirtualGrid::new(side);
+            let n = grid.node_count();
+            let mut rng = wsn_sim::DetRng::new(seed);
+            let readings: Vec<f64> = (0..n).map(|_| (rng.bounded_u64(50)) as f64).collect();
+            let r = readings.clone();
+            let mut vm: Vm<CollectiveMsg> = Vm::new(
+                side,
+                CostModel::uniform(),
+                seed,
+                move |c| r[grid.index(c)],
+                move |_| Box::new(SortProgram::new(side)),
+            );
+            vm.run();
+            let mut out = vec![f64::NAN; n];
+            for e in vm.take_exfiltrated() {
+                match e.payload {
+                    CollectiveMsg::Sort { phase, value } => out[phase as usize] = value,
+                    other => panic!("{other:?}"),
+                }
+            }
+            let mut expect = readings;
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(out, expect);
+        }
+    }
+}

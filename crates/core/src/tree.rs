@@ -1,0 +1,606 @@
+//! The alternative network model: a tree virtual topology.
+//!
+//! §3.2: "A grid will be an appropriate choice of virtual topology for
+//! uniform node deployment over the terrain. For non-uniform deployments,
+//! other virtual topologies such as a tree could be more appropriate."
+//!
+//! This module provides that alternative: [`VirtualTree`] (an arbitrary
+//! rooted tree of virtual nodes, e.g. cluster heads of a clustered
+//! deployment), a small tree-structured execution environment
+//! ([`TreeVm`]) whose programs communicate along tree edges, the
+//! convergecast aggregation program, and a closed-form estimator — so the
+//! design flow of Figure 1 can weigh *architectures* against each other,
+//! not just algorithms within one architecture (see EXP-19).
+
+use crate::cost::CostModel;
+use crate::estimate::Estimate;
+use std::cell::RefCell;
+use std::rc::Rc;
+use wsn_net::{EnergyKind, EnergyLedger};
+use wsn_sim::{Actor, ActorId, Context, Kernel, Payload, SimTime};
+
+/// A rooted tree of virtual nodes, identified by dense indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualTree {
+    parents: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    depths: Vec<u32>,
+    root: usize,
+}
+
+impl VirtualTree {
+    /// Builds a tree from parent pointers (`None` exactly at the root).
+    /// Panics unless the structure is a single rooted tree.
+    pub fn from_parents(parents: Vec<Option<usize>>) -> Self {
+        let n = parents.len();
+        assert!(n > 0, "empty tree");
+        let roots: Vec<usize> =
+            (0..n).filter(|&i| parents[i].is_none()).collect();
+        assert_eq!(roots.len(), 1, "exactly one root required, found {}", roots.len());
+        let root = roots[0];
+        let mut children = vec![Vec::new(); n];
+        for (i, &p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(p < n, "parent {p} out of range");
+                children[p].push(i);
+            }
+        }
+        // Depths + acyclicity: BFS from the root must reach everyone.
+        let mut depths = vec![u32::MAX; n];
+        depths[root] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut seen = 1;
+        while let Some(u) = queue.pop_front() {
+            for &c in &children[u] {
+                assert_eq!(depths[c], u32::MAX, "node {c} reached twice (cycle)");
+                depths[c] = depths[u] + 1;
+                seen += 1;
+                queue.push_back(c);
+            }
+        }
+        assert_eq!(seen, n, "disconnected parent structure");
+        VirtualTree { parents, children, depths, root }
+    }
+
+    /// A balanced `k`-ary tree of the given depth (depth 0 = root only).
+    pub fn balanced_kary(k: usize, depth: u32) -> Self {
+        assert!(k >= 1);
+        let mut parents = vec![None];
+        let mut frontier = vec![0usize];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for _ in 0..k {
+                    let id = parents.len();
+                    parents.push(Some(p));
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        VirtualTree::from_parents(parents)
+    }
+
+    /// Number of virtual nodes.
+    pub fn node_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of `v` (`None` at the root).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parents[v]
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn depth(&self, v: usize) -> u32 {
+        self.depths[v]
+    }
+
+    /// Height of the tree (max depth).
+    pub fn height(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Leaves in index order.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.node_count()).filter(|&v| self.children[v].is_empty()).collect()
+    }
+
+    /// Hop distance between two nodes (through their lowest common
+    /// ancestor) — the tree architecture's cost-model distance.
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        let (mut a, mut b) = (a, b);
+        let mut d = 0;
+        while self.depths[a] > self.depths[b] {
+            a = self.parents[a].expect("non-root has parent");
+            d += 1;
+        }
+        while self.depths[b] > self.depths[a] {
+            b = self.parents[b].expect("non-root has parent");
+            d += 1;
+        }
+        while a != b {
+            a = self.parents[a].expect("lca exists");
+            b = self.parents[b].expect("lca exists");
+            d += 2;
+        }
+        d
+    }
+}
+
+/// Builds a tree over a real deployment: the BFS spanning tree of the
+/// unit-disk graph rooted at the node closest to the terrain centroid.
+/// For clustered deployments this is the natural cluster-tree — edges are
+/// radio links, so every tree hop is physically one hop. Returns `None`
+/// when the graph is disconnected.
+pub fn spanning_tree_from_positions(
+    positions: &[wsn_net::Point],
+    range: f64,
+) -> Option<VirtualTree> {
+    if positions.is_empty() {
+        return None;
+    }
+    let graph = wsn_net::UnitDiskGraph::build(positions, range);
+    let cx = positions.iter().map(|p| p.x).sum::<f64>() / positions.len() as f64;
+    let cy = positions.iter().map(|p| p.y).sum::<f64>() / positions.len() as f64;
+    let center = wsn_net::Point::new(cx, cy);
+    let root = (0..positions.len())
+        .min_by(|&a, &b| {
+            positions[a]
+                .distance(center)
+                .partial_cmp(&positions[b].distance(center))
+                .expect("finite distances")
+        })
+        .expect("non-empty");
+    let mut parents: Vec<Option<usize>> = vec![None; positions.len()];
+    let mut seen = vec![false; positions.len()];
+    seen[root] = true;
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut reached = 1;
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                parents[v] = Some(u);
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    (reached == positions.len()).then(|| VirtualTree::from_parents(parents))
+}
+
+/// Messages of the tree execution environment: payloads travel along tree
+/// edges only (parent ↔ child), which is the tree architecture's
+/// communication primitive.
+pub struct TreeEnvelope<P> {
+    /// Sending virtual tree node.
+    pub from: usize,
+    /// Application payload.
+    pub payload: P,
+}
+
+impl<P: 'static> Payload for TreeEnvelope<P> {}
+
+/// Capabilities of a program running on one tree node.
+pub trait TreeApi<P> {
+    /// This node's tree index.
+    fn id(&self) -> usize;
+    /// Parent, if any.
+    fn parent(&self) -> Option<usize>;
+    /// Number of children.
+    fn child_count(&self) -> usize;
+    /// This node's sensor reading.
+    fn read_sensor(&mut self) -> f64;
+    /// Charges computation.
+    fn compute(&mut self, units: u64);
+    /// Sends along a tree edge (dest must be this node's parent or child).
+    fn send(&mut self, dest: usize, units: u64, payload: P);
+    /// Delivers a result out of the network.
+    fn exfiltrate(&mut self, payload: P);
+}
+
+/// A node program for the tree architecture.
+pub trait TreeProgram<P>: 'static {
+    /// Fired once at start.
+    fn on_init(&mut self, api: &mut dyn TreeApi<P>);
+    /// Fired per received message.
+    fn on_receive(&mut self, api: &mut dyn TreeApi<P>, from: usize, payload: P);
+}
+
+struct TreeShared<P> {
+    tree: VirtualTree,
+    cost: CostModel,
+    ledger: RefCell<EnergyLedger>,
+    exfil: RefCell<Vec<(usize, SimTime, P)>>,
+    field: Box<dyn Fn(usize) -> f64>,
+    actors: RefCell<Vec<ActorId>>,
+}
+
+struct TreeNode<P: 'static> {
+    id: usize,
+    program: Box<dyn TreeProgram<P>>,
+    shared: Rc<TreeShared<P>>,
+}
+
+struct TreeNodeApi<'a, 'b, P: 'static> {
+    id: usize,
+    shared: &'a TreeShared<P>,
+    ctx: &'a mut Context<'b, TreeEnvelope<P>>,
+}
+
+impl<P: 'static> TreeApi<P> for TreeNodeApi<'_, '_, P> {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn parent(&self) -> Option<usize> {
+        self.shared.tree.parent(self.id)
+    }
+
+    fn child_count(&self) -> usize {
+        self.shared.tree.children(self.id).len()
+    }
+
+    fn read_sensor(&mut self) -> f64 {
+        (self.shared.field)(self.id)
+    }
+
+    fn compute(&mut self, units: u64) {
+        self.shared
+            .ledger
+            .borrow_mut()
+            .charge(self.id, EnergyKind::Compute, self.shared.cost.compute(units));
+    }
+
+    fn send(&mut self, dest: usize, units: u64, payload: P) {
+        let tree = &self.shared.tree;
+        let is_edge = tree.parent(self.id) == Some(dest) || tree.parent(dest) == Some(self.id);
+        assert!(is_edge, "tree sends travel along edges: {} -> {dest}", self.id);
+        {
+            let mut ledger = self.shared.ledger.borrow_mut();
+            let cost = &self.shared.cost;
+            ledger.charge(self.id, EnergyKind::Tx, units as f64 * cost.tx_energy);
+            ledger.charge(dest, EnergyKind::Rx, units as f64 * cost.rx_energy);
+        }
+        self.ctx.stats().incr("treevm.messages");
+        self.ctx.stats().add("treevm.data_units", units);
+        let delay = SimTime::from_ticks(self.shared.cost.hop_ticks(units));
+        let target = self.shared.actors.borrow()[dest];
+        self.ctx.send(target, delay, TreeEnvelope { from: self.id, payload });
+    }
+
+    fn exfiltrate(&mut self, payload: P) {
+        self.shared.exfil.borrow_mut().push((self.id, self.ctx.now(), payload));
+    }
+}
+
+impl<P: 'static> Actor<TreeEnvelope<P>> for TreeNode<P> {
+    fn on_timer(&mut self, ctx: &mut Context<'_, TreeEnvelope<P>>, _tag: u64) {
+        let mut api = TreeNodeApi { id: self.id, shared: &self.shared, ctx };
+        self.program.on_init(&mut api);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, TreeEnvelope<P>>,
+        _from: ActorId,
+        msg: TreeEnvelope<P>,
+    ) {
+        let mut api = TreeNodeApi { id: self.id, shared: &self.shared, ctx };
+        self.program.on_receive(&mut api, msg.from, msg.payload);
+    }
+}
+
+/// Executes tree programs on an ideal [`VirtualTree`].
+pub struct TreeVm<P: 'static> {
+    kernel: Kernel<TreeEnvelope<P>>,
+    shared: Rc<TreeShared<P>>,
+}
+
+impl<P: 'static> TreeVm<P> {
+    /// Builds the VM; `field` gives each tree node's reading, `factory`
+    /// each node's program.
+    pub fn new(
+        tree: VirtualTree,
+        cost: CostModel,
+        seed: u64,
+        field: impl Fn(usize) -> f64 + 'static,
+        mut factory: impl FnMut(usize) -> Box<dyn TreeProgram<P>>,
+    ) -> Self {
+        let n = tree.node_count();
+        let shared = Rc::new(TreeShared {
+            tree,
+            cost,
+            ledger: RefCell::new(EnergyLedger::unlimited(n)),
+            exfil: RefCell::new(Vec::new()),
+            field: Box::new(field),
+            actors: RefCell::new(Vec::with_capacity(n)),
+        });
+        let mut kernel: Kernel<TreeEnvelope<P>> = Kernel::new(seed);
+        for id in 0..n {
+            let a = kernel.add_actor(Box::new(TreeNode {
+                id,
+                program: factory(id),
+                shared: shared.clone(),
+            }));
+            shared.actors.borrow_mut().push(a);
+            kernel.schedule_timer(SimTime::ZERO, a, 0);
+        }
+        TreeVm { kernel, shared }
+    }
+
+    /// The topology.
+    pub fn tree(&self) -> &VirtualTree {
+        &self.shared.tree
+    }
+
+    /// Runs to quiescence; returns `(latency of last exfiltration, total
+    /// energy, messages)`.
+    pub fn run(&mut self) -> (u64, f64, u64) {
+        self.kernel.run();
+        let latency = self
+            .shared
+            .exfil
+            .borrow()
+            .iter()
+            .map(|&(_, at, _)| at)
+            .max()
+            .unwrap_or(self.kernel.now())
+            .ticks();
+        (
+            latency,
+            self.shared.ledger.borrow().total(),
+            self.kernel.stats().counter("treevm.messages"),
+        )
+    }
+
+    /// Removes and returns everything exfiltrated.
+    pub fn take_exfiltrated(&mut self) -> Vec<(usize, SimTime, P)> {
+        std::mem::take(&mut self.shared.exfil.borrow_mut())
+    }
+}
+
+/// Convergecast aggregation: every node contributes its reading; interior
+/// nodes combine all children's partials with their own; the root
+/// exfiltrates `(sum, count)`.
+pub struct ConvergecastSum {
+    expected: usize,
+    received: usize,
+    sum: f64,
+    count: u64,
+    started: bool,
+}
+
+impl ConvergecastSum {
+    /// A program instance for a node with `child_count` children.
+    pub fn new(child_count: usize) -> Self {
+        ConvergecastSum {
+            expected: child_count,
+            received: 0,
+            sum: 0.0,
+            count: 0,
+            started: false,
+        }
+    }
+
+    fn maybe_forward(&mut self, api: &mut dyn TreeApi<(f64, u64)>) {
+        if self.started && self.received == self.expected {
+            match api.parent() {
+                Some(p) => api.send(p, 1, (self.sum, self.count)),
+                None => api.exfiltrate((self.sum, self.count)),
+            }
+        }
+    }
+}
+
+impl TreeProgram<(f64, u64)> for ConvergecastSum {
+    fn on_init(&mut self, api: &mut dyn TreeApi<(f64, u64)>) {
+        self.sum += api.read_sensor();
+        self.count += 1;
+        api.compute(1);
+        self.started = true;
+        self.maybe_forward(api);
+    }
+
+    fn on_receive(&mut self, api: &mut dyn TreeApi<(f64, u64)>, _from: usize, payload: (f64, u64)) {
+        api.compute(1);
+        self.sum += payload.0;
+        self.count += payload.1;
+        self.received += 1;
+        self.maybe_forward(api);
+    }
+}
+
+/// Closed-form estimate of convergecast on `tree` with `units`-sized
+/// partials: every non-root node transmits once over one hop (energy
+/// `2·units` with the uniform model), and the critical path is the tree
+/// height.
+pub fn tree_convergecast_estimate(tree: &VirtualTree, cost: &CostModel, units: u64) -> Estimate {
+    let edges = (tree.node_count() - 1) as u64;
+    Estimate {
+        latency_ticks: u64::from(tree.height()) * cost.hop_ticks(units),
+        total_energy: edges as f64 * units as f64 * (cost.tx_energy + cost.rx_energy)
+            + tree.node_count() as f64 * cost.compute(1)     // leaf/init computes
+            + edges as f64 * cost.compute(1),                // one merge per received partial
+        messages: edges,
+        data_units: edges * units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parents_builds_structure() {
+        //      0
+        //    / | \
+        //   1  2  3
+        //      |
+        //      4
+        let t = VirtualTree::from_parents(vec![None, Some(0), Some(0), Some(0), Some(2)]);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.children(0), &[1, 2, 3]);
+        assert_eq!(t.parent(4), Some(2));
+        assert_eq!(t.depth(4), 2);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaves(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn hops_through_lca() {
+        let t = VirtualTree::from_parents(vec![None, Some(0), Some(0), Some(1), Some(1), Some(2)]);
+        assert_eq!(t.hops(3, 4), 2); // siblings under 1
+        assert_eq!(t.hops(3, 5), 4); // via the root
+        assert_eq!(t.hops(0, 5), 2);
+        assert_eq!(t.hops(3, 3), 0);
+        assert_eq!(t.hops(3, 1), 1);
+    }
+
+    #[test]
+    fn balanced_kary_counts() {
+        let t = VirtualTree::balanced_kary(4, 2);
+        assert_eq!(t.node_count(), 1 + 4 + 16);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaves().len(), 16);
+        let t1 = VirtualTree::balanced_kary(3, 0);
+        assert_eq!(t1.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn two_roots_panic() {
+        VirtualTree::from_parents(vec![None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn cycle_panics() {
+        // 1 and 2 point at each other; unreachable from root 0.
+        VirtualTree::from_parents(vec![None, Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn convergecast_sums_exactly() {
+        for (k, depth) in [(2usize, 3u32), (4, 2), (3, 1), (1, 4)] {
+            let tree = VirtualTree::balanced_kary(k, depth);
+            let n = tree.node_count();
+            let t2 = tree.clone();
+            let mut vm = TreeVm::new(
+                tree,
+                CostModel::uniform(),
+                1,
+                |id| id as f64,
+                move |id| Box::new(ConvergecastSum::new(t2.children(id).len())),
+            );
+            let (latency, energy, messages) = vm.run();
+            let results = vm.take_exfiltrated();
+            assert_eq!(results.len(), 1);
+            let (root, _, (sum, count)) = &results[0];
+            assert_eq!(*root, 0);
+            assert_eq!(*count, n as u64);
+            assert_eq!(*sum, (0..n).map(|i| i as f64).sum::<f64>());
+            // Exact match with the closed form.
+            let est =
+                tree_convergecast_estimate(vm.tree(), &CostModel::uniform(), 1);
+            assert_eq!(latency, est.latency_ticks, "k={k} depth={depth}");
+            assert!((energy - est.total_energy).abs() < 1e-9, "k={k} depth={depth}");
+            assert_eq!(messages, est.messages);
+        }
+    }
+
+    #[test]
+    fn spanning_tree_over_clustered_deployment() {
+        use wsn_net::{DeploymentSpec, Placement};
+        let spec = DeploymentSpec {
+            terrain_side: 60.0,
+            cells_per_side: 6,
+            placement: Placement::Clustered { clusters: 4, per_cluster: 20, spread: 4.0 },
+            ensure_coverage: false,
+        };
+        let d = spec.generate(7);
+        // A generous range keeps the clustered graph connected.
+        let tree = spanning_tree_from_positions(d.positions(), 25.0)
+            .expect("clustered deployment connected at range 25");
+        assert_eq!(tree.node_count(), d.node_count());
+        // Convergecast over the physical spanning tree sums every node.
+        let t2 = tree.clone();
+        let n = tree.node_count();
+        let mut vm = TreeVm::new(
+            tree,
+            CostModel::uniform(),
+            1,
+            |_| 1.0,
+            move |id| Box::new(ConvergecastSum::new(t2.children(id).len())),
+        );
+        let (latency, _, messages) = vm.run();
+        let (_, _, (sum, count)) = vm.take_exfiltrated().pop().unwrap();
+        assert_eq!(count, n as u64);
+        assert_eq!(sum, n as f64);
+        assert_eq!(messages, (n - 1) as u64);
+        assert_eq!(latency, u64::from(vm.tree().height()));
+    }
+
+    #[test]
+    fn disconnected_positions_yield_no_tree() {
+        let far = [wsn_net::Point::new(0.0, 0.0), wsn_net::Point::new(100.0, 0.0)];
+        assert!(spanning_tree_from_positions(&far, 1.0).is_none());
+        assert!(spanning_tree_from_positions(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn irregular_tree_convergecast() {
+        // A lopsided tree: a path of 4 plus a bushy node.
+        let tree = VirtualTree::from_parents(vec![
+            None,
+            Some(0),
+            Some(1),
+            Some(2),
+            Some(0),
+            Some(4),
+            Some(4),
+            Some(4),
+        ]);
+        let t2 = tree.clone();
+        let mut vm = TreeVm::new(
+            tree,
+            CostModel::uniform(),
+            1,
+            |_| 1.0,
+            move |id| Box::new(ConvergecastSum::new(t2.children(id).len())),
+        );
+        vm.run();
+        let (_, _, (sum, count)) = vm.take_exfiltrated().pop().unwrap();
+        assert_eq!(count, 8);
+        assert_eq!(sum, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "travel along edges")]
+    fn non_edge_send_panics() {
+        struct Bad;
+        impl TreeProgram<(f64, u64)> for Bad {
+            fn on_init(&mut self, api: &mut dyn TreeApi<(f64, u64)>) {
+                if api.id() == 3 {
+                    api.send(4, 1, (0.0, 0)); // 3 and 4 are cousins, not an edge
+                }
+            }
+            fn on_receive(&mut self, _: &mut dyn TreeApi<(f64, u64)>, _: usize, _: (f64, u64)) {}
+        }
+        let tree = VirtualTree::from_parents(vec![None, Some(0), Some(0), Some(1), Some(2)]);
+        let mut vm = TreeVm::new(tree, CostModel::uniform(), 1, |_| 0.0, |_| Box::new(Bad));
+        vm.run();
+    }
+}

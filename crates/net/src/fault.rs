@@ -1,0 +1,113 @@
+//! Scheduled node-failure injection.
+//!
+//! The paper's topology-emulation protocol "should execute periodically"
+//! because "new nodes can be added to the network or existing nodes can
+//! leave or fail" (§5.1). Experiments exercise that path by scheduling
+//! deaths with a [`FaultPlan`]; the plan installs itself as an actor that
+//! kills nodes in the [`crate::medium::Medium`] at the scheduled instants.
+
+use crate::medium::SharedMedium;
+use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
+use wsn_sim::{Actor, ActorId, Context, Kernel, Payload, SimTime};
+
+/// A list of `(time, node)` failures to inject.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, usize)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a failure of `node` at `time`.
+    pub fn kill_at(mut self, time: SimTime, node: usize) -> Self {
+        self.events.push((time, node));
+        self
+    }
+
+    /// Scheduled failures.
+    pub fn events(&self) -> &[(SimTime, usize)] {
+        &self.events
+    }
+
+    /// Installs the plan into `kernel` as a fault-injector actor bound to
+    /// `medium`. Returns the injector's actor id (harmless to ignore).
+    pub fn install<M: Payload>(self, kernel: &mut Kernel<M>, medium: SharedMedium) -> ActorId {
+        kernel.add_actor(Box::new(FaultInjector::<M> {
+            plan: self,
+            medium,
+            _marker: PhantomData,
+        }))
+    }
+}
+
+struct FaultInjector<M> {
+    plan: FaultPlan,
+    medium: SharedMedium,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M: Payload> Actor<M> for FaultInjector<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        for (idx, &(time, _)) in self.plan.events.iter().enumerate() {
+            ctx.set_timer(time.ticks(), idx as u64);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, M>, _from: ActorId, _msg: M) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
+        let (_, node) = self.plan.events[tag as usize];
+        self.medium.borrow_mut().kill(node, ctx.now());
+        ctx.stats().incr("fault.injected");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyLedger;
+    use crate::geometry::Point;
+    use crate::graph::UnitDiskGraph;
+    use crate::medium::{LinkModel, Medium};
+    use crate::radio::RadioModel;
+
+    #[test]
+    fn plan_builder_accumulates() {
+        let p = FaultPlan::none()
+            .kill_at(SimTime::from_ticks(5), 1)
+            .kill_at(SimTime::from_ticks(9), 0);
+        assert_eq!(p.events().len(), 2);
+        assert_eq!(p.events()[1], (SimTime::from_ticks(9), 0));
+    }
+
+    #[test]
+    fn injector_kills_on_schedule() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let medium = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            LinkModel::ideal(),
+            EnergyLedger::unlimited(2),
+        )
+        .shared();
+        let mut k: Kernel<u32> = Kernel::new(1);
+        FaultPlan::none()
+            .kill_at(SimTime::from_ticks(3), 0)
+            .kill_at(SimTime::from_ticks(7), 1)
+            .install(&mut k, medium.clone());
+        k.run_until(SimTime::from_ticks(5));
+        assert!(!medium.borrow().is_alive(0));
+        assert!(medium.borrow().is_alive(1));
+        k.run();
+        assert!(!medium.borrow().is_alive(1));
+        assert_eq!(medium.borrow().death_time(0), Some(SimTime::from_ticks(3)));
+        assert_eq!(medium.borrow().first_death(), Some(SimTime::from_ticks(3)));
+        assert_eq!(k.stats().counter("fault.injected"), 2);
+    }
+}

@@ -1,0 +1,621 @@
+//! The shared wireless medium.
+//!
+//! Node actors do not schedule kernel events at each other directly; they
+//! go through the [`Medium`], which enforces the physical rules the paper
+//! assumes:
+//!
+//! * only radio neighbors (unit-disk edges) can communicate;
+//! * transmission is broadcast by nature — one transmission charges the
+//!   sender once and every in-range receiver pays reception energy
+//!   (the wireless broadcast advantage);
+//! * latency follows the uniform cost model (ticks ∝ data units), plus
+//!   optional uniform jitter so the asynchronous-delivery assumption of
+//!   §4.3 ("latency of message delivery is unpredictable") is exercised;
+//! * messages may be dropped with a configurable probability;
+//! * dead nodes (failed or energy-depleted) neither send nor receive.
+//!
+//! The medium is shared among actors as `Rc<RefCell<_>>` — the kernel is
+//! single-threaded, so this is safe and keeps actors free of locking.
+
+use crate::energy::{EnergyKind, EnergyLedger};
+use crate::graph::UnitDiskGraph;
+use crate::radio::RadioModel;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use wsn_sim::{ActorId, Context, Payload, SimTime};
+
+/// Channel-access discipline.
+///
+/// §2 of the paper: "the model could support synchronous algorithms
+/// (e.g., TDMA), purely asynchronous message-passing paradigms, or a
+/// combination of the two." [`MacModel::Ideal`] is the asynchronous
+/// paradigm (transmit immediately); [`MacModel::Tdma`] defers every
+/// transmission to the start of the sender's next slot, modeling a
+/// synchronized, collision-free schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacModel {
+    /// Transmit immediately (no channel-access delay).
+    Ideal,
+    /// Slotted access: node `i` owns slot `i mod frame_slots`; a frame is
+    /// `frame_slots × slot_ticks` long, and a transmission waits for the
+    /// start of the sender's next slot.
+    Tdma {
+        /// Slots per frame.
+        frame_slots: u64,
+        /// Ticks per slot.
+        slot_ticks: u64,
+    },
+}
+
+impl MacModel {
+    /// Ticks node `sender` must wait at `now_ticks` before transmitting.
+    pub fn access_delay(self, sender: usize, now_ticks: u64) -> u64 {
+        match self {
+            MacModel::Ideal => 0,
+            MacModel::Tdma { frame_slots, slot_ticks } => {
+                assert!(frame_slots > 0 && slot_ticks > 0, "degenerate TDMA frame");
+                let frame = frame_slots * slot_ticks;
+                let my_slot_start = (sender as u64 % frame_slots) * slot_ticks;
+                let pos = now_ticks % frame;
+                if pos <= my_slot_start {
+                    my_slot_start - pos
+                } else {
+                    frame - pos + my_slot_start
+                }
+            }
+        }
+    }
+}
+
+/// Stochastic link behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Independent per-delivery drop probability.
+    pub drop_prob: f64,
+    /// Maximum extra delivery delay, drawn uniformly from `[0, jitter]`.
+    pub jitter_ticks: u64,
+}
+
+impl LinkModel {
+    /// Perfect links: no loss, no jitter — the cost-model ideal.
+    pub fn ideal() -> Self {
+        LinkModel { drop_prob: 0.0, jitter_ticks: 0 }
+    }
+
+    /// Lossy links with the given drop probability and jitter bound.
+    pub fn lossy(drop_prob: f64, jitter_ticks: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob out of [0,1]");
+        LinkModel { drop_prob, jitter_ticks }
+    }
+}
+
+/// The shared-state wireless medium.
+pub struct Medium {
+    graph: UnitDiskGraph,
+    radio: RadioModel,
+    link: LinkModel,
+    mac: MacModel,
+    ledger: EnergyLedger,
+    alive: Vec<bool>,
+    death_time: Vec<Option<SimTime>>,
+    actor_of: Vec<Option<ActorId>>,
+}
+
+/// Handle shared by all node actors in one simulation.
+pub type SharedMedium = Rc<RefCell<Medium>>;
+
+impl Medium {
+    /// Creates a medium over `graph` with the given radio, link model and
+    /// energy ledger (which must track exactly the graph's nodes).
+    pub fn new(graph: UnitDiskGraph, radio: RadioModel, link: LinkModel, ledger: EnergyLedger) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            ledger.node_count(),
+            "ledger population must match graph"
+        );
+        let n = graph.node_count();
+        Medium {
+            graph,
+            radio,
+            link,
+            mac: MacModel::Ideal,
+            ledger,
+            alive: vec![true; n],
+            death_time: vec![None; n],
+            actor_of: vec![None; n],
+        }
+    }
+
+    /// Wraps a medium for sharing among actors.
+    pub fn shared(self) -> SharedMedium {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Associates physical node `node` with kernel actor `actor`.
+    /// Must be called for every node before any traffic flows.
+    pub fn bind_actor(&mut self, node: usize, actor: ActorId) {
+        self.actor_of[node] = Some(actor);
+    }
+
+    /// The connectivity graph.
+    pub fn graph(&self) -> &UnitDiskGraph {
+        &self.graph
+    }
+
+    /// The radio model.
+    pub fn radio(&self) -> &RadioModel {
+        &self.radio
+    }
+
+    /// The current link model.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// Replaces the link model mid-simulation (e.g. reliable control
+    /// phases followed by a lossy application phase).
+    pub fn set_link(&mut self, link: LinkModel) {
+        self.link = link;
+    }
+
+    /// The channel-access discipline.
+    pub fn mac(&self) -> MacModel {
+        self.mac
+    }
+
+    /// Replaces the channel-access discipline.
+    pub fn set_mac(&mut self, mac: MacModel) {
+        self.mac = mac;
+    }
+
+    /// The energy ledger (read side).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Whether `node` is alive (not failed, not depleted).
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Marks `node` dead at `now` (fault injection or budget depletion).
+    pub fn kill(&mut self, node: usize, now: SimTime) {
+        if self.alive[node] {
+            self.alive[node] = false;
+            self.death_time[node] = Some(now);
+        }
+    }
+
+    /// Brings `node` (back) to life — §5.1's "new nodes can be added to
+    /// the network", modeled as pre-deployed nodes waking up. A node that
+    /// died of budget depletion stays dead (its ledger is still empty).
+    pub fn wake(&mut self, node: usize) -> bool {
+        if self.ledger.is_depleted(node) {
+            return false;
+        }
+        self.alive[node] = true;
+        self.death_time[node] = None;
+        true
+    }
+
+    /// When `node` died, if it did.
+    pub fn death_time(&self, node: usize) -> Option<SimTime> {
+        self.death_time[node]
+    }
+
+    /// Earliest death in the network — the "system lifetime" under the
+    /// first-node-death definition.
+    pub fn first_death(&self) -> Option<SimTime> {
+        self.death_time.iter().flatten().min().copied()
+    }
+
+    /// Charges computation energy to `node` (e.g. a merge over `units` of
+    /// data), killing it if the budget runs out.
+    pub fn charge_compute<M: Payload>(&mut self, ctx: &mut Context<'_, M>, node: usize, units: f64) {
+        self.ledger.charge(node, EnergyKind::Compute, units * self.radio.compute_energy_per_unit);
+        ctx.stats().incr("medium.compute");
+        self.check_depletion(node, ctx.now());
+    }
+
+    fn check_depletion(&mut self, node: usize, now: SimTime) {
+        if self.ledger.is_depleted(node) {
+            self.kill(node, now);
+        }
+    }
+
+    fn delivery_delay<M: Payload>(&self, ctx: &mut Context<'_, M>, from: usize, units: u64) -> SimTime {
+        let access = self.mac.access_delay(from, ctx.now().ticks());
+        let base = self.radio.tx_ticks(units);
+        let jitter = if self.link.jitter_ticks == 0 {
+            0
+        } else {
+            ctx.rng().bounded_u64(self.link.jitter_ticks + 1)
+        };
+        SimTime::from_ticks(access + base + jitter)
+    }
+
+    /// Sends `msg` from `from` to radio neighbor `to` carrying `units` of
+    /// data. Returns `true` when the message was put on the air *and*
+    /// survived the loss process (the sender cannot observe the
+    /// difference; the return value is for harness bookkeeping only).
+    ///
+    /// Panics if `to` is not a radio neighbor of `from` — protocols built
+    /// on the virtual architecture must route hop by hop.
+    pub fn unicast<M: Payload>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        from: usize,
+        to: usize,
+        units: u64,
+        msg: M,
+    ) -> bool {
+        assert!(
+            self.graph.are_neighbors(from, to),
+            "unicast {from}->{to}: not radio neighbors"
+        );
+        if !self.alive[from] {
+            return false;
+        }
+        self.ledger
+            .charge(from, EnergyKind::Tx, units as f64 * self.radio.tx_energy_per_unit);
+        ctx.stats().incr("medium.tx");
+        ctx.stats().add("medium.tx_units", units);
+        self.check_depletion(from, ctx.now());
+
+        if !self.alive[to] || ctx.rng().chance(self.link.drop_prob) {
+            ctx.stats().incr("medium.dropped");
+            return false;
+        }
+        self.ledger
+            .charge(to, EnergyKind::Rx, units as f64 * self.radio.rx_energy_per_unit);
+        self.check_depletion(to, ctx.now());
+        ctx.stats().incr("medium.delivered");
+        let delay = self.delivery_delay(ctx, from, units);
+        let actor = self.actor_of[to].expect("destination node has no bound actor");
+        ctx.send(actor, delay, msg);
+        true
+    }
+
+    /// Broadcasts `msg` from `from` to *all* its radio neighbors with one
+    /// transmission (one tx charge; each live receiver pays rx). Returns
+    /// the number of neighbors that actually received it.
+    pub fn broadcast<M: Payload + Clone>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        from: usize,
+        units: u64,
+        msg: M,
+    ) -> usize {
+        if !self.alive[from] {
+            return 0;
+        }
+        self.ledger
+            .charge(from, EnergyKind::Tx, units as f64 * self.radio.tx_energy_per_unit);
+        ctx.stats().incr("medium.tx");
+        ctx.stats().add("medium.tx_units", units);
+        self.check_depletion(from, ctx.now());
+
+        let neighbors: Vec<usize> = self.graph.neighbors(from).to_vec();
+        let mut delivered = 0;
+        for to in neighbors {
+            if !self.alive[to] || ctx.rng().chance(self.link.drop_prob) {
+                ctx.stats().incr("medium.dropped");
+                continue;
+            }
+            self.ledger
+                .charge(to, EnergyKind::Rx, units as f64 * self.radio.rx_energy_per_unit);
+            self.check_depletion(to, ctx.now());
+            ctx.stats().incr("medium.delivered");
+            let delay = self.delivery_delay(ctx, from, units);
+            let actor = self.actor_of[to].expect("neighbor node has no bound actor");
+            ctx.send(actor, delay, msg.clone());
+            delivered += 1;
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod mac_tests {
+    use super::*;
+
+    #[test]
+    fn ideal_mac_never_waits() {
+        for t in [0u64, 5, 99] {
+            assert_eq!(MacModel::Ideal.access_delay(3, t), 0);
+        }
+    }
+
+    #[test]
+    fn tdma_waits_for_own_slot() {
+        let mac = MacModel::Tdma { frame_slots: 4, slot_ticks: 2 }; // frame = 8
+        // Node 0 owns [0,2), node 1 [2,4), node 2 [4,6), node 3 [6,8).
+        assert_eq!(mac.access_delay(0, 0), 0);
+        assert_eq!(mac.access_delay(1, 0), 2);
+        assert_eq!(mac.access_delay(3, 0), 6);
+        // Mid-frame: node 0 at t=1 is inside... access at slot *start*:
+        // pos=1 > start=0 → wait to next frame start = 7.
+        assert_eq!(mac.access_delay(0, 1), 7);
+        assert_eq!(mac.access_delay(2, 3), 1);
+        assert_eq!(mac.access_delay(2, 4), 0);
+        assert_eq!(mac.access_delay(2, 5), 7);
+        // Slot ownership wraps by node id.
+        assert_eq!(mac.access_delay(4, 0), 0);
+        assert_eq!(mac.access_delay(5, 0), 2);
+    }
+
+    #[test]
+    fn tdma_delay_is_bounded_by_frame() {
+        let mac = MacModel::Tdma { frame_slots: 8, slot_ticks: 3 };
+        for sender in 0..20 {
+            for now in 0..50 {
+                assert!(mac.access_delay(sender, now) < 24);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate TDMA")]
+    fn zero_slot_frame_panics() {
+        MacModel::Tdma { frame_slots: 0, slot_ticks: 1 }.access_delay(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use wsn_sim::{Actor, Kernel};
+
+    /// Message: just the hop count so far.
+    type Msg = u32;
+
+    struct Node {
+        phys: usize,
+        medium: SharedMedium,
+        forward_to: Option<usize>,
+        received: Vec<Msg>,
+    }
+
+    impl Actor<Msg> for Node {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ActorId, msg: Msg) {
+            self.received.push(msg);
+            if let Some(next) = self.forward_to {
+                self.medium.clone().borrow_mut().unicast(ctx, self.phys, next, 2, msg + 1);
+            }
+        }
+    }
+
+    fn three_node_line() -> (Kernel<Msg>, SharedMedium, Vec<ActorId>) {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let medium = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            LinkModel::ideal(),
+            EnergyLedger::unlimited(3),
+        )
+        .shared();
+        let mut k: Kernel<Msg> = Kernel::new(7);
+        let mut actors = Vec::new();
+        for phys in 0..3 {
+            let forward_to = if phys < 2 { Some(phys + 1) } else { None };
+            let a = k.add_actor(Box::new(Node {
+                phys,
+                medium: medium.clone(),
+                forward_to,
+                received: vec![],
+            }));
+            medium.borrow_mut().bind_actor(phys, a);
+            actors.push(a);
+        }
+        (k, medium, actors)
+    }
+
+    #[test]
+    fn unicast_chain_delivers_and_charges() {
+        let (mut k, medium, actors) = three_node_line();
+        // Kick node 0 with an external message; it forwards 0->1->2.
+        k.schedule_message(SimTime::ZERO, actors[0], actors[0], 0);
+        k.run();
+        let n2: &Node = k.actor(actors[2]).unwrap();
+        assert_eq!(n2.received, vec![2]);
+        let m = medium.borrow();
+        // node0: tx 2 units; node1: rx 2 + tx 2; node2: rx 2.
+        assert_eq!(m.ledger().consumed(0), 2.0);
+        assert_eq!(m.ledger().consumed(1), 4.0);
+        assert_eq!(m.ledger().consumed(2), 2.0);
+        // Latency: 2 ticks per hop, 2 hops (delivery of the kick is at t=0).
+        assert_eq!(k.now(), SimTime::from_ticks(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not radio neighbors")]
+    fn unicast_beyond_range_panics() {
+        let (mut k, medium, actors) = three_node_line();
+        struct Bad {
+            medium: SharedMedium,
+        }
+        impl Actor<Msg> for Bad {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ActorId, _: Msg) {
+                self.medium.clone().borrow_mut().unicast(ctx, 0, 2, 1, 0);
+            }
+        }
+        let bad = k.add_actor(Box::new(Bad { medium: medium.clone() }));
+        let _ = actors;
+        k.schedule_message(SimTime::ZERO, bad, bad, 0);
+        k.run();
+    }
+
+    #[test]
+    fn broadcast_charges_tx_once() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let graph = UnitDiskGraph::build(&pts, 1.5);
+        let medium = Medium::new(
+            graph,
+            RadioModel::uniform(1.5),
+            LinkModel::ideal(),
+            EnergyLedger::unlimited(4),
+        )
+        .shared();
+
+        struct Caster {
+            medium: SharedMedium,
+            received: u32,
+        }
+        impl Actor<Msg> for Caster {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ActorId, msg: Msg) {
+                if msg == 100 {
+                    let delivered = self.medium.clone().borrow_mut().broadcast(ctx, 0, 3, 1);
+                    assert_eq!(delivered, 3);
+                } else {
+                    self.received += 1;
+                }
+            }
+        }
+        let mut k: Kernel<Msg> = Kernel::new(9);
+        let mut actors = Vec::new();
+        for phys in 0..4 {
+            let a = k.add_actor(Box::new(Caster { medium: medium.clone(), received: 0 }));
+            medium.borrow_mut().bind_actor(phys, a);
+            actors.push(a);
+        }
+        k.schedule_message(SimTime::ZERO, actors[0], actors[0], 100);
+        k.run();
+        let m = medium.borrow();
+        assert_eq!(m.ledger().consumed_kind(0, EnergyKind::Tx), 3.0, "one tx charge");
+        for (phys, &actor) in actors.iter().enumerate().skip(1) {
+            assert_eq!(m.ledger().consumed_kind(phys, EnergyKind::Rx), 3.0);
+            let c: &Caster = k.actor(actor).unwrap();
+            assert_eq!(c.received, 1);
+        }
+        assert_eq!(k.stats().counter("medium.tx"), 1);
+        assert_eq!(k.stats().counter("medium.delivered"), 3);
+    }
+
+    #[test]
+    fn dead_nodes_neither_send_nor_receive() {
+        let (mut k, medium, actors) = three_node_line();
+        medium.borrow_mut().kill(1, SimTime::ZERO);
+        k.schedule_message(SimTime::ZERO, actors[0], actors[0], 0);
+        k.run();
+        let n1: &Node = k.actor(actors[1]).unwrap();
+        let n2: &Node = k.actor(actors[2]).unwrap();
+        assert!(n1.received.is_empty());
+        assert!(n2.received.is_empty());
+        assert_eq!(medium.borrow().first_death(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn wake_revives_killed_but_not_depleted_nodes() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let mut m = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            LinkModel::ideal(),
+            EnergyLedger::with_budget(2, 5.0),
+        );
+        m.kill(0, SimTime::from_ticks(3));
+        assert!(!m.is_alive(0));
+        assert!(m.wake(0), "fault-killed node revives");
+        assert!(m.is_alive(0));
+        assert_eq!(m.death_time(0), None);
+        // Deplete node 1: wake must refuse.
+        m.ledger.charge(1, EnergyKind::Tx, 6.0);
+        m.kill(1, SimTime::from_ticks(5));
+        assert!(!m.wake(1), "depleted node stays dead");
+        assert!(!m.is_alive(1));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let medium = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            LinkModel::lossy(0.3, 0),
+            EnergyLedger::unlimited(2),
+        )
+        .shared();
+        struct Spammer {
+            medium: SharedMedium,
+        }
+        impl Actor<Msg> for Spammer {
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+                self.medium.clone().borrow_mut().unicast(ctx, 0, 1, 1, 0);
+                if tag > 0 {
+                    ctx.set_timer(1, tag - 1);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ActorId, _: Msg) {}
+        }
+        struct Sink {
+            received: u32,
+        }
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ActorId, _: Msg) {
+                self.received += 1;
+            }
+        }
+        let mut k: Kernel<Msg> = Kernel::new(5);
+        let s = k.add_actor(Box::new(Spammer { medium: medium.clone() }));
+        let r = k.add_actor(Box::new(Sink { received: 0 }));
+        medium.borrow_mut().bind_actor(0, s);
+        medium.borrow_mut().bind_actor(1, r);
+        k.schedule_timer(SimTime::ZERO, s, 999);
+        k.run();
+        let sink: &Sink = k.actor(r).unwrap();
+        let rate = f64::from(sink.received) / 1000.0;
+        assert!((rate - 0.7).abs() < 0.05, "delivery rate {rate} too far from 0.7");
+        assert_eq!(k.stats().counter("medium.dropped") + u64::from(sink.received), 1000);
+    }
+
+    #[test]
+    fn budget_depletion_kills_sender() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let medium = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            LinkModel::ideal(),
+            EnergyLedger::with_budget(2, 5.0),
+        )
+        .shared();
+        struct Burner {
+            medium: SharedMedium,
+        }
+        impl Actor<Msg> for Burner {
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+                self.medium.clone().borrow_mut().unicast(ctx, 0, 1, 3, 0);
+                if tag > 0 {
+                    ctx.set_timer(1, tag - 1);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ActorId, _: Msg) {}
+        }
+        struct Quiet;
+        impl Actor<Msg> for Quiet {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ActorId, _: Msg) {}
+        }
+        let mut k: Kernel<Msg> = Kernel::new(5);
+        let b = k.add_actor(Box::new(Burner { medium: medium.clone() }));
+        let q = k.add_actor(Box::new(Quiet));
+        medium.borrow_mut().bind_actor(0, b);
+        medium.borrow_mut().bind_actor(1, q);
+        k.schedule_timer(SimTime::ZERO, b, 10);
+        k.run();
+        let m = medium.borrow();
+        assert!(!m.is_alive(0), "sender should deplete after 2 sends of 3 units");
+        assert!(m.first_death().is_some());
+        // Exactly two transmissions spent energy (6 > 5).
+        assert_eq!(m.ledger().consumed_kind(0, EnergyKind::Tx), 6.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Kernel messages exchanged by the runtime protocols.
+
+use wsn_core::GridCoord;
+use wsn_sim::Payload;
+
+/// An application message in flight between virtual nodes, carried hop by
+/// hop across physical nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppEnvelope<P> {
+    /// Logical sender (virtual node = cell) — `senderCoord` in Figure 4.
+    pub src_cell: GridCoord,
+    /// Logical destination (virtual node = cell).
+    pub dest_cell: GridCoord,
+    /// Payload size in data units (drives energy and latency per hop).
+    pub units: u64,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// Everything a physical node can hear on the radio.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtMsg<P> {
+    /// Topology emulation (§5.1): `sender` advertises which directions of
+    /// its routing table are filled.
+    Topo {
+        /// Physical id of the advertising node.
+        sender: usize,
+        /// Its cell (receivers in other cells ignore the message).
+        sender_cell: GridCoord,
+        /// Which of N/E/S/W have a next hop, in `Direction::ALL` order.
+        dirs: [bool; 4],
+    },
+    /// Binding (§5.2): the sender's currently-known cell minimum of
+    /// `(δ, id)`.
+    Delta {
+        /// Cell of the sender.
+        sender_cell: GridCoord,
+        /// Distance-to-center of the best candidate known.
+        delta: f64,
+        /// Physical id of that candidate.
+        candidate: usize,
+    },
+    /// Leader announcement flood building the per-cell spanning tree.
+    Announce {
+        /// Cell of the sender.
+        sender_cell: GridCoord,
+        /// The elected leader's physical id.
+        leader: usize,
+        /// Sender's hop distance to the leader.
+        hops: u32,
+        /// Physical id of the sender (becomes the receiver's parent).
+        sender: usize,
+    },
+    /// Application traffic (fire-and-forget hop).
+    App(AppEnvelope<P>),
+    /// Application traffic under hop-by-hop ARQ: carries a per-sender
+    /// sequence number the receiver acknowledges.
+    AppArq {
+        /// Per-hop-sender sequence number.
+        seq: u64,
+        /// Physical id of the transmitting hop (the ack's destination).
+        hop_sender: usize,
+        /// The envelope being relayed.
+        env: AppEnvelope<P>,
+    },
+    /// Acknowledgment of an [`RtMsg::AppArq`] hop.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// Physical id of the acknowledging node.
+        from: usize,
+    },
+    /// A follower's local sample, climbing the spanning tree to the cell
+    /// leader (the paper's "intra-cell readings").
+    Sample {
+        /// Cell of the sampling node (suppressed across boundaries).
+        sender_cell: GridCoord,
+        /// The raw local reading.
+        reading: f64,
+    },
+}
+
+impl<P: 'static> Payload for RtMsg<P> {
+    fn discriminant(&self) -> u64 {
+        match self {
+            RtMsg::Topo { .. } => 1,
+            RtMsg::Delta { .. } => 2,
+            RtMsg::Announce { .. } => 3,
+            RtMsg::App(_) => 4,
+            RtMsg::AppArq { .. } => 5,
+            RtMsg::Ack { .. } => 6,
+            RtMsg::Sample { .. } => 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_distinguish_variants() {
+        let topo: RtMsg<u32> = RtMsg::Topo {
+            sender: 0,
+            sender_cell: GridCoord::new(0, 0),
+            dirs: [false; 4],
+        };
+        let delta: RtMsg<u32> =
+            RtMsg::Delta { sender_cell: GridCoord::new(0, 0), delta: 1.0, candidate: 0 };
+        let ann: RtMsg<u32> = RtMsg::Announce {
+            sender_cell: GridCoord::new(0, 0),
+            leader: 0,
+            hops: 0,
+            sender: 0,
+        };
+        let app: RtMsg<u32> = RtMsg::App(AppEnvelope {
+            src_cell: GridCoord::new(0, 0),
+            dest_cell: GridCoord::new(1, 1),
+            units: 1,
+            payload: 7,
+        });
+        let ds: Vec<u64> = [&topo, &delta, &ann, &app].iter().map(|m| m.discriminant()).collect();
+        assert_eq!(ds, vec![1, 2, 3, 4]);
+    }
+}

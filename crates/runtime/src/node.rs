@@ -1,0 +1,728 @@
+//! The physical node actor: protocol state machines plus application
+//! forwarding.
+
+use crate::messages::{AppEnvelope, RtMsg};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use wsn_core::{Direction, Exfiltrated, GridCoord, NodeApi, NodeProgram, VirtualGrid};
+use wsn_net::{Point, SharedMedium};
+use wsn_sim::{Actor, ActorId, Context, SimTime};
+
+/// Timer tags used by the phase kick-offs.
+pub(crate) const TAG_TOPO: u64 = 1;
+pub(crate) const TAG_BIND: u64 = 2;
+pub(crate) const TAG_ANNOUNCE: u64 = 3;
+pub(crate) const TAG_APP: u64 = 4;
+pub(crate) const TAG_SAMPLE: u64 = 5;
+/// Timer tags at and above this value carry an ARQ sequence number.
+pub(crate) const TAG_ARQ_BASE: u64 = 1_000;
+
+/// Which protocol the node is currently participating in. Messages from
+/// other phases are ignored (with a counter), modeling stragglers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Before any protocol has started.
+    Idle,
+    /// Topology emulation (§5.1).
+    Topo,
+    /// δ-flood leader election (§5.2).
+    Bind,
+    /// Leader announcement / spanning-tree construction.
+    Announce,
+    /// Intra-cell sampling: followers ship raw readings to their leader.
+    Sample,
+    /// Application execution.
+    App,
+}
+
+/// How a cell picks its leader (§5.2: "The choice of the node closest to
+/// the geographic center … Residual energy level or more sophisticated
+/// metrics could also be employed, especially if the role of leader is to
+/// be periodically rotated among nodes in the cell").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElectionPolicy {
+    /// Minimize δ, the distance to the cell center (the paper's default).
+    #[default]
+    ClosestToCenter,
+    /// Maximize residual energy — equivalently, minimize consumed energy —
+    /// so that re-elections rotate leadership toward fresh nodes.
+    MaxResidualEnergy,
+}
+
+/// Hop-by-hop reliability parameters (an extension beyond the paper,
+/// motivated by EXP-12: the asynchronous merge is safe but not live under
+/// loss without retransmission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Retransmissions attempted before giving a hop up.
+    pub max_retries: u32,
+    /// Ticks to wait for an acknowledgment. Must exceed the worst-case
+    /// data + ack round trip (payload ticks + jitter bounds).
+    pub timeout_ticks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingHop<P> {
+    to: usize,
+    env: AppEnvelope<P>,
+    retries_left: u32,
+}
+
+/// State shared by all node actors of one runtime instance.
+pub(crate) struct RtShared<P> {
+    pub grid: VirtualGrid,
+    pub field: Box<dyn Fn(GridCoord) -> f64>,
+    pub exfil: RefCell<Vec<Exfiltrated<P>>>,
+}
+
+/// The direction's index into a routing table, in [`Direction::ALL`] order.
+pub(crate) fn dir_idx(d: Direction) -> usize {
+    match d {
+        Direction::North => 0,
+        Direction::East => 1,
+        Direction::South => 2,
+        Direction::West => 3,
+    }
+}
+
+/// The first direction of the dimension-order (column-first) route from
+/// `from` to `to`; `None` when equal. Must match
+/// [`VirtualGrid::next_hop`] so the physical execution follows the same
+/// virtual route the analytical model assumes.
+pub fn dim_order_direction(from: GridCoord, to: GridCoord) -> Option<Direction> {
+    if from.col < to.col {
+        Some(Direction::East)
+    } else if from.col > to.col {
+        Some(Direction::West)
+    } else if from.row < to.row {
+        Some(Direction::South)
+    } else if from.row > to.row {
+        Some(Direction::North)
+    } else {
+        None
+    }
+}
+
+/// Whether candidate `a = (δ, id)` beats `b` in the election (§5.2's "value
+/// less than its own", with ids breaking δ ties deterministically).
+pub(crate) fn better_candidate(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// A physical sensor node participating in the runtime protocols.
+pub struct RtNode<P: Clone + 'static> {
+    /// Physical node id (index into the deployment).
+    pub id: usize,
+    /// The cell this node lies in (known locally: §5.1 assumes each node
+    /// can compute `f(v_i)` from its coordinates).
+    pub cell: GridCoord,
+    pub(crate) position: Point,
+    pub(crate) cell_center: Point,
+    /// One-hop neighbors with their cells (neighbor discovery is assumed
+    /// complete, as in the paper).
+    pub(crate) neighbors: Vec<(usize, GridCoord)>,
+    pub(crate) medium: SharedMedium,
+    pub(crate) shared: Rc<RtShared<P>>,
+    /// Size of a protocol control message in data units.
+    pub(crate) control_units: u64,
+    /// Current phase.
+    pub phase: Phase,
+
+    /// Routing table `rtab: DIR → next-hop physical node` (§5.1).
+    pub rtab: [Option<usize>; 4],
+
+    /// How this node scores itself in the election.
+    pub election_policy: ElectionPolicy,
+    /// `TRUE` while this node believes it is its cell's leader (§5.2).
+    pub ldr: bool,
+    pub(crate) best: (f64, usize),
+    /// The elected leader this node knows of (after announcement).
+    pub leader: Option<usize>,
+    /// Next hop toward the leader on the per-cell spanning tree.
+    pub parent_to_leader: Option<usize>,
+    /// Hop distance to the leader.
+    pub hops_to_leader: Option<u32>,
+
+    pub(crate) program: Option<Box<dyn NodeProgram<P>>>,
+
+    /// Additive measurement noise of this node's sensor.
+    pub(crate) noise: f64,
+    /// Sum and count of follower samples received (leaders only).
+    pub(crate) sample_sum: f64,
+    pub(crate) sample_count: u64,
+
+    /// Hop-by-hop ARQ, when enabled.
+    pub(crate) arq: Option<ArqConfig>,
+    next_arq_seq: u64,
+    pending_arq: HashMap<u64, PendingHop<P>>,
+    seen_arq: HashSet<(usize, u64)>,
+}
+
+impl<P: Clone + 'static> RtNode<P> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        cell: GridCoord,
+        position: Point,
+        cell_center: Point,
+        neighbors: Vec<(usize, GridCoord)>,
+        medium: SharedMedium,
+        shared: Rc<RtShared<P>>,
+        control_units: u64,
+    ) -> Self {
+        let delta = position.distance(cell_center);
+        RtNode {
+            id,
+            cell,
+            position,
+            cell_center,
+            neighbors,
+            medium,
+            shared,
+            control_units,
+            phase: Phase::Idle,
+            rtab: [None; 4],
+            election_policy: ElectionPolicy::default(),
+            ldr: false,
+            best: (delta, id),
+            leader: None,
+            parent_to_leader: None,
+            hops_to_leader: None,
+            program: None,
+            noise: 0.0,
+            sample_sum: 0.0,
+            sample_count: 0,
+            arq: None,
+            next_arq_seq: 0,
+            pending_arq: HashMap::new(),
+            seen_arq: HashSet::new(),
+        }
+    }
+
+    /// δ: Euclidean distance to the cell center.
+    pub fn delta(&self) -> f64 {
+        self.position.distance(self.cell_center)
+    }
+
+    /// This node's election key under its policy (smaller wins).
+    fn election_key(&self) -> f64 {
+        match self.election_policy {
+            ElectionPolicy::ClosestToCenter => self.delta(),
+            ElectionPolicy::MaxResidualEnergy => {
+                // Minimizing consumption maximizes residual, and works for
+                // unlimited-budget ledgers too.
+                self.medium.borrow().ledger().consumed(self.id)
+            }
+        }
+    }
+
+    /// Clears all protocol-derived state (routing table, election,
+    /// spanning tree) so the protocols can re-run after churn. Energy
+    /// already spent stays spent.
+    pub fn reset_protocols(&mut self) {
+        self.rtab = [None; 4];
+        self.ldr = false;
+        self.best = (self.election_key(), self.id);
+        self.leader = None;
+        self.parent_to_leader = None;
+        self.hops_to_leader = None;
+        self.phase = Phase::Idle;
+        self.pending_arq.clear();
+        self.seen_arq.clear();
+        self.sample_sum = 0.0;
+        self.sample_count = 0;
+    }
+
+    fn dirs_filled(&self) -> [bool; 4] {
+        [
+            self.rtab[0].is_some(),
+            self.rtab[1].is_some(),
+            self.rtab[2].is_some(),
+            self.rtab[3].is_some(),
+        ]
+    }
+
+    fn broadcast_topo(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        ctx.stats().incr("topo.broadcast");
+        let msg = RtMsg::Topo { sender: self.id, sender_cell: self.cell, dirs: self.dirs_filled() };
+        self.medium.clone().borrow_mut().broadcast(ctx, self.id, self.control_units, msg);
+    }
+
+    fn broadcast_delta(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        ctx.stats().incr("bind.broadcast");
+        let msg = RtMsg::Delta { sender_cell: self.cell, delta: self.best.0, candidate: self.best.1 };
+        self.medium.clone().borrow_mut().broadcast(ctx, self.id, self.control_units, msg);
+    }
+
+    fn broadcast_announce(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        let (Some(leader), Some(hops)) = (self.leader, self.hops_to_leader) else {
+            return;
+        };
+        ctx.stats().incr("announce.broadcast");
+        let msg =
+            RtMsg::Announce { sender_cell: self.cell, leader, hops, sender: self.id };
+        self.medium.clone().borrow_mut().broadcast(ctx, self.id, self.control_units, msg);
+    }
+
+    fn start_topology_emulation(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        self.phase = Phase::Topo;
+        // "Some entries of the routing table can be filled in using the
+        // initially available information": a neighbor lying in the
+        // adjacent cell in direction d is a direct next hop. Lowest id
+        // wins for determinism.
+        let medium = self.medium.clone();
+        let medium = medium.borrow();
+        for d in Direction::ALL {
+            let Some(adj) = self.shared.grid.neighbor(self.cell, d) else { continue };
+            let direct = self
+                .neighbors
+                .iter()
+                .filter(|&&(n, c)| c == adj && medium.is_alive(n))
+                .map(|&(n, _)| n)
+                .min();
+            self.rtab[dir_idx(d)] = direct;
+        }
+        drop(medium);
+        self.broadcast_topo(ctx);
+    }
+
+    fn on_topo(
+        &mut self,
+        ctx: &mut Context<'_, RtMsg<P>>,
+        sender: usize,
+        sender_cell: GridCoord,
+        dirs: [bool; 4],
+    ) {
+        if self.phase != Phase::Topo {
+            ctx.stats().incr("topo.stale");
+            return;
+        }
+        if sender_cell != self.cell {
+            // "the message is ignored" — it crossed exactly one boundary
+            // and dies here.
+            ctx.stats().incr("topo.suppressed");
+            return;
+        }
+        let mut adopted = false;
+        for d in Direction::ALL {
+            let i = dir_idx(d);
+            // Only adopt directions that actually lead somewhere.
+            if dirs[i] && self.rtab[i].is_none() && self.shared.grid.neighbor(self.cell, d).is_some()
+            {
+                self.rtab[i] = Some(sender);
+                adopted = true;
+                ctx.stats().incr("topo.adopted");
+            }
+        }
+        if adopted {
+            self.broadcast_topo(ctx);
+        }
+    }
+
+    fn start_binding(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        self.phase = Phase::Bind;
+        // "Each node maintains a flag ldr initially set to TRUE."
+        self.ldr = true;
+        self.best = (self.election_key(), self.id);
+        self.broadcast_delta(ctx);
+    }
+
+    fn on_delta(
+        &mut self,
+        ctx: &mut Context<'_, RtMsg<P>>,
+        sender_cell: GridCoord,
+        delta: f64,
+        candidate: usize,
+    ) {
+        if self.phase != Phase::Bind {
+            ctx.stats().incr("bind.stale");
+            return;
+        }
+        if sender_cell != self.cell {
+            // "messages crossing cell boundaries are suppressed"
+            ctx.stats().incr("bind.suppressed");
+            return;
+        }
+        if better_candidate((delta, candidate), self.best) {
+            self.best = (delta, candidate);
+            if candidate != self.id {
+                self.ldr = false;
+            }
+            // "broadcasts the updated value to all v_j ∈ N_{v_i}"
+            self.broadcast_delta(ctx);
+        }
+    }
+
+    fn start_announce(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        self.phase = Phase::Announce;
+        if self.ldr {
+            self.leader = Some(self.id);
+            self.hops_to_leader = Some(0);
+            self.parent_to_leader = None;
+            self.broadcast_announce(ctx);
+        }
+    }
+
+    fn on_announce(
+        &mut self,
+        ctx: &mut Context<'_, RtMsg<P>>,
+        sender_cell: GridCoord,
+        leader: usize,
+        hops: u32,
+        sender: usize,
+    ) {
+        // Announce is valid during the announce phase and also during App
+        // (late tree improvements are harmless and keep churn recovery
+        // simple).
+        if self.phase != Phase::Announce && self.phase != Phase::App {
+            ctx.stats().incr("announce.stale");
+            return;
+        }
+        if sender_cell != self.cell {
+            ctx.stats().incr("announce.suppressed");
+            return;
+        }
+        if self.ldr {
+            return;
+        }
+        let new_hops = hops + 1;
+        if self.hops_to_leader.is_none_or(|h| new_hops < h) {
+            self.leader = Some(leader);
+            self.parent_to_leader = Some(sender);
+            self.hops_to_leader = Some(new_hops);
+            self.broadcast_announce(ctx);
+        }
+    }
+
+    /// Transmits `env` one physical hop to `to`, with or without ARQ.
+    fn tx_hop(&mut self, ctx: &mut Context<'_, RtMsg<P>>, to: usize, env: AppEnvelope<P>) {
+        let units = env.units;
+        match self.arq {
+            None => {
+                self.medium.clone().borrow_mut().unicast(ctx, self.id, to, units, RtMsg::App(env));
+            }
+            Some(cfg) => {
+                let seq = self.next_arq_seq;
+                self.next_arq_seq += 1;
+                self.medium.clone().borrow_mut().unicast(
+                    ctx,
+                    self.id,
+                    to,
+                    units,
+                    RtMsg::AppArq { seq, hop_sender: self.id, env: env.clone() },
+                );
+                self.pending_arq.insert(
+                    seq,
+                    PendingHop { to, env, retries_left: cfg.max_retries },
+                );
+                ctx.set_timer(cfg.timeout_ticks, TAG_ARQ_BASE + seq);
+            }
+        }
+    }
+
+    fn on_arq_timeout(&mut self, ctx: &mut Context<'_, RtMsg<P>>, seq: u64) {
+        let Some(cfg) = self.arq else { return };
+        let (to, env) = match self.pending_arq.get_mut(&seq) {
+            None => return, // acknowledged in the meantime
+            Some(pending) => {
+                if pending.retries_left == 0 {
+                    self.pending_arq.remove(&seq);
+                    ctx.stats().incr("rt.arq_gave_up");
+                    return;
+                }
+                pending.retries_left -= 1;
+                (pending.to, pending.env.clone())
+            }
+        };
+        ctx.stats().incr("rt.arq_retx");
+        let units = env.units;
+        self.medium.clone().borrow_mut().unicast(
+            ctx,
+            self.id,
+            to,
+            units,
+            RtMsg::AppArq { seq, hop_sender: self.id, env },
+        );
+        ctx.set_timer(cfg.timeout_ticks, TAG_ARQ_BASE + seq);
+    }
+
+    fn on_app_arq(
+        &mut self,
+        ctx: &mut Context<'_, RtMsg<P>>,
+        seq: u64,
+        hop_sender: usize,
+        env: AppEnvelope<P>,
+    ) {
+        // Always acknowledge (an ack costs one control unit), even for
+        // duplicates — the sender retransmits precisely because an earlier
+        // ack was lost.
+        let units = 1;
+        self.medium.clone().borrow_mut().unicast(
+            ctx,
+            self.id,
+            hop_sender,
+            units,
+            RtMsg::Ack { seq, from: self.id },
+        );
+        if !self.seen_arq.insert((hop_sender, seq)) {
+            ctx.stats().incr("rt.arq_dup");
+            return;
+        }
+        self.on_app(ctx, env);
+    }
+
+    /// Forwards an application envelope one physical hop (§4.2's
+    /// shortest-path grid routing, realized on the emulated topology).
+    fn forward_app(&mut self, ctx: &mut Context<'_, RtMsg<P>>, env: AppEnvelope<P>) {
+        ctx.stats().incr("rt.app_hops");
+        if env.dest_cell == self.cell {
+            // Intra-cell: climb the spanning tree to the leader.
+            match self.parent_to_leader {
+                Some(parent) => self.tx_hop(ctx, parent, env),
+                None => {
+                    ctx.stats().incr("rt.no_route_to_leader");
+                }
+            }
+        } else {
+            let dir = dim_order_direction(self.cell, env.dest_cell)
+                .expect("dest differs from current cell");
+            match self.rtab[dir_idx(dir)] {
+                Some(next) => self.tx_hop(ctx, next, env),
+                None => {
+                    ctx.stats().incr("rt.no_route");
+                }
+            }
+        }
+    }
+
+    fn on_app(&mut self, ctx: &mut Context<'_, RtMsg<P>>, env: AppEnvelope<P>) {
+        if self.phase != Phase::App {
+            ctx.stats().incr("rt.app_stale");
+            return;
+        }
+        if env.dest_cell == self.cell && self.ldr {
+            let Some(mut program) = self.program.take() else {
+                // A node that wrongly believes it leads (e.g. after an
+                // election disturbed by loss or churn) has no program;
+                // dropping is the safe behavior — the periodic protocol
+                // re-execution (§5.1) is the repair path.
+                ctx.stats().incr("rt.no_program");
+                return;
+            };
+            ctx.stats().incr("rt.delivered");
+            let src = env.src_cell;
+            {
+                let mut api = RtApi { node: self, ctx };
+                program.on_receive(&mut api, src, env.payload);
+            }
+            self.program = Some(program);
+        } else {
+            self.forward_app(ctx, env);
+        }
+    }
+
+    /// This node's own raw reading: the cell's phenomenon value plus its
+    /// sensor noise.
+    fn own_reading(&self) -> f64 {
+        (self.shared.field)(self.cell) + self.noise
+    }
+
+    fn start_sampling(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        self.phase = Phase::Sample;
+        self.sample_sum = 0.0;
+        self.sample_count = 0;
+        if !self.ldr {
+            if let Some(parent) = self.parent_to_leader {
+                ctx.stats().incr("sample.sent");
+                let msg = RtMsg::Sample { sender_cell: self.cell, reading: self.own_reading() };
+                self.medium.clone().borrow_mut().unicast(ctx, self.id, parent, 1, msg);
+            }
+        }
+    }
+
+    fn on_sample(&mut self, ctx: &mut Context<'_, RtMsg<P>>, sender_cell: GridCoord, reading: f64) {
+        if self.phase != Phase::Sample && self.phase != Phase::App {
+            ctx.stats().incr("sample.stale");
+            return;
+        }
+        if sender_cell != self.cell {
+            ctx.stats().incr("sample.suppressed");
+            return;
+        }
+        if self.ldr {
+            ctx.stats().incr("sample.delivered");
+            self.sample_sum += reading;
+            self.sample_count += 1;
+        } else if let Some(parent) = self.parent_to_leader {
+            // Relay up the spanning tree.
+            let msg = RtMsg::Sample { sender_cell, reading };
+            self.medium.clone().borrow_mut().unicast(ctx, self.id, parent, 1, msg);
+        } else {
+            ctx.stats().incr("sample.no_route");
+        }
+    }
+
+    /// The reading the application sees: the mean of everything the
+    /// sampling phase collected plus this node's own sample — or the own
+    /// sample alone when sampling never ran (the PoC abstraction).
+    pub fn aggregated_reading(&self) -> f64 {
+        (self.sample_sum + self.own_reading()) / (self.sample_count as f64 + 1.0)
+    }
+
+    fn start_app(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        self.phase = Phase::App;
+        if let Some(mut program) = self.program.take() {
+            {
+                let mut api = RtApi { node: self, ctx };
+                program.on_init(&mut api);
+            }
+            self.program = Some(program);
+        }
+    }
+}
+
+impl<P: Clone + 'static> Actor<RtMsg<P>> for RtNode<P> {
+    fn on_timer(&mut self, ctx: &mut Context<'_, RtMsg<P>>, tag: u64) {
+        if !self.medium.clone().borrow().is_alive(self.id) {
+            // Dead (or sleeping) nodes take no protocol actions.
+            ctx.stats().incr("rt.dead_timer");
+            return;
+        }
+        if tag >= TAG_ARQ_BASE {
+            self.on_arq_timeout(ctx, tag - TAG_ARQ_BASE);
+            return;
+        }
+        match tag {
+            TAG_TOPO => self.start_topology_emulation(ctx),
+            TAG_BIND => self.start_binding(ctx),
+            TAG_ANNOUNCE => self.start_announce(ctx),
+            TAG_SAMPLE => self.start_sampling(ctx),
+            TAG_APP => self.start_app(ctx),
+            other => panic!("unknown runtime timer tag {other}"),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RtMsg<P>>, _from: ActorId, msg: RtMsg<P>) {
+        if !self.medium.clone().borrow().is_alive(self.id) {
+            // A packet already in flight to a node that died mid-air.
+            ctx.stats().incr("rt.dead_rx");
+            return;
+        }
+        match msg {
+            RtMsg::Topo { sender, sender_cell, dirs } => self.on_topo(ctx, sender, sender_cell, dirs),
+            RtMsg::Delta { sender_cell, delta, candidate } => {
+                self.on_delta(ctx, sender_cell, delta, candidate)
+            }
+            RtMsg::Announce { sender_cell, leader, hops, sender } => {
+                self.on_announce(ctx, sender_cell, leader, hops, sender)
+            }
+            RtMsg::App(env) => self.on_app(ctx, env),
+            RtMsg::AppArq { seq, hop_sender, env } => self.on_app_arq(ctx, seq, hop_sender, env),
+            RtMsg::Ack { seq, from: _ } => {
+                self.pending_arq.remove(&seq);
+            }
+            RtMsg::Sample { sender_cell, reading } => self.on_sample(ctx, sender_cell, reading),
+        }
+    }
+}
+
+/// The [`NodeApi`] a leader's program sees when running on the physical
+/// network.
+struct RtApi<'a, 'b, P: Clone + 'static> {
+    node: &'a mut RtNode<P>,
+    ctx: &'a mut Context<'b, RtMsg<P>>,
+}
+
+impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
+    fn coord(&self) -> GridCoord {
+        self.node.cell
+    }
+
+    fn grid(&self) -> VirtualGrid {
+        self.node.shared.grid
+    }
+
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn read_sensor(&mut self) -> f64 {
+        self.node.aggregated_reading()
+    }
+
+    fn compute(&mut self, units: u64) {
+        let id = self.node.id;
+        self.node.medium.clone().borrow_mut().charge_compute(self.ctx, id, units as f64);
+    }
+
+    fn send(&mut self, dest: GridCoord, units: u64, payload: P) {
+        assert!(self.node.shared.grid.contains(dest), "send to {dest:?} outside the grid");
+        self.ctx.stats().incr("rt.messages");
+        self.ctx.stats().add("rt.data_units", units);
+        let env = AppEnvelope { src_cell: self.node.cell, dest_cell: dest, units, payload };
+        if dest == self.node.cell {
+            // Logical self-message (Figure 4's "one of the four incoming
+            // messages … is from the node to itself"): free and immediate.
+            let me = self.ctx.id();
+            self.ctx.send(me, SimTime::ZERO, RtMsg::App(env));
+        } else {
+            self.node.forward_app(self.ctx, env);
+        }
+    }
+
+    fn exfiltrate(&mut self, payload: P) {
+        self.ctx.stats().incr("rt.exfiltrated");
+        self.node.shared.exfil.borrow_mut().push(Exfiltrated {
+            from: self.node.cell,
+            at: self.ctx.now(),
+            payload,
+        });
+    }
+
+    fn residual_energy(&self) -> Option<f64> {
+        self.node.medium.borrow().ledger().residual(self.node.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_order_is_column_first() {
+        let a = GridCoord::new(1, 1);
+        assert_eq!(dim_order_direction(a, GridCoord::new(3, 0)), Some(Direction::East));
+        assert_eq!(dim_order_direction(a, GridCoord::new(0, 3)), Some(Direction::West));
+        assert_eq!(dim_order_direction(a, GridCoord::new(1, 3)), Some(Direction::South));
+        assert_eq!(dim_order_direction(a, GridCoord::new(1, 0)), Some(Direction::North));
+        assert_eq!(dim_order_direction(a, a), None);
+    }
+
+    #[test]
+    fn dim_order_matches_virtual_grid_next_hop() {
+        let g = VirtualGrid::new(6);
+        for from in g.nodes() {
+            for to in g.nodes() {
+                let expect = g.next_hop(from, to);
+                let got = dim_order_direction(from, to).map(|d| g.neighbor(from, d).unwrap());
+                assert_eq!(got, expect, "{from:?} -> {to:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dir_idx_matches_all_order() {
+        for (i, d) in Direction::ALL.iter().enumerate() {
+            assert_eq!(dir_idx(*d), i);
+        }
+    }
+
+    #[test]
+    fn candidate_ordering_breaks_ties_by_id() {
+        assert!(better_candidate((1.0, 5), (2.0, 1)));
+        assert!(!better_candidate((2.0, 1), (1.0, 5)));
+        assert!(better_candidate((1.0, 1), (1.0, 2)));
+        assert!(!better_candidate((1.0, 2), (1.0, 2)));
+    }
+}

@@ -1,0 +1,1016 @@
+//! Orchestration of the runtime phases on one deployment.
+//!
+//! [`PhysicalRuntime`] owns the kernel, the shared medium, and one
+//! [`RtNode`] actor per physical node. The harness drives it through the
+//! paper's pipeline:
+//!
+//! 1. [`PhysicalRuntime::run_topology_emulation`] — §5.1;
+//! 2. [`PhysicalRuntime::run_binding`] — §5.2 election + announce flood;
+//! 3. [`PhysicalRuntime::install_programs`] + [`PhysicalRuntime::run_application`]
+//!    — execute the synthesized per-virtual-node programs on the emulated
+//!    grid.
+//!
+//! Each phase runs the kernel to quiescence, so phases never interleave —
+//! matching the paper's presentation where emulation and binding complete
+//! before the application starts. [`PhysicalRuntime::refresh_after_churn`]
+//! re-runs phases 1–2, modeling the paper's "the above protocol should
+//! execute periodically".
+
+use crate::messages::RtMsg;
+use crate::node::{
+    dir_idx, ArqConfig, ElectionPolicy, RtNode, RtShared, TAG_ANNOUNCE, TAG_APP, TAG_BIND,
+    TAG_SAMPLE, TAG_TOPO,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use wsn_core::{Direction, Exfiltrated, GridCoord, NodeProgram, RunMetrics, VirtualGrid};
+use wsn_net::{Deployment, EnergyLedger, LinkModel, Medium, RadioModel, SharedMedium, UnitDiskGraph};
+use wsn_sim::{ActorId, Kernel, SimTime, Stats};
+
+/// Result of one topology-emulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoReport {
+    /// Ticks from kick-off to quiescence.
+    pub elapsed_ticks: u64,
+    /// Table broadcasts sent.
+    pub broadcasts: u64,
+    /// Receptions ignored because they had crossed a cell boundary.
+    pub suppressed: u64,
+    /// Whether every live node filled every direction that leads to an
+    /// existing neighbor cell.
+    pub complete: bool,
+}
+
+/// Result of one binding (election + announce) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindReport {
+    /// Ticks for both sub-phases.
+    pub elapsed_ticks: u64,
+    /// Elected leader per cell.
+    pub leaders: HashMap<GridCoord, usize>,
+    /// Whether every cell elected exactly one leader.
+    pub unique: bool,
+    /// Whether every live node learned its leader and parent.
+    pub tree_complete: bool,
+    /// Delta broadcasts sent during the election.
+    pub delta_broadcasts: u64,
+}
+
+/// Result of one application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// Ticks from application start to quiescence.
+    pub elapsed_ticks: u64,
+    /// Ticks from application start to the last exfiltration.
+    pub last_exfil_ticks: Option<u64>,
+    /// Results exfiltrated during this run.
+    pub exfil_count: usize,
+    /// Logical (virtual-level) messages sent by programs.
+    pub messages: u64,
+    /// Physical forwarding hops taken by those messages.
+    pub physical_hops: u64,
+    /// ARQ retransmissions during this run (0 when ARQ is off).
+    pub retransmissions: u64,
+}
+
+/// Factory producing a node program per virtual node (the synthesis
+/// output handed to the runtime).
+type BoxedFactory<P> = Box<dyn FnMut(GridCoord) -> Box<dyn NodeProgram<P>>>;
+
+/// Configuration of a sustained mission: repeated application rounds with
+/// node churn and periodic protocol refresh (§5.1: "the above protocol
+/// should execute periodically" because "existing nodes can leave or
+/// fail").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissionConfig {
+    /// Application rounds to run.
+    pub rounds: u32,
+    /// Re-run topology emulation + binding every this many rounds
+    /// (0 = never refresh).
+    pub refresh_every: u32,
+    /// Random live nodes killed before each round.
+    pub churn_per_round: usize,
+    /// Seed for the churn choices.
+    pub churn_seed: u64,
+    /// Stop the mission as soon as any node has died (for lifetime
+    /// studies under energy budgets).
+    pub stop_on_first_death: bool,
+}
+
+/// Outcome of a sustained mission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissionReport {
+    /// Rounds attempted.
+    pub rounds: u32,
+    /// Rounds whose application produced the expected exfiltrations.
+    pub completed: u32,
+    /// Completion flag per round, in order.
+    pub per_round: Vec<bool>,
+    /// Nodes killed by churn.
+    pub killed: usize,
+    /// Protocol refreshes performed.
+    pub refreshes: u32,
+    /// Live nodes at the end.
+    pub survivors: usize,
+}
+
+/// A deployed network executing the runtime system.
+pub struct PhysicalRuntime<P: Clone + 'static> {
+    kernel: Kernel<RtMsg<P>>,
+    medium: SharedMedium,
+    deployment: Deployment,
+    grid: VirtualGrid,
+    actors: Vec<ActorId>,
+    shared: Rc<RtShared<P>>,
+    factory: Option<BoxedFactory<P>>,
+    exfil_seen: usize,
+}
+
+impl<P: Clone + 'static> PhysicalRuntime<P> {
+    /// Builds the runtime over `deployment`.
+    ///
+    /// * `radio`/`link` — physical parameters; `radio.range` should be at
+    ///   least [`wsn_net::CellGrid::range_for_adjacent_cell_reachability`]
+    ///   for the paper's adjacency assumption to hold;
+    /// * `budget` — optional per-node energy budget (lifetime studies);
+    /// * `control_units` — size of a protocol control message;
+    /// * `field` — sensor readings by point of coverage;
+    /// * `seed` — determinism root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        deployment: Deployment,
+        radio: RadioModel,
+        link: LinkModel,
+        budget: Option<f64>,
+        control_units: u64,
+        seed: u64,
+        field: impl Fn(GridCoord) -> f64 + 'static,
+    ) -> Self {
+        let n = deployment.node_count();
+        let graph = UnitDiskGraph::build(deployment.positions(), radio.range);
+        let ledger = match budget {
+            Some(b) => EnergyLedger::with_budget(n, b),
+            None => EnergyLedger::unlimited(n),
+        };
+        let medium = Medium::new(graph, radio, link, ledger).shared();
+        let grid = VirtualGrid::new(deployment.grid().cells_per_side());
+        let shared = Rc::new(RtShared {
+            grid,
+            field: Box::new(field),
+            exfil: RefCell::new(Vec::new()),
+        });
+
+        let mut kernel: Kernel<RtMsg<P>> = Kernel::new(seed);
+        let mut actors = Vec::with_capacity(n);
+        for i in 0..n {
+            let cell = deployment.cell_of_node(i);
+            let neighbors = {
+                let m = medium.borrow();
+                m.graph()
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| (j, deployment.cell_of_node(j)))
+                    .collect()
+            };
+            let node = RtNode::new(
+                i,
+                cell,
+                deployment.position(i),
+                deployment.grid().cell_center(cell),
+                neighbors,
+                medium.clone(),
+                shared.clone(),
+                control_units,
+            );
+            let a = kernel.add_actor(Box::new(node));
+            medium.borrow_mut().bind_actor(i, a);
+            actors.push(a);
+        }
+        PhysicalRuntime {
+            kernel,
+            medium,
+            deployment,
+            grid,
+            actors,
+            shared,
+            factory: None,
+            exfil_seen: 0,
+        }
+    }
+
+    /// The deployment this runtime executes on.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The virtual grid being emulated.
+    pub fn grid(&self) -> VirtualGrid {
+        self.grid
+    }
+
+    /// The shared medium (energy ledger, liveness, connectivity).
+    pub fn medium(&self) -> &SharedMedium {
+        &self.medium
+    }
+
+    /// Swaps the link model for subsequent traffic — e.g. reliable links
+    /// for the control phases, lossy links for the application.
+    pub fn set_link_model(&mut self, link: LinkModel) {
+        self.medium.borrow_mut().set_link(link);
+    }
+
+    /// Swaps the channel-access discipline (e.g. TDMA for a synchronized
+    /// application phase — §2's synchronous network model).
+    pub fn set_mac_model(&mut self, mac: wsn_net::MacModel) {
+        self.medium.borrow_mut().set_mac(mac);
+    }
+
+    /// Gives every node additive Gaussian sensor noise (σ =
+    /// `noise_std_dev`), drawn deterministically from `seed`. With noise,
+    /// the intra-cell sampling phase ([`PhysicalRuntime::run_sampling`])
+    /// becomes meaningful: leaders average their followers' samples and
+    /// suppress it.
+    pub fn set_sampling_noise(&mut self, noise_std_dev: f64, seed: u64) {
+        let mut rng = wsn_sim::DetRng::stream(seed, 0x5A3);
+        for &a in &self.actors {
+            let noise = rng.normal(0.0, noise_std_dev);
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.noise = noise;
+            }
+        }
+    }
+
+    /// Optional phase between binding and the application: followers ship
+    /// their raw readings up the spanning tree; leaders aggregate the mean
+    /// (the paper's "compute `mySubGraph[0]` from intra-cell readings").
+    /// Returns `(elapsed ticks, samples delivered to leaders)`.
+    pub fn run_sampling(&mut self) -> (u64, u64) {
+        let start = self.kernel.now();
+        let d0 = self.kernel.stats().counter("sample.delivered");
+        for &a in &self.actors {
+            self.kernel.schedule_timer(start, a, TAG_SAMPLE);
+        }
+        let run = self.kernel.run();
+        (run.end_time - start, self.kernel.stats().counter("sample.delivered") - d0)
+    }
+
+    /// Sets the leader-election policy on every node (takes effect at the
+    /// next binding run or refresh).
+    pub fn set_election_policy(&mut self, policy: ElectionPolicy) {
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.election_policy = policy;
+            }
+        }
+    }
+
+    /// Enables hop-by-hop ARQ (ack + retransmit) for application traffic
+    /// on every node — the liveness extension EXP-12 motivates.
+    pub fn enable_arq(&mut self, max_retries: u32, timeout_ticks: u64) {
+        let cfg = ArqConfig { max_retries, timeout_ticks };
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.arq = Some(cfg);
+            }
+        }
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> &Stats {
+        self.kernel.stats()
+    }
+
+    /// Immutable view of physical node `i`'s protocol state.
+    pub fn node(&self, i: usize) -> &RtNode<P> {
+        self.kernel.actor::<RtNode<P>>(self.actors[i]).expect("node actor")
+    }
+
+    fn live_nodes(&self) -> Vec<usize> {
+        let m = self.medium.borrow();
+        (0..self.deployment.node_count()).filter(|&i| m.is_alive(i)).collect()
+    }
+
+    /// Phase 1: the §5.1 topology-emulation protocol.
+    pub fn run_topology_emulation(&mut self) -> TopoReport {
+        let start = self.kernel.now();
+        let b0 = self.kernel.stats().counter("topo.broadcast");
+        let s0 = self.kernel.stats().counter("topo.suppressed");
+        for &a in &self.actors {
+            self.kernel.schedule_timer(start, a, TAG_TOPO);
+        }
+        let run = self.kernel.run();
+        TopoReport {
+            elapsed_ticks: run.end_time - start,
+            broadcasts: self.kernel.stats().counter("topo.broadcast") - b0,
+            suppressed: self.kernel.stats().counter("topo.suppressed") - s0,
+            complete: self.tables_complete(),
+        }
+    }
+
+    fn tables_complete(&self) -> bool {
+        self.live_nodes().iter().all(|&i| {
+            let node = self.node(i);
+            Direction::ALL.iter().all(|&d| {
+                self.grid.neighbor(node.cell, d).is_none() || node.rtab[dir_idx(d)].is_some()
+            })
+        })
+    }
+
+    /// Checks the §5.1 route invariant for every live node and direction:
+    /// following `rtab` next hops stays inside the node's cell and then
+    /// terminates, in at most `cell population` steps, at a node of the
+    /// adjacent cell — i.e. emulated routes cross exactly one boundary.
+    pub fn verify_routes(&self) -> Result<(), String> {
+        for &i in &self.live_nodes() {
+            let node = self.node(i);
+            for d in Direction::ALL {
+                let Some(adj) = self.grid.neighbor(node.cell, d) else { continue };
+                let mut cur = i;
+                let bound = self.deployment.nodes_in_cell(node.cell).len() + 1;
+                let mut steps = 0;
+                loop {
+                    let cur_node = self.node(cur);
+                    let Some(next) = cur_node.rtab[dir_idx(d)] else {
+                        return Err(format!("node {i} dir {d:?}: chain broke at {cur}"));
+                    };
+                    let next_cell = self.node(next).cell;
+                    if next_cell == adj {
+                        break; // crossed exactly one boundary
+                    }
+                    if next_cell != node.cell {
+                        return Err(format!(
+                            "node {i} dir {d:?}: hop {cur}->{next} left the cell sideways"
+                        ));
+                    }
+                    steps += 1;
+                    if steps > bound {
+                        return Err(format!("node {i} dir {d:?}: routing cycle"));
+                    }
+                    cur = next;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 2: §5.2 leader election, then the announce flood that builds
+    /// per-cell spanning trees.
+    pub fn run_binding(&mut self) -> BindReport {
+        let start = self.kernel.now();
+        let d0 = self.kernel.stats().counter("bind.broadcast");
+        for &a in &self.actors {
+            self.kernel.schedule_timer(start, a, TAG_BIND);
+        }
+        self.kernel.run();
+        // Announce sub-phase.
+        let t = self.kernel.now();
+        for &a in &self.actors {
+            self.kernel.schedule_timer(t, a, TAG_ANNOUNCE);
+        }
+        let run = self.kernel.run();
+
+        let mut leaders: HashMap<GridCoord, Vec<usize>> = HashMap::new();
+        for &i in &self.live_nodes() {
+            let node = self.node(i);
+            if node.ldr {
+                leaders.entry(node.cell).or_default().push(i);
+            }
+        }
+        let cells: Vec<GridCoord> = self.grid.nodes().collect();
+        let unique = cells.iter().all(|c| {
+            leaders.get(c).map(Vec::len) == Some(1)
+                || self.deployment.nodes_in_cell(*c).iter().all(|&i| !self.medium.borrow().is_alive(i))
+        });
+        let tree_complete = self
+            .live_nodes()
+            .iter()
+            .all(|&i| self.node(i).leader.is_some());
+        BindReport {
+            elapsed_ticks: run.end_time - start,
+            leaders: leaders
+                .into_iter()
+                .filter_map(|(c, v)| (v.len() == 1).then(|| (c, v[0])))
+                .collect(),
+            unique,
+            tree_complete,
+            delta_broadcasts: self.kernel.stats().counter("bind.broadcast") - d0,
+        }
+    }
+
+    /// The leader bound to virtual node `cell`, if the election produced
+    /// one.
+    pub fn leader_of(&self, cell: GridCoord) -> Option<usize> {
+        self.deployment
+            .nodes_in_cell(cell)
+            .iter()
+            .copied()
+            .find(|&i| self.node(i).ldr && self.medium.borrow().is_alive(i))
+    }
+
+    /// Installs the synthesized per-virtual-node programs on the elected
+    /// leaders. Must run after [`PhysicalRuntime::run_binding`]; the
+    /// factory is retained so [`PhysicalRuntime::refresh_after_churn`] can
+    /// re-install on newly elected leaders.
+    pub fn install_programs(
+        &mut self,
+        factory: impl FnMut(GridCoord) -> Box<dyn NodeProgram<P>> + 'static,
+    ) {
+        self.factory = Some(Box::new(factory));
+        self.reinstall_programs();
+    }
+
+    fn reinstall_programs(&mut self) {
+        assert!(self.factory.is_some(), "install_programs not called");
+        // Clear stale programs first: a node that lost leadership (churn,
+        // re-election) must not run its old program next round.
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.program = None;
+            }
+        }
+        let cells: Vec<GridCoord> = self.grid.nodes().collect();
+        for cell in cells {
+            let leader = self
+                .deployment
+                .nodes_in_cell(cell)
+                .iter()
+                .copied()
+                .find(|&i| {
+                    self.kernel.actor::<RtNode<P>>(self.actors[i]).expect("node").ldr
+                        && self.medium.borrow().is_alive(i)
+                });
+            let Some(leader) = leader else {
+                continue; // cell dead or election failed; reported by BindReport
+            };
+            let program = (self.factory.as_mut().unwrap())(cell);
+            let node = self
+                .kernel
+                .actor_mut::<RtNode<P>>(self.actors[leader])
+                .expect("node actor");
+            node.program = Some(program);
+        }
+    }
+
+    /// Phase 3: runs the application to quiescence.
+    pub fn run_application(&mut self) -> AppReport {
+        assert!(self.factory.is_some(), "install_programs must be called before run_application");
+        let start = self.kernel.now();
+        let m0 = self.kernel.stats().counter("rt.messages");
+        let h0 = self.kernel.stats().counter("rt.app_hops");
+        let r0 = self.kernel.stats().counter("rt.arq_retx");
+        for &a in &self.actors {
+            self.kernel.schedule_timer(start, a, TAG_APP);
+        }
+        let run = self.kernel.run();
+        let exfil = self.shared.exfil.borrow();
+        let new_exfil = &exfil[self.exfil_seen..];
+        let report = AppReport {
+            elapsed_ticks: run.end_time - start,
+            last_exfil_ticks: new_exfil.iter().map(|e| e.at - start).max(),
+            exfil_count: new_exfil.len(),
+            messages: self.kernel.stats().counter("rt.messages") - m0,
+            physical_hops: self.kernel.stats().counter("rt.app_hops") - h0,
+            retransmissions: self.kernel.stats().counter("rt.arq_retx") - r0,
+        };
+        let total = exfil.len();
+        drop(exfil);
+        self.exfil_seen = total;
+        report
+    }
+
+    /// Removes and returns everything exfiltrated so far.
+    pub fn take_exfiltrated(&mut self) -> Vec<Exfiltrated<P>> {
+        self.exfil_seen = 0;
+        std::mem::take(&mut self.shared.exfil.borrow_mut())
+    }
+
+    /// Re-runs topology emulation and binding after failures (§5.1's
+    /// periodic re-execution), re-installing programs on the new leaders.
+    pub fn refresh_after_churn(&mut self) -> (TopoReport, BindReport) {
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.reset_protocols();
+            }
+        }
+        let topo = self.run_topology_emulation();
+        let bind = self.run_binding();
+        if self.factory.is_some() {
+            self.reinstall_programs();
+        }
+        (topo, bind)
+    }
+
+    /// Runs a sustained mission: for each round, inject churn, optionally
+    /// refresh the runtime protocols, re-install fresh program instances,
+    /// and run one application round. A round counts as completed when it
+    /// produced exactly `expected_exfils` exfiltrations.
+    ///
+    /// Requires [`PhysicalRuntime::install_programs`] to have been called
+    /// (the retained factory provides each round's fresh programs).
+    pub fn run_mission(&mut self, cfg: MissionConfig, expected_exfils: usize) -> MissionReport {
+        assert!(self.factory.is_some(), "install_programs must be called before run_mission");
+        let mut rng = wsn_sim::DetRng::stream(cfg.churn_seed, 0xC0FFEE);
+        let mut report = MissionReport {
+            rounds: cfg.rounds,
+            completed: 0,
+            per_round: Vec::with_capacity(cfg.rounds as usize),
+            killed: 0,
+            refreshes: 0,
+            survivors: 0,
+        };
+        for round in 0..cfg.rounds {
+            // Churn: kill uniformly chosen live nodes.
+            for _ in 0..cfg.churn_per_round {
+                let live = self.live_nodes();
+                if live.is_empty() {
+                    break;
+                }
+                let victim = live[rng.bounded_usize(live.len())];
+                let now = self.kernel.now();
+                self.medium.borrow_mut().kill(victim, now);
+                report.killed += 1;
+            }
+            // Round 0 rides on the initial binding; refreshes start after
+            // a full period has elapsed.
+            if cfg.refresh_every > 0 && round > 0 && round % cfg.refresh_every == 0 {
+                self.refresh_after_churn();
+                report.refreshes += 1;
+            } else {
+                self.reinstall_programs();
+            }
+            let app = self.run_application();
+            let ok = app.exfil_count == expected_exfils;
+            report.per_round.push(ok);
+            if ok {
+                report.completed += 1;
+            }
+            if cfg.stop_on_first_death && self.medium.borrow().first_death().is_some() {
+                report.rounds = round + 1;
+                break;
+            }
+        }
+        report.survivors = self.live_nodes().len();
+        report
+    }
+
+    /// Standard metric bundle for the application phase.
+    pub fn metrics(&self, app: &AppReport) -> RunMetrics {
+        RunMetrics::from_ledger(
+            self.medium.borrow().ledger(),
+            app.last_exfil_ticks.unwrap_or(app.elapsed_ticks),
+            app.messages,
+            self.kernel.stats().counter("rt.data_units"),
+        )
+    }
+
+    /// Current simulated time (accumulates across phases).
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::{NodeApi, NodeProgram};
+    use wsn_net::DeploymentSpec;
+
+    fn runtime(side: u32, per_cell: usize, seed: u64) -> PhysicalRuntime<f64> {
+        let spec = DeploymentSpec::per_cell(side, per_cell);
+        let deployment = spec.generate(seed);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            seed,
+            |c| f64::from(c.col + c.row),
+        )
+    }
+
+    #[test]
+    fn topology_emulation_completes_and_routes_verify() {
+        let mut rt = runtime(4, 3, 1);
+        let report = rt.run_topology_emulation();
+        assert!(report.complete, "incomplete tables");
+        assert!(report.broadcasts >= 48, "every node broadcasts at least once");
+        assert!(report.suppressed > 0, "boundary crossings must occur and be suppressed");
+        rt.verify_routes().unwrap();
+    }
+
+    #[test]
+    fn topology_emulation_is_deterministic() {
+        let run = |seed| {
+            let mut rt = runtime(4, 4, seed);
+            let r = rt.run_topology_emulation();
+            (r.elapsed_ticks, r.broadcasts, r.suppressed)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn binding_elects_closest_to_center() {
+        let mut rt = runtime(4, 4, 2);
+        rt.run_topology_emulation();
+        let report = rt.run_binding();
+        assert!(report.unique, "every cell must elect exactly one leader");
+        assert!(report.tree_complete, "every node must learn its leader");
+        for cell in rt.grid().nodes() {
+            let leader = rt.leader_of(cell).expect("leader exists");
+            let center = rt.deployment().grid().cell_center(cell);
+            let leader_delta = rt.deployment().position(leader).distance(center);
+            for &i in rt.deployment().nodes_in_cell(cell) {
+                let d = rt.deployment().position(i).distance(center);
+                assert!(
+                    leader_delta <= d + 1e-12,
+                    "cell {cell:?}: node {i} (δ={d}) closer than leader {leader} (δ={leader_delta})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binding_spanning_tree_reaches_leader() {
+        let mut rt = runtime(3, 5, 3);
+        rt.run_topology_emulation();
+        let report = rt.run_binding();
+        assert!(report.unique);
+        for cell in rt.grid().nodes() {
+            let leader = rt.leader_of(cell).unwrap();
+            for &i in rt.deployment().nodes_in_cell(cell) {
+                // Climb parents to the leader.
+                let mut cur = i;
+                let mut steps = 0;
+                while cur != leader {
+                    cur = rt.node(cur).parent_to_leader.expect("parent");
+                    steps += 1;
+                    assert!(steps <= rt.deployment().nodes_in_cell(cell).len(), "cycle");
+                    assert_eq!(rt.node(cur).cell, cell, "tree left the cell");
+                }
+                assert_eq!(rt.node(i).leader, Some(leader));
+            }
+        }
+    }
+
+    /// Leaders each send their reading to the origin cell; the origin
+    /// leader sums and exfiltrates once everything arrived.
+    struct Gather {
+        expected: usize,
+        seen: usize,
+        sum: f64,
+    }
+    impl NodeProgram<f64> for Gather {
+        fn on_init(&mut self, api: &mut dyn NodeApi<f64>) {
+            let v = api.read_sensor();
+            api.compute(1);
+            if api.coord() != GridCoord::new(0, 0) {
+                api.send(GridCoord::new(0, 0), 1, v);
+            } else {
+                self.sum += v;
+                self.seen += 1;
+            }
+        }
+        fn on_receive(&mut self, api: &mut dyn NodeApi<f64>, _from: GridCoord, payload: f64) {
+            self.sum += payload;
+            self.seen += 1;
+            if self.seen == self.expected {
+                api.exfiltrate(self.sum);
+            }
+        }
+    }
+
+    fn run_gather(side: u32, per_cell: usize, seed: u64) -> (PhysicalRuntime<f64>, AppReport) {
+        let mut rt = runtime(side, per_cell, seed);
+        let topo = rt.run_topology_emulation();
+        assert!(topo.complete);
+        let bind = rt.run_binding();
+        assert!(bind.unique && bind.tree_complete);
+        let n = (side as usize).pow(2);
+        rt.install_programs(move |_| Box::new(Gather { expected: n, seen: 0, sum: 0.0 }));
+        let app = rt.run_application();
+        (rt, app)
+    }
+
+    #[test]
+    fn application_gathers_exact_sum_on_emulated_grid() {
+        let (mut rt, app) = run_gather(4, 3, 7);
+        assert_eq!(app.exfil_count, 1);
+        let results = rt.take_exfiltrated();
+        let expected: f64 = (0..4u32)
+            .flat_map(|r| (0..4u32).map(move |c| f64::from(c + r)))
+            .sum();
+        assert_eq!(results[0].payload, expected);
+        assert_eq!(results[0].from, GridCoord::new(0, 0));
+        // Physical forwarding takes at least one hop per virtual hop.
+        assert!(app.physical_hops >= app.messages);
+        assert!(app.last_exfil_ticks.unwrap() >= 6, "physical latency ≥ virtual 6 ticks");
+    }
+
+    #[test]
+    fn application_energy_exceeds_virtual_ideal() {
+        let (rt, app) = run_gather(4, 3, 8);
+        let m = rt.metrics(&app);
+        // Virtual ideal for the same traffic: Σ hops × 2 = 2×Σ(c+r) = 48.
+        assert!(m.total_energy > 48.0, "physical energy {} must exceed ideal 48", m.total_energy);
+        assert_eq!(m.messages, 15);
+    }
+
+    #[test]
+    fn churn_reelects_and_application_still_works() {
+        let mut rt = runtime(2, 4, 9);
+        rt.run_topology_emulation();
+        let bind = rt.run_binding();
+        assert!(bind.unique);
+        let victim = rt.leader_of(GridCoord::new(1, 1)).unwrap();
+        rt.medium().borrow_mut().kill(victim, rt.now());
+        let (topo2, bind2) = rt.refresh_after_churn();
+        assert!(topo2.complete);
+        assert!(bind2.unique, "re-election must produce unique leaders");
+        let new_leader = rt.leader_of(GridCoord::new(1, 1)).unwrap();
+        assert_ne!(new_leader, victim);
+        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        let app = rt.run_application();
+        assert_eq!(app.exfil_count, 1);
+        let sum = rt.take_exfiltrated()[0].payload;
+        assert_eq!(sum, 0.0 + 1.0 + 1.0 + 2.0);
+    }
+
+    #[test]
+    fn uniform_random_deployment_with_repair_works_end_to_end() {
+        let spec = DeploymentSpec::uniform(4, 100);
+        let deployment = spec.generate(11);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            11,
+            |_| 1.0,
+        );
+        let topo = rt.run_topology_emulation();
+        assert!(topo.complete);
+        rt.verify_routes().unwrap();
+        let bind = rt.run_binding();
+        assert!(bind.unique && bind.tree_complete);
+        rt.install_programs(|_| Box::new(Gather { expected: 16, seen: 0, sum: 0.0 }));
+        let app = rt.run_application();
+        assert_eq!(app.exfil_count, 1);
+        assert_eq!(rt.take_exfiltrated()[0].payload, 16.0);
+    }
+
+    #[test]
+    fn mission_without_churn_completes_every_round() {
+        let mut rt = runtime(2, 3, 4);
+        rt.run_topology_emulation();
+        assert!(rt.run_binding().unique);
+        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        let report = rt.run_mission(
+            MissionConfig {
+                rounds: 5,
+                refresh_every: 0,
+                churn_per_round: 0,
+                churn_seed: 1,
+                stop_on_first_death: false,
+            },
+            1,
+        );
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.killed, 0);
+        assert_eq!(report.per_round, vec![true; 5]);
+    }
+
+    #[test]
+    fn mission_with_refresh_survives_churn_longer() {
+        let run = |refresh_every: u32| {
+            let mut rt = runtime(2, 6, 4);
+            rt.run_topology_emulation();
+            assert!(rt.run_binding().unique);
+            rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+            rt.run_mission(
+                MissionConfig {
+                    rounds: 10,
+                    refresh_every,
+                    churn_per_round: 1,
+                    churn_seed: 9,
+                    stop_on_first_death: false,
+                },
+                1,
+            )
+        };
+        let without = run(0);
+        let with = run(1);
+        assert!(
+            with.completed > without.completed,
+            "refresh {} vs none {}",
+            with.completed,
+            without.completed
+        );
+        assert_eq!(with.killed, 10);
+        // Round 0 rides on the initial binding, so 9 refreshes for 10 rounds.
+        assert_eq!(with.refreshes, 9);
+    }
+
+    #[test]
+    fn sampling_phase_aggregates_cell_means() {
+        let deployment = DeploymentSpec::per_cell(2, 5).generate(3);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            3,
+            |c| f64::from(c.col * 10 + c.row),
+        );
+        rt.set_sampling_noise(2.0, 7);
+        rt.run_topology_emulation();
+        assert!(rt.run_binding().unique);
+        let (elapsed, delivered) = rt.run_sampling();
+        assert!(elapsed > 0);
+        // Every follower's sample reaches its leader: 4 cells × 4 followers.
+        assert_eq!(delivered, 16);
+        for cell in rt.grid().nodes() {
+            let leader = rt.leader_of(cell).unwrap();
+            let aggregated = rt.node(leader).aggregated_reading();
+            let truth = f64::from(cell.col * 10 + cell.row);
+            // The 5-sample mean suppresses the σ=2 noise well below a
+            // plausible single-sample error.
+            assert!(
+                (aggregated - truth).abs() < 2.5,
+                "cell {cell:?}: aggregated {aggregated} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_sampling_leaders_read_their_own_noisy_sensor() {
+        let deployment = DeploymentSpec::per_cell(2, 3).generate(3);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            3,
+            |_| 5.0,
+        );
+        rt.set_sampling_noise(1.0, 9);
+        rt.run_topology_emulation();
+        rt.run_binding();
+        let leader = rt.leader_of(GridCoord::new(0, 0)).unwrap();
+        let reading = rt.node(leader).aggregated_reading();
+        assert_ne!(reading, 5.0, "noise applies");
+        assert!((reading - 5.0).abs() < 4.0);
+    }
+
+    #[test]
+    fn arq_recovers_each_lost_hop() {
+        // 10% loss with ARQ: the gather still completes, retransmissions
+        // and duplicate-detections show up in the counters, and the
+        // result is exact.
+        let deployment = DeploymentSpec::per_cell(4, 3).generate(7);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            7,
+            |c| f64::from(c.col + c.row),
+        );
+        rt.run_topology_emulation();
+        assert!(rt.run_binding().unique);
+        rt.install_programs(move |_| Box::new(Gather { expected: 16, seen: 0, sum: 0.0 }));
+        rt.set_link_model(LinkModel::lossy(0.10, 2));
+        rt.enable_arq(10, 32);
+        let app = rt.run_application();
+        assert_eq!(app.exfil_count, 1, "ARQ must carry the merge through");
+        assert!(app.retransmissions > 0, "10% loss must trigger retransmissions");
+        let expected: f64 = (0..4u32)
+            .flat_map(|r| (0..4u32).map(move |c| f64::from(c + r)))
+            .sum();
+        assert_eq!(rt.take_exfiltrated()[0].payload, expected);
+    }
+
+    #[test]
+    fn tdma_defers_but_preserves_results() {
+        let run = |tdma: bool| {
+            let deployment = DeploymentSpec::per_cell(2, 3).generate(5);
+            let range = deployment.grid().range_for_adjacent_cell_reachability();
+            let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+                deployment,
+                RadioModel::uniform(range),
+                LinkModel::ideal(),
+                None,
+                1,
+                5,
+                |_| 2.5,
+            );
+            rt.run_topology_emulation();
+            rt.run_binding();
+            rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+            if tdma {
+                rt.set_mac_model(wsn_net::MacModel::Tdma { frame_slots: 8, slot_ticks: 1 });
+            }
+            let app = rt.run_application();
+            (app.last_exfil_ticks.unwrap(), rt.take_exfiltrated()[0].payload)
+        };
+        let (lat_async, sum_async) = run(false);
+        let (lat_tdma, sum_tdma) = run(true);
+        assert_eq!(sum_async, sum_tdma, "MAC never changes results");
+        assert!(lat_tdma > lat_async, "slotted access adds latency");
+    }
+
+    #[test]
+    fn woken_nodes_join_after_refresh() {
+        // "New nodes can be added to the network" (§5.1): pre-deployed
+        // sleepers wake and participate after the periodic re-execution.
+        let deployment = DeploymentSpec::per_cell(2, 3).generate(5);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            5,
+            |_| 1.0,
+        );
+        // Put one node per cell to sleep before the protocols run.
+        let sleepers: Vec<usize> =
+            rt.grid().nodes().map(|c| rt.deployment().nodes_in_cell(c)[0]).collect();
+        for &s in &sleepers {
+            rt.medium().borrow_mut().kill(s, SimTime::ZERO);
+        }
+        rt.run_topology_emulation();
+        let bind = rt.run_binding();
+        assert!(bind.unique);
+        for &s in &sleepers {
+            assert!(rt.node(s).leader.is_none(), "sleeper {s} must not have participated");
+        }
+        // Wake them; after a refresh they hold protocol state again.
+        for &s in &sleepers {
+            assert!(rt.medium().borrow_mut().wake(s));
+        }
+        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        let (topo, bind2) = rt.refresh_after_churn();
+        assert!(topo.complete);
+        assert!(bind2.unique);
+        for &s in &sleepers {
+            assert!(rt.node(s).leader.is_some(), "woken node {s} joined the cell tree");
+        }
+        let app = rt.run_application();
+        assert_eq!(app.exfil_count, 1);
+    }
+
+    #[test]
+    fn energy_aware_election_rotates_leadership() {
+        let spec = DeploymentSpec::per_cell(2, 4);
+        let deployment = spec.generate(3);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<f64> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            3,
+            |_| 1.0,
+        );
+        rt.set_election_policy(crate::node::ElectionPolicy::MaxResidualEnergy);
+        rt.run_topology_emulation();
+        assert!(rt.run_binding().unique);
+        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        let mut leaders_over_time = Vec::new();
+        for _ in 0..4 {
+            let app = rt.run_application();
+            assert_eq!(app.exfil_count, 1);
+            leaders_over_time
+                .push(rt.leader_of(GridCoord::new(0, 0)).expect("leader"));
+            rt.refresh_after_churn(); // re-election under the energy policy
+        }
+        // The origin-cell leader carries the aggregation hotspot; under
+        // the residual-energy policy it must hand leadership over.
+        let distinct: std::collections::HashSet<usize> =
+            leaders_over_time.iter().copied().collect();
+        assert!(distinct.len() > 1, "leadership never rotated: {leaders_over_time:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "install_programs must be called")]
+    fn application_without_programs_panics() {
+        let mut rt = runtime(2, 2, 1);
+        rt.run_topology_emulation();
+        rt.run_binding();
+        rt.run_application();
+    }
+}

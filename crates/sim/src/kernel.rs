@@ -1,0 +1,567 @@
+//! The simulation kernel: actors, contexts, and the run loop.
+
+use crate::event::{EventKind, EventQueue};
+use crate::rng::DetRng;
+use crate::stats::Stats;
+use crate::time::SimTime;
+use crate::trace::{TraceEntry, TraceKind, Tracer};
+use std::any::Any;
+
+/// Index of an actor inside a [`Kernel`]. Actors are never removed, so ids
+/// stay valid for the lifetime of the kernel.
+pub type ActorId = usize;
+
+/// Implemented by message types so traces can record a cheap discriminant.
+pub trait Payload: 'static {
+    /// A small integer identifying the message variant (for traces only;
+    /// semantics are up to the implementor).
+    fn discriminant(&self) -> u64 {
+        0
+    }
+}
+
+impl Payload for () {}
+impl Payload for u32 {
+    fn discriminant(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+impl Payload for u64 {
+    fn discriminant(&self) -> u64 {
+        *self
+    }
+}
+
+/// A simulated entity driven by messages and timers.
+///
+/// `Any` is a supertrait so callers can downcast a finished actor back to
+/// its concrete type and read out final state
+/// (see [`Kernel::actor`]).
+pub trait Actor<M: Payload>: Any {
+    /// Called once, in id order, when the run starts (before any event).
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called for each message delivered to this actor.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ActorId, msg: M);
+
+    /// Called when a timer set via [`Context::set_timer`] expires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: u64) {}
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events remained.
+    QueueEmpty,
+    /// An actor called [`Context::stop`].
+    Stopped,
+    /// The `until` horizon was reached.
+    TimeLimit,
+    /// The event budget was exhausted (likely a livelock — investigate).
+    EventLimit,
+}
+
+/// Summary of a run loop invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Events dispatched during this invocation.
+    pub events_processed: u64,
+    /// Simulated clock when the loop returned.
+    pub end_time: SimTime,
+    /// Why the loop returned.
+    pub stop: StopReason,
+}
+
+/// The facilities an actor may use while handling an event.
+pub struct Context<'a, M: Payload> {
+    now: SimTime,
+    self_id: ActorId,
+    outbox: &'a mut Vec<(SimTime, ActorId, EventKind<M>)>,
+    rng: &'a mut DetRng,
+    stats: &'a mut Stats,
+    stop_requested: &'a mut bool,
+    actor_count: usize,
+}
+
+impl<'a, M: Payload> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Number of actors in the kernel.
+    pub fn actor_count(&self) -> usize {
+        self.actor_count
+    }
+
+    /// Sends `msg` to `to`, arriving `delay` ticks from now.
+    pub fn send(&mut self, to: ActorId, delay: SimTime, msg: M) {
+        assert!(to < self.actor_count, "send to unknown actor {to}");
+        self.outbox.push((
+            self.now + delay.ticks(),
+            to,
+            EventKind::Message { from: self.self_id, msg },
+        ));
+    }
+
+    /// Sends `msg` to `to` after `delay` ticks (integer convenience).
+    pub fn send_after(&mut self, to: ActorId, delay_ticks: u64, msg: M) {
+        self.send(to, SimTime::from_ticks(delay_ticks), msg);
+    }
+
+    /// Schedules a timer on this actor, `delay` ticks from now.
+    pub fn set_timer(&mut self, delay_ticks: u64, tag: u64) {
+        self.outbox
+            .push((self.now + delay_ticks, self.self_id, EventKind::Timer { tag }));
+    }
+
+    /// Requests that the run loop return after this event.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// This actor's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// The shared statistics sink.
+    pub fn stats(&mut self) -> &mut Stats {
+        self.stats
+    }
+}
+
+/// A deterministic discrete-event simulator over actors exchanging `M`s.
+pub struct Kernel<M: Payload> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    rngs: Vec<DetRng>,
+    queue: EventQueue<M>,
+    now: SimTime,
+    master_seed: u64,
+    stats: Stats,
+    tracer: Tracer,
+    started: bool,
+}
+
+impl<M: Payload> Kernel<M> {
+    /// Creates a kernel whose randomness derives entirely from `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Kernel {
+            actors: Vec::new(),
+            rngs: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            master_seed,
+            stats: Stats::new(),
+            tracer: Tracer::disabled(),
+            started: false,
+        }
+    }
+
+    /// Enables trace recording (unbounded).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.tracer.entries()
+    }
+
+    /// Registers an actor and returns its id. Must be called before `run`.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = self.actors.len();
+        self.actors.push(Some(actor));
+        self.rngs.push(DetRng::stream(self.master_seed, id as u64));
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared statistics sink (read side; actors write through `Context`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable statistics access for harness-level bookkeeping.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Borrows actor `id` downcast to its concrete type.
+    pub fn actor<T: Actor<M>>(&self, id: ActorId) -> Option<&T> {
+        let boxed = self.actors.get(id)?.as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows actor `id` downcast to its concrete type.
+    pub fn actor_mut<T: Actor<M>>(&mut self, id: ActorId) -> Option<&mut T> {
+        let boxed = self.actors.get_mut(id)?.as_mut()?;
+        (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Schedules an external message delivery (harness-injected stimulus).
+    pub fn schedule_message(&mut self, at: SimTime, from: ActorId, to: ActorId, msg: M) {
+        assert!(to < self.actors.len(), "schedule to unknown actor {to}");
+        self.queue.push(at, to, EventKind::Message { from, msg });
+    }
+
+    /// Schedules an external timer event on `target`.
+    pub fn schedule_timer(&mut self, at: SimTime, target: ActorId, tag: u64) {
+        assert!(target < self.actors.len(), "schedule to unknown actor {target}");
+        self.queue.push(at, target, EventKind::Timer { tag });
+    }
+
+    fn start_actors(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut outbox = Vec::new();
+        let mut stop = false;
+        for id in 0..self.actors.len() {
+            let mut actor = self.actors[id].take().expect("actor re-entered");
+            {
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: id,
+                    outbox: &mut outbox,
+                    rng: &mut self.rngs[id],
+                    stats: &mut self.stats,
+                    stop_requested: &mut stop,
+                    actor_count: self.actors.len(),
+                };
+                actor.on_start(&mut ctx);
+            }
+            self.actors[id] = Some(actor);
+            for (time, target, kind) in outbox.drain(..) {
+                self.queue.push(time, target, kind);
+            }
+        }
+    }
+
+    /// Runs until the queue drains. Panics if one billion events pass
+    /// without draining (livelock guard); use
+    /// [`Kernel::run_with_limits`] for explicit budgets.
+    pub fn run(&mut self) -> RunReport {
+        let report = self.run_with_limits(None, Some(1_000_000_000));
+        assert!(
+            report.stop != StopReason::EventLimit,
+            "kernel default event budget exhausted; suspected livelock"
+        );
+        report
+    }
+
+    /// Runs until the queue drains or simulated time would pass `until`.
+    /// Events at exactly `until` still fire.
+    pub fn run_until(&mut self, until: SimTime) -> RunReport {
+        self.run_with_limits(Some(until), Some(1_000_000_000))
+    }
+
+    /// Runs with optional time horizon and event budget.
+    pub fn run_with_limits(
+        &mut self,
+        until: Option<SimTime>,
+        max_events: Option<u64>,
+    ) -> RunReport {
+        self.start_actors();
+        let mut processed = 0u64;
+        let mut outbox: Vec<(SimTime, ActorId, EventKind<M>)> = Vec::new();
+        let mut stop = false;
+        loop {
+            if let Some(budget) = max_events {
+                if processed >= budget {
+                    return RunReport {
+                        events_processed: processed,
+                        end_time: self.now,
+                        stop: StopReason::EventLimit,
+                    };
+                }
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                return RunReport {
+                    events_processed: processed,
+                    end_time: self.now,
+                    stop: StopReason::QueueEmpty,
+                };
+            };
+            if let Some(horizon) = until {
+                if next_time > horizon {
+                    self.now = horizon;
+                    return RunReport {
+                        events_processed: processed,
+                        end_time: self.now,
+                        stop: StopReason::TimeLimit,
+                    };
+                }
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.now, "time ran backwards");
+            self.now = ev.time;
+            processed += 1;
+
+            if self.tracer.is_enabled() {
+                let (kind, a, b) = match &ev.kind {
+                    EventKind::Message { from, msg } => {
+                        (TraceKind::Message, *from, msg.discriminant())
+                    }
+                    EventKind::Timer { tag } => (TraceKind::Timer, 0, *tag),
+                };
+                self.tracer.record(TraceEntry { time: ev.time, target: ev.target, kind, a, b });
+            }
+
+            let mut actor = self.actors[ev.target]
+                .take()
+                .unwrap_or_else(|| panic!("actor {} re-entered", ev.target));
+            {
+                let mut ctx = Context {
+                    now: self.now,
+                    self_id: ev.target,
+                    outbox: &mut outbox,
+                    rng: &mut self.rngs[ev.target],
+                    stats: &mut self.stats,
+                    stop_requested: &mut stop,
+                    actor_count: self.actors.len(),
+                };
+                match ev.kind {
+                    EventKind::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
+                    EventKind::Timer { tag } => actor.on_timer(&mut ctx, tag),
+                }
+            }
+            self.actors[ev.target] = Some(actor);
+            for (time, target, kind) in outbox.drain(..) {
+                self.queue.push(time, target, kind);
+            }
+            if stop {
+                return RunReport {
+                    events_processed: processed,
+                    end_time: self.now,
+                    stop: StopReason::Stopped,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Echo {
+        received: Vec<(ActorId, u32)>,
+        reply_to: Option<ActorId>,
+    }
+
+    impl Actor<u32> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ActorId, msg: u32) {
+            self.received.push((from, msg));
+            ctx.stats().incr("echo.rx");
+            if let Some(peer) = self.reply_to {
+                if msg > 0 {
+                    ctx.send_after(peer, 1, msg - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let a = k.add_actor(Box::new(Echo::default()));
+        k.schedule_message(SimTime::from_ticks(5), 0, a, 50);
+        k.schedule_message(SimTime::from_ticks(2), 0, a, 20);
+        let report = k.run();
+        assert_eq!(report.stop, StopReason::QueueEmpty);
+        assert_eq!(report.end_time, SimTime::from_ticks(5));
+        let echo: &Echo = k.actor(a).unwrap();
+        assert_eq!(echo.received, vec![(0, 20), (0, 50)]);
+        assert_eq!(k.stats().counter("echo.rx"), 2);
+    }
+
+    #[test]
+    fn ping_pong_countdown_terminates() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let a = k.add_actor(Box::new(Echo { reply_to: Some(1), ..Default::default() }));
+        let b = k.add_actor(Box::new(Echo { reply_to: Some(0), ..Default::default() }));
+        k.schedule_message(SimTime::ZERO, b, a, 5);
+        let report = k.run();
+        // messages 5,4,3,2,1,0 = 6 deliveries
+        assert_eq!(report.events_processed, 6);
+        assert_eq!(report.end_time, SimTime::from_ticks(5));
+        let echo_a: &Echo = k.actor(a).unwrap();
+        let echo_b: &Echo = k.actor(b).unwrap();
+        assert_eq!(echo_a.received.len() + echo_b.received.len(), 6);
+    }
+
+    struct TimerBeat {
+        fired: Vec<u64>,
+        period: u64,
+        remaining: u32,
+    }
+
+    impl Actor<u32> for TimerBeat {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.set_timer(self.period, 7);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: ActorId, _msg: u32) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32>, tag: u64) {
+            self.fired.push(ctx.now().ticks());
+            assert_eq!(tag, 7);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.set_timer(self.period, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_timers_fire_on_schedule() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let t = k.add_actor(Box::new(TimerBeat { fired: vec![], period: 10, remaining: 3 }));
+        k.run();
+        let beat: &TimerBeat = k.actor(t).unwrap();
+        assert_eq!(beat.fired, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let t = k.add_actor(Box::new(TimerBeat { fired: vec![], period: 10, remaining: 100 }));
+        let report = k.run_until(SimTime::from_ticks(35));
+        assert_eq!(report.stop, StopReason::TimeLimit);
+        assert_eq!(report.end_time, SimTime::from_ticks(35));
+        let beat: &TimerBeat = k.actor(t).unwrap();
+        assert_eq!(beat.fired, vec![10, 20, 30]);
+        // Continuing picks up where we left off.
+        let report2 = k.run_until(SimTime::from_ticks(55));
+        assert_eq!(report2.stop, StopReason::TimeLimit);
+        let beat: &TimerBeat = k.actor(t).unwrap();
+        assert_eq!(beat.fired, vec![10, 20, 30, 40, 50]);
+    }
+
+    struct Stopper;
+    impl Actor<u32> for Stopper {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: ActorId, msg: u32) {
+            if msg == 99 {
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn stop_request_halts_loop() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let s = k.add_actor(Box::new(Stopper));
+        k.schedule_message(SimTime::from_ticks(1), 0, s, 99);
+        k.schedule_message(SimTime::from_ticks(2), 0, s, 1);
+        let report = k.run();
+        assert_eq!(report.stop, StopReason::Stopped);
+        assert_eq!(report.events_processed, 1);
+        assert_eq!(k.pending_events(), 1);
+    }
+
+    #[test]
+    fn event_limit_reports_livelock() {
+        struct Selfie;
+        impl Actor<u32> for Selfie {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(1, 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ActorId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _tag: u64) {
+                ctx.set_timer(1, 0);
+            }
+        }
+        let mut k: Kernel<u32> = Kernel::new(1);
+        k.add_actor(Box::new(Selfie));
+        let report = k.run_with_limits(None, Some(100));
+        assert_eq!(report.stop, StopReason::EventLimit);
+        assert_eq!(report.events_processed, 100);
+    }
+
+    #[test]
+    fn traces_are_deterministic_across_runs() {
+        fn run_once() -> Vec<TraceEntry> {
+            let mut k: Kernel<u32> = Kernel::new(77);
+            let a = k.add_actor(Box::new(Echo { reply_to: Some(1), ..Default::default() }));
+            let _b = k.add_actor(Box::new(Echo { reply_to: Some(0), ..Default::default() }));
+            k.enable_tracing();
+            k.schedule_message(SimTime::ZERO, 1, a, 20);
+            k.run();
+            k.trace().to_vec()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn per_actor_rng_streams_differ() {
+        struct Draw {
+            value: u64,
+        }
+        impl Actor<u32> for Draw {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                self.value = ctx.rng().next_u64_pub();
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ActorId, _: u32) {}
+        }
+        // tiny helper since DetRng's next is private
+        trait NextPub {
+            fn next_u64_pub(&mut self) -> u64;
+        }
+        impl NextPub for crate::rng::DetRng {
+            fn next_u64_pub(&mut self) -> u64 {
+                use rand::RngCore;
+                self.next_u64()
+            }
+        }
+        let mut k: Kernel<u32> = Kernel::new(5);
+        let a = k.add_actor(Box::new(Draw { value: 0 }));
+        let b = k.add_actor(Box::new(Draw { value: 0 }));
+        k.run();
+        let va = k.actor::<Draw>(a).unwrap().value;
+        let vb = k.actor::<Draw>(b).unwrap().value;
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor")]
+    fn send_to_unknown_actor_panics() {
+        struct Bad;
+        impl Actor<u32> for Bad {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send_after(99, 1, 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ActorId, _: u32) {}
+        }
+        let mut k: Kernel<u32> = Kernel::new(1);
+        k.add_actor(Box::new(Bad));
+        k.run();
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let a = k.add_actor(Box::new(Echo::default()));
+        assert!(k.actor::<Stopper>(a).is_none());
+        assert!(k.actor::<Echo>(a).is_some());
+    }
+}

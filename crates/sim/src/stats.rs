@@ -1,0 +1,297 @@
+//! Run statistics: named counters, histograms, and time series.
+//!
+//! Protocols under test report what they did (messages sent, boundary
+//! crossings suppressed, merge operations performed, …) through the
+//! [`Stats`] sink carried by the kernel; the experiment harness reads the
+//! totals back after the run. Keys are plain strings so that each crate can
+//! define its own vocabulary without a central registry.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of named counters, gauges, histograms and time series.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Stats {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `key` (creating it at zero).
+    pub fn add(&mut self, key: &str, delta: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the counter `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of counter `key` (zero if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `key` to `value`.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        self.gauges.insert(key.to_owned(), value);
+    }
+
+    /// Current value of gauge `key`.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Records `value` into the histogram `key`.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        self.histograms.entry(key.to_owned()).or_default().record(value);
+    }
+
+    /// The histogram `key`, if any value was ever observed.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Appends `(tick, value)` to the time series `key`.
+    pub fn sample(&mut self, key: &str, tick: u64, value: f64) {
+        self.series.entry(key.to_owned()).or_default().push(tick, value);
+    }
+
+    /// The time series `key`, if any sample was recorded.
+    pub fn time_series(&self, key: &str) -> Option<&TimeSeries> {
+        self.series.get(key)
+    }
+
+    /// Iterates over all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another sink into this one (counters add, gauges overwrite,
+    /// histograms and series concatenate). Used by parallel sweeps.
+    pub fn absorb(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for &v in &h.values {
+                dst.record(v);
+            }
+        }
+        for (k, s) in &other.series {
+            let dst = self.series.entry(k.clone()).or_default();
+            for &(t, v) in &s.points {
+                dst.push(t, v);
+            }
+        }
+    }
+}
+
+/// An exact histogram that stores every observation.
+///
+/// Experiment populations are at most a few million values, so exactness is
+/// affordable and keeps quantiles honest.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.values.len() as f64)
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.min(x),
+            })
+        })
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.max(x),
+            })
+        })
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Exact quantile `q ∈ [0,1]` by nearest-rank, or `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0,1]");
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            self.sorted = true;
+        }
+        let idx = ((q * (self.values.len() - 1) as f64).round()) as usize;
+        Some(self.values[idx])
+    }
+}
+
+/// An append-only `(tick, value)` series.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Appends one sample.
+    pub fn push(&mut self, tick: u64, value: f64) {
+        self.points.push((tick, value));
+    }
+
+    /// All samples in insertion order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.points.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("tx");
+        s.add("tx", 4);
+        assert_eq!(s.counter("tx"), 5);
+        assert_eq!(s.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut s = Stats::new();
+        s.set_gauge("load", 0.5);
+        s.set_gauge("load", 0.9);
+        assert_eq!(s.gauge("load"), Some(0.9));
+        assert_eq!(s.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(2.5));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        let sd = h.std_dev().unwrap();
+        assert!((sd - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::default();
+        for v in 0..101 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_none() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.std_dev(), None);
+    }
+
+    #[test]
+    fn time_series_preserves_order() {
+        let mut s = Stats::new();
+        s.sample("energy", 1, 10.0);
+        s.sample("energy", 5, 8.0);
+        let ts = s.time_series("energy").unwrap();
+        assert_eq!(ts.points(), &[(1, 10.0), (5, 8.0)]);
+        assert_eq!(ts.last(), Some((5, 8.0)));
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = Stats::new();
+        a.add("tx", 2);
+        a.observe("lat", 1.0);
+        let mut b = Stats::new();
+        b.add("tx", 3);
+        b.add("rx", 1);
+        b.observe("lat", 3.0);
+        b.sample("e", 1, 1.0);
+        b.set_gauge("g", 7.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("tx"), 5);
+        assert_eq!(a.counter("rx"), 1);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.time_series("e").unwrap().points().len(), 1);
+        assert_eq!(a.gauge("g"), Some(7.0));
+    }
+
+    #[test]
+    fn counters_iterate_in_key_order() {
+        let mut s = Stats::new();
+        s.incr("b");
+        s.incr("a");
+        s.incr("c");
+        let keys: Vec<&str> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Code generation: prints a [`GuardedProgram`] in the paper's Figure-4
+//! concrete syntax.
+
+use crate::program::{Action, Expr, Guard, GuardedProgram};
+use std::fmt::Write as _;
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Add(a, b) => format!("{} + {}", render_expr(a), render_expr(b)),
+        Expr::Sub(a, b) => format!("{} - {}", render_expr(a), render_expr(b)),
+        Expr::MsgsReceivedAt(i) => format!("msgsReceived[{}]", render_expr(i)),
+    }
+}
+
+fn render_guard(g: &Guard) -> String {
+    match g {
+        Guard::Eq(a, b) => format!("{} = {}", render_expr(a), render_expr(b)),
+        Guard::Received => "received mGraph".to_string(),
+        Guard::IncomingFromSelf => "senderCoord = myCoords".to_string(),
+        Guard::And(a, b) => format!("{} and {}", render_guard(a), render_guard(b)),
+    }
+}
+
+fn render_actions(actions: &[Action], indent: usize, out: &mut String) {
+    let pad = " ".repeat(indent);
+    for a in actions {
+        match a {
+            Action::Set(name, e) => {
+                let _ = writeln!(out, "{pad}{name} = {}", render_expr(e));
+            }
+            Action::ComputeLocalSummary => {
+                let _ = writeln!(out, "{pad}compute mySubGraph[0] from intra-cell readings");
+            }
+            Action::MergeIncoming => {
+                let _ = writeln!(out, "{pad}merge(mGraph.msubGraph, mySubGraph[mGraph.mrecLevel])");
+            }
+            Action::CountIncoming => {
+                let _ = writeln!(out, "{pad}msgsReceived[mGraph.mrecLevel]++");
+            }
+            Action::IfElse { cond, then, otherwise } => {
+                let _ = writeln!(out, "{pad}if ({})", render_guard(cond));
+                render_actions(then, indent + 4, out);
+                if !otherwise.is_empty() {
+                    let _ = writeln!(out, "{pad}else");
+                    render_actions(otherwise, indent + 4, out);
+                }
+            }
+            Action::SendSummaryToLeader { group_level, data_level } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}message = {{myCoords, mySubGraph[{}], {}}}",
+                    render_expr(data_level),
+                    render_expr(group_level),
+                );
+                let _ = writeln!(
+                    out,
+                    "{pad}send message to Leader({})",
+                    render_expr(group_level)
+                );
+            }
+            Action::ExfiltrateSummary { level } => {
+                let _ = writeln!(out, "{pad}exfiltrate mySubGraph[{}]", render_expr(level));
+            }
+        }
+    }
+}
+
+/// Renders `program` in Figure 4's notation.
+pub fn render_figure4(program: &GuardedProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// synthesized program: {}", program.name);
+    let _ = writeln!(out, "State (initial values) :");
+    let scalars: Vec<String> = program
+        .state
+        .iter()
+        .map(|d| format!("{}(= {})", d.name, render_expr(&d.init)))
+        .collect();
+    let _ = writeln!(out, "    {},", scalars.join(", "));
+    let _ = writeln!(
+        out,
+        "    mySubGraph[0..maxrecLevel](= NULL), myCoords,"
+    );
+    let _ = writeln!(out, "    msgsReceived[0..maxrecLevel](= 0)");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Message alphabet :");
+    let _ = writeln!(out, "    mGraph = {{senderCoord, msubGraph, mrecLevel}}");
+    for rule in &program.rules {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Condition : {}", render_guard(&rule.guard));
+        let mut body = String::new();
+        render_actions(&rule.actions, 12, &mut body);
+        let body = body.replacen("            ", "Action    : ", 1);
+        let _ = write!(out, "{body}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesize::synthesize_quadtree_program;
+
+    #[test]
+    fn rendering_contains_figure4_landmarks() {
+        let p = synthesize_quadtree_program(2);
+        let text = render_figure4(&p);
+        for landmark in [
+            "State (initial values) :",
+            "start(= false)",
+            "recLevel(= 0)",
+            "maxrecLevel(= 2)",
+            "Message alphabet :",
+            "mGraph = {senderCoord, msubGraph, mrecLevel}",
+            "Condition : start = true",
+            "compute mySubGraph[0] from intra-cell readings",
+            "Condition : received mGraph",
+            "merge(mGraph.msubGraph, mySubGraph[mGraph.mrecLevel])",
+            "msgsReceived[mGraph.mrecLevel]++",
+            "Condition : transmit = true",
+            "send message to Leader(recLevel)",
+            "exfiltrate mySubGraph[maxrecLevel]",
+            "Condition : msgsReceived[recLevel] = 3",
+            "recLevel = recLevel + 1",
+        ] {
+            assert!(text.contains(landmark), "missing {landmark:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn every_rule_starts_an_action_block() {
+        let p = synthesize_quadtree_program(1);
+        let text = render_figure4(&p);
+        assert_eq!(text.matches("Condition :").count(), 4);
+        assert_eq!(text.matches("Action    :").count(), 4);
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        let p = synthesize_quadtree_program(3);
+        assert_eq!(render_figure4(&p), render_figure4(&p));
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's design-time mapping constraints (§4.1).
+//!
+//! *Coverage*: "each leaf node of the task graph (that represents one
+//! sampling task) should be mapped to a distinct node of the virtual
+//! topology to ensure the desired level of coverage." With as many leaves
+//! as virtual nodes this makes the leaf mapping a bijection.
+//!
+//! *Spatial correlation*: "all children of a given node should represent
+//! information about a single contiguous geographic extent" — for the
+//! quad-tree, the leaves under every interior task must tile an axis-
+//! aligned square block, so merged boundaries are boundaries of one
+//! contiguous extent.
+
+use crate::mapping::Mapping;
+use crate::quadtree::QuadTree;
+use crate::taskgraph::TaskId;
+use std::collections::HashSet;
+use wsn_core::GridCoord;
+
+/// A violated mapping constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintViolation {
+    /// Two sampling tasks share a virtual node.
+    DuplicateLeafAssignment {
+        /// The node assigned twice.
+        node: GridCoord,
+    },
+    /// Leaf count differs from virtual-node count.
+    CoverageCount {
+        /// Sampling tasks in the graph.
+        leaves: usize,
+        /// Virtual nodes in the topology.
+        nodes: usize,
+    },
+    /// A task maps outside the virtual topology.
+    OutOfGrid {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// The leaves under `task` do not tile one contiguous square extent.
+    NonContiguousExtent {
+        /// Offending interior task.
+        task: TaskId,
+    },
+}
+
+/// Checks the coverage constraint for `mapping` over `qt`'s grid.
+pub fn check_coverage(qt: &QuadTree, mapping: &Mapping) -> Result<(), ConstraintViolation> {
+    let leaves = qt.graph.sensing_tasks();
+    let nodes = (qt.side as usize).pow(2);
+    if leaves.len() != nodes {
+        return Err(ConstraintViolation::CoverageCount { leaves: leaves.len(), nodes });
+    }
+    let mut seen: HashSet<GridCoord> = HashSet::with_capacity(nodes);
+    for t in leaves {
+        let node = mapping.node_of(t);
+        if node.col >= qt.side || node.row >= qt.side {
+            return Err(ConstraintViolation::OutOfGrid { task: t });
+        }
+        if !seen.insert(node) {
+            return Err(ConstraintViolation::DuplicateLeafAssignment { node });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the spatial-correlation constraint: for every interior task, the
+/// cells sampled by its leaf descendants form one contiguous square block.
+pub fn check_spatial_correlation(
+    qt: &QuadTree,
+    mapping: &Mapping,
+) -> Result<(), ConstraintViolation> {
+    for level in 1..qt.ids_by_level.len() {
+        for &t in &qt.ids_by_level[level] {
+            let cells = descendant_leaf_cells(qt, mapping, t);
+            if !is_square_block(&cells) {
+                return Err(ConstraintViolation::NonContiguousExtent { task: t });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks both constraints.
+pub fn check_all(qt: &QuadTree, mapping: &Mapping) -> Result<(), ConstraintViolation> {
+    check_coverage(qt, mapping)?;
+    check_spatial_correlation(qt, mapping)
+}
+
+fn descendant_leaf_cells(qt: &QuadTree, mapping: &Mapping, t: TaskId) -> Vec<GridCoord> {
+    let mut stack = vec![t];
+    let mut cells = Vec::new();
+    while let Some(cur) = stack.pop() {
+        let producers = qt.graph.producers(cur);
+        if producers.is_empty() {
+            cells.push(mapping.node_of(cur));
+        } else {
+            stack.extend_from_slice(producers);
+        }
+    }
+    cells
+}
+
+fn is_square_block(cells: &[GridCoord]) -> bool {
+    let side = (cells.len() as f64).sqrt().round() as usize;
+    if side * side != cells.len() {
+        return false;
+    }
+    let min_col = cells.iter().map(|c| c.col).min().expect("non-empty");
+    let min_row = cells.iter().map(|c| c.row).min().expect("non-empty");
+    let mut seen = HashSet::with_capacity(cells.len());
+    for c in cells {
+        let dc = (c.col - min_col) as usize;
+        let dr = (c.row - min_row) as usize;
+        if dc >= side || dr >= side || !seen.insert((dc, dr)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapper;
+    use crate::quadtree::quadtree_task_graph;
+
+    fn qt() -> QuadTree {
+        quadtree_task_graph(4, &|_| 1, &|_| 1)
+    }
+
+    fn quadrant_mapping(qt: &QuadTree) -> Mapping {
+        crate::mapping::QuadrantMapper.map(qt)
+    }
+
+    #[test]
+    fn paper_mapping_satisfies_both_constraints() {
+        let qt = qt();
+        let m = quadrant_mapping(&qt);
+        assert_eq!(check_all(&qt, &m), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_leaf_detected() {
+        let qt = qt();
+        let mut m = quadrant_mapping(&qt);
+        let first_leaf = qt.ids_by_level[0][0];
+        let second_leaf = qt.ids_by_level[0][1];
+        m.assign(second_leaf, m.node_of(first_leaf));
+        assert!(matches!(
+            check_coverage(&qt, &m),
+            Err(ConstraintViolation::DuplicateLeafAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_grid_detected() {
+        let qt = qt();
+        let mut m = quadrant_mapping(&qt);
+        m.assign(qt.ids_by_level[0][3], GridCoord::new(7, 0));
+        assert!(matches!(check_coverage(&qt, &m), Err(ConstraintViolation::OutOfGrid { .. })));
+    }
+
+    #[test]
+    fn swapping_leaves_across_quadrants_breaks_spatial_correlation() {
+        let qt = qt();
+        let mut m = quadrant_mapping(&qt);
+        // Swap a leaf of the NW quadrant with one of the SE quadrant.
+        let nw_leaf = qt.ids_by_level[0][0];
+        let se_leaf = qt.ids_by_level[0][15];
+        let (a, b) = (m.node_of(nw_leaf), m.node_of(se_leaf));
+        m.assign(nw_leaf, b);
+        m.assign(se_leaf, a);
+        assert_eq!(check_coverage(&qt, &m), Ok(()), "still a bijection");
+        assert!(matches!(
+            check_spatial_correlation(&qt, &m),
+            Err(ConstraintViolation::NonContiguousExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn swapping_leaves_within_a_quadrant_is_fine() {
+        let qt = qt();
+        let mut m = quadrant_mapping(&qt);
+        let a = qt.ids_by_level[0][0];
+        let b = qt.ids_by_level[0][3];
+        let (na, nb) = (m.node_of(a), m.node_of(b));
+        m.assign(a, nb);
+        m.assign(b, na);
+        assert_eq!(check_all(&qt, &m), Ok(()));
+    }
+
+    #[test]
+    fn square_block_recognizer() {
+        let block: Vec<GridCoord> =
+            [(2, 2), (3, 2), (2, 3), (3, 3)].map(|(c, r)| GridCoord::new(c, r)).to_vec();
+        assert!(is_square_block(&block));
+        let ell: Vec<GridCoord> =
+            [(0, 0), (1, 0), (0, 1), (2, 0)].map(|(c, r)| GridCoord::new(c, r)).to_vec();
+        assert!(!is_square_block(&ell));
+        let dup: Vec<GridCoord> =
+            [(0, 0), (1, 0), (0, 1), (0, 0)].map(|(c, r)| GridCoord::new(c, r)).to_vec();
+        assert!(!is_square_block(&dup));
+        let not_square = vec![GridCoord::new(0, 0), GridCoord::new(1, 0)];
+        assert!(!is_square_block(&not_square));
+    }
+}

@@ -1,0 +1,35 @@
+//! # wsn-synth — algorithm design and synthesis (§4 of the paper)
+//!
+//! The top-down half of the methodology: the chosen algorithm is specified
+//! as an architecture-independent **annotated task graph** ([`taskgraph`],
+//! with the case study's quad-tree generator in [`quadtree`]); a **mapping
+//! stage** assigns tasks to virtual nodes subject to the paper's coverage
+//! and spatial-correlation constraints ([`constraints`], [`mapping`]); and
+//! a **synthesis stage** turns the mapped algorithm into the reactive
+//! guarded-command program of Figure 4 ([`program`], [`synthesize`]),
+//! which is executable through the interpreter ([`interpret`]) and
+//! printable in the paper's notation by the code generator ([`codegen`]).
+
+pub mod codegen;
+pub mod constraints;
+pub mod interpret;
+pub mod mapping;
+pub mod program;
+pub mod quadtree;
+pub mod synthesize;
+pub mod taskgraph;
+
+pub use codegen::render_figure4;
+pub use constraints::{check_all, check_coverage, check_spatial_correlation, ConstraintViolation};
+pub use interpret::{SummaryMsg, SummarySemantics, SynthesizedNode};
+pub use mapping::{
+    AnnealingMapper, CentroidMapper, Mapper, Mapping, MappingCost, QuadrantMapper,
+    RandomFeasibleMapper,
+};
+pub use program::{Action, Expr, Guard, GuardedProgram, Rule, StateDecl};
+pub use quadtree::{quadtree_task_graph, QuadTree};
+pub use synthesize::{
+    synthesize_from_mapping, synthesize_gather_program, synthesize_quadtree_program,
+    SynthesisError,
+};
+pub use taskgraph::{Edge, Task, TaskGraph, TaskId, TaskKind};

@@ -1,0 +1,202 @@
+//! The case study's task graph: a quad-tree over the grid (Figure 2).
+//!
+//! §4.1: the topographic-querying algorithm "can be represented as a data
+//! flow graph structured as a quad-tree. A leaf node corresponds to a task
+//! that is linked to the sensing interface, and interior nodes represent
+//! in-network processing on the sampled data. At each level of the tree,
+//! every node transmits its information to its parent at the next higher
+//! level."
+//!
+//! Leaves are created in the paper's Morton (Z-order) numbering, so task
+//! ids 0–15 of the 4×4 instance are exactly the labels of Figure 2, and an
+//! interior node's id in the figure equals the id of the first leaf of its
+//! subtree.
+
+use crate::taskgraph::{TaskGraph, TaskId, TaskKind};
+use wsn_core::{GridCoord, Hierarchy};
+
+/// A quad-tree task graph plus the geometric metadata the mapping stage
+/// needs.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// The underlying annotated task graph.
+    pub graph: TaskGraph,
+    /// Grid side (`√N`, a power of two).
+    pub side: u32,
+    /// Task ids grouped by level; `ids_by_level[0]` are the leaves in
+    /// Morton order.
+    pub ids_by_level: Vec<Vec<TaskId>>,
+    /// Per task: the north-west corner and side of the square extent its
+    /// subtree covers.
+    pub extent: Vec<(GridCoord, u32)>,
+}
+
+impl QuadTree {
+    /// The paper's Figure-2 label of task `t`: the Morton index of the
+    /// north-west leaf of its subtree.
+    pub fn figure_label(&self, t: TaskId) -> usize {
+        let h = Hierarchy::new(self.side);
+        h.morton_index(self.extent[t].0)
+    }
+
+    /// The grid cell a leaf task samples.
+    pub fn leaf_cell(&self, t: TaskId) -> GridCoord {
+        assert_eq!(self.graph.task(t).kind, TaskKind::Sensing, "task {t} is not a leaf");
+        self.extent[t].0
+    }
+
+    /// The root (final aggregation) task.
+    pub fn root(&self) -> TaskId {
+        *self.ids_by_level.last().expect("non-empty tree").first().expect("root")
+    }
+}
+
+/// Builds the quad-tree task graph for a `side × side` grid.
+///
+/// * `payload_units(level)` annotates the edge from a level-`level` task
+///   to its parent (the size of a boundary summary of a `2^level`-sided
+///   extent);
+/// * `compute_units(level)` annotates each task's processing (level 0 =
+///   the threshold comparison at the sensing interface).
+pub fn quadtree_task_graph(
+    side: u32,
+    payload_units: &dyn Fn(u8) -> u64,
+    compute_units: &dyn Fn(u8) -> u64,
+) -> QuadTree {
+    let hierarchy = Hierarchy::new(side); // validates power of two
+    let p = hierarchy.max_level();
+    let mut graph = TaskGraph::new();
+    let mut ids_by_level: Vec<Vec<TaskId>> = Vec::with_capacity(p as usize + 1);
+    let mut extent: Vec<(GridCoord, u32)> = Vec::new();
+
+    // Leaves in Morton order (the paper's 0..n²−1 labels).
+    let n = (side as usize).pow(2);
+    let mut leaves = Vec::with_capacity(n);
+    for m in 0..n {
+        let id = graph.add_task(TaskKind::Sensing, 0, compute_units(0));
+        extent.push((hierarchy.from_morton(m), 1));
+        leaves.push(id);
+    }
+    ids_by_level.push(leaves);
+
+    // Interior levels: one processing task per level-l block, children =
+    // the four level-(l−1) tasks of its quadrants.
+    for level in 1..=p {
+        let blocks = hierarchy.leaders_at(level);
+        let mut ids = Vec::with_capacity(blocks.len());
+        for origin in blocks {
+            let id = graph.add_task(TaskKind::Processing, level, compute_units(level));
+            extent.push((origin, hierarchy.block_size(level)));
+            for child_origin in hierarchy.children(origin, level) {
+                let child = *ids_by_level[level as usize - 1]
+                    .iter()
+                    .find(|&&c| extent[c].0 == child_origin)
+                    .expect("child block exists");
+                graph.add_edge(child, id, payload_units(level - 1));
+            }
+            ids.push(id);
+        }
+        ids_by_level.push(ids);
+    }
+
+    QuadTree { graph, side, ids_by_level, extent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qt4() -> QuadTree {
+        quadtree_task_graph(4, &|l| u64::from(l) + 1, &|l| u64::from(l))
+    }
+
+    #[test]
+    fn node_counts_match_quadtree_shape() {
+        let qt = qt4();
+        assert_eq!(qt.ids_by_level.len(), 3);
+        assert_eq!(qt.ids_by_level[0].len(), 16);
+        assert_eq!(qt.ids_by_level[1].len(), 4);
+        assert_eq!(qt.ids_by_level[2].len(), 1);
+        assert_eq!(qt.graph.task_count(), 21);
+        assert_eq!(qt.graph.edges().len(), 20);
+        assert!(qt.graph.is_dag());
+    }
+
+    #[test]
+    fn figure2_labels() {
+        // Figure 2: level-1 nodes labeled 0, 4, 8, 12; root labeled 0.
+        let qt = qt4();
+        let level1: Vec<usize> =
+            qt.ids_by_level[1].iter().map(|&t| qt.figure_label(t)).collect();
+        assert_eq!(level1, vec![0, 4, 8, 12]);
+        assert_eq!(qt.figure_label(qt.root()), 0);
+        // Leaves are labeled by their own Morton index.
+        for (m, &t) in qt.ids_by_level[0].iter().enumerate() {
+            assert_eq!(qt.figure_label(t), m);
+        }
+    }
+
+    #[test]
+    fn each_interior_task_has_four_children() {
+        let qt = qt4();
+        for level in 1..qt.ids_by_level.len() {
+            for &t in &qt.ids_by_level[level] {
+                assert_eq!(qt.graph.producers(t).len(), 4, "task {t}");
+                assert_eq!(qt.graph.task(t).kind, TaskKind::Processing);
+            }
+        }
+        for &t in &qt.ids_by_level[0] {
+            assert!(qt.graph.producers(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn extents_nest() {
+        let qt = qt4();
+        for level in 1..qt.ids_by_level.len() {
+            for &t in &qt.ids_by_level[level] {
+                let (origin, side) = qt.extent[t];
+                for &c in qt.graph.producers(t) {
+                    let (corigin, cside) = qt.extent[c];
+                    assert_eq!(cside * 2, side);
+                    assert!(corigin.col >= origin.col && corigin.col < origin.col + side);
+                    assert!(corigin.row >= origin.row && corigin.row < origin.row + side);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annotations_follow_level() {
+        let qt = qt4();
+        for e in qt.graph.edges() {
+            let child_level = qt.graph.task(e.from).level;
+            assert_eq!(e.data_units, u64::from(child_level) + 1);
+        }
+        for t in qt.graph.tasks() {
+            assert_eq!(t.compute_units, u64::from(t.level));
+        }
+    }
+
+    #[test]
+    fn trivial_1x1_tree() {
+        let qt = quadtree_task_graph(1, &|_| 1, &|_| 1);
+        assert_eq!(qt.graph.task_count(), 1);
+        assert_eq!(qt.root(), 0);
+        assert_eq!(qt.leaf_cell(0), GridCoord::new(0, 0));
+    }
+
+    #[test]
+    fn side2_has_single_merge() {
+        let qt = quadtree_task_graph(2, &|_| 1, &|_| 1);
+        assert_eq!(qt.graph.task_count(), 5);
+        assert_eq!(qt.graph.producers(qt.root()).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn leaf_cell_of_interior_panics() {
+        let qt = qt4();
+        qt.leaf_cell(qt.root());
+    }
+}

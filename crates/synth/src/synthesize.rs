@@ -1,0 +1,305 @@
+//! Program synthesis: from the mapped quad-tree algorithm to the Figure-4
+//! guarded-command program.
+//!
+//! §4.3: "The output of the mapping stage is an algorithm specified for a
+//! grid topology, which relies on middleware support for group formation
+//! … The next step is to synthesize this algorithm into a program that
+//! executes at each node of the grid topology."
+//!
+//! The synthesized program reproduces the four clauses of Figure 4, with
+//! two disambiguations of the published pseudocode, documented here
+//! because the figure is not internally consistent on them:
+//!
+//! * **Self-messages**: the paper notes that "one of the four incoming
+//!   messages in the quad-tree representation is from the node to itself"
+//!   and keeps the quorum at `msgsReceived[recLevel] = 3`. We realize the
+//!   self-contribution as an explicit (free, zero-hop) message via the
+//!   group primitive and exclude it from `msgsReceived`, keeping the
+//!   figure's quorum of 3.
+//! * **Levels**: `recLevel` counts the level whose merge this node is
+//!   currently accumulating; a message tagged `mrecLevel = l` merges into
+//!   `mySubGraph[l]`. The final aggregation holds the level-`maxrecLevel`
+//!   summary, so the exfiltration test is `recLevel − 1 = maxrecLevel`
+//!   (the figure's `recLevel = maxrecLevel` under its off-by-one
+//!   convention).
+
+use crate::mapping::Mapping;
+use crate::program::{Action, Expr, Guard, GuardedProgram, Rule, StateDecl};
+use crate::quadtree::QuadTree;
+use crate::taskgraph::TaskKind;
+use wsn_core::Hierarchy;
+
+/// Why a mapped task graph could not be synthesized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The mapping violates a design-time constraint (coverage or spatial
+    /// correlation).
+    InfeasibleMapping(crate::constraints::ConstraintViolation),
+    /// An interior task is not placed on its extent's group leader, so
+    /// the group-communication primitive (`Leader(k)`) cannot realize the
+    /// parent links ("using the static group formation provided by the
+    /// virtual architecture", §4.2).
+    TaskOffLeader {
+        /// Offending task.
+        task: crate::taskgraph::TaskId,
+    },
+}
+
+/// The paper's full synthesis step: consumes the mapping stage's output
+/// (the quad-tree task graph plus a task-to-node mapping) and produces the
+/// per-node program of Figure 4 — after verifying that the mapping is one
+/// the group middleware can realize.
+pub fn synthesize_from_mapping(
+    qt: &QuadTree,
+    mapping: &Mapping,
+) -> Result<GuardedProgram, SynthesisError> {
+    crate::constraints::check_all(qt, mapping).map_err(SynthesisError::InfeasibleMapping)?;
+    let hierarchy = Hierarchy::new(qt.side);
+    for task in qt.graph.tasks() {
+        if task.kind == TaskKind::Processing {
+            let (origin, _) = qt.extent[task.id];
+            // The middleware binds level-k groups to NW-corner leaders;
+            // SPMD synthesis can only route parent links through them.
+            if mapping.node_of(task.id) != origin {
+                return Err(SynthesisError::TaskOffLeader { task: task.id });
+            }
+            debug_assert!(hierarchy.is_leader(origin, task.level));
+        }
+    }
+    Ok(synthesize_quadtree_program(hierarchy.max_level()))
+}
+
+
+/// Synthesizes the per-node program of the quad-tree region-labeling
+/// algorithm for a grid of depth `max_level` (side `2^max_level`).
+pub fn synthesize_quadtree_program(max_level: u8) -> GuardedProgram {
+    let state = vec![
+        StateDecl { name: "start".into(), init: Expr::Bool(false) },
+        StateDecl { name: "transmit".into(), init: Expr::Bool(false) },
+        StateDecl { name: "recLevel".into(), init: Expr::Int(0) },
+        StateDecl { name: "maxrecLevel".into(), init: Expr::Int(i64::from(max_level)) },
+    ];
+
+    let rules = vec![
+        // Condition : start = true
+        Rule {
+            label: "start".into(),
+            guard: Guard::Eq(Expr::var("start"), Expr::Bool(true)),
+            actions: vec![
+                Action::Set("start".into(), Expr::Bool(false)),
+                Action::ComputeLocalSummary,
+                Action::Set("transmit".into(), Expr::Bool(true)),
+                Action::Set("recLevel".into(), Expr::var("recLevel").plus(1)),
+            ],
+        },
+        // Condition : received mGraph
+        Rule {
+            label: "received mGraph".into(),
+            guard: Guard::Received,
+            actions: vec![
+                Action::MergeIncoming,
+                Action::IfElse {
+                    cond: Guard::IncomingFromSelf,
+                    then: vec![],
+                    otherwise: vec![Action::CountIncoming],
+                },
+            ],
+        },
+        // Condition : transmit = true
+        Rule {
+            label: "transmit".into(),
+            guard: Guard::Eq(Expr::var("transmit"), Expr::Bool(true)),
+            actions: vec![
+                Action::Set("transmit".into(), Expr::Bool(false)),
+                Action::IfElse {
+                    cond: Guard::Eq(Expr::var("recLevel").minus(1), Expr::var("maxrecLevel")),
+                    then: vec![Action::ExfiltrateSummary { level: Expr::var("maxrecLevel") }],
+                    otherwise: vec![Action::SendSummaryToLeader {
+                        group_level: Expr::var("recLevel"),
+                        data_level: Expr::var("recLevel").minus(1),
+                    }],
+                },
+            ],
+        },
+        // Condition : msgsReceived[recLevel] = 3
+        Rule {
+            label: "quorum".into(),
+            guard: Guard::Eq(
+                Expr::MsgsReceivedAt(Box::new(Expr::var("recLevel"))),
+                Expr::Int(3),
+            ),
+            actions: vec![
+                Action::Set("transmit".into(), Expr::Bool(true)),
+                Action::Set("recLevel".into(), Expr::var("recLevel").plus(1)),
+            ],
+        },
+    ];
+
+    GuardedProgram { name: "quadtree-region-labeling".into(), max_level, state, rules }
+}
+
+/// Synthesizes the *centralized gather* alternative (§2's strawman) from
+/// the same rule language: every node ships its level-0 summary straight
+/// to the grid-level leader (the origin), which accumulates all `N − 1`
+/// remote contributions plus its own self-message and exfiltrates.
+///
+/// Demonstrates that the synthesis stage is not specific to one
+/// algorithm: a different task-graph shape (a star instead of a
+/// quad-tree) produces a different guarded-command program over the same
+/// primitives.
+pub fn synthesize_gather_program(max_level: u8, grid_side: u32) -> GuardedProgram {
+    let n = i64::from(grid_side) * i64::from(grid_side);
+    let state = vec![
+        StateDecl { name: "start".into(), init: Expr::Bool(false) },
+        StateDecl { name: "transmit".into(), init: Expr::Bool(false) },
+        StateDecl { name: "recLevel".into(), init: Expr::Int(0) },
+        StateDecl { name: "maxrecLevel".into(), init: Expr::Int(i64::from(max_level)) },
+    ];
+    let mut state = state;
+    state.push(StateDecl { name: "done".into(), init: Expr::Bool(false) });
+    let rules = vec![
+        Rule {
+            label: "start".into(),
+            guard: Guard::Eq(Expr::var("start"), Expr::Bool(true)),
+            actions: vec![
+                Action::Set("start".into(), Expr::Bool(false)),
+                Action::ComputeLocalSummary,
+                Action::Set("transmit".into(), Expr::Bool(true)),
+            ],
+        },
+        Rule {
+            label: "received mGraph".into(),
+            guard: Guard::Received,
+            actions: vec![
+                Action::MergeIncoming,
+                Action::IfElse {
+                    cond: Guard::IncomingFromSelf,
+                    then: vec![],
+                    otherwise: vec![Action::CountIncoming],
+                },
+            ],
+        },
+        Rule {
+            label: "transmit".into(),
+            guard: Guard::Eq(Expr::var("transmit"), Expr::Bool(true)),
+            actions: vec![
+                Action::Set("transmit".into(), Expr::Bool(false)),
+                // Address the top-level leader directly: the group
+                // primitive with k = maxrecLevel resolves to the origin.
+                Action::SendSummaryToLeader {
+                    group_level: Expr::var("maxrecLevel"),
+                    data_level: Expr::Int(0),
+                },
+            ],
+        },
+        Rule {
+            label: "all readings received".into(),
+            // The done flag falsifies the guard after firing — otherwise
+            // the quorum condition would stay true and livelock the scan.
+            guard: Guard::Eq(
+                Expr::MsgsReceivedAt(Box::new(Expr::var("maxrecLevel"))),
+                Expr::Int(n - 1),
+            )
+            .and(Guard::Eq(Expr::var("done"), Expr::Bool(false))),
+            actions: vec![
+                Action::Set("done".into(), Expr::Bool(true)),
+                Action::ExfiltrateSummary { level: Expr::var("maxrecLevel") },
+            ],
+        },
+    ];
+    GuardedProgram { name: "centralized-gather".into(), max_level, state, rules }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_has_figure4_shape() {
+        let p = synthesize_quadtree_program(2);
+        assert_eq!(p.rules.len(), 4, "Figure 4 has four clauses");
+        assert_eq!(p.state.len(), 4);
+        assert_eq!(p.receive_rules().count(), 1);
+        assert_eq!(p.state_rules().count(), 3);
+        let labels: Vec<&str> = p.rules.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["start", "received mGraph", "transmit", "quorum"]);
+    }
+
+    #[test]
+    fn max_level_is_embedded_as_constant() {
+        for depth in 0..=5u8 {
+            let p = synthesize_quadtree_program(depth);
+            assert_eq!(p.max_level, depth);
+            let decl = p.state.iter().find(|d| d.name == "maxrecLevel").unwrap();
+            assert_eq!(decl.init, Expr::Int(i64::from(depth)));
+        }
+    }
+
+    #[test]
+    fn gather_program_has_star_shape() {
+        let p = synthesize_gather_program(2, 4);
+        assert_eq!(p.rules.len(), 4);
+        let quorum = p.rules.iter().find(|r| r.label == "all readings received").unwrap();
+        assert_eq!(
+            quorum.guard,
+            Guard::Eq(
+                Expr::MsgsReceivedAt(Box::new(Expr::var("maxrecLevel"))),
+                Expr::Int(15),
+            )
+            .and(Guard::Eq(Expr::var("done"), Expr::Bool(false)))
+        );
+        // No recursion: recLevel is never incremented.
+        let rendered = crate::codegen::render_figure4(&p);
+        assert!(!rendered.contains("recLevel = recLevel + 1"), "{rendered}");
+        assert!(rendered.contains("send message to Leader(maxrecLevel)"));
+    }
+
+    #[test]
+    fn synthesis_accepts_the_paper_mapping() {
+        use crate::mapping::{Mapper, QuadrantMapper};
+        let qt = crate::quadtree::quadtree_task_graph(8, &|_| 1, &|_| 1);
+        let mapping = QuadrantMapper.map(&qt);
+        let program = synthesize_from_mapping(&qt, &mapping).unwrap();
+        assert_eq!(program, synthesize_quadtree_program(3));
+    }
+
+    #[test]
+    fn synthesis_rejects_off_leader_interior_placement() {
+        use crate::mapping::{CentroidMapper, Mapper};
+        let qt = crate::quadtree::quadtree_task_graph(8, &|_| 1, &|_| 1);
+        // Centroid placement is feasible for *evaluation* but not
+        // realizable through the static group middleware.
+        let mapping = CentroidMapper.map(&qt);
+        assert!(matches!(
+            synthesize_from_mapping(&qt, &mapping),
+            Err(SynthesisError::TaskOffLeader { .. })
+        ));
+    }
+
+    #[test]
+    fn synthesis_rejects_infeasible_mappings() {
+        use crate::mapping::{Mapper, QuadrantMapper};
+        use wsn_core::GridCoord;
+        let qt = crate::quadtree::quadtree_task_graph(4, &|_| 1, &|_| 1);
+        let mut mapping = QuadrantMapper.map(&qt);
+        let (a, b) = (qt.ids_by_level[0][0], qt.ids_by_level[0][15]);
+        let (na, nb) = (mapping.node_of(a), mapping.node_of(b));
+        mapping.assign(a, nb);
+        mapping.assign(b, na);
+        assert!(matches!(
+            synthesize_from_mapping(&qt, &mapping),
+            Err(SynthesisError::InfeasibleMapping(_))
+        ));
+        let _ = GridCoord::new(0, 0);
+    }
+
+    #[test]
+    fn quorum_is_three_as_in_the_paper() {
+        let p = synthesize_quadtree_program(3);
+        let quorum = p.rules.iter().find(|r| r.label == "quorum").unwrap();
+        assert_eq!(
+            quorum.guard,
+            Guard::Eq(Expr::MsgsReceivedAt(Box::new(Expr::var("recLevel"))), Expr::Int(3))
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # wsn-topoquery — the topographic-querying case study (§3–4)
+//!
+//! Identification and labeling of homogeneous regions: synthetic scalar
+//! fields ([`field`]), ground-truth connected-component labeling
+//! ([`regions`]), boundary summaries and the 4-way quadrant merge
+//! ([`boundary`], [`merge`]), the in-network divide-and-conquer program
+//! (native and synthesized) with virtual-machine and physical drivers
+//! ([`dandc`]), the centralized baseline ([`centralized`]), and the
+//! topographic queries answerable from the aggregated result
+//! ([`queries`]).
+
+pub mod boundary;
+pub mod centralized;
+pub mod dandc;
+pub mod field;
+pub mod merge;
+pub mod queries;
+pub mod regions;
+pub mod viz;
+
+pub use boundary::{merge_four, BoundarySummary};
+pub use centralized::{
+    run_centralized_vm, run_synthesized_gather_vm, CentralMsg, CentralizedOutcome,
+    CentralizedProgram, GatherSemantics,
+};
+pub use dandc::{
+    run_dandc_physical, run_dandc_physical_with, run_dandc_vm, run_dandc_vm_with_cost, DandcMsg, DandcOutcome, DandcProgram, Implementation,
+    PhysicalReports,
+};
+pub use field::{Field, FieldSpec, FeatureMap};
+pub use merge::{merge_pieces, RegionSemantics, RegionSummary};
+pub use regions::{label_regions, RegionLabeling};
+pub use viz::{render_feature_map, render_field, render_labeling};

@@ -1,0 +1,170 @@
+//! The application payload and merge semantics plugged into the
+//! synthesized program.
+//!
+//! §4.3: "since the information represents region boundaries, it can be
+//! incrementally merged into the existing aggregated information at that
+//! leader." A leader's accumulator ([`RegionSummary::Partial`]) absorbs
+//! child summaries in whatever order the asynchronous network delivers
+//! them; the fourth arrival completes the quadrant set and collapses the
+//! accumulator into the merged [`BoundarySummary`] of the doubled extent.
+
+use crate::boundary::{merge_four, BoundarySummary};
+use wsn_core::GridCoord;
+use wsn_synth::SummarySemantics;
+
+/// The opaque summary datum carried by the synthesized program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionSummary {
+    /// A finished summary of one square extent.
+    Complete(BoundarySummary),
+    /// A leader's in-progress accumulation of child quadrant summaries
+    /// (1–3 pieces; the fourth completes it).
+    Partial(Vec<BoundarySummary>),
+}
+
+impl RegionSummary {
+    /// Size in cost-model data units. Only complete summaries travel, so
+    /// this is [`BoundarySummary::units`] in practice; a partial's size is
+    /// defined as the sum of its pieces for diagnostic completeness.
+    pub fn units(&self) -> u64 {
+        match self {
+            RegionSummary::Complete(s) => s.units(),
+            RegionSummary::Partial(pieces) => pieces.iter().map(BoundarySummary::units).sum(),
+        }
+    }
+
+    /// The finished summary; panics on an unfinished accumulator.
+    pub fn expect_complete(&self) -> &BoundarySummary {
+        match self {
+            RegionSummary::Complete(s) => s,
+            RegionSummary::Partial(p) => {
+                panic!("expected a complete summary, found {} pieces", p.len())
+            }
+        }
+    }
+}
+
+/// Orders four quadrant summaries into NW, NE, SW, SE and merges them.
+pub fn merge_pieces(mut pieces: Vec<BoundarySummary>) -> BoundarySummary {
+    assert_eq!(pieces.len(), 4, "a quadrant merge needs exactly four pieces");
+    let min_col = pieces.iter().map(|p| p.origin.col).min().expect("non-empty");
+    let min_row = pieces.iter().map(|p| p.origin.row).min().expect("non-empty");
+    pieces.sort_by_key(|p| (p.origin.row > min_row, p.origin.col > min_col));
+    let [nw, ne, sw, se]: [BoundarySummary; 4] =
+        pieces.try_into().expect("length checked above");
+    merge_four(&[nw, ne, sw, se])
+}
+
+/// The [`SummarySemantics`] wiring [`RegionSummary`] into the synthesized
+/// Figure-4 program.
+pub struct RegionSemantics {
+    /// Feature threshold applied to sensor readings.
+    pub threshold: f64,
+}
+
+impl SummarySemantics for RegionSemantics {
+    type Data = RegionSummary;
+
+    fn local_summary(&self, coord: GridCoord, reading: f64) -> RegionSummary {
+        RegionSummary::Complete(BoundarySummary::leaf(coord, reading >= self.threshold))
+    }
+
+    fn merge(&self, acc: Option<RegionSummary>, incoming: &RegionSummary) -> RegionSummary {
+        let piece = incoming.expect_complete().clone();
+        let mut pieces = match acc {
+            None => Vec::with_capacity(4),
+            Some(RegionSummary::Partial(p)) => p,
+            Some(RegionSummary::Complete(_)) => {
+                panic!("merging into an already-completed summary")
+            }
+        };
+        pieces.push(piece);
+        if pieces.len() == 4 {
+            RegionSummary::Complete(merge_pieces(pieces))
+        } else {
+            RegionSummary::Partial(pieces)
+        }
+    }
+
+    fn units(&self, data: &RegionSummary) -> u64 {
+        data.units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FeatureMap;
+
+    fn leaf(col: u32, row: u32, feature: bool) -> BoundarySummary {
+        BoundarySummary::leaf(GridCoord::new(col, row), feature)
+    }
+
+    #[test]
+    fn merge_pieces_handles_any_arrival_order() {
+        let quads =
+            [leaf(0, 0, true), leaf(1, 0, true), leaf(0, 1, false), leaf(1, 1, false)];
+        let reference = merge_four(&quads.clone());
+        // All 24 permutations must give the same merged summary.
+        let perms = [
+            [0, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1], [0, 2, 1, 3], [3, 0, 2, 1],
+        ];
+        for perm in perms {
+            let pieces: Vec<BoundarySummary> = perm.iter().map(|&i| quads[i].clone()).collect();
+            assert_eq!(merge_pieces(pieces), reference, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn semantics_accumulates_then_completes() {
+        let sem = RegionSemantics { threshold: 0.5 };
+        let mut acc: Option<RegionSummary> = None;
+        let quads =
+            [leaf(0, 0, true), leaf(1, 0, false), leaf(0, 1, true), leaf(1, 1, true)];
+        for (i, q) in quads.iter().enumerate() {
+            let incoming = RegionSummary::Complete(q.clone());
+            let merged = sem.merge(acc.take(), &incoming);
+            if i < 3 {
+                assert!(matches!(merged, RegionSummary::Partial(ref p) if p.len() == i + 1));
+            } else {
+                let complete = merged.expect_complete().clone();
+                assert_eq!(complete.side, 2);
+                // (0,0),(0,1),(1,1) connect; (1,0) missing → 1 region.
+                assert_eq!(complete.region_count(), 1);
+                assert_eq!(complete.feature_area(), 3);
+                return;
+            }
+            acc = Some(merged);
+        }
+        unreachable!();
+    }
+
+    #[test]
+    fn local_summary_applies_threshold() {
+        let sem = RegionSemantics { threshold: 2.0 };
+        let hot = sem.local_summary(GridCoord::new(0, 0), 2.0);
+        assert_eq!(hot.expect_complete().region_count(), 1);
+        let cold = sem.local_summary(GridCoord::new(0, 0), 1.99);
+        assert_eq!(cold.expect_complete().region_count(), 0);
+    }
+
+    #[test]
+    fn units_of_complete_match_boundary_units() {
+        let map = FeatureMap::from_fn(2, |_| true);
+        let s = BoundarySummary::from_feature_map(&map, GridCoord::new(0, 0), 2);
+        let u = s.units();
+        assert_eq!(RegionSummary::Complete(s).units(), u);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a complete summary")]
+    fn partial_cannot_pose_as_complete() {
+        RegionSummary::Partial(vec![leaf(0, 0, true)]).expect_complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly four pieces")]
+    fn merge_pieces_rejects_wrong_count() {
+        merge_pieces(vec![leaf(0, 0, true)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Topographic queries over the aggregated result.
+//!
+//! §3.1: "Once this information is gathered and stored in the network,
+//! other queries can be answered" — counting regions of interest,
+//! enumerating regions in a reading range, point membership, and simple
+//! statistics over region sizes.
+
+use crate::boundary::BoundarySummary;
+use crate::field::{Field, FeatureMap};
+use crate::regions::{label_regions, RegionLabeling};
+
+/// Number of homogeneous feature regions, answered from the root summary
+/// (exact at the root: §3.1's "a query to count the number of regions of
+/// interest").
+pub fn count_regions(root: &BoundarySummary) -> usize {
+    root.region_count()
+}
+
+/// Total area covered by feature regions.
+pub fn total_feature_area(root: &BoundarySummary) -> u64 {
+    root.feature_area()
+}
+
+/// Region areas in descending order.
+pub fn region_areas_desc(root: &BoundarySummary) -> Vec<u64> {
+    let mut v: Vec<u64> =
+        root.open_areas().iter().copied().chain(root.closed_areas().iter().copied()).collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// Number of regions with area at least `min_area` (e.g. "significant
+/// plumes only").
+pub fn count_regions_with_area_at_least(root: &BoundarySummary, min_area: u64) -> usize {
+    region_areas_desc(root).into_iter().filter(|&a| a >= min_area).count()
+}
+
+/// The largest region's area, if any region exists.
+pub fn largest_region_area(root: &BoundarySummary) -> Option<u64> {
+    region_areas_desc(root).first().copied()
+}
+
+/// Thresholds the field into the band `lo ≤ reading < hi` and labels the
+/// resulting regions — §3.1's "enumeration of regions with sensor readings
+/// in a specific range".
+pub fn regions_in_reading_range(field: &Field, lo: f64, hi: f64) -> RegionLabeling {
+    assert!(lo <= hi, "empty reading range");
+    let map = FeatureMap::from_fn(field.side(), |c| {
+        let v = field.value(c);
+        v >= lo && v < hi
+    });
+    label_regions(&map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldSpec;
+    use wsn_core::GridCoord;
+
+    fn summary_of(rows: &[&str]) -> BoundarySummary {
+        let side = rows.len() as u32;
+        let rows: Vec<Vec<bool>> =
+            rows.iter().map(|r| r.chars().map(|c| c == '#').collect()).collect();
+        let map = FeatureMap::from_fn(side, move |c| rows[c.row as usize][c.col as usize]);
+        BoundarySummary::from_feature_map(&map, GridCoord::new(0, 0), side)
+    }
+
+    #[test]
+    fn counting_queries() {
+        let s = summary_of(&["##..", "##..", "....", ".##."]);
+        assert_eq!(count_regions(&s), 2);
+        assert_eq!(total_feature_area(&s), 6);
+        assert_eq!(region_areas_desc(&s), vec![4, 2]);
+        assert_eq!(count_regions_with_area_at_least(&s, 3), 1);
+        assert_eq!(count_regions_with_area_at_least(&s, 1), 2);
+        assert_eq!(count_regions_with_area_at_least(&s, 5), 0);
+        assert_eq!(largest_region_area(&s), Some(4));
+    }
+
+    #[test]
+    fn border_cells_delineate_open_regions() {
+        let s = summary_of(&["##..", "#...", "....", "...#"]);
+        let borders = s.open_region_border_cells();
+        assert_eq!(borders.len(), 2);
+        // Class 0 (discovered first on the walk): the NW blob's border
+        // cells on the 4×4 perimeter.
+        let nw: Vec<(u32, u32)> = borders[0].iter().map(|c| (c.col, c.row)).collect();
+        assert_eq!(nw, vec![(0, 0), (1, 0), (0, 1)]);
+        let se: Vec<(u32, u32)> = borders[1].iter().map(|c| (c.col, c.row)).collect();
+        assert_eq!(se, vec![(3, 3)]);
+    }
+
+    #[test]
+    fn empty_summary_queries() {
+        let s = summary_of(&["....", "....", "....", "...."]);
+        assert_eq!(count_regions(&s), 0);
+        assert_eq!(largest_region_area(&s), None);
+        assert_eq!(total_feature_area(&s), 0);
+    }
+
+    #[test]
+    fn reading_range_bands_a_gradient() {
+        let f = Field::generate(FieldSpec::Gradient { west: 0.0, east: 7.0 }, 8, 1);
+        // Band [2, 5): columns 2..=4 → one vertical stripe.
+        let l = regions_in_reading_range(&f, 2.0, 5.0);
+        assert_eq!(l.region_count(), 1);
+        assert_eq!(l.area(0), 24);
+        assert!(l.label_of(GridCoord::new(3, 0)).is_some());
+        assert!(l.label_of(GridCoord::new(0, 0)).is_none());
+        assert!(l.label_of(GridCoord::new(7, 0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty reading range")]
+    fn inverted_range_panics() {
+        let f = Field::generate(FieldSpec::Uniform(0.0), 2, 1);
+        regions_in_reading_range(&f, 5.0, 1.0);
+    }
+}

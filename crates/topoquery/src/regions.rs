@@ -1,0 +1,238 @@
+//! Ground-truth identification and labeling of homogeneous regions.
+//!
+//! §3.1: "A homogeneous region (or feature region) is one where all
+//! sensors have the same reading of a phenomenon." On the binary feature
+//! map this is classic connected-component labeling with 4-connectivity
+//! (the reference algorithm the in-network divide-and-conquer result is
+//! validated against — Alnuweiri & Prasanna's problem, computed here the
+//! easy, centralized way).
+
+use crate::field::FeatureMap;
+use wsn_core::GridCoord;
+
+/// The labeling of a feature map into homogeneous regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionLabeling {
+    side: u32,
+    /// Region label per cell (`None` = not a feature node). Labels are
+    /// dense, `0..region_count`, assigned in row-major discovery order.
+    labels: Vec<Option<u32>>,
+    /// Cells per region, indexed by label.
+    areas: Vec<u32>,
+}
+
+impl RegionLabeling {
+    /// Number of feature regions.
+    pub fn region_count(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Region label of `c`, if it is a feature node.
+    pub fn label_of(&self, c: GridCoord) -> Option<u32> {
+        assert!(c.col < self.side && c.row < self.side, "{c:?} outside labeling");
+        self.labels[(c.row * self.side + c.col) as usize]
+    }
+
+    /// Area (cell count) of region `label`.
+    pub fn area(&self, label: u32) -> u32 {
+        self.areas[label as usize]
+    }
+
+    /// All region areas, indexed by label.
+    pub fn areas(&self) -> &[u32] {
+        &self.areas
+    }
+
+    /// Areas in descending order (size distribution of regions).
+    pub fn areas_sorted_desc(&self) -> Vec<u32> {
+        let mut v = self.areas.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Whether two cells belong to the same region.
+    pub fn same_region(&self, a: GridCoord, b: GridCoord) -> bool {
+        match (self.label_of(a), self.label_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// Labels the homogeneous feature regions of `map` (BFS flood fill,
+/// 4-connectivity).
+pub fn label_regions(map: &FeatureMap) -> RegionLabeling {
+    let side = map.side();
+    let n = (side as usize).pow(2);
+    let idx = |c: GridCoord| (c.row * side + c.col) as usize;
+    let mut labels: Vec<Option<u32>> = vec![None; n];
+    let mut areas = Vec::new();
+
+    for row in 0..side {
+        for col in 0..side {
+            let start = GridCoord::new(col, row);
+            if !map.is_feature(start) || labels[idx(start)].is_some() {
+                continue;
+            }
+            let label = areas.len() as u32;
+            let mut area = 0u32;
+            let mut queue = std::collections::VecDeque::from([start]);
+            labels[idx(start)] = Some(label);
+            while let Some(c) = queue.pop_front() {
+                area += 1;
+                let mut push = |col: i64, row: i64| {
+                    if col < 0 || row < 0 || col >= i64::from(side) || row >= i64::from(side) {
+                        return;
+                    }
+                    let nc = GridCoord::new(col as u32, row as u32);
+                    if map.is_feature(nc) && labels[idx(nc)].is_none() {
+                        labels[idx(nc)] = Some(label);
+                        queue.push_back(nc);
+                    }
+                };
+                push(i64::from(c.col) - 1, i64::from(c.row));
+                push(i64::from(c.col) + 1, i64::from(c.row));
+                push(i64::from(c.col), i64::from(c.row) - 1);
+                push(i64::from(c.col), i64::from(c.row) + 1);
+            }
+            areas.push(area);
+        }
+    }
+
+    RegionLabeling { side, labels, areas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FeatureMap;
+
+    fn map_of(rows: &[&str]) -> FeatureMap {
+        let side = rows.len() as u32;
+        let rows: Vec<Vec<bool>> =
+            rows.iter().map(|r| r.chars().map(|c| c == '#').collect()).collect();
+        FeatureMap::from_fn(side, move |c| rows[c.row as usize][c.col as usize])
+    }
+
+    #[test]
+    fn empty_map_has_no_regions() {
+        let l = label_regions(&map_of(&["....", "....", "....", "...."]));
+        assert_eq!(l.region_count(), 0);
+    }
+
+    #[test]
+    fn full_map_is_one_region() {
+        let l = label_regions(&map_of(&["####", "####", "####", "####"]));
+        assert_eq!(l.region_count(), 1);
+        assert_eq!(l.area(0), 16);
+    }
+
+    #[test]
+    fn diagonal_cells_are_separate_regions() {
+        // 4-connectivity: diagonal adjacency does not connect.
+        let l = label_regions(&map_of(&["#.", ".#"]));
+        assert_eq!(l.region_count(), 2);
+        assert_eq!(l.areas(), &[1, 1]);
+        assert!(!l.same_region(GridCoord::new(0, 0), GridCoord::new(1, 1)));
+    }
+
+    #[test]
+    fn u_shape_is_one_region() {
+        let l = label_regions(&map_of(&["#.#", "#.#", "###"]));
+        assert_eq!(l.region_count(), 1);
+        assert_eq!(l.area(0), 7);
+        assert!(l.same_region(GridCoord::new(0, 0), GridCoord::new(2, 0)));
+    }
+
+    #[test]
+    fn multiple_regions_with_areas() {
+        let l = label_regions(&map_of(&["##..", "##..", "...#", "..##"]));
+        assert_eq!(l.region_count(), 2);
+        assert_eq!(l.areas_sorted_desc(), vec![4, 3]);
+        assert_eq!(l.label_of(GridCoord::new(0, 0)), Some(0));
+        assert_eq!(l.label_of(GridCoord::new(3, 2)), Some(1));
+        assert_eq!(l.label_of(GridCoord::new(2, 0)), None);
+    }
+
+    #[test]
+    fn labels_are_dense_and_row_major() {
+        let l = label_regions(&map_of(&["#.#", "...", "#.#"]));
+        assert_eq!(l.region_count(), 4);
+        assert_eq!(l.label_of(GridCoord::new(0, 0)), Some(0));
+        assert_eq!(l.label_of(GridCoord::new(2, 0)), Some(1));
+        assert_eq!(l.label_of(GridCoord::new(0, 2)), Some(2));
+        assert_eq!(l.label_of(GridCoord::new(2, 2)), Some(3));
+    }
+
+    #[test]
+    fn areas_sum_to_feature_count() {
+        let m = map_of(&["#..#", "##.#", ".#..", "####"]);
+        let l = label_regions(&m);
+        let total: u32 = l.areas().iter().sum();
+        assert_eq!(total as usize, m.feature_count());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::field::{Field, FieldSpec};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Region areas always sum to the feature count, and every feature
+        /// cell is labeled with a valid dense label.
+        #[test]
+        fn labeling_invariants(side in 1u32..12, p in 0.0f64..1.0, seed in 0u64..500) {
+            let map = Field::generate(
+                FieldSpec::RandomCells { p, hot: 1.0, cold: 0.0 }, side, seed,
+            ).threshold(0.5);
+            let l = label_regions(&map);
+            let mut seen_area = vec![0u32; l.region_count()];
+            for row in 0..side {
+                for col in 0..side {
+                    let c = GridCoord::new(col, row);
+                    match l.label_of(c) {
+                        Some(lab) => {
+                            prop_assert!(map.is_feature(c));
+                            prop_assert!((lab as usize) < l.region_count());
+                            seen_area[lab as usize] += 1;
+                        }
+                        None => prop_assert!(!map.is_feature(c)),
+                    }
+                }
+            }
+            for (lab, &a) in seen_area.iter().enumerate() {
+                prop_assert_eq!(a, l.area(lab as u32));
+                prop_assert!(a > 0, "empty region {}", lab);
+            }
+        }
+
+        /// Adjacent feature cells share a label.
+        #[test]
+        fn adjacency_implies_same_label(side in 2u32..10, p in 0.2f64..0.9, seed in 0u64..200) {
+            let map = Field::generate(
+                FieldSpec::RandomCells { p, hot: 1.0, cold: 0.0 }, side, seed,
+            ).threshold(0.5);
+            let l = label_regions(&map);
+            for row in 0..side {
+                for col in 0..side {
+                    let c = GridCoord::new(col, row);
+                    if !map.is_feature(c) { continue; }
+                    if col + 1 < side {
+                        let e = GridCoord::new(col + 1, row);
+                        if map.is_feature(e) {
+                            prop_assert!(l.same_region(c, e));
+                        }
+                    }
+                    if row + 1 < side {
+                        let s = GridCoord::new(col, row + 1);
+                        if map.is_feature(s) {
+                            prop_assert!(l.same_region(c, s));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Text visualization of fields, feature maps and labelings.
+//!
+//! §3.1: "The end user might be interested in visualizing gradients of
+//! sensor readings across the region." These renderers produce the
+//! terminal-friendly view of that delineation; examples print them, and
+//! golden tests pin the format.
+
+use crate::field::{FeatureMap, Field};
+use crate::regions::RegionLabeling;
+use wsn_core::GridCoord;
+
+/// Renders a feature map: `#` for feature cells, `.` otherwise.
+pub fn render_feature_map(map: &FeatureMap) -> String {
+    let side = map.side();
+    let mut out = String::with_capacity((side as usize + 1) * side as usize);
+    for row in 0..side {
+        for col in 0..side {
+            out.push(if map.is_feature(GridCoord::new(col, row)) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a labeling: each feature cell shows its region label (mod 36,
+/// as 0-9a-z), non-features show `.`.
+pub fn render_labeling(labeling: &RegionLabeling, side: u32) -> String {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = String::with_capacity((side as usize + 1) * side as usize);
+    for row in 0..side {
+        for col in 0..side {
+            match labeling.label_of(GridCoord::new(col, row)) {
+                Some(label) => out.push(GLYPHS[label as usize % GLYPHS.len()] as char),
+                None => out.push('.'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a scalar field as a gradient of intensity glyphs between the
+/// field's own min and max readings.
+pub fn render_field(field: &Field) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let side = field.side();
+    let values: Vec<f64> = (0..side)
+        .flat_map(|row| (0..side).map(move |col| (col, row)))
+        .map(|(col, row)| field.value(GridCoord::new(col, row)))
+        .collect();
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let mut out = String::with_capacity((side as usize + 1) * side as usize);
+    for (i, v) in values.iter().enumerate() {
+        let t = ((v - min) / span * (RAMP.len() - 1) as f64).round() as usize;
+        out.push(RAMP[t.min(RAMP.len() - 1)] as char);
+        if (i + 1) % side as usize == 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldSpec;
+    use crate::regions::label_regions;
+
+    #[test]
+    fn feature_map_rendering_is_exact() {
+        let map = FeatureMap::from_fn(3, |c| c.col == c.row);
+        assert_eq!(render_feature_map(&map), "#..\n.#.\n..#\n");
+    }
+
+    #[test]
+    fn labeling_rendering_shows_distinct_regions() {
+        let map = FeatureMap::from_fn(3, |c| c.row != 1);
+        let l = label_regions(&map);
+        assert_eq!(render_labeling(&l, 3), "000\n...\n111\n");
+    }
+
+    #[test]
+    fn field_rendering_spans_the_ramp() {
+        let f = Field::generate(FieldSpec::Gradient { west: 0.0, east: 9.0 }, 10, 1);
+        let s = render_field(&f);
+        let first_line = s.lines().next().unwrap();
+        assert_eq!(first_line.len(), 10);
+        assert!(first_line.starts_with(' '), "west edge is the minimum");
+        assert!(first_line.ends_with('@'), "east edge is the maximum");
+    }
+
+    #[test]
+    fn uniform_field_renders_without_nan() {
+        let f = Field::generate(FieldSpec::Uniform(5.0), 4, 1);
+        let s = render_field(&f);
+        assert_eq!(s.lines().count(), 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! The full Figure-1 design flow, end to end (experiment EXP-F1):
+//!
+//! 1. define the virtual architecture (network model + cost model +
+//!    middleware + primitives);
+//! 2. analyze candidate algorithms against it and pick the winner;
+//! 3. specify the chosen algorithm as an annotated task graph;
+//! 4. map tasks to virtual nodes under the coverage and
+//!    spatial-correlation constraints;
+//! 5. synthesize the per-node program and print it (Figure 4);
+//! 6. execute on the virtual machine and compare against the estimate.
+//!
+//! ```text
+//! cargo run --release --example design_flow
+//! ```
+
+use std::rc::Rc;
+use wsn::core::{
+    centralized_collection_estimate, quadtree_merge_estimate, CostModel, Vm,
+    VirtualArchitecture,
+};
+use wsn::synth::{
+    check_all, quadtree_task_graph, render_figure4, synthesize_from_mapping, Mapper, MappingCost,
+    QuadrantMapper, SynthesizedNode,
+};
+use wsn::topoquery::{label_regions, Field, FieldSpec, RegionSemantics};
+
+fn boundary_units(level: u8) -> u64 {
+    if level == 0 {
+        2
+    } else {
+        4 * (1u64 << level) - 3
+    }
+}
+
+fn main() {
+    // Side 16: large enough that in-network merging beats centralized
+    // collection even under worst-case (full-boundary) summary sizes —
+    // the crossover the analysis is for sits between side 8 and 16.
+    let side = 16u32;
+
+    println!("=== 1. define the virtual architecture ===");
+    let arch = VirtualArchitecture::grid_uniform(side);
+    println!("{arch}\n");
+
+    println!("=== 2. analyze candidate algorithms ===");
+    let dandc = quadtree_merge_estimate(
+        side,
+        &arch.cost,
+        &boundary_units,
+        &|level| 4 * boundary_units(level - 1),
+        1,
+    );
+    let central = centralized_collection_estimate(side, &arch.cost, 1, 1, 1);
+    println!("divide & conquer : energy {:>8.0}  latency {:>5} ticks", dandc.total_energy, dandc.latency_ticks);
+    println!("centralized      : energy {:>8.0}  latency {:>5} ticks", central.total_energy, central.latency_ticks);
+    let choose_dandc = dandc.total_energy < central.total_energy;
+    println!(
+        "=> choosing {} (total-energy objective)\n",
+        if choose_dandc { "divide & conquer" } else { "centralized" }
+    );
+    assert!(choose_dandc, "at this scale the paper's choice holds");
+
+    println!("=== 3. specify as an annotated task graph ===");
+    let qt = quadtree_task_graph(side, &boundary_units, &|_| 1);
+    println!(
+        "quad-tree task graph: {} tasks, {} edges, {} levels\n",
+        qt.graph.task_count(),
+        qt.graph.edges().len(),
+        qt.ids_by_level.len()
+    );
+
+    println!("=== 4. map under coverage + spatial-correlation constraints ===");
+    let mapping = QuadrantMapper.map(&qt);
+    check_all(&qt, &mapping).expect("the paper's mapping is feasible");
+    let cost = MappingCost::evaluate(&qt, &mapping, &arch.cost);
+    println!(
+        "quadrant mapping: total energy {:.0}, hotspot {:.0}, critical path {} ticks\n",
+        cost.total_energy, cost.max_node_energy, cost.critical_path_ticks
+    );
+
+    println!("=== 5. synthesize the per-node program from the mapping ===");
+    let program = synthesize_from_mapping(&qt, &mapping)
+        .expect("the quadrant mapping is middleware-realizable");
+    println!("{}\n", render_figure4(&program));
+
+    println!("=== 6. execute on the virtual machine ===");
+    let field = Field::generate(
+        FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.5 },
+        side,
+        7,
+    );
+    let program = Rc::new(program);
+    let semantics = Rc::new(RegionSemantics { threshold: 5.0 });
+    let f = field.clone();
+    let mut vm = Vm::new(side, CostModel::uniform(), 1, move |c| f.value(c), move |_| {
+        Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side))
+    });
+    vm.run();
+    let metrics = vm.metrics();
+    let result = vm.take_exfiltrated().pop().expect("root exfiltrated");
+    let summary = result.payload.data.expect_complete().clone();
+    let truth = label_regions(&field.threshold(5.0));
+    println!(
+        "measured: {} regions (truth {}), latency {} ticks (estimate {}), energy {:.0} (estimate {:.0})",
+        summary.region_count(),
+        truth.region_count(),
+        metrics.latency_ticks,
+        dandc.latency_ticks,
+        metrics.total_energy,
+        dandc.total_energy,
+    );
+    assert_eq!(summary.region_count(), truth.region_count());
+    println!("\ndesign-flow round trip complete ✓");
+}

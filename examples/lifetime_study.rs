@@ -1,0 +1,78 @@
+//! System-lifetime study: run rounds of the topographic query on a
+//! deployment whose nodes carry finite energy budgets, until the first
+//! node dies — the paper's "system lifetime" metric (§2, §3.2).
+//!
+//! ```text
+//! cargo run --release --example lifetime_study
+//! ```
+
+use wsn::core::GridCoord;
+use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn::runtime::PhysicalRuntime;
+use wsn::topoquery::{DandcProgram, Field, FieldSpec, RegionSummary};
+use wsn::synth::SummaryMsg;
+
+fn main() {
+    let side = 4u32;
+    let budget = 2_000.0;
+    let deployment = DeploymentSpec::per_cell(side, 3).generate(31);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let field = Field::generate(
+        FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.0 },
+        side,
+        5,
+    );
+    let f = field.clone();
+    let mut rt: PhysicalRuntime<SummaryMsg<RegionSummary>> = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        Some(budget),
+        1,
+        31,
+        move |c| f.value(c),
+    );
+
+    let topo = rt.run_topology_emulation();
+    let bind = rt.run_binding();
+    assert!(topo.complete && bind.unique);
+    rt.install_programs(move |_| Box::new(DandcProgram::new(side, 5.0)));
+    // Capture roles before anyone dies; leader_of skips dead nodes.
+    let leaders: Vec<usize> = (0..rt.deployment().node_count())
+        .filter(|&i| rt.node(i).ldr)
+        .collect();
+
+    println!("per-node budget: {budget} energy units");
+    println!("round | exfil | total E spent | hotspot E | first death");
+    let mut rounds = 0u32;
+    loop {
+        // Each sampling round triggers one execution of the task graph
+        // (§4.1: "every round of sampling triggers one execution").
+        rt.install_programs(move |_| Box::new(DandcProgram::new(side, 5.0)));
+        let app = rt.run_application();
+        rounds += 1;
+        let ledger_total = rt.medium().borrow().ledger().total();
+        let hotspot = rt.medium().borrow().ledger().max_consumed();
+        let death = rt.medium().borrow().first_death();
+        println!(
+            "{rounds:>5} | {:>5} | {ledger_total:>13.0} | {hotspot:>9.0} | {death:?}",
+            app.exfil_count,
+        );
+        if death.is_some() || rounds >= 200 {
+            break;
+        }
+    }
+    let dead: Vec<usize> = (0..rt.deployment().node_count())
+        .filter(|&i| !rt.medium().borrow().is_alive(i))
+        .collect();
+    println!("\nsystem lifetime: {rounds} rounds until first death");
+    for i in dead {
+        let cell = rt.deployment().cell_of_node(i);
+        let role = if leaders.contains(&i) { "leader" } else { "relay/follower" };
+        println!("  node {i} died in cell ({}, {}) — {role}", cell.col, cell.row);
+    }
+    // The paper's prediction: traffic concentrates around the root cell.
+    let root_cell = GridCoord::new(0, 0);
+    let root_members = rt.deployment().nodes_in_cell(root_cell);
+    println!("  (root cell hosts nodes {root_members:?})");
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run the in-network topographic query on the virtual
+//! architecture and check it against ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wsn::core::VirtualArchitecture;
+use wsn::topoquery::{label_regions, run_dandc_vm, Field, FieldSpec, Implementation};
+
+fn main() {
+    // 1. The virtual architecture for a 16×16-point-of-coverage terrain.
+    let arch = VirtualArchitecture::grid_uniform(16);
+    println!("{arch}\n");
+
+    // 2. A synthetic phenomenon: three hot blobs over the terrain.
+    let field = Field::generate(
+        FieldSpec::Blobs { count: 3, amplitude: 10.0, radius: 2.0 },
+        16,
+        42,
+    );
+
+    // 3. Run the divide-and-conquer identification-and-labeling algorithm
+    //    on the virtual machine.
+    let outcome = run_dandc_vm(16, &field, 5.0, 1, Implementation::Native);
+    let summary = outcome.summary.expect("root aggregation completed");
+
+    println!("in-network result:");
+    println!("  homogeneous feature regions : {}", summary.region_count());
+    println!("  total feature area          : {} cells", summary.feature_area());
+    println!("  latency                     : {} ticks", outcome.metrics.latency_ticks);
+    println!("  total energy                : {:.0} units", outcome.metrics.total_energy);
+    println!("  energy balance (Jain)       : {:.3}", outcome.metrics.energy_balance);
+
+    // 4. Verify against centralized ground truth.
+    let truth = label_regions(&field.threshold(5.0));
+    assert_eq!(summary.region_count(), truth.region_count());
+    println!("\nground truth agrees: {} regions ✓", truth.region_count());
+}

@@ -1,0 +1,23 @@
+//! # wsn — umbrella crate
+//!
+//! Re-exports the whole reproduction of Bakshi & Prasanna, *Algorithm
+//! Design and Synthesis for Wireless Sensor Networks* (ICPP 2004), so
+//! examples and downstream users depend on one crate:
+//!
+//! * [`sim`] — deterministic discrete-event kernel;
+//! * [`net`] — physical sensor-network substrate;
+//! * [`core`] — the virtual architecture (grid model, cost model, group
+//!   middleware, programming primitives, analytical estimation, VM);
+//! * [`runtime`] — topology emulation and virtual-process binding on real
+//!   deployments;
+//! * [`synth`] — task graphs, constrained mapping, program synthesis;
+//! * [`topoquery`] — the topographic-querying case study.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use wsn_core as core;
+pub use wsn_net as net;
+pub use wsn_runtime as runtime;
+pub use wsn_sim as sim;
+pub use wsn_synth as synth;
+pub use wsn_topoquery as topoquery;

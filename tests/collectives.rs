@@ -1,0 +1,133 @@
+//! Collective primitives across execution levels: the same reduce /
+//! disseminate / sort programs running on the ideal VM and on emulated
+//! physical deployments.
+
+use wsn::core::{
+    snake_coord, CollectiveMsg, CostModel, DisseminateProgram, ReduceOp, ReduceProgram,
+    SortProgram, VirtualGrid, Vm,
+};
+use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn::runtime::PhysicalRuntime;
+
+fn physical_runtime(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    budget: Option<f64>,
+    field: impl Fn(wsn::core::GridCoord) -> f64 + 'static,
+) -> PhysicalRuntime<CollectiveMsg> {
+    let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let mut rt = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        budget,
+        1,
+        seed,
+        field,
+    );
+    let topo = rt.run_topology_emulation();
+    assert!(topo.complete);
+    let bind = rt.run_binding();
+    assert!(bind.unique && bind.tree_complete);
+    rt
+}
+
+#[test]
+fn sum_reduce_agrees_between_vm_and_physical() {
+    let side = 4u32;
+    let reading = |c: wsn::core::GridCoord| f64::from(c.col * 3 + c.row * 5);
+    let mut vm: Vm<CollectiveMsg> = Vm::new(side, CostModel::uniform(), 1, reading, move |_| {
+        Box::new(ReduceProgram::new(side, ReduceOp::Sum))
+    });
+    vm.run();
+    let vm_sum = match vm.take_exfiltrated().pop().unwrap().payload {
+        CollectiveMsg::Reduce { value, .. } => value,
+        other => panic!("{other:?}"),
+    };
+
+    let mut rt = physical_runtime(side, 3, 7, None, reading);
+    rt.install_programs(move |_| Box::new(ReduceProgram::new(side, ReduceOp::Sum)));
+    let app = rt.run_application();
+    assert_eq!(app.exfil_count, 1);
+    let phys_sum = match rt.take_exfiltrated().pop().unwrap().payload {
+        CollectiveMsg::Reduce { value, .. } => value,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(vm_sum, phys_sum);
+}
+
+#[test]
+fn dissemination_reaches_every_cell_leader_physically() {
+    let side = 4u32;
+    let mut rt = physical_runtime(side, 2, 3, None, |_| 0.0);
+    rt.install_programs(move |_| Box::new(DisseminateProgram::new(side, 9.75)));
+    let app = rt.run_application();
+    // One exfiltration per virtual node (each cell's leader).
+    assert_eq!(app.exfil_count, (side as usize).pow(2));
+    let mut cells: Vec<_> = rt.take_exfiltrated().into_iter().map(|e| e.from).collect();
+    cells.sort();
+    cells.dedup();
+    assert_eq!(cells.len(), (side as usize).pow(2));
+}
+
+#[test]
+fn in_network_sort_works_on_a_physical_deployment() {
+    let side = 4u32;
+    let grid = VirtualGrid::new(side);
+    // Distinct per-cell readings, descending along the snake so the sort
+    // has to move everything.
+    let reading = move |c: wsn::core::GridCoord| {
+        let n = grid.node_count();
+        (n - wsn::core::snake_index(grid, c)) as f64
+    };
+    let mut rt = physical_runtime(side, 3, 11, None, reading);
+    rt.install_programs(move |_| Box::new(SortProgram::new(side)));
+    let app = rt.run_application();
+    assert_eq!(app.exfil_count, grid.node_count());
+    let mut out = vec![f64::NAN; grid.node_count()];
+    for e in rt.take_exfiltrated() {
+        match e.payload {
+            CollectiveMsg::Sort { phase, value } => {
+                // The exfiltrating cell must be the phase's snake position.
+                assert_eq!(snake_coord(grid, phase as usize), e.from);
+                out[phase as usize] = value;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    let expect: Vec<f64> = (1..=grid.node_count()).map(|v| v as f64).collect();
+    assert_eq!(out, expect, "sorted ascending along the snake");
+}
+
+#[test]
+fn min_residual_reduce_reports_the_ledger_floor() {
+    let side = 2u32;
+    let budget = 1_000.0;
+    let mut rt = physical_runtime(side, 3, 5, Some(budget), |_| 1.0);
+    // Burn some uneven energy first.
+    for _ in 0..5 {
+        rt.install_programs(move |_| Box::new(ReduceProgram::new(side, ReduceOp::Sum)));
+        rt.run_application();
+        rt.take_exfiltrated();
+    }
+    rt.install_programs(move |_| Box::new(ReduceProgram::min_residual_energy(side)));
+    let app = rt.run_application();
+    assert_eq!(app.exfil_count, 1);
+    let reported = match rt.take_exfiltrated().pop().unwrap().payload {
+        CollectiveMsg::Reduce { value, count, .. } => {
+            assert_eq!(count, u64::from(side * side));
+            value
+        }
+        other => panic!("{other:?}"),
+    };
+    let ledger = rt.medium().borrow().ledger().clone();
+    let floor = (0..rt.deployment().node_count())
+        .filter_map(|i| ledger.residual(i))
+        .fold(f64::INFINITY, f64::min);
+    assert!(reported < budget, "energy was spent");
+    // The query itself spends energy after readings were taken, so the
+    // reported minimum upper-bounds the post-run floor.
+    assert!(reported >= floor);
+}

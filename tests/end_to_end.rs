@@ -1,0 +1,127 @@
+//! Cross-crate integration: the complete design flow of Figure 1, asserted.
+
+use std::rc::Rc;
+use wsn::core::{
+    centralized_collection_estimate, quadtree_merge_estimate, CostModel, GridCoord, Hierarchy, Vm,
+    VirtualArchitecture,
+};
+use wsn::net::{DeploymentSpec, LinkModel};
+use wsn::synth::{
+    check_all, quadtree_task_graph, render_figure4, synthesize_quadtree_program, Mapper,
+    MappingCost, QuadrantMapper, SynthesizedNode,
+};
+use wsn::topoquery::{
+    label_regions, queries, run_centralized_vm, run_dandc_physical, run_dandc_vm, Field,
+    FieldSpec, Implementation, RegionSemantics,
+};
+
+fn units(level: u8) -> u64 {
+    if level == 0 {
+        2
+    } else {
+        4 * (1u64 << level) - 3
+    }
+}
+
+#[test]
+fn design_flow_analysis_favors_dandc_at_scale() {
+    let arch = VirtualArchitecture::grid_uniform(16);
+    let dandc = quadtree_merge_estimate(16, &arch.cost, &units, &|l| 4 * units(l - 1), 1);
+    let central = centralized_collection_estimate(16, &arch.cost, 1, 1, 1);
+    assert!(dandc.total_energy < central.total_energy);
+    // At small scale the centralized approach wins — the analysis is a
+    // genuine decision procedure, not a foregone conclusion.
+    let dandc_s = quadtree_merge_estimate(4, &arch.cost, &units, &|l| 4 * units(l - 1), 1);
+    let central_s = centralized_collection_estimate(4, &arch.cost, 1, 1, 1);
+    assert!(dandc_s.total_energy > central_s.total_energy);
+}
+
+#[test]
+fn mapping_synthesis_execution_round_trip() {
+    let side = 8u32;
+    let qt = quadtree_task_graph(side, &units, &|_| 1);
+    let mapping = QuadrantMapper.map(&qt);
+    check_all(&qt, &mapping).unwrap();
+    let mapping_cost = MappingCost::evaluate(&qt, &mapping, &CostModel::uniform());
+
+    let program = synthesize_quadtree_program(Hierarchy::new(side).max_level());
+    let rendered = render_figure4(&program);
+    assert!(rendered.contains("Condition : start = true"));
+
+    let field = Field::generate(FieldSpec::Blobs { count: 2, amplitude: 8.0, radius: 1.5 }, side, 3);
+    let program = Rc::new(program);
+    let semantics = Rc::new(RegionSemantics { threshold: 4.0 });
+    let f = field.clone();
+    let mut vm = Vm::new(side, CostModel::uniform(), 1, move |c| f.value(c), move |_| {
+        Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side))
+    });
+    vm.run();
+    let metrics = vm.metrics();
+    let result = vm.take_exfiltrated().pop().expect("root result");
+    assert_eq!(result.from, GridCoord::new(0, 0));
+    let summary = result.payload.data.expect_complete().clone();
+    let truth = label_regions(&field.threshold(4.0));
+    assert_eq!(summary.region_count(), truth.region_count());
+
+    // The mapping-stage critical path is an upper bound for the actual
+    // run's latency (mapping cost assumes worst-case full-boundary
+    // payloads; the real field's summaries are no larger).
+    assert!(metrics.latency_ticks <= mapping_cost.critical_path_ticks);
+}
+
+#[test]
+fn queries_answered_from_in_network_result_match_centralized() {
+    let side = 16u32;
+    let field = Field::generate(
+        FieldSpec::RandomCells { p: 0.35, hot: 1.0, cold: 0.0 },
+        side,
+        13,
+    );
+    let dandc = run_dandc_vm(side, &field, 0.5, 1, Implementation::Native);
+    let central = run_centralized_vm(side, &field, 0.5, 1);
+    let summary = dandc.summary.unwrap();
+    assert_eq!(queries::count_regions(&summary), central.regions as usize);
+    assert_eq!(queries::total_feature_area(&summary), central.area);
+    let truth = label_regions(&field.threshold(0.5));
+    let mut truth_areas: Vec<u64> = truth.areas().iter().map(|&a| u64::from(a)).collect();
+    truth_areas.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(queries::region_areas_desc(&summary), truth_areas);
+}
+
+#[test]
+fn same_program_runs_on_vm_and_physical_network_with_same_answer() {
+    let side = 4u32;
+    let field = Field::generate(FieldSpec::Blobs { count: 2, amplitude: 9.0, radius: 1.0 }, side, 21);
+    let vm = run_dandc_vm(side, &field, 5.0, 2, Implementation::Synthesized);
+    let deployment = DeploymentSpec::uniform(side, 80).generate(33);
+    let (phys, reports) = run_dandc_physical(
+        deployment,
+        LinkModel::ideal(),
+        5.0,
+        &field,
+        2,
+        Implementation::Synthesized,
+    );
+    assert!(reports.topo.complete);
+    assert!(reports.bind.unique);
+    assert_eq!(vm.summary, phys.summary);
+    // The abstraction costs something (§7): physical ≥ virtual on both axes.
+    assert!(phys.metrics.total_energy >= vm.metrics.total_energy);
+    assert!(phys.metrics.latency_ticks >= vm.metrics.latency_ticks);
+}
+
+#[test]
+fn estimator_tracks_measured_scaling_shape() {
+    // The who-wins and by-what-factor shape (not absolute numbers) must
+    // hold between estimate and measurement as the grid grows.
+    let cost = CostModel::uniform();
+    let mut prev_ratio = None;
+    for side in [8u32, 16, 32] {
+        let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
+        let measured = run_dandc_vm(side, &field, 5.0, 1, Implementation::Native);
+        let est = quadtree_merge_estimate(side, &cost, &units, &|l| 4 * units(l - 1), 1);
+        let ratio = measured.metrics.total_energy / est.total_energy;
+        assert!((ratio - 1.0).abs() < 1e-9, "side {side}: exact on the uniform field");
+        let _ = prev_ratio.replace(ratio);
+    }
+}

@@ -1,0 +1,45 @@
+//! Golden test: the synthesized Figure-4 program's concrete rendering.
+//! If synthesis or code generation changes shape, this fails loudly and
+//! the reviewer compares against the paper's figure.
+
+use wsn::synth::{render_figure4, synthesize_quadtree_program};
+
+const GOLDEN: &str = r#"// synthesized program: quadtree-region-labeling
+State (initial values) :
+    start(= false), transmit(= false), recLevel(= 0), maxrecLevel(= 2),
+    mySubGraph[0..maxrecLevel](= NULL), myCoords,
+    msgsReceived[0..maxrecLevel](= 0)
+
+Message alphabet :
+    mGraph = {senderCoord, msubGraph, mrecLevel}
+
+Condition : start = true
+Action    : start = false
+            compute mySubGraph[0] from intra-cell readings
+            transmit = true
+            recLevel = recLevel + 1
+
+Condition : received mGraph
+Action    : merge(mGraph.msubGraph, mySubGraph[mGraph.mrecLevel])
+            if (senderCoord = myCoords)
+            else
+                msgsReceived[mGraph.mrecLevel]++
+
+Condition : transmit = true
+Action    : transmit = false
+            if (recLevel - 1 = maxrecLevel)
+                exfiltrate mySubGraph[maxrecLevel]
+            else
+                message = {myCoords, mySubGraph[recLevel - 1], recLevel}
+                send message to Leader(recLevel)
+
+Condition : msgsReceived[recLevel] = 3
+Action    : transmit = true
+            recLevel = recLevel + 1
+"#;
+
+#[test]
+fn figure4_rendering_matches_golden() {
+    let rendered = render_figure4(&synthesize_quadtree_program(2));
+    assert_eq!(rendered.trim(), GOLDEN.trim(), "\n--- rendered ---\n{rendered}");
+}

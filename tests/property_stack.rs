@@ -1,0 +1,128 @@
+//! Property-based tests over the whole stack: random fields, random
+//! deployments, both implementations, both execution levels.
+
+use proptest::prelude::*;
+use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn::runtime::PhysicalRuntime;
+use wsn::topoquery::{
+    label_regions, run_dandc_physical, run_dandc_vm, Field, FieldSpec, Implementation,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any random field, the in-network D&C result equals the
+    /// centralized ground truth, for both implementations.
+    #[test]
+    fn dandc_always_matches_ground_truth(
+        pow in 1u32..5,
+        p in 0.0f64..1.0,
+        field_seed in 0u64..1000,
+        run_seed in 0u64..100,
+    ) {
+        let side = 1u32 << pow;
+        let field = Field::generate(
+            FieldSpec::RandomCells { p, hot: 1.0, cold: 0.0 }, side, field_seed,
+        );
+        let truth = label_regions(&field.threshold(0.5));
+        for implementation in [Implementation::Native, Implementation::Synthesized] {
+            let out = run_dandc_vm(side, &field, 0.5, run_seed, implementation);
+            prop_assert_eq!(out.exfil_count, 1);
+            let summary = out.summary.unwrap();
+            prop_assert_eq!(summary.region_count(), truth.region_count());
+            prop_assert_eq!(summary.feature_area() as usize, field.threshold(0.5).feature_count());
+        }
+    }
+
+    /// The two implementations are observationally identical: same answer,
+    /// same traffic, same energy, same latency.
+    #[test]
+    fn implementations_are_observationally_equal(
+        pow in 1u32..5,
+        p in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let side = 1u32 << pow;
+        let field = Field::generate(
+            FieldSpec::RandomCells { p, hot: 1.0, cold: 0.0 }, side, seed,
+        );
+        let a = run_dandc_vm(side, &field, 0.5, 7, Implementation::Native);
+        let b = run_dandc_vm(side, &field, 0.5, 7, Implementation::Synthesized);
+        prop_assert_eq!(a.summary, b.summary);
+        prop_assert_eq!(a.metrics.messages, b.metrics.messages);
+        prop_assert_eq!(a.metrics.data_units, b.metrics.data_units);
+        prop_assert_eq!(a.metrics.latency_ticks, b.metrics.latency_ticks);
+        prop_assert!((a.metrics.total_energy - b.metrics.total_energy).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On random deployments with loss-free links, the physical execution
+    /// always reproduces the virtual result.
+    #[test]
+    fn physical_equals_virtual_on_random_deployments(
+        n in 40usize..120,
+        field_seed in 0u64..200,
+        dep_seed in 0u64..200,
+    ) {
+        let side = 4u32;
+        let field = Field::generate(
+            FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 }, side, field_seed,
+        );
+        let vm = run_dandc_vm(side, &field, 0.5, 3, Implementation::Native);
+        let deployment = DeploymentSpec::uniform(side, n).generate(dep_seed);
+        let (phys, reports) = run_dandc_physical(
+            deployment, LinkModel::ideal(), 0.5, &field, 3, Implementation::Native,
+        );
+        prop_assert!(reports.topo.complete);
+        prop_assert!(reports.bind.unique);
+        prop_assert_eq!(vm.summary, phys.summary);
+    }
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// At the guaranteed range, the §5 protocols always succeed on random
+    /// coverage-repaired deployments: complete tables, verified routes,
+    /// unique closest-to-center leaders, complete spanning trees.
+    #[test]
+    fn runtime_protocols_always_converge(
+        m in 2u32..6,
+        n in 10usize..120,
+        seed in 0u64..10_000,
+    ) {
+        let deployment = DeploymentSpec::uniform(m, n).generate(seed);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let mut rt: PhysicalRuntime<u32> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            seed,
+            |_| 0.0,
+        );
+        let topo = rt.run_topology_emulation();
+        prop_assert!(topo.complete);
+        prop_assert!(rt.verify_routes().is_ok());
+        let bind = rt.run_binding();
+        prop_assert!(bind.unique);
+        prop_assert!(bind.tree_complete);
+        // Elected leaders are the δ-minimal nodes of their cells.
+        for cell in rt.grid().nodes() {
+            let leader = rt.leader_of(cell).expect("leader");
+            let center = rt.deployment().grid().cell_center(cell);
+            let best = rt
+                .deployment()
+                .nodes_in_cell(cell)
+                .iter()
+                .map(|&i| rt.deployment().position(i).distance(center))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(rt.deployment().position(leader).distance(center) <= best + 1e-9);
+        }
+    }
+}

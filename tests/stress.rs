@@ -1,0 +1,86 @@
+//! Large-scale end-to-end runs. The default-run sizes keep CI fast; the
+//! `#[ignore]`d giants are for manual validation:
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use wsn::net::{DeploymentSpec, LinkModel};
+use wsn::topoquery::{
+    label_regions, run_dandc_physical, run_dandc_vm, Field, FieldSpec, Implementation,
+};
+
+#[test]
+fn medium_scale_vm_side_64() {
+    // 4096 virtual nodes on the VM.
+    let side = 64u32;
+    let field = Field::generate(
+        FieldSpec::Blobs { count: 6, amplitude: 10.0, radius: 6.0 },
+        side,
+        3,
+    );
+    let out = run_dandc_vm(side, &field, 5.0, 1, Implementation::Native);
+    let truth = label_regions(&field.threshold(5.0));
+    assert_eq!(out.summary.unwrap().region_count(), truth.region_count());
+}
+
+#[test]
+fn medium_scale_physical_side_8_dense() {
+    // 512 physical nodes emulating an 8×8 grid, end to end.
+    let side = 8u32;
+    let field = Field::generate(
+        FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 },
+        side,
+        9,
+    );
+    let deployment = DeploymentSpec::per_cell(side, 8).generate(17);
+    let (out, reports) = run_dandc_physical(
+        deployment,
+        LinkModel::ideal(),
+        0.5,
+        &field,
+        17,
+        Implementation::Native,
+    );
+    assert!(reports.topo.complete && reports.bind.unique);
+    let truth = label_regions(&field.threshold(0.5));
+    assert_eq!(out.summary.unwrap().region_count(), truth.region_count());
+}
+
+#[test]
+#[ignore = "manual: ~4096 physical nodes, run with --release"]
+fn giant_physical_side_16() {
+    let side = 16u32;
+    let field = Field::generate(
+        FieldSpec::Blobs { count: 5, amplitude: 10.0, radius: 3.0 },
+        side,
+        5,
+    );
+    let deployment = DeploymentSpec::per_cell(side, 16).generate(5);
+    assert_eq!(deployment.node_count(), 4096);
+    let (out, reports) = run_dandc_physical(
+        deployment,
+        LinkModel::ideal(),
+        5.0,
+        &field,
+        5,
+        Implementation::Native,
+    );
+    assert!(reports.topo.complete && reports.bind.unique);
+    let truth = label_regions(&field.threshold(5.0));
+    assert_eq!(out.summary.unwrap().region_count(), truth.region_count());
+}
+
+#[test]
+#[ignore = "manual: 16384 virtual nodes on the VM, run with --release"]
+fn giant_vm_side_128() {
+    let side = 128u32;
+    let field = Field::generate(
+        FieldSpec::RandomCells { p: 0.3, hot: 1.0, cold: 0.0 },
+        side,
+        1,
+    );
+    let out = run_dandc_vm(side, &field, 0.5, 1, Implementation::Native);
+    let truth = label_regions(&field.threshold(0.5));
+    assert_eq!(out.summary.unwrap().region_count(), truth.region_count());
+}
