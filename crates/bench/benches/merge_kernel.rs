@@ -8,7 +8,11 @@ fn bench_merge(c: &mut Criterion) {
     group.sample_size(20);
     for side in [8u32, 16, 32] {
         let field = Field::generate(
-            FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 },
+            FieldSpec::RandomCells {
+                p: 0.4,
+                hot: 1.0,
+                cold: 0.0,
+            },
             2 * side,
             9,
         );
@@ -19,9 +23,13 @@ fn bench_merge(c: &mut Criterion) {
             BoundarySummary::from_feature_map(&map, GridCoord::new(0, side), side),
             BoundarySummary::from_feature_map(&map, GridCoord::new(side, side), side),
         ];
-        group.bench_with_input(BenchmarkId::new("quadrant_side", side), &quads, |b, quads| {
-            b.iter(|| wsn_topoquery::merge_four(std::hint::black_box(quads)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quadrant_side", side),
+            &quads,
+            |b, quads| {
+                b.iter(|| wsn_topoquery::merge_four(std::hint::black_box(quads)));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("reference_side", side), &map, |b, map| {
             b.iter(|| {
                 BoundarySummary::from_feature_map(

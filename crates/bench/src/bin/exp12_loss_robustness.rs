@@ -1,4 +1,9 @@
 //! EXP-12: completion and correctness under message loss.
 fn main() {
-    wsn_bench::emit(&wsn_bench::exp12_loss_robustness(8, 3, &[0.0, 0.01, 0.05, 0.1], 20));
+    wsn_bench::emit(&wsn_bench::exp12_loss_robustness(
+        8,
+        3,
+        &[0.0, 0.01, 0.05, 0.1],
+        20,
+    ));
 }

@@ -1,4 +1,9 @@
 //! EXP-16: sustained mission under churn vs protocol refresh period.
 fn main() {
-    wsn_bench::emit(&wsn_bench::exp16_mission_under_churn(4, 4, 40, &[0, 10, 5, 1]));
+    wsn_bench::emit(&wsn_bench::exp16_mission_under_churn(
+        4,
+        4,
+        40,
+        &[0, 10, 5, 1],
+    ));
 }

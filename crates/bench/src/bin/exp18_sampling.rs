@@ -1,4 +1,8 @@
 //! EXP-18: intra-cell sampling accuracy vs density and noise.
 fn main() {
-    wsn_bench::emit(&wsn_bench::exp18_sampling_accuracy(4, &[2, 4, 8, 16], &[0.5, 2.0]));
+    wsn_bench::emit(&wsn_bench::exp18_sampling_accuracy(
+        4,
+        &[2, 4, 8, 16],
+        &[0.5, 2.0],
+    ));
 }

@@ -1,4 +1,7 @@
 //! EXP-6: in-network divide-and-conquer vs centralized collection.
 fn main() {
-    wsn_bench::emit(&wsn_bench::exp6_dandc_vs_central(&[4, 8, 16, 32], &[0.05, 0.2, 0.5]));
+    wsn_bench::emit(&wsn_bench::exp6_dandc_vs_central(
+        &[4, 8, 16, 32],
+        &[0.05, 0.2, 0.5],
+    ));
 }

@@ -5,7 +5,11 @@
 //! intra-cell path length when the radio range shrinks below the cell
 //! size and real relay chains form.
 fn main() {
-    wsn_bench::emit(&wsn_bench::exp7_topology_emulation(&[4, 8, 16], &[4], &[2.24]));
+    wsn_bench::emit(&wsn_bench::exp7_topology_emulation(
+        &[4, 8, 16],
+        &[4],
+        &[2.24],
+    ));
     wsn_bench::emit(&wsn_bench::exp7_topology_emulation(
         &[8],
         &[8, 16, 32],

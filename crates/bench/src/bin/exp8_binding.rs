@@ -1,4 +1,8 @@
 //! EXP-8: binding (leader election) convergence (paper section 5.2).
 fn main() {
-    wsn_bench::emit(&wsn_bench::exp8_binding(8, &[8, 16, 32], &[0.4, 0.5, 0.7, 2.24]));
+    wsn_bench::emit(&wsn_bench::exp8_binding(
+        8,
+        &[8, 16, 32],
+        &[0.4, 0.5, 0.7, 2.24],
+    ));
 }

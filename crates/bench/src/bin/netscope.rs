@@ -1,0 +1,231 @@
+//! `netscope` — inspect a wsn JSONL trace.
+//!
+//! Reads a trace produced by [`wsn_runtime::PhysicalRuntime::record_trace`]
+//! (or any conforming JSONL document) and prints the phase breakdown, span
+//! tree, registry counters, histogram summaries, the hottest nodes by
+//! energy, and — when the trace carries kernel events — an activity
+//! timeline.
+//!
+//! ```text
+//! netscope <trace.jsonl> [--top K] [--no-timeline]
+//! netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]
+//! ```
+//!
+//! `--demo` records a fresh end-to-end run (topology emulation → binding →
+//! divide-and-conquer application, 16×16 virtual grid by default) and
+//! inspects it in place; `--out` additionally writes the JSONL to a file.
+
+use std::process::ExitCode;
+use wsn_obs::{render_span_forest, render_timeline, TimelineConfig, TraceDocument};
+
+struct Options {
+    input: Option<String>,
+    demo: bool,
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    out: Option<String>,
+    top: usize,
+    timeline: bool,
+}
+
+const USAGE: &str = "usage: netscope <trace.jsonl> [--top K] [--no-timeline]
+       netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: None,
+        demo: false,
+        side: 16,
+        per_cell: 2,
+        seed: 5,
+        out: None,
+        top: 8,
+        timeline: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--demo" => opts.demo = true,
+            "--side" => opts.side = parse_num(&value("--side")?)?,
+            "--per-cell" => opts.per_cell = parse_num(&value("--per-cell")?)?,
+            "--seed" => opts.seed = parse_num(&value("--seed")?)?,
+            "--out" => opts.out = Some(value("--out")?),
+            "--top" => opts.top = parse_num(&value("--top")?)?,
+            "--no-timeline" => opts.timeline = false,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if !other.starts_with('-') && opts.input.is_none() => {
+                opts.input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if opts.demo == opts.input.is_some() {
+        return Err(format!(
+            "pass exactly one of a trace file or --demo\n{USAGE}"
+        ));
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = if opts.demo {
+        eprintln!(
+            "recording end-to-end demo trace: {}x{} grid, {} nodes/cell, seed {}",
+            opts.side, opts.side, opts.per_cell, opts.seed
+        );
+        let doc =
+            wsn_bench::record_end_to_end_trace(opts.side, opts.per_cell, opts.seed, opts.timeline);
+        if let Some(path) = &opts.out {
+            if let Err(e) = std::fs::write(path, doc.to_jsonl()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        doc
+    } else {
+        let path = opts.input.as_deref().unwrap();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match TraceDocument::from_jsonl(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    print!("{}", report(&doc, opts.top, opts.timeline));
+    ExitCode::SUCCESS
+}
+
+/// Renders the full inspection report for a trace document.
+fn report(doc: &TraceDocument, top: usize, timeline: bool) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, section: &str| {
+        out.push_str("\n== ");
+        out.push_str(section);
+        out.push_str(" ==\n");
+    };
+
+    if let Some(meta) = &doc.meta {
+        out.push_str(&format!(
+            "trace: {g}x{g} grid, {n} nodes, seed {s}, {t} ticks, {e} events\n",
+            g = meta.grid,
+            n = meta.nodes,
+            s = meta.seed,
+            t = meta.total_ticks,
+            e = meta.events,
+        ));
+    } else {
+        out.push_str("trace: (no meta record)\n");
+    }
+
+    if !doc.spans.is_empty() {
+        push(&mut out, "phases");
+        let total: u64 = doc.spans.iter().map(|s| s.duration_ticks()).sum();
+        for span in &doc.spans {
+            let d = span.duration_ticks();
+            out.push_str(&format!(
+                "{:<22} {:>6}..{:<6} {:>7} ticks {:>5.1}%  {:>8} events\n",
+                span.name,
+                span.start.ticks(),
+                span.end.ticks(),
+                d,
+                100.0 * d as f64 / total.max(1) as f64,
+                span.events,
+            ));
+        }
+        if let Some(meta) = &doc.meta {
+            let verdict = if total == meta.total_ticks {
+                "exact"
+            } else {
+                "MISMATCH"
+            };
+            out.push_str(&format!(
+                "phase sum {total} vs run total {} — {verdict}\n",
+                meta.total_ticks
+            ));
+        }
+        push(&mut out, "span tree");
+        out.push_str(&render_span_forest(&doc.spans));
+    }
+
+    if !doc.counters.is_empty() {
+        push(&mut out, "counters");
+        let mut counters = doc.counters.clone();
+        counters.sort();
+        for (name, value) in counters {
+            out.push_str(&format!("{name:<28} {value:>10}\n"));
+        }
+    }
+    if !doc.gauges.is_empty() {
+        push(&mut out, "gauges");
+        let mut gauges = doc.gauges.clone();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, value) in gauges {
+            out.push_str(&format!("{name:<28} {value:>10.1}\n"));
+        }
+    }
+    if !doc.histograms.is_empty() {
+        push(&mut out, "histograms");
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "name", "count", "mean", "p50", "p99", "max"
+        ));
+        for (name, h) in &doc.histograms {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>8.1} {:>8.1} {:>8.1} {:>8.1}\n",
+                name,
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+    }
+
+    if !doc.nodes.is_empty() {
+        push(&mut out, &format!("hottest {top} nodes (by energy)"));
+        let mut nodes = doc.nodes.clone();
+        nodes.sort_by(|a, b| b.energy.total_cmp(&a.energy).then(a.id.cmp(&b.id)));
+        nodes.truncate(top);
+        out.push_str(&format!(
+            "{:>6} {:>10} {:>8} {:>8}\n",
+            "node", "energy", "tx", "rx"
+        ));
+        for n in &nodes {
+            out.push_str(&format!(
+                "{:>6} {:>10.1} {:>8} {:>8}\n",
+                n.id, n.energy, n.tx, n.rx
+            ));
+        }
+    }
+
+    if timeline && !doc.events.is_empty() {
+        push(&mut out, "activity timeline");
+        out.push_str(&render_timeline(&doc.events, &TimelineConfig::default()));
+    }
+    out
+}

@@ -4,19 +4,43 @@ fn main() {
     print!("{}\n\n", wsn_bench::fig3_mapping());
     print!("{}\n\n", wsn_bench::fig4_program());
     println!("{}", wsn_bench::exp5_latency_scaling(&[4, 8, 16, 32, 64]));
-    println!("{}", wsn_bench::exp6_dandc_vs_central(&[4, 8, 16, 32], &[0.05, 0.2, 0.5]));
-    println!("{}", wsn_bench::exp7_topology_emulation(&[4, 8, 16], &[4], &[2.24]));
-    println!("{}", wsn_bench::exp7_topology_emulation(&[8], &[8, 16, 32], &[0.4, 0.5, 0.7, 1.0]));
-    println!("{}", wsn_bench::exp8_binding(8, &[8, 16, 32], &[0.4, 0.5, 0.7, 2.24]));
+    println!(
+        "{}",
+        wsn_bench::exp6_dandc_vs_central(&[4, 8, 16, 32], &[0.05, 0.2, 0.5])
+    );
+    println!(
+        "{}",
+        wsn_bench::exp7_topology_emulation(&[4, 8, 16], &[4], &[2.24])
+    );
+    println!(
+        "{}",
+        wsn_bench::exp7_topology_emulation(&[8], &[8, 16, 32], &[0.4, 0.5, 0.7, 1.0])
+    );
+    println!(
+        "{}",
+        wsn_bench::exp8_binding(8, &[8, 16, 32], &[0.4, 0.5, 0.7, 2.24])
+    );
     println!("{}", wsn_bench::exp9_model_fidelity(&[4, 8, 16], 3));
     println!("{}", wsn_bench::exp10_group_cost(32, &[1, 2, 3, 4, 5]));
     println!("{}", wsn_bench::exp11_energy_balance(16, 64));
-    println!("{}", wsn_bench::exp12_loss_robustness(8, 3, &[0.0, 0.01, 0.05, 0.1], 20));
+    println!(
+        "{}",
+        wsn_bench::exp12_loss_robustness(8, 3, &[0.0, 0.01, 0.05, 0.1], 20)
+    );
     println!("{}", wsn_bench::exp13_mapping_ablation(&[8, 16, 32]));
     println!("{}", wsn_bench::exp14_collectives(&[4, 8, 16]));
     println!("{}", wsn_bench::exp15_mac_ablation(8, 3, &[4, 8, 16, 32]));
-    println!("{}", wsn_bench::exp16_mission_under_churn(4, 4, 40, &[0, 10, 5, 1]));
+    println!(
+        "{}",
+        wsn_bench::exp16_mission_under_churn(4, 4, 40, &[0, 10, 5, 1])
+    );
     println!("{}", wsn_bench::exp17_election_lifetime(4, 4, 3000.0, 400));
-    println!("{}", wsn_bench::exp18_sampling_accuracy(4, &[2, 4, 8, 16], &[0.5, 2.0]));
-    println!("{}", wsn_bench::exp19_architecture_selection(&[4, 8, 16, 32]));
+    println!(
+        "{}",
+        wsn_bench::exp18_sampling_accuracy(4, &[2, 4, 8, 16], &[0.5, 2.0])
+    );
+    println!(
+        "{}",
+        wsn_bench::exp19_architecture_selection(&[4, 8, 16, 32])
+    );
 }

@@ -52,15 +52,24 @@ pub fn full_boundary_units(level: u8) -> u64 {
 pub fn exp5_latency_scaling(sides: &[u32]) -> Table {
     let mut t = Table::new(
         "EXP-5: D&C latency scaling — O(sqrt N) steps (paper §4.1)",
-        &["side", "N", "steps", "pred 2(side-1)", "steps/side", "volume ticks"],
+        &[
+            "side",
+            "N",
+            "steps",
+            "pred 2(side-1)",
+            "steps/side",
+            "volume ticks",
+        ],
     );
     for &side in sides {
         let field = blob_field(side, 42);
-        let step_cost = CostModel { ticks_per_unit: 0, ..CostModel::uniform() };
-        let steps =
-            run_dandc_vm_with_cost(side, &field, 5.0, 1, Implementation::Native, step_cost)
-                .metrics
-                .latency_ticks;
+        let step_cost = CostModel {
+            ticks_per_unit: 0,
+            ..CostModel::uniform()
+        };
+        let steps = run_dandc_vm_with_cost(side, &field, 5.0, 1, Implementation::Native, step_cost)
+            .metrics
+            .latency_ticks;
         let volume = run_dandc_vm(side, &field, 5.0, 1, Implementation::Native)
             .metrics
             .latency_ticks;
@@ -82,14 +91,28 @@ pub fn exp6_dandc_vs_central(sides: &[u32], densities: &[f64]) -> Table {
     let mut t = Table::new(
         "EXP-6: in-network D&C vs centralized collection (total energy, hotspot, latency)",
         &[
-            "side", "p", "E(dandc)", "E(central)", "ratio", "hot(dandc)", "hot(central)",
-            "lat(dandc)", "lat(central)",
+            "side",
+            "p",
+            "E(dandc)",
+            "E(central)",
+            "ratio",
+            "hot(dandc)",
+            "hot(central)",
+            "lat(dandc)",
+            "lat(central)",
         ],
     );
     for &side in sides {
         for &p in densities {
-            let field =
-                Field::generate(FieldSpec::RandomCells { p, hot: 1.0, cold: 0.0 }, side, 7);
+            let field = Field::generate(
+                FieldSpec::RandomCells {
+                    p,
+                    hot: 1.0,
+                    cold: 0.0,
+                },
+                side,
+                7,
+            );
             let dandc = run_dandc_vm(side, &field, 0.5, 1, Implementation::Native);
             let central = run_centralized_vm(side, &field, 0.5, 1);
             t.row(vec![
@@ -116,8 +139,16 @@ pub fn exp7_topology_emulation(cells: &[u32], per_cell: &[usize], range_factors:
     let mut t = Table::new(
         "EXP-7: topology emulation protocol (§5.1)",
         &[
-            "m", "per-cell", "range/d", "N phys", "elapsed", "max cell diam", "elapsed/diam",
-            "broadcasts", "suppressed", "complete",
+            "m",
+            "per-cell",
+            "range/d",
+            "N phys",
+            "elapsed",
+            "max cell diam",
+            "elapsed/diam",
+            "broadcasts",
+            "suppressed",
+            "complete",
         ],
     );
     for &m in cells {
@@ -132,7 +163,11 @@ pub fn exp7_topology_emulation(cells: &[u32], per_cell: &[usize], range_factors:
                 let max_diam = deployment
                     .grid()
                     .cells()
-                    .map(|c| graph.subset_diameter(deployment.nodes_in_cell(c)).unwrap_or(0))
+                    .map(|c| {
+                        graph
+                            .subset_diameter(deployment.nodes_in_cell(c))
+                            .unwrap_or(0)
+                    })
                     .max()
                     .unwrap_or(0);
                 let n = deployment.node_count();
@@ -172,8 +207,16 @@ pub fn exp8_binding(m: u32, per_cell: &[usize], range_factors: &[f64]) -> Table 
     let mut t = Table::new(
         "EXP-8: binding protocol convergence (§5.2)",
         &[
-            "per-cell", "range/d", "N phys", "conn cells", "elapsed", "max cell diam",
-            "delta bcasts", "bcasts/node", "unique", "tree complete",
+            "per-cell",
+            "range/d",
+            "N phys",
+            "conn cells",
+            "elapsed",
+            "max cell diam",
+            "delta bcasts",
+            "bcasts/node",
+            "unique",
+            "tree complete",
         ],
     );
     for &k in per_cell {
@@ -184,7 +227,11 @@ pub fn exp8_binding(m: u32, per_cell: &[usize], range_factors: &[f64]) -> Table 
             let max_diam = deployment
                 .grid()
                 .cells()
-                .map(|c| graph.subset_diameter(deployment.nodes_in_cell(c)).unwrap_or(0))
+                .map(|c| {
+                    graph
+                        .subset_diameter(deployment.nodes_in_cell(c))
+                        .unwrap_or(0)
+                })
                 .max()
                 .unwrap_or(0);
             // §5.2 assumes every cell's induced subgraph is connected;
@@ -233,8 +280,17 @@ pub fn exp9_model_fidelity(sides: &[u32], per_cell: usize) -> Table {
     let mut t = Table::new(
         "EXP-9: analytic estimate vs virtual machine vs emulated physical network",
         &[
-            "side", "lat est", "lat vm", "lat phys", "vm/est", "phys/vm", "E est", "E vm",
-            "E phys", "E vm/est", "E phys/vm",
+            "side",
+            "lat est",
+            "lat vm",
+            "lat phys",
+            "vm/est",
+            "phys/vm",
+            "E est",
+            "E vm",
+            "E phys",
+            "E vm/est",
+            "E phys/vm",
         ],
     );
     for &side in sides {
@@ -302,8 +358,14 @@ pub fn exp10_group_cost(side: u32, levels: &[u8]) -> Table {
     let mut t = Table::new(
         "EXP-10: group middleware follower->leader cost (§3.2/§4.2)",
         &[
-            "level", "block", "mean hops", "pred mean (followers)", "max hops", "pred max",
-            "energy", "pred energy",
+            "level",
+            "block",
+            "mean hops",
+            "pred mean (followers)",
+            "max hops",
+            "pred max",
+            "energy",
+            "pred energy",
         ],
     );
     let hierarchy = Hierarchy::new(side);
@@ -314,7 +376,12 @@ pub fn exp10_group_cost(side: u32, levels: &[u8]) -> Table {
             CostModel::uniform(),
             1,
             |_| 0.0,
-            move |_| Box::new(GroupSend { level, hierarchy: Hierarchy::new(side) }),
+            move |_| {
+                Box::new(GroupSend {
+                    level,
+                    hierarchy: Hierarchy::new(side),
+                })
+            },
         );
         vm.run();
         let stats = vm.stats().clone();
@@ -348,7 +415,15 @@ pub fn exp10_group_cost(side: u32, levels: &[u8]) -> Table {
 pub fn exp11_energy_balance(side: u32, rounds: u32) -> Table {
     let mut t = Table::new(
         "EXP-11: leader placement and energy balance over repeated rounds",
-        &["strategy", "rounds", "total E", "max node E", "mean node E", "max/mean", "Jain"],
+        &[
+            "strategy",
+            "rounds",
+            "total E",
+            "max node E",
+            "mean node E",
+            "max/mean",
+            "Jain",
+        ],
     );
     let cost = CostModel::uniform();
     let qt = quadtree_task_graph(side, &full_boundary_units, &|_| 1);
@@ -357,7 +432,10 @@ pub fn exp11_energy_balance(side: u32, rounds: u32) -> Table {
         let mut loads = vec![0.0; (side as usize).pow(2)];
         for r in 0..rounds {
             let m = mappings(r);
-            for (acc, l) in loads.iter_mut().zip(MappingCost::node_loads(&qt, &m, &cost)) {
+            for (acc, l) in loads
+                .iter_mut()
+                .zip(MappingCost::node_loads(&qt, &m, &cost))
+            {
                 *acc += l;
             }
         }
@@ -425,8 +503,15 @@ pub fn exp12_loss_robustness(side: u32, per_cell: usize, drops: &[f64], trials: 
     let mut t = Table::new(
         "EXP-12: message loss vs completion and correctness (§4.3's asynchronous merge)",
         &[
-            "drop p", "arq", "trials", "completed", "correct", "completion rate",
-            "mean latency", "mean energy", "retx",
+            "drop p",
+            "arq",
+            "trials",
+            "completed",
+            "correct",
+            "completion rate",
+            "mean latency",
+            "mean energy",
+            "retx",
         ],
     );
     let field = blob_field(side, 3);
@@ -449,7 +534,8 @@ pub fn exp12_loss_robustness(side: u32, per_cell: usize, drops: &[f64], trials: 
                 (
                     out.metrics.total_energy,
                     reports.app.retransmissions,
-                    out.summary.map(|s| (s.region_count(), out.metrics.latency_ticks)),
+                    out.summary
+                        .map(|s| (s.region_count(), out.metrics.latency_ticks)),
                 )
             });
             let mut completed = 0u64;
@@ -493,7 +579,14 @@ pub fn exp12_loss_robustness(side: u32, per_cell: usize, drops: &[f64], trials: 
 pub fn exp13_mapping_ablation(sides: &[u32]) -> Table {
     let mut t = Table::new(
         "EXP-13: task mapping ablation (one round, uniform cost model)",
-        &["side", "mapper", "total E", "max node E", "Jain", "critical path"],
+        &[
+            "side",
+            "mapper",
+            "total E",
+            "max node E",
+            "Jain",
+            "critical path",
+        ],
     );
     let cost = CostModel::uniform();
     for &side in sides {
@@ -527,16 +620,28 @@ pub fn exp13_mapping_ablation(sides: &[u32]) -> Table {
 pub fn exp14_collectives(sides: &[u32]) -> Table {
     let mut t = Table::new(
         "EXP-14: collective primitives on the virtual architecture",
-        &["side", "primitive", "latency", "pred latency", "energy", "pred energy", "messages"],
+        &[
+            "side",
+            "primitive",
+            "latency",
+            "pred latency",
+            "energy",
+            "pred energy",
+            "messages",
+        ],
     );
     let cost = CostModel::uniform();
     for &side in sides {
         // Reduce: same traffic shape as the quad-tree merge with 1-unit
         // payloads; absorb charges 1 compute per incoming (4 per merge).
         let est = quadtree_merge_estimate(side, &cost, &|_| 1, &|_| 4, 1);
-        let mut vm: Vm<CollectiveMsg> = Vm::new(side, cost, 1, |_| 1.0, move |_| {
-            Box::new(ReduceProgram::new(side, ReduceOp::Sum))
-        });
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            cost,
+            1,
+            |_| 1.0,
+            move |_| Box::new(ReduceProgram::new(side, ReduceOp::Sum)),
+        );
         vm.run();
         let m = vm.metrics();
         t.row(vec![
@@ -551,9 +656,13 @@ pub fn exp14_collectives(sides: &[u32]) -> Table {
 
         // Disseminate: the reverse tree; same path energy, no merge
         // compute, and latency measured to the last leaf delivery.
-        let mut vm: Vm<CollectiveMsg> = Vm::new(side, cost, 1, |_| 0.0, move |_| {
-            Box::new(DisseminateProgram::new(side, 7.0))
-        });
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            cost,
+            1,
+            |_| 0.0,
+            move |_| Box::new(DisseminateProgram::new(side, 7.0)),
+        );
         vm.run();
         let m = vm.metrics();
         let path_only = quadtree_merge_estimate(side, &cost, &|_| 1, &|_| 0, 0);
@@ -573,7 +682,9 @@ pub fn exp14_collectives(sides: &[u32]) -> Table {
             side,
             cost,
             1,
-            move |c| f64::from((wsn_core::snake_index(grid, c) as u32).wrapping_mul(2654435761) % 1000),
+            move |c| {
+                f64::from((wsn_core::snake_index(grid, c) as u32).wrapping_mul(2654435761) % 1000)
+            },
             move |_| Box::new(SortProgram::new(side)),
         );
         vm.run();
@@ -608,12 +719,18 @@ pub fn exp14_collectives(sides: &[u32]) -> Table {
 pub fn exp15_mac_ablation(side: u32, per_cell: usize, frames: &[u64]) -> Table {
     let mut t = Table::new(
         "EXP-15: asynchronous vs TDMA channel access (application phase)",
-        &["mac", "latency", "latency ratio", "energy", "physical hops", "exfil"],
+        &[
+            "mac",
+            "latency",
+            "latency ratio",
+            "energy",
+            "physical hops",
+            "exfil",
+        ],
     );
     let field = blob_field(side, 3);
     let mut baseline_latency = None;
-    let mut configs: Vec<(String, Option<(u64, u64)>)> =
-        vec![("async (ideal)".into(), None)];
+    let mut configs: Vec<(String, Option<(u64, u64)>)> = vec![("async (ideal)".into(), None)];
     for &fr in frames {
         configs.push((format!("TDMA {fr}x1"), Some((fr, 1))));
     }
@@ -635,7 +752,10 @@ pub fn exp15_mac_ablation(side: u32, per_cell: usize, frames: &[u64]) -> Table {
         assert!(bind.unique);
         rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
         if let Some((frame_slots, slot_ticks)) = mac {
-            rt.set_mac_model(wsn_net::MacModel::Tdma { frame_slots, slot_ticks });
+            rt.set_mac_model(wsn_net::MacModel::Tdma {
+                frame_slots,
+                slot_ticks,
+            });
         }
         let app = rt.run_application();
         let metrics = rt.metrics(&app);
@@ -653,14 +773,62 @@ pub fn exp15_mac_ablation(side: u32, per_cell: usize, frames: &[u64]) -> Table {
     t
 }
 
+/// Runs the full mission (topology emulation → binding → D&C application)
+/// on an emulated deployment with telemetry enabled, and exports the run
+/// as a [`wsn_obs::TraceDocument`]: phase spans, registry counters, kernel
+/// histograms, per-node energy snapshots, and (when `trace_events` is set)
+/// the complete dispatch log. This is what `netscope --demo` records and
+/// what the determinism suite replays.
+pub fn record_end_to_end_trace(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    trace_events: bool,
+) -> wsn_obs::TraceDocument {
+    let field = blob_field(side, seed);
+    let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let f2 = field.clone();
+    let mut rt: PhysicalRuntime<wsn_topoquery::DandcMsg> = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        None,
+        1,
+        seed,
+        move |c| f2.value(c),
+    );
+    rt.enable_telemetry(trace_events);
+    let topo = rt.run_topology_emulation();
+    assert!(topo.complete, "topology emulation must complete");
+    let bind = rt.run_binding();
+    assert!(bind.unique, "binding must elect unique leaders");
+    rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    rt.run_application();
+    rt.record_trace()
+}
+
 /// EXP-16: sustained operation under churn — the paper's "the above
 /// protocol should execute periodically" (§5.1), quantified. Rounds
 /// completed over a mission with one random node death per round, as a
 /// function of the protocol refresh period.
-pub fn exp16_mission_under_churn(side: u32, per_cell: usize, rounds: u32, periods: &[u32]) -> Table {
+pub fn exp16_mission_under_churn(
+    side: u32,
+    per_cell: usize,
+    rounds: u32,
+    periods: &[u32],
+) -> Table {
     let mut t = Table::new(
         "EXP-16: mission completion under churn vs protocol refresh period",
-        &["refresh every", "rounds", "completed", "rate", "killed", "refreshes", "survivors"],
+        &[
+            "refresh every",
+            "rounds",
+            "completed",
+            "rate",
+            "killed",
+            "refreshes",
+            "survivors",
+        ],
     );
     let field = blob_field(side, 3);
     for &period in periods {
@@ -690,7 +858,11 @@ pub fn exp16_mission_under_churn(side: u32, per_cell: usize, rounds: u32, period
             1,
         );
         t.row(vec![
-            if period == 0 { "never".to_string() } else { period.to_string() },
+            if period == 0 {
+                "never".to_string()
+            } else {
+                period.to_string()
+            },
             report.rounds.to_string(),
             report.completed.to_string(),
             f(f64::from(report.completed) / f64::from(report.rounds), 2),
@@ -711,14 +883,37 @@ pub fn exp16_mission_under_churn(side: u32, per_cell: usize, rounds: u32, period
 pub fn exp17_election_lifetime(side: u32, per_cell: usize, budget: f64, max_rounds: u32) -> Table {
     let mut t = Table::new(
         "EXP-17: election policy vs system lifetime (first node death)",
-        &["policy", "refresh", "budget", "rounds to first death", "completed", "refreshes"],
+        &[
+            "policy",
+            "refresh",
+            "budget",
+            "rounds to first death",
+            "completed",
+            "refreshes",
+        ],
     );
     let field = blob_field(side, 3);
     let configs = [
-        ("closest-to-center (paper)", wsn_runtime::ElectionPolicy::ClosestToCenter, 0u32),
-        ("closest-to-center (paper)", wsn_runtime::ElectionPolicy::ClosestToCenter, 8),
-        ("max residual energy", wsn_runtime::ElectionPolicy::MaxResidualEnergy, 8),
-        ("max residual energy", wsn_runtime::ElectionPolicy::MaxResidualEnergy, 2),
+        (
+            "closest-to-center (paper)",
+            wsn_runtime::ElectionPolicy::ClosestToCenter,
+            0u32,
+        ),
+        (
+            "closest-to-center (paper)",
+            wsn_runtime::ElectionPolicy::ClosestToCenter,
+            8,
+        ),
+        (
+            "max residual energy",
+            wsn_runtime::ElectionPolicy::MaxResidualEnergy,
+            8,
+        ),
+        (
+            "max residual energy",
+            wsn_runtime::ElectionPolicy::MaxResidualEnergy,
+            2,
+        ),
     ];
     for (name, policy, refresh_every) in configs {
         let deployment = DeploymentSpec::per_cell(side, per_cell).generate(5);
@@ -749,7 +944,11 @@ pub fn exp17_election_lifetime(side: u32, per_cell: usize, budget: f64, max_roun
         );
         t.row(vec![
             name.to_string(),
-            if refresh_every == 0 { "never".into() } else { refresh_every.to_string() },
+            if refresh_every == 0 {
+                "never".into()
+            } else {
+                refresh_every.to_string()
+            },
             f(budget, 0),
             report.rounds.to_string(),
             report.completed.to_string(),
@@ -766,7 +965,15 @@ pub fn exp17_election_lifetime(side: u32, per_cell: usize, budget: f64, max_roun
 pub fn exp18_sampling_accuracy(side: u32, densities: &[usize], noises: &[f64]) -> Table {
     let mut t = Table::new(
         "EXP-18: intra-cell sampling vs single-sensor reading (leader MAE)",
-        &["per-cell", "noise σ", "MAE single", "MAE sampled", "improvement", "samples", "elapsed"],
+        &[
+            "per-cell",
+            "noise σ",
+            "MAE single",
+            "MAE sampled",
+            "improvement",
+            "samples",
+            "elapsed",
+        ],
     );
     for &per_cell in densities {
         for &noise in noises {
@@ -829,16 +1036,28 @@ pub fn exp18_sampling_accuracy(side: u32, densities: &[usize], noises: &[f64]) -
 pub fn exp19_architecture_selection(grid_sides: &[u32]) -> Table {
     let mut t = Table::new(
         "EXP-19: grid vs tree virtual architecture for aggregation",
-        &["N sensed", "architecture", "latency", "pred", "energy", "pred", "messages"],
+        &[
+            "N sensed",
+            "architecture",
+            "latency",
+            "pred",
+            "energy",
+            "pred",
+            "messages",
+        ],
     );
     let cost = CostModel::uniform();
     for &side in grid_sides {
         let n = (side as usize).pow(2);
 
         // Grid: hierarchical reduce on the m×m grid.
-        let mut vm: Vm<CollectiveMsg> = Vm::new(side, cost, 1, |_| 1.0, move |_| {
-            Box::new(ReduceProgram::new(side, ReduceOp::Sum))
-        });
+        let mut vm: Vm<CollectiveMsg> = Vm::new(
+            side,
+            cost,
+            1,
+            |_| 1.0,
+            move |_| Box::new(ReduceProgram::new(side, ReduceOp::Sum)),
+        );
         vm.run();
         let m = vm.metrics();
         let est = quadtree_merge_estimate(side, &cost, &|_| 1, &|_| 4, 1);
@@ -858,9 +1077,13 @@ pub fn exp19_architecture_selection(grid_sides: &[u32]) -> Table {
         let tree = VirtualTree::balanced_kary(4, depth);
         let t2 = tree.clone();
         let est = tree_convergecast_estimate(&tree, &cost, 1);
-        let mut tvm = TreeVm::new(tree, cost, 1, |_| 1.0, move |id| {
-            Box::new(ConvergecastSum::new(t2.children(id).len()))
-        });
+        let mut tvm = TreeVm::new(
+            tree,
+            cost,
+            1,
+            |_| 1.0,
+            move |id| Box::new(ConvergecastSum::new(t2.children(id).len())),
+        );
         let (latency, energy, messages) = tvm.run();
         t.row(vec![
             n.to_string(),
@@ -892,7 +1115,10 @@ mod tests {
     fn exp6_dandc_wins_at_scale() {
         let t = exp6_dandc_vs_central(&[16], &[0.2]);
         let ratio: f64 = t.cell(0, 4).parse().unwrap();
-        assert!(ratio > 1.0, "centralized/dandc energy ratio {ratio} should exceed 1");
+        assert!(
+            ratio > 1.0,
+            "centralized/dandc energy ratio {ratio} should exceed 1"
+        );
     }
 
     #[test]
@@ -900,7 +1126,10 @@ mod tests {
         let t = exp7_topology_emulation(&[4], &[3], &[5.0f64.sqrt()]);
         assert_eq!(t.cell(0, 9), "true");
         let ratio: f64 = t.cell(0, 6).parse().unwrap();
-        assert!(ratio < 10.0, "elapsed should track cell diameter, ratio {ratio}");
+        assert!(
+            ratio < 10.0,
+            "elapsed should track cell diameter, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -935,7 +1164,10 @@ mod tests {
         let t = exp11_energy_balance(8, 16);
         let jain_nw: f64 = t.cell(0, 6).parse().unwrap();
         let jain_rot: f64 = t.cell(2, 6).parse().unwrap();
-        assert!(jain_rot > jain_nw, "rotating {jain_rot} should beat NW {jain_nw}");
+        assert!(
+            jain_rot > jain_nw,
+            "rotating {jain_rot} should beat NW {jain_nw}"
+        );
     }
 
     #[test]
@@ -995,7 +1227,10 @@ mod tests {
         let t = exp18_sampling_accuracy(2, &[8], &[2.0]);
         let single: f64 = t.cell(0, 2).parse().unwrap();
         let sampled: f64 = t.cell(0, 3).parse().unwrap();
-        assert!(sampled < single, "averaging 8 samples must beat one: {sampled} vs {single}");
+        assert!(
+            sampled < single,
+            "averaging 8 samples must beat one: {sampled} vs {single}"
+        );
     }
 
     #[test]
@@ -1009,6 +1244,28 @@ mod tests {
         let grid_lat: u64 = t.cell(0, 2).parse().unwrap();
         let tree_lat: u64 = t.cell(1, 2).parse().unwrap();
         assert!(tree_lat < grid_lat);
+    }
+
+    #[test]
+    fn end_to_end_trace_phases_cover_the_run() {
+        let doc = record_end_to_end_trace(4, 2, 5, true);
+        let meta = doc.meta.clone().expect("trace has a meta line");
+        assert_eq!(meta.grid, 4);
+        assert_eq!(meta.nodes, 32);
+        let names: Vec<&str> = doc.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["topology-emulation", "binding", "application"]);
+        let phase_sum: u64 = doc.spans.iter().map(|s| s.duration_ticks()).sum();
+        assert_eq!(phase_sum, meta.total_ticks, "phases tile the run");
+        assert!(doc.counter("net.messages") > 0);
+        assert!(
+            !doc.events.is_empty(),
+            "trace_events captures the dispatch log"
+        );
+        assert_eq!(doc.nodes.len(), 32);
+        // The export round-trips through JSONL.
+        let parsed = wsn_obs::TraceDocument::from_jsonl(&doc.to_jsonl()).unwrap();
+        assert_eq!(parsed.spans, doc.spans);
+        assert_eq!(parsed.counters, doc.counters);
     }
 
     #[test]

@@ -2,12 +2,15 @@
 
 use wsn_core::Hierarchy;
 use wsn_synth::{
-    quadtree_task_graph, render_figure4, synthesize_quadtree_program, Mapper, QuadrantMapper,
-    QuadTree,
+    quadtree_task_graph, render_figure4, synthesize_quadtree_program, Mapper, QuadTree,
+    QuadrantMapper,
 };
 
 fn labels_of_level(qt: &QuadTree, level: usize) -> Vec<usize> {
-    qt.ids_by_level[level].iter().map(|&t| qt.figure_label(t)).collect()
+    qt.ids_by_level[level]
+        .iter()
+        .map(|&t| qt.figure_label(t))
+        .collect()
 }
 
 /// Figure 2: the quad-tree representation of the algorithm (4×4 grid),
@@ -17,8 +20,10 @@ pub fn fig2_quadtree() -> String {
     let mut out = String::new();
     out.push_str("Figure 2: quad-tree representation of the algorithm (4x4 grid)\n\n");
     for level in (0..qt.ids_by_level.len()).rev() {
-        let labels: Vec<String> =
-            labels_of_level(&qt, level).iter().map(|l| format!("{l:>2}")).collect();
+        let labels: Vec<String> = labels_of_level(&qt, level)
+            .iter()
+            .map(|l| format!("{l:>2}"))
+            .collect();
         out.push_str(&format!("Level {level}: {}\n", labels.join("  ")));
     }
     out.push_str("\nEdges (child -> parent):\n");
@@ -57,7 +62,10 @@ pub fn fig3_mapping() -> String {
             if col == 2 {
                 cells.push("|".to_owned());
             }
-            cells.push(format!("{:>2}", h.morton_index(wsn_core::GridCoord::new(col, row))));
+            cells.push(format!(
+                "{:>2}",
+                h.morton_index(wsn_core::GridCoord::new(col, row))
+            ));
         }
         out.push_str(&cells.join(" "));
         out.push('\n');
@@ -71,7 +79,10 @@ pub fn fig3_mapping() -> String {
         .iter()
         .map(|&t| h.morton_index(mapping.node_of(t)).to_string())
         .collect();
-    out.push_str(&format!("  level-1 nodes    -> locations {}\n", level1.join(", ")));
+    out.push_str(&format!(
+        "  level-1 nodes    -> locations {}\n",
+        level1.join(", ")
+    ));
     out.push_str("  leaves (level 0) -> their own locations 0..15\n");
     out
 }

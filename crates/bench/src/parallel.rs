@@ -2,9 +2,9 @@
 //!
 //! Every simulation is single-threaded and deterministic, so independent
 //! trials parallelize perfectly: [`parallel_map`] fans a work list over
-//! the machine's cores with crossbeam's scoped threads and returns results
-//! in input order. Determinism is preserved — ordering comes from the
-//! input position, not from completion time.
+//! the machine's cores with `std::thread::scope` and returns results in
+//! input order. Determinism is preserved — ordering comes from the input
+//! position, not from completion time.
 
 /// Applies `f` to every item on a pool of scoped threads, returning
 /// results in input order.
@@ -18,7 +18,10 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
     let chunk_size = n.div_ceil(workers);
 
     let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
@@ -30,17 +33,16 @@ where
     }
 
     let f = &f;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move |_| chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
             .collect();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     })
-    .expect("sweep scope failed")
 }
 
 #[cfg(test)]
@@ -78,7 +80,10 @@ mod tests {
                 seed,
                 wsn_topoquery::Implementation::Native,
             );
-            (out.metrics.total_energy, out.summary.map(|s| s.region_count()))
+            (
+                out.metrics.total_energy,
+                out.summary.map(|s| s.region_count()),
+            )
         };
         let parallel = parallel_map(seeds.clone(), run);
         let sequential: Vec<_> = seeds.into_iter().map(run).collect();

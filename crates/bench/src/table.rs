@@ -57,7 +57,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -85,8 +92,11 @@ impl fmt::Display for Table {
         writeln!(f, "{}", line.join("  "))?;
         writeln!(f, "{}", "-".repeat(line.join("  ").len()))?;
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             writeln!(f, "{}", line.join("  "))?;
         }
         Ok(())

@@ -55,7 +55,10 @@ impl fmt::Display for VirtualArchitecture {
         write!(
             f,
             "  cost model    : tx={} rx={} compute={} energy/unit; {} tick(s)/unit/hop",
-            self.cost.tx_energy, self.cost.rx_energy, self.cost.compute_energy, self.cost.ticks_per_unit
+            self.cost.tx_energy,
+            self.cost.rx_energy,
+            self.cost.compute_energy,
+            self.cost.ticks_per_unit
         )
     }
 }

@@ -116,7 +116,11 @@ impl ReduceProgram {
     }
 
     /// A reduction of `transform(reading)` under `op`.
-    pub fn with_transform(side: u32, op: ReduceOp, transform: impl Fn(f64) -> f64 + 'static) -> Self {
+    pub fn with_transform(
+        side: u32,
+        op: ReduceOp,
+        transform: impl Fn(f64) -> f64 + 'static,
+    ) -> Self {
         let hierarchy = Hierarchy::new(side);
         let levels = hierarchy.max_level() as usize + 2;
         ReduceProgram {
@@ -151,14 +155,26 @@ impl ReduceProgram {
             });
         } else {
             let dest = self.hierarchy.leader(api.coord(), level);
-            api.send(dest, 1, CollectiveMsg::Reduce { level, value, count });
+            api.send(
+                dest,
+                1,
+                CollectiveMsg::Reduce {
+                    level,
+                    value,
+                    count,
+                },
+            );
         }
     }
 
     fn absorb(&mut self, api: &mut dyn NodeApi<CollectiveMsg>, level: u8, value: f64, count: u64) {
         api.compute(1);
         let slot = &mut self.partial[level as usize];
-        slot.0 = if slot.2 == 0 { value } else { self.op.combine(slot.0, value) };
+        slot.0 = if slot.2 == 0 {
+            value
+        } else {
+            self.op.combine(slot.0, value)
+        };
         slot.1 += count;
         slot.2 += 1;
         if slot.2 == 4 {
@@ -176,7 +192,11 @@ impl NodeProgram<CollectiveMsg> for ReduceProgram {
         };
         api.compute(1);
         if self.hierarchy.max_level() == 0 {
-            api.exfiltrate(CollectiveMsg::Reduce { level: 0, value: contribution, count: 1 });
+            api.exfiltrate(CollectiveMsg::Reduce {
+                level: 0,
+                value: contribution,
+                count: 1,
+            });
         } else {
             self.ship(api, 1, contribution, 1);
         }
@@ -189,7 +209,11 @@ impl NodeProgram<CollectiveMsg> for ReduceProgram {
         msg: CollectiveMsg,
     ) {
         match msg {
-            CollectiveMsg::Reduce { level, value, count } => self.absorb(api, level, value, count),
+            CollectiveMsg::Reduce {
+                level,
+                value,
+                count,
+            } => self.absorb(api, level, value, count),
             other => panic!("reduce program received {other:?}"),
         }
     }
@@ -209,7 +233,11 @@ impl DisseminateProgram {
     /// A disseminate program for one node; only the root's `root_value`
     /// matters.
     pub fn new(side: u32, root_value: f64) -> Self {
-        DisseminateProgram { root_value, hierarchy: Hierarchy::new(side), delivered: false }
+        DisseminateProgram {
+            root_value,
+            hierarchy: Hierarchy::new(side),
+            delivered: false,
+        }
     }
 
     fn fan_out(&mut self, api: &mut dyn NodeApi<CollectiveMsg>, my_level: u8, value: f64) {
@@ -228,7 +256,10 @@ impl DisseminateProgram {
                     api.send(
                         child,
                         1,
-                        CollectiveMsg::Disseminate { level: level - 1, value },
+                        CollectiveMsg::Disseminate {
+                            level: level - 1,
+                            value,
+                        },
                     );
                 }
             }
@@ -276,7 +307,11 @@ pub fn snake_coord(grid: VirtualGrid, index: usize) -> GridCoord {
     let side = grid.side() as usize;
     assert!(index < side * side, "snake index out of range");
     let row = index / side;
-    let col = if row.is_multiple_of(2) { index % side } else { side - 1 - index % side };
+    let col = if row.is_multiple_of(2) {
+        index % side
+    } else {
+        side - 1 - index % side
+    };
     GridCoord::new(col as u32, row as u32)
 }
 
@@ -313,7 +348,11 @@ impl SortProgram {
         let n = self.grid.node_count();
         let partner = if phase.is_multiple_of(2) {
             // pairs (0,1), (2,3), …
-            if i.is_multiple_of(2) { i + 1 } else { i - 1 }
+            if i.is_multiple_of(2) {
+                i + 1
+            } else {
+                i - 1
+            }
         } else {
             // pairs (1,2), (3,4), …
             if i == 0 {
@@ -339,7 +378,14 @@ impl SortProgram {
             if self.sent_phase != Some(self.phase) {
                 self.sent_phase = Some(self.phase);
                 let dest = snake_coord(self.grid, partner);
-                api.send(dest, 1, CollectiveMsg::Sort { phase: self.phase, value: self.value });
+                api.send(
+                    dest,
+                    1,
+                    CollectiveMsg::Sort {
+                        phase: self.phase,
+                        value: self.value,
+                    },
+                );
             }
             let Some(theirs) = self.inbox.remove(&self.phase) else {
                 return; // wait for the partner
@@ -352,7 +398,10 @@ impl SortProgram {
             };
             self.phase += 1;
         }
-        api.exfiltrate(CollectiveMsg::Sort { phase: i as u32, value: self.value });
+        api.exfiltrate(CollectiveMsg::Sort {
+            phase: i as u32,
+            value: self.value,
+        });
     }
 }
 

@@ -26,7 +26,12 @@ pub struct CostModel {
 impl CostModel {
     /// The paper's uniform cost function: every coefficient is one.
     pub fn uniform() -> Self {
-        CostModel { tx_energy: 1.0, rx_energy: 1.0, compute_energy: 1.0, ticks_per_unit: 1 }
+        CostModel {
+            tx_energy: 1.0,
+            rx_energy: 1.0,
+            compute_energy: 1.0,
+            ticks_per_unit: 1,
+        }
     }
 
     /// Latency of pushing `units` of data across one hop (min. one tick).
@@ -90,7 +95,12 @@ mod tests {
 
     #[test]
     fn asymmetric_model_respected() {
-        let c = CostModel { tx_energy: 2.0, rx_energy: 0.5, compute_energy: 0.1, ticks_per_unit: 3 };
+        let c = CostModel {
+            tx_energy: 2.0,
+            rx_energy: 0.5,
+            compute_energy: 0.1,
+            ticks_per_unit: 3,
+        };
         assert_eq!(c.path_energy(2, 4), 2.0 * 4.0 * 2.5);
         assert_eq!(c.path_ticks(2, 4), 24);
         assert!((c.compute(10) - 1.0).abs() < 1e-12);

@@ -73,7 +73,12 @@ pub fn quadtree_merge_estimate(
         latency += cost.path_ticks(2 * q, units);
     }
 
-    Estimate { latency_ticks: latency, total_energy: energy, messages, data_units }
+    Estimate {
+        latency_ticks: latency,
+        total_energy: energy,
+        messages,
+        data_units,
+    }
 }
 
 /// Estimates the centralized baseline: every node computes its reading

@@ -97,7 +97,10 @@ impl VirtualGrid {
     /// Inverse of [`VirtualGrid::index`].
     pub fn coord(&self, index: usize) -> GridCoord {
         assert!(index < self.node_count(), "index {index} out of range");
-        GridCoord::new((index % self.side as usize) as u32, (index / self.side as usize) as u32)
+        GridCoord::new(
+            (index % self.side as usize) as u32,
+            (index / self.side as usize) as u32,
+        )
     }
 
     /// The neighbor of `c` in direction `dir`, if it exists.
@@ -115,7 +118,10 @@ impl VirtualGrid {
 
     /// All existing neighbors of `c`, in N-E-S-W order.
     pub fn neighbors(&self, c: GridCoord) -> Vec<GridCoord> {
-        Direction::ALL.iter().filter_map(|&d| self.neighbor(c, d)).collect()
+        Direction::ALL
+            .iter()
+            .filter_map(|&d| self.neighbor(c, d))
+            .collect()
     }
 
     /// Shortest-path hop distance (Manhattan metric — the cost the group
@@ -190,7 +196,10 @@ mod tests {
         assert_eq!(g.neighbors(nw).len(), 2);
         assert_eq!(g.neighbors(GridCoord::new(1, 1)).len(), 4);
         let se = GridCoord::new(2, 2);
-        assert_eq!(g.neighbors(se), vec![GridCoord::new(2, 1), GridCoord::new(1, 2)]);
+        assert_eq!(
+            g.neighbors(se),
+            vec![GridCoord::new(2, 1), GridCoord::new(1, 2)]
+        );
     }
 
     #[test]

@@ -42,8 +42,14 @@ impl Hierarchy {
     /// quadrant scheme needs `side` to be a power of two (so that
     /// `log₄ n` is an integer); panics otherwise.
     pub fn new(side: u32) -> Self {
-        assert!(side > 0 && side.is_power_of_two(), "grid side must be a power of two, got {side}");
-        Hierarchy { side, max_level: side.trailing_zeros() as u8 }
+        assert!(
+            side > 0 && side.is_power_of_two(),
+            "grid side must be a power of two, got {side}"
+        );
+        Hierarchy {
+            side,
+            max_level: side.trailing_zeros() as u8,
+        }
     }
 
     /// Grid side.
@@ -59,7 +65,11 @@ impl Hierarchy {
 
     /// Side length of a level-`level` block, `2^level`.
     pub fn block_size(&self, level: u8) -> u32 {
-        assert!(level <= self.max_level, "level {level} exceeds max {}", self.max_level);
+        assert!(
+            level <= self.max_level,
+            "level {level} exceeds max {}",
+            self.max_level
+        );
         1 << level
     }
 
@@ -105,7 +115,10 @@ impl Hierarchy {
     /// Members of the level-`level` block led by `leader` (which must be a
     /// leader at that level), row-major, including the leader itself.
     pub fn members(&self, leader: GridCoord, level: u8) -> Vec<GridCoord> {
-        assert!(self.is_leader(leader, level), "{leader:?} is not a level-{level} leader");
+        assert!(
+            self.is_leader(leader, level),
+            "{leader:?} is not a level-{level} leader"
+        );
         let b = self.block_size(level);
         let mut out = Vec::with_capacity((b * b) as usize);
         for row in leader.row..leader.row + b {
@@ -121,7 +134,10 @@ impl Hierarchy {
     /// the children of a quad-tree node.
     pub fn children(&self, leader: GridCoord, level: u8) -> [GridCoord; 4] {
         assert!(level >= 1, "level-0 groups have no children");
-        assert!(self.is_leader(leader, level), "{leader:?} is not a level-{level} leader");
+        assert!(
+            self.is_leader(leader, level),
+            "{leader:?} is not a level-{level} leader"
+        );
         let b = self.block_size(level - 1);
         [
             leader,
@@ -154,7 +170,10 @@ impl Hierarchy {
 
     /// Inverse of [`Hierarchy::morton_index`].
     pub fn from_morton(&self, index: usize) -> GridCoord {
-        assert!(index < (self.side as usize).pow(2), "morton index out of range");
+        assert!(
+            index < (self.side as usize).pow(2),
+            "morton index out of range"
+        );
         let mut col = 0u32;
         let mut row = 0u32;
         for bit in 0..self.max_level {
@@ -214,7 +233,11 @@ mod tests {
     fn top_level_leader_is_origin() {
         let h = h4();
         assert_eq!(h.leaders_at(2), vec![GridCoord::new(0, 0)]);
-        for c in [GridCoord::new(3, 3), GridCoord::new(0, 0), GridCoord::new(2, 1)] {
+        for c in [
+            GridCoord::new(3, 3),
+            GridCoord::new(0, 0),
+            GridCoord::new(2, 1),
+        ] {
             assert_eq!(h.leader(c, 2), GridCoord::new(0, 0));
         }
     }
@@ -287,12 +310,8 @@ mod tests {
         //   8  9 | 12 13
         //  10 11 | 14 15
         let h = h4();
-        let expected: [[usize; 4]; 4] = [
-            [0, 1, 4, 5],
-            [2, 3, 6, 7],
-            [8, 9, 12, 13],
-            [10, 11, 14, 15],
-        ];
+        let expected: [[usize; 4]; 4] =
+            [[0, 1, 4, 5], [2, 3, 6, 7], [8, 9, 12, 13], [10, 11, 14, 15]];
         for (row, row_labels) in expected.iter().enumerate() {
             for (col, &label) in row_labels.iter().enumerate() {
                 let c = GridCoord::new(col as u32, row as u32);

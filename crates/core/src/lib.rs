@@ -44,10 +44,12 @@ pub use collective::{
     SortProgram,
 };
 pub use cost::CostModel;
-pub use estimate::{centralized_collection_estimate, follower_to_leader_hops, quadtree_merge_estimate, Estimate};
+pub use estimate::{
+    centralized_collection_estimate, follower_to_leader_hops, quadtree_merge_estimate, Estimate,
+};
 pub use grid::{Direction, GridCoord, VirtualGrid};
 pub use groups::Hierarchy;
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, CTR_DATA_UNITS, CTR_MESSAGES};
 pub use program::{NodeApi, NodeProgram, ProgramFactory};
 pub use tree::{
     spanning_tree_from_positions, tree_convergecast_estimate, ConvergecastSum, TreeApi,

@@ -8,6 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 use wsn_net::EnergyLedger;
+use wsn_obs::Registry;
+
+/// Canonical telemetry counter for application messages sent; platforms
+/// that publish to a [`Registry`] record under this name so
+/// [`RunMetrics::from_registry`] can read it back.
+pub const CTR_MESSAGES: &str = "net.messages";
+/// Canonical telemetry counter for application data units moved.
+pub const CTR_DATA_UNITS: &str = "net.data_units";
 
 /// The standard metric bundle the harness reports for every run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,7 +40,12 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Builds the bundle from an energy ledger plus harness-tracked
     /// latency and traffic totals.
-    pub fn from_ledger(ledger: &EnergyLedger, latency_ticks: u64, messages: u64, data_units: u64) -> Self {
+    pub fn from_ledger(
+        ledger: &EnergyLedger,
+        latency_ticks: u64,
+        messages: u64,
+        data_units: u64,
+    ) -> Self {
         RunMetrics {
             latency_ticks,
             total_energy: ledger.total(),
@@ -42,6 +55,19 @@ impl RunMetrics {
             messages,
             data_units,
         }
+    }
+
+    /// Builds the bundle by reading the canonical traffic counters
+    /// ([`CTR_MESSAGES`], [`CTR_DATA_UNITS`]) from a telemetry registry.
+    /// A disabled registry reads as zero traffic, so callers can pass the
+    /// same registry handle whether or not telemetry is on.
+    pub fn from_registry(registry: &Registry, ledger: &EnergyLedger, latency_ticks: u64) -> Self {
+        Self::from_ledger(
+            ledger,
+            latency_ticks,
+            registry.counter(CTR_MESSAGES),
+            registry.counter(CTR_DATA_UNITS),
+        )
     }
 }
 
@@ -63,6 +89,23 @@ mod tests {
         assert_eq!(m.messages, 3);
         assert_eq!(m.data_units, 12);
         assert!(m.energy_balance < 1.0);
+    }
+
+    #[test]
+    fn from_registry_reads_canonical_counters() {
+        let mut l = EnergyLedger::unlimited(2);
+        l.charge(0, EnergyKind::Tx, 2.0);
+        let reg = Registry::enabled();
+        reg.incr_by(CTR_MESSAGES, 7);
+        reg.incr_by(CTR_DATA_UNITS, 21);
+        let m = RunMetrics::from_registry(&reg, &l, 5);
+        assert_eq!(m.messages, 7);
+        assert_eq!(m.data_units, 21);
+        assert_eq!(m.latency_ticks, 5);
+        assert_eq!(m.total_energy, 2.0);
+        // A disabled registry degrades to zero traffic, not a panic.
+        let off = RunMetrics::from_registry(&Registry::disabled(), &l, 5);
+        assert_eq!(off.messages, 0);
     }
 
     #[test]

@@ -62,6 +62,20 @@ pub trait NodeApi<P> {
         let dest = hierarchy.leader(self.coord(), level);
         self.send(dest, units, payload);
     }
+
+    /// Bumps the platform statistic counter `name`. Programs may emit
+    /// domain counters (e.g. per-level merge completions) that the
+    /// telemetry layer picks up; platforms without a stats sink ignore the
+    /// call, so the default is a no-op.
+    fn stat_incr(&mut self, name: &str) {
+        let _ = name;
+    }
+
+    /// Records `value` into the platform statistic histogram `name`.
+    /// No-op by default, like [`NodeApi::stat_incr`].
+    fn stat_observe(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
 }
 
 /// A reactive, event-driven node program (§4.3's programming model).
@@ -137,6 +151,14 @@ mod tests {
         assert_eq!(api.sends, vec![(GridCoord::new(2, 0), 5, 42)]);
         api.send_to_leader(&h, 2, 1, 7);
         assert_eq!(api.sends[1].0, GridCoord::new(0, 0));
+    }
+
+    #[test]
+    fn default_stat_hooks_are_noops() {
+        let mut api = MockApi::at(0, 0, 2);
+        api.stat_incr("merge.level1.complete");
+        api.stat_observe("merge.level1.complete_at", 3.0);
+        assert_eq!(api.computed, 0, "hooks must not charge the platform");
     }
 
     #[test]

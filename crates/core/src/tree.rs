@@ -34,9 +34,13 @@ impl VirtualTree {
     pub fn from_parents(parents: Vec<Option<usize>>) -> Self {
         let n = parents.len();
         assert!(n > 0, "empty tree");
-        let roots: Vec<usize> =
-            (0..n).filter(|&i| parents[i].is_none()).collect();
-        assert_eq!(roots.len(), 1, "exactly one root required, found {}", roots.len());
+        let roots: Vec<usize> = (0..n).filter(|&i| parents[i].is_none()).collect();
+        assert_eq!(
+            roots.len(),
+            1,
+            "exactly one root required, found {}",
+            roots.len()
+        );
         let root = roots[0];
         let mut children = vec![Vec::new(); n];
         for (i, &p) in parents.iter().enumerate() {
@@ -59,7 +63,12 @@ impl VirtualTree {
             }
         }
         assert_eq!(seen, n, "disconnected parent structure");
-        VirtualTree { parents, children, depths, root }
+        VirtualTree {
+            parents,
+            children,
+            depths,
+            root,
+        }
     }
 
     /// A balanced `k`-ary tree of the given depth (depth 0 = root only).
@@ -113,7 +122,9 @@ impl VirtualTree {
 
     /// Leaves in index order.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.node_count()).filter(|&v| self.children[v].is_empty()).collect()
+        (0..self.node_count())
+            .filter(|&v| self.children[v].is_empty())
+            .collect()
     }
 
     /// Hop distance between two nodes (through their lowest common
@@ -257,16 +268,21 @@ impl<P: 'static> TreeApi<P> for TreeNodeApi<'_, '_, P> {
     }
 
     fn compute(&mut self, units: u64) {
-        self.shared
-            .ledger
-            .borrow_mut()
-            .charge(self.id, EnergyKind::Compute, self.shared.cost.compute(units));
+        self.shared.ledger.borrow_mut().charge(
+            self.id,
+            EnergyKind::Compute,
+            self.shared.cost.compute(units),
+        );
     }
 
     fn send(&mut self, dest: usize, units: u64, payload: P) {
         let tree = &self.shared.tree;
         let is_edge = tree.parent(self.id) == Some(dest) || tree.parent(dest) == Some(self.id);
-        assert!(is_edge, "tree sends travel along edges: {} -> {dest}", self.id);
+        assert!(
+            is_edge,
+            "tree sends travel along edges: {} -> {dest}",
+            self.id
+        );
         {
             let mut ledger = self.shared.ledger.borrow_mut();
             let cost = &self.shared.cost;
@@ -277,17 +293,31 @@ impl<P: 'static> TreeApi<P> for TreeNodeApi<'_, '_, P> {
         self.ctx.stats().add("treevm.data_units", units);
         let delay = SimTime::from_ticks(self.shared.cost.hop_ticks(units));
         let target = self.shared.actors.borrow()[dest];
-        self.ctx.send(target, delay, TreeEnvelope { from: self.id, payload });
+        self.ctx.send(
+            target,
+            delay,
+            TreeEnvelope {
+                from: self.id,
+                payload,
+            },
+        );
     }
 
     fn exfiltrate(&mut self, payload: P) {
-        self.shared.exfil.borrow_mut().push((self.id, self.ctx.now(), payload));
+        self.shared
+            .exfil
+            .borrow_mut()
+            .push((self.id, self.ctx.now(), payload));
     }
 }
 
 impl<P: 'static> Actor<TreeEnvelope<P>> for TreeNode<P> {
     fn on_timer(&mut self, ctx: &mut Context<'_, TreeEnvelope<P>>, _tag: u64) {
-        let mut api = TreeNodeApi { id: self.id, shared: &self.shared, ctx };
+        let mut api = TreeNodeApi {
+            id: self.id,
+            shared: &self.shared,
+            ctx,
+        };
         self.program.on_init(&mut api);
     }
 
@@ -297,7 +327,11 @@ impl<P: 'static> Actor<TreeEnvelope<P>> for TreeNode<P> {
         _from: ActorId,
         msg: TreeEnvelope<P>,
     ) {
-        let mut api = TreeNodeApi { id: self.id, shared: &self.shared, ctx };
+        let mut api = TreeNodeApi {
+            id: self.id,
+            shared: &self.shared,
+            ctx,
+        };
         self.program.on_receive(&mut api, msg.from, msg.payload);
     }
 }
@@ -432,7 +466,7 @@ pub fn tree_convergecast_estimate(tree: &VirtualTree, cost: &CostModel, units: u
         latency_ticks: u64::from(tree.height()) * cost.hop_ticks(units),
         total_energy: edges as f64 * units as f64 * (cost.tx_energy + cost.rx_energy)
             + tree.node_count() as f64 * cost.compute(1)     // leaf/init computes
-            + edges as f64 * cost.compute(1),                // one merge per received partial
+            + edges as f64 * cost.compute(1), // one merge per received partial
         messages: edges,
         data_units: edges * units,
     }
@@ -513,10 +547,12 @@ mod tests {
             assert_eq!(*count, n as u64);
             assert_eq!(*sum, (0..n).map(|i| i as f64).sum::<f64>());
             // Exact match with the closed form.
-            let est =
-                tree_convergecast_estimate(vm.tree(), &CostModel::uniform(), 1);
+            let est = tree_convergecast_estimate(vm.tree(), &CostModel::uniform(), 1);
             assert_eq!(latency, est.latency_ticks, "k={k} depth={depth}");
-            assert!((energy - est.total_energy).abs() < 1e-9, "k={k} depth={depth}");
+            assert!(
+                (energy - est.total_energy).abs() < 1e-9,
+                "k={k} depth={depth}"
+            );
             assert_eq!(messages, est.messages);
         }
     }
@@ -527,7 +563,11 @@ mod tests {
         let spec = DeploymentSpec {
             terrain_side: 60.0,
             cells_per_side: 6,
-            placement: Placement::Clustered { clusters: 4, per_cluster: 20, spread: 4.0 },
+            placement: Placement::Clustered {
+                clusters: 4,
+                per_cluster: 20,
+                spread: 4.0,
+            },
             ensure_coverage: false,
         };
         let d = spec.generate(7);
@@ -555,7 +595,10 @@ mod tests {
 
     #[test]
     fn disconnected_positions_yield_no_tree() {
-        let far = [wsn_net::Point::new(0.0, 0.0), wsn_net::Point::new(100.0, 0.0)];
+        let far = [
+            wsn_net::Point::new(0.0, 0.0),
+            wsn_net::Point::new(100.0, 0.0),
+        ];
         assert!(spanning_tree_from_positions(&far, 1.0).is_none());
         assert!(spanning_tree_from_positions(&[], 1.0).is_none());
     }

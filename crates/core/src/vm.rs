@@ -86,16 +86,20 @@ impl<P: 'static> NodeApi<P> for VmApi<'_, '_, P> {
 
     fn compute(&mut self, units: u64) {
         let idx = self.shared.grid.index(self.coord);
-        self.shared
-            .ledger
-            .borrow_mut()
-            .charge(idx, EnergyKind::Compute, self.shared.cost.compute(units));
+        self.shared.ledger.borrow_mut().charge(
+            idx,
+            EnergyKind::Compute,
+            self.shared.cost.compute(units),
+        );
         self.ctx.stats().add("vm.compute_units", units);
     }
 
     fn send(&mut self, dest: GridCoord, units: u64, payload: P) {
         let grid = self.shared.grid;
-        assert!(grid.contains(dest), "send to {dest:?} outside the virtual grid");
+        assert!(
+            grid.contains(dest),
+            "send to {dest:?} outside the virtual grid"
+        );
         let hops = grid.hops(self.coord, dest);
         {
             // Charge the whole store-and-forward path: source tx, relays
@@ -118,7 +122,14 @@ impl<P: 'static> NodeApi<P> for VmApi<'_, '_, P> {
         self.ctx.stats().incr("vm.messages");
         self.ctx.stats().add("vm.data_units", units);
         self.ctx.stats().observe("vm.hops", f64::from(hops));
-        self.ctx.send(target, delay, Envelope { from: self.coord, payload });
+        self.ctx.send(
+            target,
+            delay,
+            Envelope {
+                from: self.coord,
+                payload,
+            },
+        );
     }
 
     fn exfiltrate(&mut self, payload: P) {
@@ -134,16 +145,32 @@ impl<P: 'static> NodeApi<P> for VmApi<'_, '_, P> {
         let idx = self.shared.grid.index(self.coord);
         self.shared.ledger.borrow().residual(idx)
     }
+
+    fn stat_incr(&mut self, name: &str) {
+        self.ctx.stats().incr(name);
+    }
+
+    fn stat_observe(&mut self, name: &str, value: f64) {
+        self.ctx.stats().observe(name, value);
+    }
 }
 
 impl<P: 'static> Actor<Envelope<P>> for VmNode<P> {
     fn on_timer(&mut self, ctx: &mut Context<'_, Envelope<P>>, _tag: u64) {
-        let mut api = VmApi { coord: self.coord, shared: &self.shared, ctx };
+        let mut api = VmApi {
+            coord: self.coord,
+            shared: &self.shared,
+            ctx,
+        };
         self.program.on_init(&mut api);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Envelope<P>>, _from: ActorId, msg: Envelope<P>) {
-        let mut api = VmApi { coord: self.coord, shared: &self.shared, ctx };
+        let mut api = VmApi {
+            coord: self.coord,
+            shared: &self.shared,
+            ctx,
+        };
         self.program.on_receive(&mut api, msg.from, msg.payload);
     }
 }
@@ -301,7 +328,13 @@ mod tests {
             CostModel::uniform(),
             1,
             |c| f64::from(c.col + c.row),
-            move |_| Box::new(Gather { expected: n, seen: 0, sum: 0.0 }),
+            move |_| {
+                Box::new(Gather {
+                    expected: n,
+                    seen: 0,
+                    sum: 0.0,
+                })
+            },
         )
     }
 
@@ -396,8 +429,7 @@ mod tests {
             }
             fn on_receive(&mut self, _api: &mut dyn NodeApi<f64>, _f: GridCoord, _p: f64) {}
         }
-        let mut vm: Vm<f64> =
-            Vm::new(3, CostModel::uniform(), 3, |_| 0.0, |_| Box::new(OneShot));
+        let mut vm: Vm<f64> = Vm::new(3, CostModel::uniform(), 3, |_| 0.0, |_| Box::new(OneShot));
         vm.run();
         let ledger = vm.ledger();
         let g = vm.grid();

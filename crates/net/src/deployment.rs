@@ -86,7 +86,10 @@ impl DeploymentSpec {
         let mut positions = Vec::new();
 
         let uniform_point = |rng: &mut DetRng| {
-            Point::new(rng.range_f64(0.0, terrain.side()), rng.range_f64(0.0, terrain.side()))
+            Point::new(
+                rng.range_f64(0.0, terrain.side()),
+                rng.range_f64(0.0, terrain.side()),
+            )
         };
 
         match self.placement {
@@ -104,7 +107,11 @@ impl DeploymentSpec {
                     }
                 }
             }
-            Placement::Clustered { clusters, per_cluster, spread } => {
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                spread,
+            } => {
                 for _ in 0..clusters {
                     let center = uniform_point(&mut rng);
                     for _ in 0..per_cluster {
@@ -159,7 +166,11 @@ impl Deployment {
         for (i, &p) in positions.iter().enumerate() {
             nodes_by_cell[cell_index(&grid, grid.cell_of(p))].push(i);
         }
-        Deployment { grid, positions, nodes_by_cell }
+        Deployment {
+            grid,
+            positions,
+            nodes_by_cell,
+        }
     }
 
     /// The cell partition.
@@ -262,7 +273,11 @@ mod tests {
         for placement in [
             Placement::UniformRandom { n: 200 },
             Placement::PerCell { per_cell: 2 },
-            Placement::Clustered { clusters: 5, per_cluster: 40, spread: 15.0 },
+            Placement::Clustered {
+                clusters: 5,
+                per_cluster: 40,
+                spread: 15.0,
+            },
         ] {
             let spec = DeploymentSpec {
                 terrain_side: 50.0,
@@ -272,7 +287,10 @@ mod tests {
             };
             let d = spec.generate(3);
             for &p in d.positions() {
-                assert!(d.grid().terrain().bounds().contains(p), "{p} outside terrain");
+                assert!(
+                    d.grid().terrain().bounds().contains(p),
+                    "{p} outside terrain"
+                );
             }
         }
     }
@@ -299,7 +317,11 @@ mod tests {
         let spec = DeploymentSpec {
             terrain_side: 100.0,
             cells_per_side: 10,
-            placement: Placement::Clustered { clusters: 2, per_cluster: 50, spread: 3.0 },
+            placement: Placement::Clustered {
+                clusters: 2,
+                per_cluster: 50,
+                spread: 3.0,
+            },
             ensure_coverage: false,
         };
         let d = spec.generate(11);

@@ -42,13 +42,19 @@ pub struct EnergyLedger {
 impl EnergyLedger {
     /// A ledger for `n` nodes with unlimited budgets.
     pub fn unlimited(n: usize) -> Self {
-        EnergyLedger { consumed: vec![[0.0; KINDS]; n], budget: None }
+        EnergyLedger {
+            consumed: vec![[0.0; KINDS]; n],
+            budget: None,
+        }
     }
 
     /// A ledger for `n` nodes that each start with `budget` units.
     pub fn with_budget(n: usize, budget: f64) -> Self {
         assert!(budget > 0.0, "budget must be positive");
-        EnergyLedger { consumed: vec![[0.0; KINDS]; n], budget: Some(budget) }
+        EnergyLedger {
+            consumed: vec![[0.0; KINDS]; n],
+            budget: Some(budget),
+        }
     }
 
     /// Number of tracked nodes.
@@ -90,7 +96,9 @@ impl EnergyLedger {
     /// Highest per-node consumption — the hotspot that dies first under
     /// equal budgets.
     pub fn max_consumed(&self) -> f64 {
-        (0..self.node_count()).map(|i| self.consumed(i)).fold(0.0, f64::max)
+        (0..self.node_count())
+            .map(|i| self.consumed(i))
+            .fold(0.0, f64::max)
     }
 
     /// Mean per-node consumption.
@@ -125,6 +133,49 @@ impl EnergyLedger {
         let mean = self.mean_consumed();
         (mean > 0.0).then(|| self.max_consumed() / mean)
     }
+
+    /// Per-node breakdown of the whole ledger, in node order. This is the
+    /// exportable form trace documents and inspection tools consume.
+    pub fn snapshot(&self) -> Vec<EnergySnapshot> {
+        (0..self.node_count())
+            .map(|node| EnergySnapshot {
+                node,
+                tx: self.consumed_kind(node, EnergyKind::Tx),
+                rx: self.consumed_kind(node, EnergyKind::Rx),
+                compute: self.consumed_kind(node, EnergyKind::Compute),
+                total: self.consumed(node),
+            })
+            .collect()
+    }
+
+    /// The `k` hottest nodes by total consumption, descending; ties break
+    /// toward the lower node id so the ordering is deterministic.
+    pub fn hottest(&self, k: usize) -> Vec<EnergySnapshot> {
+        let mut all = self.snapshot();
+        all.sort_by(|a, b| {
+            b.total
+                .partial_cmp(&a.total)
+                .expect("energy totals are finite")
+                .then(a.node.cmp(&b.node))
+        });
+        all.truncate(k);
+        all
+    }
+}
+
+/// One node's share of an [`EnergyLedger`], broken down by cause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySnapshot {
+    /// Node index in the ledger.
+    pub node: usize,
+    /// Energy spent transmitting.
+    pub tx: f64,
+    /// Energy spent receiving.
+    pub rx: f64,
+    /// Energy spent computing.
+    pub compute: f64,
+    /// Sum across all causes.
+    pub total: f64,
 }
 
 #[cfg(test)]
@@ -200,6 +251,52 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_budget_panics() {
         EnergyLedger::with_budget(1, 0.0);
+    }
+
+    #[test]
+    fn snapshot_breaks_down_by_cause() {
+        let mut l = EnergyLedger::unlimited(2);
+        l.charge(0, EnergyKind::Tx, 3.0);
+        l.charge(0, EnergyKind::Rx, 2.0);
+        l.charge(1, EnergyKind::Compute, 5.0);
+        let snap = l.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap[0],
+            EnergySnapshot {
+                node: 0,
+                tx: 3.0,
+                rx: 2.0,
+                compute: 0.0,
+                total: 5.0
+            }
+        );
+        assert_eq!(
+            snap[1],
+            EnergySnapshot {
+                node: 1,
+                tx: 0.0,
+                rx: 0.0,
+                compute: 5.0,
+                total: 5.0
+            }
+        );
+    }
+
+    #[test]
+    fn hottest_orders_by_total_then_id() {
+        let mut l = EnergyLedger::unlimited(4);
+        l.charge(0, EnergyKind::Tx, 2.0);
+        l.charge(1, EnergyKind::Tx, 9.0);
+        l.charge(2, EnergyKind::Rx, 2.0); // ties with node 0 → node 0 first
+        l.charge(3, EnergyKind::Compute, 5.0);
+        let top: Vec<usize> = l.hottest(3).iter().map(|s| s.node).collect();
+        assert_eq!(top, vec![1, 3, 0]);
+        assert_eq!(
+            l.hottest(10).len(),
+            4,
+            "k larger than population is clamped"
+        );
     }
 }
 

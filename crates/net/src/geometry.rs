@@ -69,7 +69,10 @@ impl Rect {
 
     /// Geometric center.
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     /// Half-open membership test.

@@ -32,7 +32,10 @@ impl UnitDiskGraph {
             let min_x = positions.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
             let min_y = positions.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
             let bin = |p: Point| -> (i64, i64) {
-                (((p.x - min_x) / range).floor() as i64, ((p.y - min_y) / range).floor() as i64)
+                (
+                    ((p.x - min_x) / range).floor() as i64,
+                    ((p.y - min_y) / range).floor() as i64,
+                )
             };
             let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
                 std::collections::HashMap::new();
@@ -44,7 +47,9 @@ impl UnitDiskGraph {
                 let (bx, by) = bin(p);
                 for dx in -1..=1 {
                     for dy in -1..=1 {
-                        let Some(cands) = buckets.get(&(bx + dx, by + dy)) else { continue };
+                        let Some(cands) = buckets.get(&(bx + dx, by + dy)) else {
+                            continue;
+                        };
                         for &j in cands {
                             if j > i && p.distance_sq(positions[j]) <= range_sq {
                                 adjacency[i].push(j);
@@ -60,7 +65,11 @@ impl UnitDiskGraph {
             }
         }
 
-        UnitDiskGraph { range, adjacency, edge_count }
+        UnitDiskGraph {
+            range,
+            adjacency,
+            edge_count,
+        }
     }
 
     /// Transmission range `r`.
@@ -206,7 +215,9 @@ mod tests {
     use super::*;
 
     fn line(n: usize, spacing: f64) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
@@ -233,7 +244,10 @@ mod tests {
     fn hop_distances_on_line() {
         let g = UnitDiskGraph::build(&line(6, 1.0), 1.0);
         let d = g.hop_distances(0);
-        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(4), Some(5)]
+        );
     }
 
     #[test]
@@ -253,7 +267,10 @@ mod tests {
     fn subset_connectivity_and_diameter() {
         let g = UnitDiskGraph::build(&line(6, 1.0), 1.0);
         assert!(g.subset_connected(&[1, 2, 3]));
-        assert!(!g.subset_connected(&[0, 2]), "0 and 2 only connect through 1");
+        assert!(
+            !g.subset_connected(&[0, 2]),
+            "0 and 2 only connect through 1"
+        );
         assert_eq!(g.subset_diameter(&[1, 2, 3]), Some(2));
         assert_eq!(g.subset_diameter(&[0, 2]), None);
         assert_eq!(g.subset_diameter(&[4]), Some(0));

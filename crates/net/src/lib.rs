@@ -32,7 +32,7 @@ pub mod radio;
 pub mod terrain;
 
 pub use deployment::{Deployment, DeploymentSpec, Placement};
-pub use energy::{EnergyKind, EnergyLedger};
+pub use energy::{EnergyKind, EnergyLedger, EnergySnapshot};
 pub use fault::FaultPlan;
 pub use geometry::{Point, Rect};
 pub use graph::UnitDiskGraph;

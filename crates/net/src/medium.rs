@@ -53,7 +53,10 @@ impl MacModel {
     pub fn access_delay(self, sender: usize, now_ticks: u64) -> u64 {
         match self {
             MacModel::Ideal => 0,
-            MacModel::Tdma { frame_slots, slot_ticks } => {
+            MacModel::Tdma {
+                frame_slots,
+                slot_ticks,
+            } => {
                 assert!(frame_slots > 0 && slot_ticks > 0, "degenerate TDMA frame");
                 let frame = frame_slots * slot_ticks;
                 let my_slot_start = (sender as u64 % frame_slots) * slot_ticks;
@@ -80,13 +83,19 @@ pub struct LinkModel {
 impl LinkModel {
     /// Perfect links: no loss, no jitter — the cost-model ideal.
     pub fn ideal() -> Self {
-        LinkModel { drop_prob: 0.0, jitter_ticks: 0 }
+        LinkModel {
+            drop_prob: 0.0,
+            jitter_ticks: 0,
+        }
     }
 
     /// Lossy links with the given drop probability and jitter bound.
     pub fn lossy(drop_prob: f64, jitter_ticks: u64) -> Self {
         assert!((0.0..=1.0).contains(&drop_prob), "drop_prob out of [0,1]");
-        LinkModel { drop_prob, jitter_ticks }
+        LinkModel {
+            drop_prob,
+            jitter_ticks,
+        }
     }
 }
 
@@ -108,7 +117,12 @@ pub type SharedMedium = Rc<RefCell<Medium>>;
 impl Medium {
     /// Creates a medium over `graph` with the given radio, link model and
     /// energy ledger (which must track exactly the graph's nodes).
-    pub fn new(graph: UnitDiskGraph, radio: RadioModel, link: LinkModel, ledger: EnergyLedger) -> Self {
+    pub fn new(
+        graph: UnitDiskGraph,
+        radio: RadioModel,
+        link: LinkModel,
+        ledger: EnergyLedger,
+    ) -> Self {
         assert_eq!(
             graph.node_count(),
             ledger.node_count(),
@@ -212,8 +226,17 @@ impl Medium {
 
     /// Charges computation energy to `node` (e.g. a merge over `units` of
     /// data), killing it if the budget runs out.
-    pub fn charge_compute<M: Payload>(&mut self, ctx: &mut Context<'_, M>, node: usize, units: f64) {
-        self.ledger.charge(node, EnergyKind::Compute, units * self.radio.compute_energy_per_unit);
+    pub fn charge_compute<M: Payload>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        node: usize,
+        units: f64,
+    ) {
+        self.ledger.charge(
+            node,
+            EnergyKind::Compute,
+            units * self.radio.compute_energy_per_unit,
+        );
         ctx.stats().incr("medium.compute");
         self.check_depletion(node, ctx.now());
     }
@@ -224,7 +247,12 @@ impl Medium {
         }
     }
 
-    fn delivery_delay<M: Payload>(&self, ctx: &mut Context<'_, M>, from: usize, units: u64) -> SimTime {
+    fn delivery_delay<M: Payload>(
+        &self,
+        ctx: &mut Context<'_, M>,
+        from: usize,
+        units: u64,
+    ) -> SimTime {
         let access = self.mac.access_delay(from, ctx.now().ticks());
         let base = self.radio.tx_ticks(units);
         let jitter = if self.link.jitter_ticks == 0 {
@@ -257,8 +285,11 @@ impl Medium {
         if !self.alive[from] {
             return false;
         }
-        self.ledger
-            .charge(from, EnergyKind::Tx, units as f64 * self.radio.tx_energy_per_unit);
+        self.ledger.charge(
+            from,
+            EnergyKind::Tx,
+            units as f64 * self.radio.tx_energy_per_unit,
+        );
         ctx.stats().incr("medium.tx");
         ctx.stats().add("medium.tx_units", units);
         self.check_depletion(from, ctx.now());
@@ -267,8 +298,11 @@ impl Medium {
             ctx.stats().incr("medium.dropped");
             return false;
         }
-        self.ledger
-            .charge(to, EnergyKind::Rx, units as f64 * self.radio.rx_energy_per_unit);
+        self.ledger.charge(
+            to,
+            EnergyKind::Rx,
+            units as f64 * self.radio.rx_energy_per_unit,
+        );
         self.check_depletion(to, ctx.now());
         ctx.stats().incr("medium.delivered");
         let delay = self.delivery_delay(ctx, from, units);
@@ -290,8 +324,11 @@ impl Medium {
         if !self.alive[from] {
             return 0;
         }
-        self.ledger
-            .charge(from, EnergyKind::Tx, units as f64 * self.radio.tx_energy_per_unit);
+        self.ledger.charge(
+            from,
+            EnergyKind::Tx,
+            units as f64 * self.radio.tx_energy_per_unit,
+        );
         ctx.stats().incr("medium.tx");
         ctx.stats().add("medium.tx_units", units);
         self.check_depletion(from, ctx.now());
@@ -303,8 +340,11 @@ impl Medium {
                 ctx.stats().incr("medium.dropped");
                 continue;
             }
-            self.ledger
-                .charge(to, EnergyKind::Rx, units as f64 * self.radio.rx_energy_per_unit);
+            self.ledger.charge(
+                to,
+                EnergyKind::Rx,
+                units as f64 * self.radio.rx_energy_per_unit,
+            );
             self.check_depletion(to, ctx.now());
             ctx.stats().incr("medium.delivered");
             let delay = self.delivery_delay(ctx, from, units);
@@ -329,8 +369,11 @@ mod mac_tests {
 
     #[test]
     fn tdma_waits_for_own_slot() {
-        let mac = MacModel::Tdma { frame_slots: 4, slot_ticks: 2 }; // frame = 8
-        // Node 0 owns [0,2), node 1 [2,4), node 2 [4,6), node 3 [6,8).
+        let mac = MacModel::Tdma {
+            frame_slots: 4,
+            slot_ticks: 2,
+        }; // frame = 8
+           // Node 0 owns [0,2), node 1 [2,4), node 2 [4,6), node 3 [6,8).
         assert_eq!(mac.access_delay(0, 0), 0);
         assert_eq!(mac.access_delay(1, 0), 2);
         assert_eq!(mac.access_delay(3, 0), 6);
@@ -347,7 +390,10 @@ mod mac_tests {
 
     #[test]
     fn tdma_delay_is_bounded_by_frame() {
-        let mac = MacModel::Tdma { frame_slots: 8, slot_ticks: 3 };
+        let mac = MacModel::Tdma {
+            frame_slots: 8,
+            slot_ticks: 3,
+        };
         for sender in 0..20 {
             for now in 0..50 {
                 assert!(mac.access_delay(sender, now) < 24);
@@ -358,7 +404,11 @@ mod mac_tests {
     #[test]
     #[should_panic(expected = "degenerate TDMA")]
     fn zero_slot_frame_panics() {
-        MacModel::Tdma { frame_slots: 0, slot_ticks: 1 }.access_delay(0, 0);
+        MacModel::Tdma {
+            frame_slots: 0,
+            slot_ticks: 1,
+        }
+        .access_delay(0, 0);
     }
 }
 
@@ -382,13 +432,20 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ActorId, msg: Msg) {
             self.received.push(msg);
             if let Some(next) = self.forward_to {
-                self.medium.clone().borrow_mut().unicast(ctx, self.phys, next, 2, msg + 1);
+                self.medium
+                    .clone()
+                    .borrow_mut()
+                    .unicast(ctx, self.phys, next, 2, msg + 1);
             }
         }
     }
 
     fn three_node_line() -> (Kernel<Msg>, SharedMedium, Vec<ActorId>) {
-        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
         let graph = UnitDiskGraph::build(&pts, 1.0);
         let medium = Medium::new(
             graph,
@@ -442,7 +499,9 @@ mod tests {
                 self.medium.clone().borrow_mut().unicast(ctx, 0, 2, 1, 0);
             }
         }
-        let bad = k.add_actor(Box::new(Bad { medium: medium.clone() }));
+        let bad = k.add_actor(Box::new(Bad {
+            medium: medium.clone(),
+        }));
         let _ = actors;
         k.schedule_message(SimTime::ZERO, bad, bad, 0);
         k.run();
@@ -482,14 +541,21 @@ mod tests {
         let mut k: Kernel<Msg> = Kernel::new(9);
         let mut actors = Vec::new();
         for phys in 0..4 {
-            let a = k.add_actor(Box::new(Caster { medium: medium.clone(), received: 0 }));
+            let a = k.add_actor(Box::new(Caster {
+                medium: medium.clone(),
+                received: 0,
+            }));
             medium.borrow_mut().bind_actor(phys, a);
             actors.push(a);
         }
         k.schedule_message(SimTime::ZERO, actors[0], actors[0], 100);
         k.run();
         let m = medium.borrow();
-        assert_eq!(m.ledger().consumed_kind(0, EnergyKind::Tx), 3.0, "one tx charge");
+        assert_eq!(
+            m.ledger().consumed_kind(0, EnergyKind::Tx),
+            3.0,
+            "one tx charge"
+        );
         for (phys, &actor) in actors.iter().enumerate().skip(1) {
             assert_eq!(m.ledger().consumed_kind(phys, EnergyKind::Rx), 3.0);
             let c: &Caster = k.actor(actor).unwrap();
@@ -566,7 +632,9 @@ mod tests {
             }
         }
         let mut k: Kernel<Msg> = Kernel::new(5);
-        let s = k.add_actor(Box::new(Spammer { medium: medium.clone() }));
+        let s = k.add_actor(Box::new(Spammer {
+            medium: medium.clone(),
+        }));
         let r = k.add_actor(Box::new(Sink { received: 0 }));
         medium.borrow_mut().bind_actor(0, s);
         medium.borrow_mut().bind_actor(1, r);
@@ -574,8 +642,14 @@ mod tests {
         k.run();
         let sink: &Sink = k.actor(r).unwrap();
         let rate = f64::from(sink.received) / 1000.0;
-        assert!((rate - 0.7).abs() < 0.05, "delivery rate {rate} too far from 0.7");
-        assert_eq!(k.stats().counter("medium.dropped") + u64::from(sink.received), 1000);
+        assert!(
+            (rate - 0.7).abs() < 0.05,
+            "delivery rate {rate} too far from 0.7"
+        );
+        assert_eq!(
+            k.stats().counter("medium.dropped") + u64::from(sink.received),
+            1000
+        );
     }
 
     #[test]
@@ -606,14 +680,19 @@ mod tests {
             fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ActorId, _: Msg) {}
         }
         let mut k: Kernel<Msg> = Kernel::new(5);
-        let b = k.add_actor(Box::new(Burner { medium: medium.clone() }));
+        let b = k.add_actor(Box::new(Burner {
+            medium: medium.clone(),
+        }));
         let q = k.add_actor(Box::new(Quiet));
         medium.borrow_mut().bind_actor(0, b);
         medium.borrow_mut().bind_actor(1, q);
         k.schedule_timer(SimTime::ZERO, b, 10);
         k.run();
         let m = medium.borrow();
-        assert!(!m.is_alive(0), "sender should deplete after 2 sends of 3 units");
+        assert!(
+            !m.is_alive(0),
+            "sender should deplete after 2 sends of 3 units"
+        );
         assert!(m.first_death().is_some());
         // Exactly two transmissions spent energy (6 > 5).
         assert_eq!(m.ledger().consumed_kind(0, EnergyKind::Tx), 6.0);

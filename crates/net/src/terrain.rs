@@ -42,7 +42,10 @@ pub struct Terrain {
 impl Terrain {
     /// A square terrain of the given side length.
     pub fn square(side: f64) -> Self {
-        assert!(side > 0.0 && side.is_finite(), "terrain side must be positive");
+        assert!(
+            side > 0.0 && side.is_finite(),
+            "terrain side must be positive"
+        );
         Terrain { side }
     }
 
@@ -68,7 +71,10 @@ impl CellGrid {
     /// Partitions `terrain` into `m × m` cells.
     pub fn new(terrain: Terrain, cells_per_side: u32) -> Self {
         assert!(cells_per_side > 0, "need at least one cell per side");
-        CellGrid { terrain, cells_per_side }
+        CellGrid {
+            terrain,
+            cells_per_side,
+        }
     }
 
     /// The terrain being partitioned.

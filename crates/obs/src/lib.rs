@@ -1,0 +1,42 @@
+//! # wsn-obs — telemetry for the WSN reproduction stack
+//!
+//! Observability primitives shared by every layer of the reproduction:
+//!
+//! * [`Registry`] — named monotonic counters, gauges, and fixed-bucket
+//!   histograms behind a cheaply cloneable handle. The disabled registry
+//!   reduces every instrument call to a single `Option` check, so hot
+//!   paths (per-message counters in the routing layer, per-event kernel
+//!   metrics) can call it unconditionally.
+//! * [`SpanRecorder`] / [`SpanNode`] — phase-scoped spans over simulated
+//!   time. The runtime driver opens a span per mission phase
+//!   (topology-emulation, binding, application) and per quadtree merge
+//!   level; the closed spans form a tree whose durations decompose the
+//!   total run, which is exactly what the paper's phase-latency analysis
+//!   needs.
+//! * [`TraceDocument`] — a JSONL serialization of a whole run: meta line,
+//!   span trees, registry contents, per-node resource snapshots, and the
+//!   kernel event stream. Round-trips losslessly through
+//!   [`TraceDocument::to_jsonl`] / [`TraceDocument::from_jsonl`] with a
+//!   built-in parser (no external JSON dependency).
+//! * [`JsonlEventSink`] — a [`wsn_sim::TraceSink`] that streams kernel
+//!   events into a JSONL buffer as they dispatch, keeping kernel memory
+//!   bounded on long runs.
+//! * [`render_span_forest`] / [`render_timeline`] /
+//!   [`Registry::render_prometheus`] — human-readable sinks: an ASCII
+//!   span tree with durations and shares, a per-node activity timeline,
+//!   and a Prometheus-style text dump.
+//!
+//! Everything here is deterministic: spans and traces from two runs with
+//! the same seed compare equal, which the determinism suite asserts.
+
+pub mod json;
+pub mod registry;
+pub mod span;
+pub mod timeline;
+pub mod trace;
+
+pub use json::{Json, JsonError};
+pub use registry::{FixedHistogram, Registry, TICK_BUCKETS};
+pub use span::{render_span_forest, SpanNode, SpanRecorder};
+pub use timeline::{render_timeline, TimelineConfig};
+pub use trace::{JsonlEventSink, NodeSnapshot, TraceDocument, TraceMeta, TraceParseError};

@@ -1,0 +1,178 @@
+//! ASCII per-node activity timelines.
+//!
+//! Renders a kernel event trace as one row per node and one column per
+//! time bucket, with a density glyph per cell (` `, `.`, `:`, `*`, `#`
+//! from idle to hottest). Useful for eyeballing phase structure — the
+//! flood of topology-emulation traffic, the quiet binding interval, and
+//! the periodic application beats read directly off the picture.
+
+use wsn_sim::TraceEntry;
+
+/// Rendering knobs for [`render_timeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Number of time-bucket columns.
+    pub width: usize,
+    /// Maximum node rows; when exceeded, only the busiest nodes are shown.
+    pub max_rows: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            width: 64,
+            max_rows: 32,
+        }
+    }
+}
+
+const GLYPHS: [char; 5] = [' ', '.', ':', '*', '#'];
+
+/// Renders the events as a per-node timeline; see the module docs.
+pub fn render_timeline(events: &[TraceEntry], cfg: &TimelineConfig) -> String {
+    if events.is_empty() || cfg.width == 0 || cfg.max_rows == 0 {
+        return String::from("(no events)\n");
+    }
+    let t0 = events.iter().map(|e| e.time.ticks()).min().unwrap_or(0);
+    let t1 = events.iter().map(|e| e.time.ticks()).max().unwrap_or(0);
+    let span = (t1 - t0).max(1);
+    let node_count = events.iter().map(|e| e.target).max().unwrap_or(0) + 1;
+
+    // events per (node, bucket)
+    let mut grid = vec![vec![0u64; cfg.width]; node_count];
+    let mut totals = vec![0u64; node_count];
+    for ev in events {
+        let col = (((ev.time.ticks() - t0) * cfg.width as u64) / (span + 1)) as usize;
+        grid[ev.target][col.min(cfg.width - 1)] += 1;
+        totals[ev.target] += 1;
+    }
+
+    // Pick rows: all nodes, or the busiest `max_rows` (shown in id order).
+    let mut shown: Vec<usize> = (0..node_count).filter(|&n| totals[n] > 0).collect();
+    let omitted = if shown.len() > cfg.max_rows {
+        shown.sort_by_key(|&n| std::cmp::Reverse(totals[n]));
+        let cut = shown.split_off(cfg.max_rows);
+        shown.sort_unstable();
+        cut.len()
+    } else {
+        0
+    };
+
+    let peak = shown
+        .iter()
+        .flat_map(|&n| grid[n].iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let bucket_ticks = span.div_ceil(cfg.width as u64).max(1);
+    let mut out = format!(
+        "t={t0}..{t1}  ({} nodes active, 1 column ~ {bucket_ticks} ticks, peak {peak} events/cell)\n",
+        shown.len() + omitted
+    );
+    for &n in &shown {
+        let row: String = grid[n]
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    GLYPHS[0]
+                } else {
+                    // Map 1..=peak onto the non-blank glyphs (ceiling
+                    // division so the peak cell lands on the densest one).
+                    let levels = (GLYPHS.len() - 1) as u64;
+                    let idx = (c * levels).div_ceil(peak) as usize;
+                    GLYPHS[idx.min(GLYPHS.len() - 1)]
+                }
+            })
+            .collect();
+        out.push_str(&format!("node {n:>5} |{row}| {:>7} ev\n", totals[n]));
+    }
+    if omitted > 0 {
+        out.push_str(&format!("({omitted} quieter nodes omitted)\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::{SimTime, TraceKind};
+
+    fn ev(ticks: u64, target: usize) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_ticks(ticks),
+            target,
+            kind: TraceKind::Message,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(
+            render_timeline(&[], &TimelineConfig::default()),
+            "(no events)\n"
+        );
+    }
+
+    #[test]
+    fn rows_cover_active_nodes_only() {
+        let events = vec![ev(0, 0), ev(10, 0), ev(50, 2)];
+        let text = render_timeline(
+            &events,
+            &TimelineConfig {
+                width: 10,
+                max_rows: 8,
+            },
+        );
+        assert!(text.contains("node     0"));
+        assert!(!text.contains("node     1"));
+        assert!(text.contains("node     2"));
+        assert!(text.contains("2 ev"));
+    }
+
+    #[test]
+    fn busiest_nodes_survive_the_row_cap() {
+        let mut events = Vec::new();
+        for i in 0..20 {
+            events.push(ev(i, i as usize)); // 1 event each
+        }
+        for _ in 0..50 {
+            events.push(ev(5, 19)); // node 19 is the busiest
+        }
+        let text = render_timeline(
+            &events,
+            &TimelineConfig {
+                width: 8,
+                max_rows: 2,
+            },
+        );
+        assert!(text.contains("node    19"));
+        assert!(text.contains("nodes omitted"));
+    }
+
+    #[test]
+    fn density_glyphs_scale_with_activity() {
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            events.push(ev(1, 0)); // hot early bucket
+        }
+        events.push(ev(99, 0)); // lone event in the last bucket
+        let text = render_timeline(
+            &events,
+            &TimelineConfig {
+                width: 10,
+                max_rows: 4,
+            },
+        );
+        assert!(
+            text.contains('#'),
+            "hot cell should use the densest glyph:\n{text}"
+        );
+        assert!(
+            text.contains('.'),
+            "cool cell should use the lightest glyph:\n{text}"
+        );
+    }
+}

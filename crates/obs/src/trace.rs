@@ -1,0 +1,576 @@
+//! JSONL trace documents.
+//!
+//! A trace is a sequence of JSON Lines records, one per line, each tagged
+//! with a `"t"` field:
+//!
+//! | tag     | record                                                   |
+//! |---------|----------------------------------------------------------|
+//! | `meta`  | run parameters (grid side, seed, node count, totals)     |
+//! | `span`  | one root [`SpanNode`] with nested children               |
+//! | `ctr`   | a counter name/value pair                                |
+//! | `gauge` | a gauge name/value pair                                  |
+//! | `hist`  | a [`FixedHistogram`] with buckets and summary stats      |
+//! | `node`  | a per-node snapshot (energy, tx/rx message counts)       |
+//! | `ev`    | one kernel [`TraceEntry`] (dispatched event)             |
+//!
+//! [`TraceDocument`] is the in-memory form; [`TraceDocument::to_jsonl`] and
+//! [`TraceDocument::from_jsonl`] convert losslessly in both directions.
+//! [`JsonlEventSink`] implements the kernel's [`TraceSink`] so per-event
+//! records stream straight into a JSONL buffer instead of accumulating in
+//! kernel memory.
+
+use crate::json::Json;
+use crate::registry::{FixedHistogram, Registry};
+use crate::span::SpanNode;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use wsn_sim::{SimTime, TraceEntry, TraceKind, TraceSink};
+
+/// Run parameters recorded in a trace's `meta` line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// Grid side length (the run simulates `grid * grid` sensors).
+    pub grid: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Number of simulated nodes.
+    pub nodes: u64,
+    /// Simulated clock at the end of the run, in ticks.
+    pub total_ticks: u64,
+    /// Total kernel events dispatched.
+    pub events: u64,
+}
+
+/// Per-node resource snapshot recorded in a `node` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// Node id (kernel actor id).
+    pub id: u64,
+    /// Energy consumed over the run, in cost-model units.
+    pub energy: f64,
+    /// Transmit activity (data units; equals tx energy under the uniform
+    /// cost model).
+    pub tx: u64,
+    /// Receive activity, in data units.
+    pub rx: u64,
+}
+
+/// A parsed or under-construction trace; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDocument {
+    /// Run parameters, if a `meta` line was present.
+    pub meta: Option<TraceMeta>,
+    /// Root spans, in file order.
+    pub spans: Vec<SpanNode>,
+    /// Counters, in file order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, in file order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, in file order.
+    pub histograms: Vec<(String, FixedHistogram)>,
+    /// Per-node snapshots, in file order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Kernel events, in dispatch order.
+    pub events: Vec<TraceEntry>,
+}
+
+/// Failure to parse a JSONL trace, with the 1-based offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl TraceDocument {
+    /// An empty document.
+    pub fn new() -> Self {
+        TraceDocument::default()
+    }
+
+    /// Copies every counter, gauge, and histogram out of `registry`.
+    pub fn absorb_registry(&mut self, registry: &Registry) {
+        self.counters.extend(registry.counters());
+        self.gauges.extend(registry.gauges());
+        self.histograms.extend(registry.histograms());
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Total span count across all root trees.
+    pub fn span_count(&self) -> usize {
+        self.spans.iter().map(SpanNode::subtree_len).sum()
+    }
+
+    /// Serializes the document to JSON Lines (one record per line, in the
+    /// order meta, spans, counters, gauges, histograms, nodes, events).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        if let Some(meta) = &self.meta {
+            push_line(&mut out, meta_to_json(meta));
+        }
+        for span in &self.spans {
+            let mut obj = vec![("t".to_string(), Json::Str("span".to_string()))];
+            span_fields(span, &mut obj);
+            push_line(&mut out, Json::Obj(obj));
+        }
+        for (name, value) in &self.counters {
+            push_line(
+                &mut out,
+                Json::Obj(vec![
+                    ("t".to_string(), Json::Str("ctr".to_string())),
+                    ("name".to_string(), Json::Str(name.clone())),
+                    ("value".to_string(), Json::from_u64(*value)),
+                ]),
+            );
+        }
+        for (name, value) in &self.gauges {
+            push_line(
+                &mut out,
+                Json::Obj(vec![
+                    ("t".to_string(), Json::Str("gauge".to_string())),
+                    ("name".to_string(), Json::Str(name.clone())),
+                    ("value".to_string(), Json::Num(*value)),
+                ]),
+            );
+        }
+        for (name, h) in &self.histograms {
+            push_line(&mut out, hist_to_json(name, h));
+        }
+        for node in &self.nodes {
+            push_line(
+                &mut out,
+                Json::Obj(vec![
+                    ("t".to_string(), Json::Str("node".to_string())),
+                    ("id".to_string(), Json::from_u64(node.id)),
+                    ("energy".to_string(), Json::Num(node.energy)),
+                    ("tx".to_string(), Json::from_u64(node.tx)),
+                    ("rx".to_string(), Json::from_u64(node.rx)),
+                ]),
+            );
+        }
+        for ev in &self.events {
+            push_line(&mut out, event_to_json(ev));
+        }
+        out
+    }
+
+    /// Parses a JSON Lines trace. Blank lines are skipped; unknown record
+    /// tags are an error (they indicate a version mismatch).
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceParseError> {
+        let mut doc = TraceDocument::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| TraceParseError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+            let fail = |message: &str| TraceParseError {
+                line: line_no,
+                message: message.to_string(),
+            };
+            let tag = v
+                .get("t")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("missing record tag \"t\""))?;
+            match tag {
+                "meta" => doc.meta = Some(meta_from_json(&v).map_err(&fail)?),
+                "span" => doc.spans.push(span_from_json(&v).map_err(&fail)?),
+                "ctr" => {
+                    let name = v
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| fail("ctr without name"))?;
+                    let value = v
+                        .get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("ctr without value"))?;
+                    doc.counters.push((name.to_string(), value));
+                }
+                "gauge" => {
+                    let name = v
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| fail("gauge without name"))?;
+                    let value = v
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| fail("gauge without value"))?;
+                    doc.gauges.push((name.to_string(), value));
+                }
+                "hist" => doc.histograms.push(hist_from_json(&v).map_err(&fail)?),
+                "node" => doc.nodes.push(NodeSnapshot {
+                    id: v
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("node without id"))?,
+                    energy: v
+                        .get("energy")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| fail("node without energy"))?,
+                    tx: v.get("tx").and_then(Json::as_u64).unwrap_or(0),
+                    rx: v.get("rx").and_then(Json::as_u64).unwrap_or(0),
+                }),
+                "ev" => doc.events.push(event_from_json(&v).map_err(&fail)?),
+                other => return Err(fail(&format!("unknown record tag {other:?}"))),
+            }
+        }
+        Ok(doc)
+    }
+}
+
+fn push_line(out: &mut String, v: Json) {
+    out.push_str(&v.render());
+    out.push('\n');
+}
+
+fn meta_to_json(meta: &TraceMeta) -> Json {
+    Json::Obj(vec![
+        ("t".to_string(), Json::Str("meta".to_string())),
+        ("grid".to_string(), Json::from_u64(meta.grid)),
+        ("seed".to_string(), Json::from_u64(meta.seed)),
+        ("nodes".to_string(), Json::from_u64(meta.nodes)),
+        ("total_ticks".to_string(), Json::from_u64(meta.total_ticks)),
+        ("events".to_string(), Json::from_u64(meta.events)),
+    ])
+}
+
+fn meta_from_json(v: &Json) -> Result<TraceMeta, &'static str> {
+    let field = |key: &str| v.get(key).and_then(Json::as_u64);
+    Ok(TraceMeta {
+        grid: field("grid").ok_or("meta without grid")?,
+        seed: field("seed").ok_or("meta without seed")?,
+        nodes: field("nodes").ok_or("meta without nodes")?,
+        total_ticks: field("total_ticks").ok_or("meta without total_ticks")?,
+        events: field("events").ok_or("meta without events")?,
+    })
+}
+
+fn span_fields(span: &SpanNode, obj: &mut Vec<(String, Json)>) {
+    obj.push(("name".to_string(), Json::Str(span.name.clone())));
+    obj.push(("start".to_string(), Json::from_u64(span.start.ticks())));
+    obj.push(("end".to_string(), Json::from_u64(span.end.ticks())));
+    obj.push(("events".to_string(), Json::from_u64(span.events)));
+    let children = span
+        .children
+        .iter()
+        .map(|c| {
+            let mut child = Vec::new();
+            span_fields(c, &mut child);
+            Json::Obj(child)
+        })
+        .collect();
+    obj.push(("children".to_string(), Json::Arr(children)));
+}
+
+fn span_from_json(v: &Json) -> Result<SpanNode, &'static str> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("span without name")?;
+    let start = v
+        .get("start")
+        .and_then(Json::as_u64)
+        .ok_or("span without start")?;
+    let end = v
+        .get("end")
+        .and_then(Json::as_u64)
+        .ok_or("span without end")?;
+    let events = v.get("events").and_then(Json::as_u64).unwrap_or(0);
+    let children = match v.get("children") {
+        Some(c) => c
+            .as_arr()
+            .ok_or("span children is not an array")?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+    Ok(SpanNode {
+        name: name.to_string(),
+        start: SimTime::from_ticks(start),
+        end: SimTime::from_ticks(end),
+        events,
+        children,
+    })
+}
+
+fn hist_to_json(name: &str, h: &FixedHistogram) -> Json {
+    Json::Obj(vec![
+        ("t".to_string(), Json::Str("hist".to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        (
+            "uppers".to_string(),
+            Json::Arr(h.uppers().iter().map(|&u| Json::Num(u)).collect()),
+        ),
+        (
+            "counts".to_string(),
+            Json::Arr(
+                h.bucket_counts()
+                    .iter()
+                    .map(|&c| Json::from_u64(c))
+                    .collect(),
+            ),
+        ),
+        ("count".to_string(), Json::from_u64(h.count())),
+        ("sum".to_string(), Json::Num(h.sum())),
+        ("min".to_string(), Json::Num(h.min())),
+        ("max".to_string(), Json::Num(h.max())),
+    ])
+}
+
+fn hist_from_json(v: &Json) -> Result<(String, FixedHistogram), &'static str> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("hist without name")?;
+    let uppers = v
+        .get("uppers")
+        .and_then(Json::as_arr)
+        .ok_or("hist without uppers")?
+        .iter()
+        .map(|x| x.as_f64().ok_or("hist upper is not a number"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let counts = v
+        .get("counts")
+        .and_then(Json::as_arr)
+        .ok_or("hist without counts")?
+        .iter()
+        .map(|x| x.as_u64().ok_or("hist count is not a number"))
+        .collect::<Result<Vec<_>, _>>()?;
+    if counts.len() != uppers.len() + 1 {
+        return Err("hist counts/uppers length mismatch");
+    }
+    let count = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or("hist without count")?;
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_f64)
+        .ok_or("hist without sum")?;
+    let min = v.get("min").and_then(Json::as_f64).unwrap_or(0.0);
+    let max = v.get("max").and_then(Json::as_f64).unwrap_or(0.0);
+    Ok((
+        name.to_string(),
+        FixedHistogram::from_parts(uppers, counts, count, sum, min, max),
+    ))
+}
+
+fn event_to_json(ev: &TraceEntry) -> Json {
+    let kind = match ev.kind {
+        TraceKind::Message => "msg",
+        TraceKind::Timer => "timer",
+    };
+    Json::Obj(vec![
+        ("t".to_string(), Json::Str("ev".to_string())),
+        ("time".to_string(), Json::from_u64(ev.time.ticks())),
+        ("target".to_string(), Json::from_u64(ev.target as u64)),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("a".to_string(), Json::from_u64(ev.a as u64)),
+        ("b".to_string(), Json::from_u64(ev.b)),
+    ])
+}
+
+fn event_from_json(v: &Json) -> Result<TraceEntry, &'static str> {
+    let time = v
+        .get("time")
+        .and_then(Json::as_u64)
+        .ok_or("ev without time")?;
+    let target = v
+        .get("target")
+        .and_then(Json::as_u64)
+        .ok_or("ev without target")?;
+    let kind = match v.get("kind").and_then(Json::as_str) {
+        Some("msg") => TraceKind::Message,
+        Some("timer") => TraceKind::Timer,
+        _ => return Err("ev with unknown kind"),
+    };
+    let a = v.get("a").and_then(Json::as_u64).unwrap_or(0);
+    let b = v.get("b").and_then(Json::as_u64).unwrap_or(0);
+    Ok(TraceEntry {
+        time: SimTime::from_ticks(time),
+        target: target as usize,
+        kind,
+        a: a as usize,
+        b,
+    })
+}
+
+/// A [`TraceSink`] that renders each kernel event as an `ev` JSONL line
+/// into a shared string buffer.
+///
+/// The buffer is shared via `Rc<RefCell<…>>`: the sink moves into the
+/// tracer (the kernel owns it), while the creator keeps the returned
+/// handle to read the lines back out afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlEventSink {
+    buf: Rc<RefCell<String>>,
+}
+
+impl JsonlEventSink {
+    /// Creates a sink and a second handle to its buffer.
+    pub fn new() -> (Self, Rc<RefCell<String>>) {
+        let sink = JsonlEventSink::default();
+        let handle = Rc::clone(&sink.buf);
+        (sink, handle)
+    }
+
+    /// Lines written so far.
+    pub fn contents(&self) -> String {
+        self.buf.borrow().clone()
+    }
+}
+
+impl TraceSink for JsonlEventSink {
+    fn record(&mut self, entry: &TraceEntry) {
+        let mut buf = self.buf.borrow_mut();
+        buf.push_str(&event_to_json(entry).render());
+        buf.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::Tracer;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn sample_doc() -> TraceDocument {
+        let mut doc = TraceDocument::new();
+        doc.meta = Some(TraceMeta {
+            grid: 16,
+            seed: 42,
+            nodes: 256,
+            total_ticks: 900,
+            events: 5000,
+        });
+        doc.spans.push(SpanNode {
+            name: "mission".to_string(),
+            start: t(0),
+            end: t(900),
+            events: 5000,
+            children: vec![
+                SpanNode::leaf("topology-emulation", t(0), t(300), 2000),
+                SpanNode::leaf("binding", t(300), t(500), 1000),
+            ],
+        });
+        doc.counters.push(("topo.msgs".to_string(), 2000));
+        doc.gauges.push(("energy.total".to_string(), 12.5));
+        let mut h = FixedHistogram::new(&[1.0, 8.0]);
+        h.record(0.5);
+        h.record(4.0);
+        h.record(100.0);
+        doc.histograms.push(("latency".to_string(), h));
+        doc.nodes.push(NodeSnapshot {
+            id: 3,
+            energy: 1.25,
+            tx: 40,
+            rx: 41,
+        });
+        doc.events.push(TraceEntry {
+            time: t(7),
+            target: 3,
+            kind: TraceKind::Message,
+            a: 1,
+            b: 4,
+        });
+        doc.events.push(TraceEntry {
+            time: t(9),
+            target: 1,
+            kind: TraceKind::Timer,
+            a: 0,
+            b: 2,
+        });
+        doc
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let doc = sample_doc();
+        let text = doc.to_jsonl();
+        assert_eq!(text.lines().count(), 8);
+        let parsed = TraceDocument::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.meta, doc.meta);
+        assert_eq!(parsed.spans, doc.spans);
+        assert_eq!(parsed.counters, doc.counters);
+        assert_eq!(parsed.gauges, doc.gauges);
+        assert_eq!(parsed.histograms, doc.histograms);
+        assert_eq!(parsed.nodes, doc.nodes);
+        assert_eq!(parsed.events, doc.events);
+        // Serialize → parse → serialize is a fixed point.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_unknown_tags_rejected() {
+        let doc = TraceDocument::from_jsonl("\n\n{\"t\":\"ctr\",\"name\":\"x\",\"value\":3}\n\n")
+            .unwrap();
+        assert_eq!(doc.counter("x"), 3);
+        let err = TraceDocument::from_jsonl("{\"t\":\"mystery\"}").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("mystery"));
+        let err = TraceDocument::from_jsonl("{\"t\":\"ctr\",\"name\":\"x\",\"value\":3}\nnot json")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn registry_absorbed_into_document() {
+        let reg = Registry::enabled();
+        reg.incr_by("app.msgs", 9);
+        reg.gauge_set("energy", 3.5);
+        reg.observe("lat", 2.0);
+        let mut doc = TraceDocument::new();
+        doc.absorb_registry(&reg);
+        assert_eq!(doc.counter("app.msgs"), 9);
+        assert_eq!(doc.gauges, vec![("energy".to_string(), 3.5)]);
+        assert_eq!(doc.histograms.len(), 1);
+        let text = doc.to_jsonl();
+        let parsed = TraceDocument::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_kernel_events() {
+        let (sink, handle) = JsonlEventSink::new();
+        let mut tracer = Tracer::streaming(Box::new(sink));
+        for i in 0..3u64 {
+            tracer.record(TraceEntry {
+                time: t(i),
+                target: 0,
+                kind: TraceKind::Timer,
+                a: 0,
+                b: i,
+            });
+        }
+        let text = handle.borrow().clone();
+        assert_eq!(text.lines().count(), 3);
+        let doc = TraceDocument::from_jsonl(&text).unwrap();
+        assert_eq!(doc.events.len(), 3);
+        assert_eq!(doc.events[2].b, 2);
+    }
+}

@@ -33,5 +33,7 @@ pub mod node;
 pub mod runner;
 
 pub use messages::{AppEnvelope, RtMsg};
-pub use node::{dim_order_direction, ArqConfig, ElectionPolicy, Phase, RtNode};
-pub use runner::{AppReport, BindReport, MissionConfig, MissionReport, PhysicalRuntime, TopoReport};
+pub use node::{dim_order_direction, ArqConfig, ElectionPolicy, Phase, RtNode, FILL_COUNTERS};
+pub use runner::{
+    AppReport, BindReport, MissionConfig, MissionReport, PhysicalRuntime, TopoReport,
+};

@@ -105,8 +105,11 @@ mod tests {
             sender_cell: GridCoord::new(0, 0),
             dirs: [false; 4],
         };
-        let delta: RtMsg<u32> =
-            RtMsg::Delta { sender_cell: GridCoord::new(0, 0), delta: 1.0, candidate: 0 };
+        let delta: RtMsg<u32> = RtMsg::Delta {
+            sender_cell: GridCoord::new(0, 0),
+            delta: 1.0,
+            candidate: 0,
+        };
         let ann: RtMsg<u32> = RtMsg::Announce {
             sender_cell: GridCoord::new(0, 0),
             leader: 0,
@@ -119,7 +122,28 @@ mod tests {
             units: 1,
             payload: 7,
         });
-        let ds: Vec<u64> = [&topo, &delta, &ann, &app].iter().map(|m| m.discriminant()).collect();
-        assert_eq!(ds, vec![1, 2, 3, 4]);
+        let arq: RtMsg<u32> = RtMsg::AppArq {
+            seq: 9,
+            hop_sender: 2,
+            env: AppEnvelope {
+                src_cell: GridCoord::new(0, 0),
+                dest_cell: GridCoord::new(1, 1),
+                units: 1,
+                payload: 7,
+            },
+        };
+        let ack: RtMsg<u32> = RtMsg::Ack { seq: 9, from: 3 };
+        let sample: RtMsg<u32> = RtMsg::Sample {
+            sender_cell: GridCoord::new(0, 0),
+            reading: 2.5,
+        };
+        let ds: Vec<u64> = [&topo, &delta, &ann, &app, &arq, &ack, &sample]
+            .iter()
+            .map(|m| m.discriminant())
+            .collect();
+        // All seven variants carry distinct non-zero tags, so kernel
+        // traces can tell protocol from application traffic.
+        assert_eq!(ds, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(ds.iter().filter(|&&d| d == 0).count(), 0);
     }
 }

@@ -86,6 +86,17 @@ pub(crate) fn dir_idx(d: Direction) -> usize {
     }
 }
 
+/// The per-direction routing-table-fill counter names, in
+/// [`Direction::ALL`] order. Bumped once per `rtab` entry filled, whether
+/// directly (a neighbor in the adjacent cell) or adopted from a topology
+/// broadcast, so their sum counts filled routing-table entries.
+pub const FILL_COUNTERS: [&str; 4] = [
+    "topo.fill.north",
+    "topo.fill.east",
+    "topo.fill.south",
+    "topo.fill.west",
+];
+
 /// The first direction of the dimension-order (column-first) route from
 /// `from` to `to`; `None` when equal. Must match
 /// [`VirtualGrid::next_hop`] so the physical execution follows the same
@@ -245,14 +256,28 @@ impl<P: Clone + 'static> RtNode<P> {
 
     fn broadcast_topo(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
         ctx.stats().incr("topo.broadcast");
-        let msg = RtMsg::Topo { sender: self.id, sender_cell: self.cell, dirs: self.dirs_filled() };
-        self.medium.clone().borrow_mut().broadcast(ctx, self.id, self.control_units, msg);
+        let msg = RtMsg::Topo {
+            sender: self.id,
+            sender_cell: self.cell,
+            dirs: self.dirs_filled(),
+        };
+        self.medium
+            .clone()
+            .borrow_mut()
+            .broadcast(ctx, self.id, self.control_units, msg);
     }
 
     fn broadcast_delta(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
         ctx.stats().incr("bind.broadcast");
-        let msg = RtMsg::Delta { sender_cell: self.cell, delta: self.best.0, candidate: self.best.1 };
-        self.medium.clone().borrow_mut().broadcast(ctx, self.id, self.control_units, msg);
+        let msg = RtMsg::Delta {
+            sender_cell: self.cell,
+            delta: self.best.0,
+            candidate: self.best.1,
+        };
+        self.medium
+            .clone()
+            .borrow_mut()
+            .broadcast(ctx, self.id, self.control_units, msg);
     }
 
     fn broadcast_announce(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
@@ -260,9 +285,16 @@ impl<P: Clone + 'static> RtNode<P> {
             return;
         };
         ctx.stats().incr("announce.broadcast");
-        let msg =
-            RtMsg::Announce { sender_cell: self.cell, leader, hops, sender: self.id };
-        self.medium.clone().borrow_mut().broadcast(ctx, self.id, self.control_units, msg);
+        let msg = RtMsg::Announce {
+            sender_cell: self.cell,
+            leader,
+            hops,
+            sender: self.id,
+        };
+        self.medium
+            .clone()
+            .borrow_mut()
+            .broadcast(ctx, self.id, self.control_units, msg);
     }
 
     fn start_topology_emulation(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
@@ -274,13 +306,18 @@ impl<P: Clone + 'static> RtNode<P> {
         let medium = self.medium.clone();
         let medium = medium.borrow();
         for d in Direction::ALL {
-            let Some(adj) = self.shared.grid.neighbor(self.cell, d) else { continue };
+            let Some(adj) = self.shared.grid.neighbor(self.cell, d) else {
+                continue;
+            };
             let direct = self
                 .neighbors
                 .iter()
                 .filter(|&&(n, c)| c == adj && medium.is_alive(n))
                 .map(|&(n, _)| n)
                 .min();
+            if direct.is_some() {
+                ctx.stats().incr(FILL_COUNTERS[dir_idx(d)]);
+            }
             self.rtab[dir_idx(d)] = direct;
         }
         drop(medium);
@@ -308,11 +345,14 @@ impl<P: Clone + 'static> RtNode<P> {
         for d in Direction::ALL {
             let i = dir_idx(d);
             // Only adopt directions that actually lead somewhere.
-            if dirs[i] && self.rtab[i].is_none() && self.shared.grid.neighbor(self.cell, d).is_some()
+            if dirs[i]
+                && self.rtab[i].is_none()
+                && self.shared.grid.neighbor(self.cell, d).is_some()
             {
                 self.rtab[i] = Some(sender);
                 adopted = true;
                 ctx.stats().incr("topo.adopted");
+                ctx.stats().incr(FILL_COUNTERS[i]);
             }
         }
         if adopted {
@@ -400,7 +440,10 @@ impl<P: Clone + 'static> RtNode<P> {
         let units = env.units;
         match self.arq {
             None => {
-                self.medium.clone().borrow_mut().unicast(ctx, self.id, to, units, RtMsg::App(env));
+                self.medium
+                    .clone()
+                    .borrow_mut()
+                    .unicast(ctx, self.id, to, units, RtMsg::App(env));
             }
             Some(cfg) => {
                 let seq = self.next_arq_seq;
@@ -410,11 +453,19 @@ impl<P: Clone + 'static> RtNode<P> {
                     self.id,
                     to,
                     units,
-                    RtMsg::AppArq { seq, hop_sender: self.id, env: env.clone() },
+                    RtMsg::AppArq {
+                        seq,
+                        hop_sender: self.id,
+                        env: env.clone(),
+                    },
                 );
                 self.pending_arq.insert(
                     seq,
-                    PendingHop { to, env, retries_left: cfg.max_retries },
+                    PendingHop {
+                        to,
+                        env,
+                        retries_left: cfg.max_retries,
+                    },
                 );
                 ctx.set_timer(cfg.timeout_ticks, TAG_ARQ_BASE + seq);
             }
@@ -442,7 +493,11 @@ impl<P: Clone + 'static> RtNode<P> {
             self.id,
             to,
             units,
-            RtMsg::AppArq { seq, hop_sender: self.id, env },
+            RtMsg::AppArq {
+                seq,
+                hop_sender: self.id,
+                env,
+            },
         );
         ctx.set_timer(cfg.timeout_ticks, TAG_ARQ_BASE + seq);
     }
@@ -535,8 +590,14 @@ impl<P: Clone + 'static> RtNode<P> {
         if !self.ldr {
             if let Some(parent) = self.parent_to_leader {
                 ctx.stats().incr("sample.sent");
-                let msg = RtMsg::Sample { sender_cell: self.cell, reading: self.own_reading() };
-                self.medium.clone().borrow_mut().unicast(ctx, self.id, parent, 1, msg);
+                let msg = RtMsg::Sample {
+                    sender_cell: self.cell,
+                    reading: self.own_reading(),
+                };
+                self.medium
+                    .clone()
+                    .borrow_mut()
+                    .unicast(ctx, self.id, parent, 1, msg);
             }
         }
     }
@@ -556,8 +617,14 @@ impl<P: Clone + 'static> RtNode<P> {
             self.sample_count += 1;
         } else if let Some(parent) = self.parent_to_leader {
             // Relay up the spanning tree.
-            let msg = RtMsg::Sample { sender_cell, reading };
-            self.medium.clone().borrow_mut().unicast(ctx, self.id, parent, 1, msg);
+            let msg = RtMsg::Sample {
+                sender_cell,
+                reading,
+            };
+            self.medium
+                .clone()
+                .borrow_mut()
+                .unicast(ctx, self.id, parent, 1, msg);
         } else {
             ctx.stats().incr("sample.no_route");
         }
@@ -610,19 +677,35 @@ impl<P: Clone + 'static> Actor<RtMsg<P>> for RtNode<P> {
             return;
         }
         match msg {
-            RtMsg::Topo { sender, sender_cell, dirs } => self.on_topo(ctx, sender, sender_cell, dirs),
-            RtMsg::Delta { sender_cell, delta, candidate } => {
-                self.on_delta(ctx, sender_cell, delta, candidate)
-            }
-            RtMsg::Announce { sender_cell, leader, hops, sender } => {
-                self.on_announce(ctx, sender_cell, leader, hops, sender)
-            }
+            RtMsg::Topo {
+                sender,
+                sender_cell,
+                dirs,
+            } => self.on_topo(ctx, sender, sender_cell, dirs),
+            RtMsg::Delta {
+                sender_cell,
+                delta,
+                candidate,
+            } => self.on_delta(ctx, sender_cell, delta, candidate),
+            RtMsg::Announce {
+                sender_cell,
+                leader,
+                hops,
+                sender,
+            } => self.on_announce(ctx, sender_cell, leader, hops, sender),
             RtMsg::App(env) => self.on_app(ctx, env),
-            RtMsg::AppArq { seq, hop_sender, env } => self.on_app_arq(ctx, seq, hop_sender, env),
+            RtMsg::AppArq {
+                seq,
+                hop_sender,
+                env,
+            } => self.on_app_arq(ctx, seq, hop_sender, env),
             RtMsg::Ack { seq, from: _ } => {
                 self.pending_arq.remove(&seq);
             }
-            RtMsg::Sample { sender_cell, reading } => self.on_sample(ctx, sender_cell, reading),
+            RtMsg::Sample {
+                sender_cell,
+                reading,
+            } => self.on_sample(ctx, sender_cell, reading),
         }
     }
 }
@@ -653,14 +736,26 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
 
     fn compute(&mut self, units: u64) {
         let id = self.node.id;
-        self.node.medium.clone().borrow_mut().charge_compute(self.ctx, id, units as f64);
+        self.node
+            .medium
+            .clone()
+            .borrow_mut()
+            .charge_compute(self.ctx, id, units as f64);
     }
 
     fn send(&mut self, dest: GridCoord, units: u64, payload: P) {
-        assert!(self.node.shared.grid.contains(dest), "send to {dest:?} outside the grid");
+        assert!(
+            self.node.shared.grid.contains(dest),
+            "send to {dest:?} outside the grid"
+        );
         self.ctx.stats().incr("rt.messages");
         self.ctx.stats().add("rt.data_units", units);
-        let env = AppEnvelope { src_cell: self.node.cell, dest_cell: dest, units, payload };
+        let env = AppEnvelope {
+            src_cell: self.node.cell,
+            dest_cell: dest,
+            units,
+            payload,
+        };
         if dest == self.node.cell {
             // Logical self-message (Figure 4's "one of the four incoming
             // messages … is from the node to itself"): free and immediate.
@@ -683,6 +778,14 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
     fn residual_energy(&self) -> Option<f64> {
         self.node.medium.borrow().ledger().residual(self.node.id)
     }
+
+    fn stat_incr(&mut self, name: &str) {
+        self.ctx.stats().incr(name);
+    }
+
+    fn stat_observe(&mut self, name: &str, value: f64) {
+        self.ctx.stats().observe(name, value);
+    }
 }
 
 #[cfg(test)]
@@ -692,10 +795,22 @@ mod tests {
     #[test]
     fn dim_order_is_column_first() {
         let a = GridCoord::new(1, 1);
-        assert_eq!(dim_order_direction(a, GridCoord::new(3, 0)), Some(Direction::East));
-        assert_eq!(dim_order_direction(a, GridCoord::new(0, 3)), Some(Direction::West));
-        assert_eq!(dim_order_direction(a, GridCoord::new(1, 3)), Some(Direction::South));
-        assert_eq!(dim_order_direction(a, GridCoord::new(1, 0)), Some(Direction::North));
+        assert_eq!(
+            dim_order_direction(a, GridCoord::new(3, 0)),
+            Some(Direction::East)
+        );
+        assert_eq!(
+            dim_order_direction(a, GridCoord::new(0, 3)),
+            Some(Direction::West)
+        );
+        assert_eq!(
+            dim_order_direction(a, GridCoord::new(1, 3)),
+            Some(Direction::South)
+        );
+        assert_eq!(
+            dim_order_direction(a, GridCoord::new(1, 0)),
+            Some(Direction::North)
+        );
         assert_eq!(dim_order_direction(a, a), None);
     }
 

@@ -24,9 +24,17 @@ use crate::node::{
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use wsn_core::{Direction, Exfiltrated, GridCoord, NodeProgram, RunMetrics, VirtualGrid};
-use wsn_net::{Deployment, EnergyLedger, LinkModel, Medium, RadioModel, SharedMedium, UnitDiskGraph};
-use wsn_sim::{ActorId, Kernel, SimTime, Stats};
+use wsn_core::{
+    Direction, Exfiltrated, GridCoord, NodeProgram, RunMetrics, VirtualGrid, CTR_DATA_UNITS,
+    CTR_MESSAGES,
+};
+use wsn_net::{
+    Deployment, EnergyLedger, LinkModel, Medium, RadioModel, SharedMedium, UnitDiskGraph,
+};
+use wsn_obs::{
+    FixedHistogram, NodeSnapshot, Registry, SpanNode, SpanRecorder, TraceDocument, TraceMeta,
+};
+use wsn_sim::{ActorId, Kernel, SimTime, Stats, Tracer};
 
 /// Result of one topology-emulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +133,14 @@ pub struct PhysicalRuntime<P: Clone + 'static> {
     shared: Rc<RtShared<P>>,
     factory: Option<BoxedFactory<P>>,
     exfil_seen: usize,
+    seed: u64,
+    /// Kernel events dispatched across every phase so far.
+    events_total: u64,
+    /// Phase-scoped counters/histograms; disabled unless
+    /// [`PhysicalRuntime::enable_telemetry`] was called.
+    telemetry: Registry,
+    /// Phase span tree, populated only while telemetry is enabled.
+    spans: SpanRecorder,
 }
 
 impl<P: Clone + 'static> PhysicalRuntime<P> {
@@ -196,6 +212,46 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             shared,
             factory: None,
             exfil_seen: 0,
+            seed,
+            events_total: 0,
+            telemetry: Registry::disabled(),
+            spans: SpanRecorder::new(),
+        }
+    }
+
+    /// Turns the telemetry layer on: phase spans, a live counter registry
+    /// mirroring the phase reports, and kernel dispatch-latency /
+    /// queue-depth histograms. With `trace_events`, the kernel also
+    /// records every dispatched event (memory grows with the run — meant
+    /// for inspection traces, not parameter sweeps).
+    pub fn enable_telemetry(&mut self, trace_events: bool) {
+        self.telemetry = Registry::enabled();
+        self.kernel.enable_metrics();
+        if trace_events {
+            self.kernel.set_tracer(Tracer::enabled());
+        }
+    }
+
+    /// The telemetry registry (disabled and empty unless
+    /// [`PhysicalRuntime::enable_telemetry`] was called).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// The recorded phase spans.
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    fn span_open(&mut self, name: &str) {
+        if self.telemetry.is_enabled() {
+            self.spans.open(name, self.kernel.now());
+        }
+    }
+
+    fn span_close(&mut self, events: u64) {
+        if self.telemetry.is_enabled() {
+            self.spans.close(self.kernel.now(), events);
         }
     }
 
@@ -248,11 +304,16 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     pub fn run_sampling(&mut self) -> (u64, u64) {
         let start = self.kernel.now();
         let d0 = self.kernel.stats().counter("sample.delivered");
+        self.span_open("sampling");
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_SAMPLE);
         }
         let run = self.kernel.run();
-        (run.end_time - start, self.kernel.stats().counter("sample.delivered") - d0)
+        self.events_total += run.events_processed;
+        self.span_close(run.events_processed);
+        let delivered = self.kernel.stats().counter("sample.delivered") - d0;
+        self.telemetry.incr_by("phase.sample.delivered", delivered);
+        (run.end_time - start, delivered)
     }
 
     /// Sets the leader-election policy on every node (takes effect at the
@@ -268,7 +329,10 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// Enables hop-by-hop ARQ (ack + retransmit) for application traffic
     /// on every node — the liveness extension EXP-12 motivates.
     pub fn enable_arq(&mut self, max_retries: u32, timeout_ticks: u64) {
-        let cfg = ArqConfig { max_retries, timeout_ticks };
+        let cfg = ArqConfig {
+            max_retries,
+            timeout_ticks,
+        };
         for &a in &self.actors {
             if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
                 node.arq = Some(cfg);
@@ -283,12 +347,16 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
 
     /// Immutable view of physical node `i`'s protocol state.
     pub fn node(&self, i: usize) -> &RtNode<P> {
-        self.kernel.actor::<RtNode<P>>(self.actors[i]).expect("node actor")
+        self.kernel
+            .actor::<RtNode<P>>(self.actors[i])
+            .expect("node actor")
     }
 
     fn live_nodes(&self) -> Vec<usize> {
         let m = self.medium.borrow();
-        (0..self.deployment.node_count()).filter(|&i| m.is_alive(i)).collect()
+        (0..self.deployment.node_count())
+            .filter(|&i| m.is_alive(i))
+            .collect()
     }
 
     /// Phase 1: the §5.1 topology-emulation protocol.
@@ -296,16 +364,26 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let start = self.kernel.now();
         let b0 = self.kernel.stats().counter("topo.broadcast");
         let s0 = self.kernel.stats().counter("topo.suppressed");
+        self.span_open("topology-emulation");
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_TOPO);
         }
         let run = self.kernel.run();
-        TopoReport {
+        self.events_total += run.events_processed;
+        self.span_close(run.events_processed);
+        let report = TopoReport {
             elapsed_ticks: run.end_time - start,
             broadcasts: self.kernel.stats().counter("topo.broadcast") - b0,
             suppressed: self.kernel.stats().counter("topo.suppressed") - s0,
             complete: self.tables_complete(),
-        }
+        };
+        // Mirror the report into the registry so trace consumers see the
+        // same numbers the harness does.
+        self.telemetry
+            .incr_by("phase.topo.broadcasts", report.broadcasts);
+        self.telemetry
+            .incr_by("phase.topo.suppressed", report.suppressed);
+        report
     }
 
     fn tables_complete(&self) -> bool {
@@ -325,7 +403,9 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         for &i in &self.live_nodes() {
             let node = self.node(i);
             for d in Direction::ALL {
-                let Some(adj) = self.grid.neighbor(node.cell, d) else { continue };
+                let Some(adj) = self.grid.neighbor(node.cell, d) else {
+                    continue;
+                };
                 let mut cur = i;
                 let bound = self.deployment.nodes_in_cell(node.cell).len() + 1;
                 let mut steps = 0;
@@ -359,16 +439,23 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     pub fn run_binding(&mut self) -> BindReport {
         let start = self.kernel.now();
         let d0 = self.kernel.stats().counter("bind.broadcast");
+        self.span_open("binding");
+        self.span_open("election");
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_BIND);
         }
-        self.kernel.run();
+        let election = self.kernel.run();
+        self.span_close(election.events_processed);
         // Announce sub-phase.
         let t = self.kernel.now();
+        self.span_open("announce");
         for &a in &self.actors {
             self.kernel.schedule_timer(t, a, TAG_ANNOUNCE);
         }
         let run = self.kernel.run();
+        self.span_close(run.events_processed);
+        self.events_total += election.events_processed + run.events_processed;
+        self.span_close(election.events_processed + run.events_processed);
 
         let mut leaders: HashMap<GridCoord, Vec<usize>> = HashMap::new();
         for &i in &self.live_nodes() {
@@ -380,13 +467,17 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let cells: Vec<GridCoord> = self.grid.nodes().collect();
         let unique = cells.iter().all(|c| {
             leaders.get(c).map(Vec::len) == Some(1)
-                || self.deployment.nodes_in_cell(*c).iter().all(|&i| !self.medium.borrow().is_alive(i))
+                || self
+                    .deployment
+                    .nodes_in_cell(*c)
+                    .iter()
+                    .all(|&i| !self.medium.borrow().is_alive(i))
         });
         let tree_complete = self
             .live_nodes()
             .iter()
             .all(|&i| self.node(i).leader.is_some());
-        BindReport {
+        let report = BindReport {
             elapsed_ticks: run.end_time - start,
             leaders: leaders
                 .into_iter()
@@ -395,7 +486,12 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             unique,
             tree_complete,
             delta_broadcasts: self.kernel.stats().counter("bind.broadcast") - d0,
-        }
+        };
+        self.telemetry
+            .incr_by("phase.bind.delta_broadcasts", report.delta_broadcasts);
+        self.telemetry
+            .incr_by("phase.bind.leaders", report.leaders.len() as u64);
+        report
     }
 
     /// The leader bound to virtual node `cell`, if the election produced
@@ -437,7 +533,10 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
                 .iter()
                 .copied()
                 .find(|&i| {
-                    self.kernel.actor::<RtNode<P>>(self.actors[i]).expect("node").ldr
+                    self.kernel
+                        .actor::<RtNode<P>>(self.actors[i])
+                        .expect("node")
+                        .ldr
                         && self.medium.borrow().is_alive(i)
                 });
             let Some(leader) = leader else {
@@ -454,15 +553,25 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
 
     /// Phase 3: runs the application to quiescence.
     pub fn run_application(&mut self) -> AppReport {
-        assert!(self.factory.is_some(), "install_programs must be called before run_application");
+        assert!(
+            self.factory.is_some(),
+            "install_programs must be called before run_application"
+        );
         let start = self.kernel.now();
         let m0 = self.kernel.stats().counter("rt.messages");
         let h0 = self.kernel.stats().counter("rt.app_hops");
         let r0 = self.kernel.stats().counter("rt.arq_retx");
+        let u0 = self.kernel.stats().counter("rt.data_units");
+        self.span_open("application");
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_APP);
         }
         let run = self.kernel.run();
+        self.events_total += run.events_processed;
+        if self.telemetry.is_enabled() {
+            self.attach_merge_level_spans();
+        }
+        self.span_close(run.events_processed);
         let exfil = self.shared.exfil.borrow();
         let new_exfil = &exfil[self.exfil_seen..];
         let report = AppReport {
@@ -476,7 +585,101 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let total = exfil.len();
         drop(exfil);
         self.exfil_seen = total;
+        self.telemetry.incr_by(CTR_MESSAGES, report.messages);
+        self.telemetry.incr_by(
+            CTR_DATA_UNITS,
+            self.kernel.stats().counter("rt.data_units") - u0,
+        );
+        self.telemetry
+            .incr_by("phase.app.physical_hops", report.physical_hops);
+        self.telemetry
+            .incr_by("phase.app.retransmissions", report.retransmissions);
+        self.telemetry
+            .incr_by("phase.app.exfiltrations", report.exfil_count as u64);
         report
+    }
+
+    /// Rebuilds per-quadtree-merge-level spans from the `merge.levelK.complete`
+    /// histograms that instrumented programs (e.g. the native
+    /// divide-and-conquer program) populate through the
+    /// [`wsn_core::NodeApi`] stat hooks: a level's span runs from its first
+    /// to its last completed merge, with one event per completion. Attached
+    /// under the currently open span (the application phase).
+    fn attach_merge_level_spans(&mut self) {
+        let mut levels: Vec<(u32, SpanNode)> = Vec::new();
+        for (key, h) in self.kernel.stats().histograms() {
+            let Some(level) = key
+                .strip_prefix("merge.level")
+                .and_then(|rest| rest.strip_suffix(".complete"))
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            let (Some(min), Some(max)) = (h.min(), h.max()) else {
+                continue;
+            };
+            levels.push((
+                level,
+                SpanNode::leaf(
+                    format!("merge-level-{level}"),
+                    SimTime::from_ticks(min as u64),
+                    SimTime::from_ticks(max as u64),
+                    h.count() as u64,
+                ),
+            ));
+        }
+        levels.sort_by_key(|&(level, _)| level);
+        for (_, span) in levels {
+            self.spans.attach(span);
+        }
+    }
+
+    /// Exports the whole run as a [`TraceDocument`]: meta, the phase span
+    /// forest, the telemetry registry, every kernel statistic (counters and
+    /// histograms), per-node energy snapshots, and — when event tracing
+    /// was enabled — the kernel event stream. Callable at any point; it
+    /// reflects everything recorded so far.
+    pub fn record_trace(&self) -> TraceDocument {
+        let mut doc = TraceDocument::new();
+        doc.meta = Some(TraceMeta {
+            grid: u64::from(self.grid.side()),
+            seed: self.seed,
+            nodes: self.deployment.node_count() as u64,
+            total_ticks: self.kernel.now().ticks(),
+            events: self.events_total,
+        });
+        doc.spans = self.spans.roots().to_vec();
+        doc.absorb_registry(&self.telemetry);
+        for (key, value) in self.kernel.stats().counters() {
+            doc.counters.push((key.to_string(), value));
+        }
+        for (key, value) in self.kernel.stats().gauges() {
+            doc.gauges.push((key.to_string(), value));
+        }
+        for (key, h) in self.kernel.stats().histograms() {
+            let mut fixed = FixedHistogram::ticks();
+            for &v in h.values() {
+                fixed.record(v);
+            }
+            doc.histograms.push((key.to_string(), fixed));
+        }
+        let medium = self.medium.borrow();
+        let ledger = medium.ledger();
+        doc.gauges
+            .push(("energy.total".to_string(), ledger.total()));
+        doc.nodes = ledger
+            .snapshot()
+            .into_iter()
+            .map(|s| NodeSnapshot {
+                id: s.node as u64,
+                energy: s.total,
+                tx: s.tx.round() as u64,
+                rx: s.rx.round() as u64,
+            })
+            .collect();
+        drop(medium);
+        doc.events = self.kernel.trace_snapshot();
+        doc
     }
 
     /// Removes and returns everything exfiltrated so far.
@@ -509,7 +712,10 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// Requires [`PhysicalRuntime::install_programs`] to have been called
     /// (the retained factory provides each round's fresh programs).
     pub fn run_mission(&mut self, cfg: MissionConfig, expected_exfils: usize) -> MissionReport {
-        assert!(self.factory.is_some(), "install_programs must be called before run_mission");
+        assert!(
+            self.factory.is_some(),
+            "install_programs must be called before run_mission"
+        );
         let mut rng = wsn_sim::DetRng::stream(cfg.churn_seed, 0xC0FFEE);
         let mut report = MissionReport {
             rounds: cfg.rounds,
@@ -596,8 +802,14 @@ mod tests {
         let mut rt = runtime(4, 3, 1);
         let report = rt.run_topology_emulation();
         assert!(report.complete, "incomplete tables");
-        assert!(report.broadcasts >= 48, "every node broadcasts at least once");
-        assert!(report.suppressed > 0, "boundary crossings must occur and be suppressed");
+        assert!(
+            report.broadcasts >= 48,
+            "every node broadcasts at least once"
+        );
+        assert!(
+            report.suppressed > 0,
+            "boundary crossings must occur and be suppressed"
+        );
         rt.verify_routes().unwrap();
     }
 
@@ -690,7 +902,13 @@ mod tests {
         let bind = rt.run_binding();
         assert!(bind.unique && bind.tree_complete);
         let n = (side as usize).pow(2);
-        rt.install_programs(move |_| Box::new(Gather { expected: n, seen: 0, sum: 0.0 }));
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: n,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         let app = rt.run_application();
         (rt, app)
     }
@@ -707,7 +925,10 @@ mod tests {
         assert_eq!(results[0].from, GridCoord::new(0, 0));
         // Physical forwarding takes at least one hop per virtual hop.
         assert!(app.physical_hops >= app.messages);
-        assert!(app.last_exfil_ticks.unwrap() >= 6, "physical latency ≥ virtual 6 ticks");
+        assert!(
+            app.last_exfil_ticks.unwrap() >= 6,
+            "physical latency ≥ virtual 6 ticks"
+        );
     }
 
     #[test]
@@ -715,7 +936,11 @@ mod tests {
         let (rt, app) = run_gather(4, 3, 8);
         let m = rt.metrics(&app);
         // Virtual ideal for the same traffic: Σ hops × 2 = 2×Σ(c+r) = 48.
-        assert!(m.total_energy > 48.0, "physical energy {} must exceed ideal 48", m.total_energy);
+        assert!(
+            m.total_energy > 48.0,
+            "physical energy {} must exceed ideal 48",
+            m.total_energy
+        );
         assert_eq!(m.messages, 15);
     }
 
@@ -732,7 +957,13 @@ mod tests {
         assert!(bind2.unique, "re-election must produce unique leaders");
         let new_leader = rt.leader_of(GridCoord::new(1, 1)).unwrap();
         assert_ne!(new_leader, victim);
-        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 4,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         let app = rt.run_application();
         assert_eq!(app.exfil_count, 1);
         let sum = rt.take_exfiltrated()[0].payload;
@@ -758,7 +989,13 @@ mod tests {
         rt.verify_routes().unwrap();
         let bind = rt.run_binding();
         assert!(bind.unique && bind.tree_complete);
-        rt.install_programs(|_| Box::new(Gather { expected: 16, seen: 0, sum: 0.0 }));
+        rt.install_programs(|_| {
+            Box::new(Gather {
+                expected: 16,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         let app = rt.run_application();
         assert_eq!(app.exfil_count, 1);
         assert_eq!(rt.take_exfiltrated()[0].payload, 16.0);
@@ -769,7 +1006,13 @@ mod tests {
         let mut rt = runtime(2, 3, 4);
         rt.run_topology_emulation();
         assert!(rt.run_binding().unique);
-        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 4,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         let report = rt.run_mission(
             MissionConfig {
                 rounds: 5,
@@ -791,7 +1034,13 @@ mod tests {
             let mut rt = runtime(2, 6, 4);
             rt.run_topology_emulation();
             assert!(rt.run_binding().unique);
-            rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+            rt.install_programs(move |_| {
+                Box::new(Gather {
+                    expected: 4,
+                    seen: 0,
+                    sum: 0.0,
+                })
+            });
             rt.run_mission(
                 MissionConfig {
                     rounds: 10,
@@ -889,12 +1138,21 @@ mod tests {
         );
         rt.run_topology_emulation();
         assert!(rt.run_binding().unique);
-        rt.install_programs(move |_| Box::new(Gather { expected: 16, seen: 0, sum: 0.0 }));
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 16,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         rt.set_link_model(LinkModel::lossy(0.10, 2));
         rt.enable_arq(10, 32);
         let app = rt.run_application();
         assert_eq!(app.exfil_count, 1, "ARQ must carry the merge through");
-        assert!(app.retransmissions > 0, "10% loss must trigger retransmissions");
+        assert!(
+            app.retransmissions > 0,
+            "10% loss must trigger retransmissions"
+        );
         let expected: f64 = (0..4u32)
             .flat_map(|r| (0..4u32).map(move |c| f64::from(c + r)))
             .sum();
@@ -917,12 +1175,24 @@ mod tests {
             );
             rt.run_topology_emulation();
             rt.run_binding();
-            rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+            rt.install_programs(move |_| {
+                Box::new(Gather {
+                    expected: 4,
+                    seen: 0,
+                    sum: 0.0,
+                })
+            });
             if tdma {
-                rt.set_mac_model(wsn_net::MacModel::Tdma { frame_slots: 8, slot_ticks: 1 });
+                rt.set_mac_model(wsn_net::MacModel::Tdma {
+                    frame_slots: 8,
+                    slot_ticks: 1,
+                });
             }
             let app = rt.run_application();
-            (app.last_exfil_ticks.unwrap(), rt.take_exfiltrated()[0].payload)
+            (
+                app.last_exfil_ticks.unwrap(),
+                rt.take_exfiltrated()[0].payload,
+            )
         };
         let (lat_async, sum_async) = run(false);
         let (lat_tdma, sum_tdma) = run(true);
@@ -946,8 +1216,11 @@ mod tests {
             |_| 1.0,
         );
         // Put one node per cell to sleep before the protocols run.
-        let sleepers: Vec<usize> =
-            rt.grid().nodes().map(|c| rt.deployment().nodes_in_cell(c)[0]).collect();
+        let sleepers: Vec<usize> = rt
+            .grid()
+            .nodes()
+            .map(|c| rt.deployment().nodes_in_cell(c)[0])
+            .collect();
         for &s in &sleepers {
             rt.medium().borrow_mut().kill(s, SimTime::ZERO);
         }
@@ -955,18 +1228,30 @@ mod tests {
         let bind = rt.run_binding();
         assert!(bind.unique);
         for &s in &sleepers {
-            assert!(rt.node(s).leader.is_none(), "sleeper {s} must not have participated");
+            assert!(
+                rt.node(s).leader.is_none(),
+                "sleeper {s} must not have participated"
+            );
         }
         // Wake them; after a refresh they hold protocol state again.
         for &s in &sleepers {
             assert!(rt.medium().borrow_mut().wake(s));
         }
-        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 4,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         let (topo, bind2) = rt.refresh_after_churn();
         assert!(topo.complete);
         assert!(bind2.unique);
         for &s in &sleepers {
-            assert!(rt.node(s).leader.is_some(), "woken node {s} joined the cell tree");
+            assert!(
+                rt.node(s).leader.is_some(),
+                "woken node {s} joined the cell tree"
+            );
         }
         let app = rt.run_application();
         assert_eq!(app.exfil_count, 1);
@@ -989,20 +1274,28 @@ mod tests {
         rt.set_election_policy(crate::node::ElectionPolicy::MaxResidualEnergy);
         rt.run_topology_emulation();
         assert!(rt.run_binding().unique);
-        rt.install_programs(move |_| Box::new(Gather { expected: 4, seen: 0, sum: 0.0 }));
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 4,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
         let mut leaders_over_time = Vec::new();
         for _ in 0..4 {
             let app = rt.run_application();
             assert_eq!(app.exfil_count, 1);
-            leaders_over_time
-                .push(rt.leader_of(GridCoord::new(0, 0)).expect("leader"));
+            leaders_over_time.push(rt.leader_of(GridCoord::new(0, 0)).expect("leader"));
             rt.refresh_after_churn(); // re-election under the energy policy
         }
         // The origin-cell leader carries the aggregation hotspot; under
         // the residual-energy policy it must hand leadership over.
         let distinct: std::collections::HashSet<usize> =
             leaders_over_time.iter().copied().collect();
-        assert!(distinct.len() > 1, "leadership never rotated: {leaders_over_time:?}");
+        assert!(
+            distinct.len() > 1,
+            "leadership never rotated: {leaders_over_time:?}"
+        );
     }
 
     #[test]
@@ -1012,5 +1305,115 @@ mod tests {
         rt.run_topology_emulation();
         rt.run_binding();
         rt.run_application();
+    }
+
+    #[test]
+    fn telemetry_spans_decompose_the_mission() {
+        let mut rt = runtime(4, 3, 7);
+        rt.enable_telemetry(true);
+        let topo = rt.run_topology_emulation();
+        let bind = rt.run_binding();
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 16,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
+        let app = rt.run_application();
+        assert_eq!(app.exfil_count, 1);
+
+        let roots = rt.spans().roots();
+        let names: Vec<&str> = roots.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["topology-emulation", "binding", "application"]);
+        let phase_sum: u64 = roots.iter().map(SpanNode::duration_ticks).sum();
+        assert_eq!(
+            phase_sum,
+            rt.now().ticks(),
+            "phase durations decompose the run"
+        );
+        assert_eq!(roots[0].duration_ticks(), topo.elapsed_ticks);
+        assert_eq!(roots[1].duration_ticks(), bind.elapsed_ticks);
+        assert_eq!(roots[2].duration_ticks(), app.elapsed_ticks);
+        // Binding nests its two sub-floods.
+        let sub: Vec<&str> = roots[1].children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(sub, vec!["election", "announce"]);
+
+        // Registry counters agree with the phase reports by construction.
+        let reg = rt.telemetry();
+        assert_eq!(reg.counter("phase.topo.broadcasts"), topo.broadcasts);
+        assert_eq!(
+            reg.counter("phase.bind.delta_broadcasts"),
+            bind.delta_broadcasts
+        );
+        assert_eq!(reg.counter("phase.bind.leaders"), 16);
+        assert_eq!(reg.counter(CTR_MESSAGES), app.messages);
+
+        // The exported trace carries everything and round-trips.
+        let doc = rt.record_trace();
+        let meta = doc.meta.clone().unwrap();
+        assert_eq!(meta.grid, 4);
+        assert_eq!(meta.nodes, 48);
+        assert_eq!(meta.total_ticks, rt.now().ticks());
+        assert!(meta.events > 0);
+        assert!(!doc.events.is_empty(), "event tracing was on");
+        assert_eq!(doc.counter("topo.broadcast"), topo.broadcasts);
+        assert_eq!(doc.counter(CTR_MESSAGES), app.messages);
+        assert!(
+            doc.histograms
+                .iter()
+                .any(|(k, _)| k == wsn_sim::METRIC_DISPATCH_LATENCY),
+            "kernel metrics exported"
+        );
+        let fills: u64 = crate::node::FILL_COUNTERS
+            .iter()
+            .map(|c| doc.counter(c))
+            .sum();
+        assert!(fills > 0, "per-direction fill counters exported");
+        let parsed = TraceDocument::from_jsonl(&doc.to_jsonl()).unwrap();
+        assert_eq!(parsed.spans, doc.spans);
+        assert_eq!(parsed.nodes.len(), 48);
+        assert_eq!(parsed.events.len(), doc.events.len());
+    }
+
+    #[test]
+    fn telemetry_disabled_records_no_spans_or_counters() {
+        let (rt, _app) = run_gather(2, 3, 4);
+        assert!(!rt.telemetry().is_enabled());
+        assert!(rt.spans().roots().is_empty());
+        let doc = rt.record_trace();
+        assert!(doc.spans.is_empty());
+        assert!(doc.events.is_empty(), "no tracer was installed");
+        assert_eq!(doc.counter(CTR_MESSAGES), 0, "registry stayed empty");
+        // The raw kernel statistics and node snapshots are still exported.
+        assert!(doc.counter("rt.messages") > 0);
+        assert_eq!(doc.nodes.len(), rt.deployment().node_count());
+        assert!(
+            doc.meta.unwrap().events > 0,
+            "event totals are always tracked"
+        );
+    }
+
+    #[test]
+    fn telemetry_runs_are_deterministic() {
+        let run = || {
+            let mut rt = runtime(4, 3, 11);
+            rt.enable_telemetry(false);
+            rt.run_topology_emulation();
+            rt.run_binding();
+            rt.install_programs(move |_| {
+                Box::new(Gather {
+                    expected: 16,
+                    seen: 0,
+                    sum: 0.0,
+                })
+            });
+            rt.run_application();
+            (rt.spans().clone(), rt.record_trace().to_jsonl())
+        };
+        let (spans_a, trace_a) = run();
+        let (spans_b, trace_b) = run();
+        assert_eq!(spans_a, spans_b, "same seed, same span tree");
+        assert_eq!(trace_a, trace_b, "same seed, same serialized trace");
     }
 }

@@ -29,6 +29,9 @@ pub struct ScheduledEvent<M> {
     /// Global sequence number; breaks ties among same-tick events so that
     /// execution order equals scheduling order (determinism).
     pub seq: u64,
+    /// When the event entered the queue; `time - enqueued_at` is the
+    /// scheduling latency the kernel metrics histogram.
+    pub enqueued_at: SimTime,
     /// Receiving actor.
     pub target: usize,
     /// Payload.
@@ -68,7 +71,10 @@ impl<M> Ord for HeapEntry<M> {
 impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Number of pending events.
@@ -81,11 +87,31 @@ impl<M> EventQueue<M> {
         self.heap.is_empty()
     }
 
-    /// Schedules `kind` to fire at `target` at absolute instant `time`.
+    /// Schedules `kind` to fire at `target` at absolute instant `time`,
+    /// treating `time` as the enqueue instant (zero scheduling latency).
     pub fn push(&mut self, time: SimTime, target: usize, kind: EventKind<M>) {
+        self.push_from(time, time, target, kind);
+    }
+
+    /// Schedules `kind` to fire at `target` at absolute instant `time`,
+    /// stamping the event as enqueued at `enqueued_at` so the kernel can
+    /// histogram scheduling latency (`time - enqueued_at`).
+    pub fn push_from(
+        &mut self,
+        enqueued_at: SimTime,
+        time: SimTime,
+        target: usize,
+        kind: EventKind<M>,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry(ScheduledEvent { time, seq, target, kind }));
+        self.heap.push(HeapEntry(ScheduledEvent {
+            time,
+            seq,
+            enqueued_at,
+            target,
+            kind,
+        }));
     }
 
     /// Removes and returns the earliest pending event.
@@ -119,7 +145,9 @@ mod tests {
         q.push(SimTime::from_ticks(5), 0, msg(5));
         q.push(SimTime::from_ticks(1), 0, msg(1));
         q.push(SimTime::from_ticks(3), 0, msg(3));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.ticks())
+            .collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 
@@ -158,6 +186,17 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn push_from_stamps_enqueue_instant() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push_from(SimTime::from_ticks(3), SimTime::from_ticks(10), 0, msg(0));
+        q.push(SimTime::from_ticks(4), 0, msg(1));
+        let first = q.pop().unwrap();
+        assert_eq!(first.enqueued_at, first.time); // plain push: zero latency
+        let second = q.pop().unwrap();
+        assert_eq!(second.time - second.enqueued_at, 7);
     }
 
     #[test]

@@ -11,6 +11,15 @@ use std::any::Any;
 /// stay valid for the lifetime of the kernel.
 pub type ActorId = usize;
 
+/// Stats histogram key for per-event scheduling latency (ticks between an
+/// event entering the queue and being dispatched). Recorded when
+/// [`Kernel::enable_metrics`] is on.
+pub const METRIC_DISPATCH_LATENCY: &str = "kernel.dispatch_latency";
+
+/// Stats histogram key for queue depth sampled after each pop. Recorded
+/// when [`Kernel::enable_metrics`] is on.
+pub const METRIC_QUEUE_DEPTH: &str = "kernel.queue_depth";
+
 /// Implemented by message types so traces can record a cheap discriminant.
 pub trait Payload: 'static {
     /// A small integer identifying the message variant (for traces only;
@@ -105,7 +114,10 @@ impl<'a, M: Payload> Context<'a, M> {
         self.outbox.push((
             self.now + delay.ticks(),
             to,
-            EventKind::Message { from: self.self_id, msg },
+            EventKind::Message {
+                from: self.self_id,
+                msg,
+            },
         ));
     }
 
@@ -116,8 +128,11 @@ impl<'a, M: Payload> Context<'a, M> {
 
     /// Schedules a timer on this actor, `delay` ticks from now.
     pub fn set_timer(&mut self, delay_ticks: u64, tag: u64) {
-        self.outbox
-            .push((self.now + delay_ticks, self.self_id, EventKind::Timer { tag }));
+        self.outbox.push((
+            self.now + delay_ticks,
+            self.self_id,
+            EventKind::Timer { tag },
+        ));
     }
 
     /// Requests that the run loop return after this event.
@@ -145,6 +160,7 @@ pub struct Kernel<M: Payload> {
     master_seed: u64,
     stats: Stats,
     tracer: Tracer,
+    metrics: bool,
     started: bool,
 }
 
@@ -159,6 +175,7 @@ impl<M: Payload> Kernel<M> {
             master_seed,
             stats: Stats::new(),
             tracer: Tracer::disabled(),
+            metrics: false,
             started: false,
         }
     }
@@ -168,9 +185,44 @@ impl<M: Payload> Kernel<M> {
         self.tracer = Tracer::enabled();
     }
 
-    /// The trace recorded so far.
+    /// Installs a specific tracer (ring, bounded, or streaming mode).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Removes the tracer (e.g. to recover a streaming sink), leaving a
+    /// disabled one in its place.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.tracer, Tracer::disabled())
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Enables kernel self-metrics: each dispatched event records
+    /// [`METRIC_DISPATCH_LATENCY`] and [`METRIC_QUEUE_DEPTH`] into the
+    /// stats sink. Off by default — the hot loop then pays only a bool
+    /// check.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = true;
+    }
+
+    /// Whether kernel self-metrics are being recorded.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics
+    }
+
+    /// The trace recorded so far (storage order; see [`Tracer::entries`]).
     pub fn trace(&self) -> &[TraceEntry] {
         self.tracer.entries()
+    }
+
+    /// The trace recorded so far in chronological order (un-rotates a
+    /// ring-mode buffer).
+    pub fn trace_snapshot(&self) -> Vec<TraceEntry> {
+        self.tracer.snapshot()
     }
 
     /// Registers an actor and returns its id. Must be called before `run`.
@@ -226,7 +278,10 @@ impl<M: Payload> Kernel<M> {
 
     /// Schedules an external timer event on `target`.
     pub fn schedule_timer(&mut self, at: SimTime, target: ActorId, tag: u64) {
-        assert!(target < self.actors.len(), "schedule to unknown actor {target}");
+        assert!(
+            target < self.actors.len(),
+            "schedule to unknown actor {target}"
+        );
         self.queue.push(at, target, EventKind::Timer { tag });
     }
 
@@ -253,7 +308,7 @@ impl<M: Payload> Kernel<M> {
             }
             self.actors[id] = Some(actor);
             for (time, target, kind) in outbox.drain(..) {
-                self.queue.push(time, target, kind);
+                self.queue.push_from(self.now, time, target, kind);
             }
         }
     }
@@ -318,6 +373,13 @@ impl<M: Payload> Kernel<M> {
             self.now = ev.time;
             processed += 1;
 
+            if self.metrics {
+                let latency = ev.time.ticks().saturating_sub(ev.enqueued_at.ticks());
+                self.stats.observe(METRIC_DISPATCH_LATENCY, latency as f64);
+                self.stats
+                    .observe(METRIC_QUEUE_DEPTH, self.queue.len() as f64);
+            }
+
             if self.tracer.is_enabled() {
                 let (kind, a, b) = match &ev.kind {
                     EventKind::Message { from, msg } => {
@@ -325,7 +387,13 @@ impl<M: Payload> Kernel<M> {
                     }
                     EventKind::Timer { tag } => (TraceKind::Timer, 0, *tag),
                 };
-                self.tracer.record(TraceEntry { time: ev.time, target: ev.target, kind, a, b });
+                self.tracer.record(TraceEntry {
+                    time: ev.time,
+                    target: ev.target,
+                    kind,
+                    a,
+                    b,
+                });
             }
 
             let mut actor = self.actors[ev.target]
@@ -348,7 +416,7 @@ impl<M: Payload> Kernel<M> {
             }
             self.actors[ev.target] = Some(actor);
             for (time, target, kind) in outbox.drain(..) {
-                self.queue.push(time, target, kind);
+                self.queue.push_from(self.now, time, target, kind);
             }
             if stop {
                 return RunReport {
@@ -400,8 +468,14 @@ mod tests {
     #[test]
     fn ping_pong_countdown_terminates() {
         let mut k: Kernel<u32> = Kernel::new(1);
-        let a = k.add_actor(Box::new(Echo { reply_to: Some(1), ..Default::default() }));
-        let b = k.add_actor(Box::new(Echo { reply_to: Some(0), ..Default::default() }));
+        let a = k.add_actor(Box::new(Echo {
+            reply_to: Some(1),
+            ..Default::default()
+        }));
+        let b = k.add_actor(Box::new(Echo {
+            reply_to: Some(0),
+            ..Default::default()
+        }));
         k.schedule_message(SimTime::ZERO, b, a, 5);
         let report = k.run();
         // messages 5,4,3,2,1,0 = 6 deliveries
@@ -436,7 +510,11 @@ mod tests {
     #[test]
     fn periodic_timers_fire_on_schedule() {
         let mut k: Kernel<u32> = Kernel::new(1);
-        let t = k.add_actor(Box::new(TimerBeat { fired: vec![], period: 10, remaining: 3 }));
+        let t = k.add_actor(Box::new(TimerBeat {
+            fired: vec![],
+            period: 10,
+            remaining: 3,
+        }));
         k.run();
         let beat: &TimerBeat = k.actor(t).unwrap();
         assert_eq!(beat.fired, vec![10, 20, 30, 40]);
@@ -445,7 +523,11 @@ mod tests {
     #[test]
     fn run_until_respects_horizon() {
         let mut k: Kernel<u32> = Kernel::new(1);
-        let t = k.add_actor(Box::new(TimerBeat { fired: vec![], period: 10, remaining: 100 }));
+        let t = k.add_actor(Box::new(TimerBeat {
+            fired: vec![],
+            period: 10,
+            remaining: 100,
+        }));
         let report = k.run_until(SimTime::from_ticks(35));
         assert_eq!(report.stop, StopReason::TimeLimit);
         assert_eq!(report.end_time, SimTime::from_ticks(35));
@@ -502,14 +584,111 @@ mod tests {
     fn traces_are_deterministic_across_runs() {
         fn run_once() -> Vec<TraceEntry> {
             let mut k: Kernel<u32> = Kernel::new(77);
-            let a = k.add_actor(Box::new(Echo { reply_to: Some(1), ..Default::default() }));
-            let _b = k.add_actor(Box::new(Echo { reply_to: Some(0), ..Default::default() }));
+            let a = k.add_actor(Box::new(Echo {
+                reply_to: Some(1),
+                ..Default::default()
+            }));
+            let _b = k.add_actor(Box::new(Echo {
+                reply_to: Some(0),
+                ..Default::default()
+            }));
             k.enable_tracing();
             k.schedule_message(SimTime::ZERO, 1, a, 20);
             k.run();
             k.trace().to_vec()
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn metrics_record_latency_and_queue_depth() {
+        let mut k: Kernel<u32> = Kernel::new(3);
+        let a = k.add_actor(Box::new(Echo {
+            reply_to: Some(1),
+            ..Default::default()
+        }));
+        let _b = k.add_actor(Box::new(Echo {
+            reply_to: Some(0),
+            ..Default::default()
+        }));
+        k.enable_metrics();
+        assert!(k.metrics_enabled());
+        k.schedule_message(SimTime::ZERO, 1, a, 5);
+        let report = k.run();
+        let latency = k
+            .stats()
+            .histogram(METRIC_DISPATCH_LATENCY)
+            .expect("latency histogram");
+        assert_eq!(latency.count() as u64, report.events_processed);
+        // Every reply is sent with delay 1, so latency is 1 for all events
+        // after the externally injected kickoff (latency 0).
+        assert_eq!(latency.max(), Some(1.0));
+        let depth = k
+            .stats()
+            .histogram(METRIC_QUEUE_DEPTH)
+            .expect("depth histogram");
+        assert_eq!(depth.count() as u64, report.events_processed);
+    }
+
+    #[test]
+    fn metrics_disabled_record_nothing() {
+        let mut k: Kernel<u32> = Kernel::new(3);
+        let a = k.add_actor(Box::new(Echo::default()));
+        k.schedule_message(SimTime::ZERO, 0, a, 5);
+        k.run();
+        assert!(k.stats().histogram(METRIC_DISPATCH_LATENCY).is_none());
+        assert!(k.stats().histogram(METRIC_QUEUE_DEPTH).is_none());
+    }
+
+    #[test]
+    fn ring_tracer_keeps_newest_events() {
+        let run = |tracer: Tracer| {
+            let mut k: Kernel<u32> = Kernel::new(7);
+            let a = k.add_actor(Box::new(Echo {
+                reply_to: Some(1),
+                ..Default::default()
+            }));
+            let _b = k.add_actor(Box::new(Echo {
+                reply_to: Some(0),
+                ..Default::default()
+            }));
+            k.set_tracer(tracer);
+            k.schedule_message(SimTime::ZERO, 1, a, 10);
+            k.run();
+            k
+        };
+        let full = run(Tracer::enabled());
+        let ring = run(Tracer::ring(4));
+        let full_trace = full.trace_snapshot();
+        let ring_trace = ring.trace_snapshot();
+        assert_eq!(ring_trace.len(), 4);
+        // The ring holds exactly the last four entries of the full trace.
+        assert_eq!(ring_trace, full_trace[full_trace.len() - 4..].to_vec());
+        assert_eq!(ring.tracer().dropped() as usize, full_trace.len() - 4);
+    }
+
+    #[test]
+    fn streaming_tracer_forwards_every_event() {
+        struct CountSink(u64);
+        impl crate::trace::TraceSink for CountSink {
+            fn record(&mut self, _entry: &TraceEntry) {
+                self.0 += 1;
+            }
+        }
+        let mut k: Kernel<u32> = Kernel::new(7);
+        let a = k.add_actor(Box::new(Echo {
+            reply_to: Some(1),
+            ..Default::default()
+        }));
+        let _b = k.add_actor(Box::new(Echo {
+            reply_to: Some(0),
+            ..Default::default()
+        }));
+        k.set_tracer(Tracer::streaming(Box::new(CountSink(0))));
+        k.schedule_message(SimTime::ZERO, 1, a, 10);
+        let report = k.run();
+        assert!(k.trace().is_empty(), "streaming mode must not buffer");
+        assert_eq!(k.tracer().streamed(), report.events_processed);
     }
 
     #[test]

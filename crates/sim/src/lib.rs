@@ -52,8 +52,11 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventKind, ScheduledEvent};
-pub use kernel::{Actor, ActorId, Context, Kernel, Payload, RunReport, StopReason};
+pub use kernel::{
+    Actor, ActorId, Context, Kernel, Payload, RunReport, StopReason, METRIC_DISPATCH_LATENCY,
+    METRIC_QUEUE_DEPTH,
+};
 pub use rng::DetRng;
 pub use stats::{Histogram, Stats, TimeSeries};
 pub use time::SimTime;
-pub use trace::{TraceEntry, TraceKind, Tracer};
+pub use trace::{TraceEntry, TraceKind, TraceSink, Tracer};

@@ -60,10 +60,7 @@ impl DetRng {
     #[inline]
     fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -251,7 +248,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50-element shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50-element shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Stats {
 
     /// Records `value` into the histogram `key`.
     pub fn observe(&mut self, key: &str, value: f64) {
-        self.histograms.entry(key.to_owned()).or_default().record(value);
+        self.histograms
+            .entry(key.to_owned())
+            .or_default()
+            .record(value);
     }
 
     /// The histogram `key`, if any value was ever observed.
@@ -61,7 +64,10 @@ impl Stats {
 
     /// Appends `(tick, value)` to the time series `key`.
     pub fn sample(&mut self, key: &str, tick: u64, value: f64) {
-        self.series.entry(key.to_owned()).or_default().push(tick, value);
+        self.series
+            .entry(key.to_owned())
+            .or_default()
+            .push(tick, value);
     }
 
     /// The time series `key`, if any sample was recorded.
@@ -72,6 +78,16 @@ impl Stats {
     /// Iterates over all counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
     /// Merges another sink into this one (counters add, gauges overwrite,
@@ -113,6 +129,11 @@ impl Histogram {
     pub fn record(&mut self, value: f64) {
         self.values.push(value);
         self.sorted = false;
+    }
+
+    /// All observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Number of observations.
@@ -157,8 +178,8 @@ impl Histogram {
     /// Population standard deviation, or `None` when empty.
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self.values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.values.len() as f64;
         Some(var.sqrt())
     }
 
@@ -293,5 +314,19 @@ mod tests {
         s.incr("c");
         let keys: Vec<&str> = s.counters().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn gauges_and_histograms_iterate_in_key_order() {
+        let mut s = Stats::new();
+        s.set_gauge("z", 1.0);
+        s.set_gauge("a", 2.0);
+        s.observe("lat", 3.0);
+        s.observe("lat", 5.0);
+        let gauges: Vec<(&str, f64)> = s.gauges().collect();
+        assert_eq!(gauges, vec![("a", 2.0), ("z", 1.0)]);
+        let hists: Vec<&str> = s.histograms().map(|(k, _)| k).collect();
+        assert_eq!(hists, vec!["lat"]);
+        assert_eq!(s.histograms().next().unwrap().1.values(), &[3.0, 5.0]);
     }
 }

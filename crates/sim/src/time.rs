@@ -11,7 +11,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in ticks since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -108,7 +110,10 @@ mod tests {
     fn saturating_ops() {
         assert_eq!(SimTime::MAX.saturating_add(10), SimTime::MAX);
         assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_ticks(5)), 0);
-        assert_eq!(SimTime::from_ticks(7).saturating_since(SimTime::from_ticks(5)), 2);
+        assert_eq!(
+            SimTime::from_ticks(7).saturating_since(SimTime::from_ticks(5)),
+            2
+        );
     }
 
     #[test]

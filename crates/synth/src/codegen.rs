@@ -35,12 +35,19 @@ fn render_actions(actions: &[Action], indent: usize, out: &mut String) {
                 let _ = writeln!(out, "{pad}compute mySubGraph[0] from intra-cell readings");
             }
             Action::MergeIncoming => {
-                let _ = writeln!(out, "{pad}merge(mGraph.msubGraph, mySubGraph[mGraph.mrecLevel])");
+                let _ = writeln!(
+                    out,
+                    "{pad}merge(mGraph.msubGraph, mySubGraph[mGraph.mrecLevel])"
+                );
             }
             Action::CountIncoming => {
                 let _ = writeln!(out, "{pad}msgsReceived[mGraph.mrecLevel]++");
             }
-            Action::IfElse { cond, then, otherwise } => {
+            Action::IfElse {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let _ = writeln!(out, "{pad}if ({})", render_guard(cond));
                 render_actions(then, indent + 4, out);
                 if !otherwise.is_empty() {
@@ -48,7 +55,10 @@ fn render_actions(actions: &[Action], indent: usize, out: &mut String) {
                     render_actions(otherwise, indent + 4, out);
                 }
             }
-            Action::SendSummaryToLeader { group_level, data_level } => {
+            Action::SendSummaryToLeader {
+                group_level,
+                data_level,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}message = {{myCoords, mySubGraph[{}], {}}}",
@@ -79,10 +89,7 @@ pub fn render_figure4(program: &GuardedProgram) -> String {
         .map(|d| format!("{}(= {})", d.name, render_expr(&d.init)))
         .collect();
     let _ = writeln!(out, "    {},", scalars.join(", "));
-    let _ = writeln!(
-        out,
-        "    mySubGraph[0..maxrecLevel](= NULL), myCoords,"
-    );
+    let _ = writeln!(out, "    mySubGraph[0..maxrecLevel](= NULL), myCoords,");
     let _ = writeln!(out, "    msgsReceived[0..maxrecLevel](= 0)");
     let _ = writeln!(out);
     let _ = writeln!(out, "Message alphabet :");

@@ -49,7 +49,10 @@ pub fn check_coverage(qt: &QuadTree, mapping: &Mapping) -> Result<(), Constraint
     let leaves = qt.graph.sensing_tasks();
     let nodes = (qt.side as usize).pow(2);
     if leaves.len() != nodes {
-        return Err(ConstraintViolation::CoverageCount { leaves: leaves.len(), nodes });
+        return Err(ConstraintViolation::CoverageCount {
+            leaves: leaves.len(),
+            nodes,
+        });
     }
     let mut seen: HashSet<GridCoord> = HashSet::with_capacity(nodes);
     for t in leaves {
@@ -158,7 +161,10 @@ mod tests {
         let qt = qt();
         let mut m = quadrant_mapping(&qt);
         m.assign(qt.ids_by_level[0][3], GridCoord::new(7, 0));
-        assert!(matches!(check_coverage(&qt, &m), Err(ConstraintViolation::OutOfGrid { .. })));
+        assert!(matches!(
+            check_coverage(&qt, &m),
+            Err(ConstraintViolation::OutOfGrid { .. })
+        ));
     }
 
     #[test]
@@ -192,14 +198,17 @@ mod tests {
 
     #[test]
     fn square_block_recognizer() {
-        let block: Vec<GridCoord> =
-            [(2, 2), (3, 2), (2, 3), (3, 3)].map(|(c, r)| GridCoord::new(c, r)).to_vec();
+        let block: Vec<GridCoord> = [(2, 2), (3, 2), (2, 3), (3, 3)]
+            .map(|(c, r)| GridCoord::new(c, r))
+            .to_vec();
         assert!(is_square_block(&block));
-        let ell: Vec<GridCoord> =
-            [(0, 0), (1, 0), (0, 1), (2, 0)].map(|(c, r)| GridCoord::new(c, r)).to_vec();
+        let ell: Vec<GridCoord> = [(0, 0), (1, 0), (0, 1), (2, 0)]
+            .map(|(c, r)| GridCoord::new(c, r))
+            .to_vec();
         assert!(!is_square_block(&ell));
-        let dup: Vec<GridCoord> =
-            [(0, 0), (1, 0), (0, 1), (0, 0)].map(|(c, r)| GridCoord::new(c, r)).to_vec();
+        let dup: Vec<GridCoord> = [(0, 0), (1, 0), (0, 1), (0, 0)]
+            .map(|(c, r)| GridCoord::new(c, r))
+            .to_vec();
         assert!(!is_square_block(&dup));
         let not_square = vec![GridCoord::new(0, 0), GridCoord::new(1, 0)];
         assert!(!is_square_block(&not_square));

@@ -131,9 +131,7 @@ impl<S: SummarySemantics> SynthesizedNode<S> {
         match g {
             Guard::Eq(a, b) => self.eval(a, incoming) == self.eval(b, incoming),
             Guard::Received => incoming.is_some(),
-            Guard::IncomingFromSelf => {
-                incoming.map(|m| m.sender == api.coord()).unwrap_or(false)
-            }
+            Guard::IncomingFromSelf => incoming.map(|m| m.sender == api.coord()).unwrap_or(false),
             Guard::And(a, b) => {
                 self.eval_guard(a, api, incoming) && self.eval_guard(b, api, incoming)
             }
@@ -150,7 +148,10 @@ impl<S: SummarySemantics> SynthesizedNode<S> {
             match action {
                 Action::Set(name, expr) => {
                     let v = self.eval(expr, incoming);
-                    assert!(self.vars.contains_key(name), "assignment to undeclared {name}");
+                    assert!(
+                        self.vars.contains_key(name),
+                        "assignment to undeclared {name}"
+                    );
                     self.vars.insert(name.clone(), v);
                 }
                 Action::ComputeLocalSummary => {
@@ -171,14 +172,21 @@ impl<S: SummarySemantics> SynthesizedNode<S> {
                     let m = incoming.expect("CountIncoming outside a receive rule");
                     self.msgs_received[m.level as usize] += 1;
                 }
-                Action::IfElse { cond, then, otherwise } => {
+                Action::IfElse {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
                     if self.eval_guard(cond, api, incoming) {
                         self.exec_actions(then, api, incoming);
                     } else {
                         self.exec_actions(otherwise, api, incoming);
                     }
                 }
-                Action::SendSummaryToLeader { group_level, data_level } => {
+                Action::SendSummaryToLeader {
+                    group_level,
+                    data_level,
+                } => {
                     let g = self.eval(group_level, incoming);
                     let dl = self.eval(data_level, incoming);
                     let data = self.my_sub_graph[dl as usize]
@@ -189,7 +197,11 @@ impl<S: SummarySemantics> SynthesizedNode<S> {
                     api.send(
                         dest,
                         units,
-                        SummaryMsg { sender: api.coord(), level: g as u8, data },
+                        SummaryMsg {
+                            sender: api.coord(),
+                            level: g as u8,
+                            data,
+                        },
                     );
                 }
                 Action::ExfiltrateSummary { level } => {
@@ -236,7 +248,10 @@ fn eval_const(e: &Expr) -> i64 {
 impl<S: SummarySemantics> NodeProgram<SummaryMsg<S::Data>> for SynthesizedNode<S> {
     fn on_init(&mut self, api: &mut dyn NodeApi<SummaryMsg<S::Data>>) {
         // The runtime trigger: Figure 4's `start` flips true.
-        assert!(self.vars.contains_key("start"), "program lacks a start flag");
+        assert!(
+            self.vars.contains_key("start"),
+            "program lacks a start flag"
+        );
         self.vars.insert("start".into(), 1);
         self.run_until_stable(api);
     }
@@ -249,8 +264,11 @@ impl<S: SummarySemantics> NodeProgram<SummaryMsg<S::Data>> for SynthesizedNode<S
     ) {
         let rules: Vec<Rule> = self.program.receive_rules().cloned().collect();
         {
-            let incoming =
-                Incoming { sender: from, level: payload.level, data: &payload.data };
+            let incoming = Incoming {
+                sender: from,
+                level: payload.level,
+                data: &payload.data,
+            };
             for rule in &rules {
                 self.exec_actions(&rule.actions, api, Some(&incoming));
             }
@@ -283,18 +301,30 @@ mod tests {
     }
 
     fn run_sum(side: u32, seed: u64) -> (Vec<(i64, u32)>, wsn_core::RunMetrics) {
-        let program = Rc::new(synthesize_quadtree_program(Hierarchy::new(side).max_level()));
+        let program = Rc::new(synthesize_quadtree_program(
+            Hierarchy::new(side).max_level(),
+        ));
         let semantics = Rc::new(SumSemantics);
         let mut vm = Vm::new(
             side,
             CostModel::uniform(),
             seed,
             |c| f64::from(c.col * 10 + c.row),
-            move |_| Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side)),
+            move |_| {
+                Box::new(SynthesizedNode::new(
+                    program.clone(),
+                    semantics.clone(),
+                    side,
+                ))
+            },
         );
         vm.run();
         let metrics = vm.metrics();
-        let out = vm.take_exfiltrated().into_iter().map(|e| e.payload.data).collect();
+        let out = vm
+            .take_exfiltrated()
+            .into_iter()
+            .map(|e| e.payload.data)
+            .collect();
         (out, metrics)
     }
 
@@ -317,9 +347,19 @@ mod tests {
         let side = 8u32;
         let program = Rc::new(synthesize_quadtree_program(3));
         let semantics = Rc::new(SumSemantics);
-        let mut vm = Vm::new(side, CostModel::uniform(), 1, |_| 1.0, move |_| {
-            Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side))
-        });
+        let mut vm = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            |_| 1.0,
+            move |_| {
+                Box::new(SynthesizedNode::new(
+                    program.clone(),
+                    semantics.clone(),
+                    side,
+                ))
+            },
+        );
         vm.run();
         // Remote messages only (self-sends are messages too in vm.stats,
         // because the program addresses its own leader explicitly).
@@ -358,9 +398,13 @@ mod tests {
         let program = Rc::new(synthesize_quadtree_program(2));
         let semantics = Rc::new(SumSemantics);
         let prog2 = program.clone();
-        let mut vm = Vm::new(side, CostModel::uniform(), 1, |_| 1.0, move |_| {
-            Box::new(SynthesizedNode::new(prog2.clone(), semantics.clone(), side))
-        });
+        let mut vm = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            |_| 1.0,
+            move |_| Box::new(SynthesizedNode::new(prog2.clone(), semantics.clone(), side)),
+        );
         vm.run();
         // A plain follower (1,1) ends at recLevel 1, having sent once.
         // (Exposed via downcast through the VM is not possible from here;

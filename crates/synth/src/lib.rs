@@ -29,7 +29,6 @@ pub use mapping::{
 pub use program::{Action, Expr, Guard, GuardedProgram, Rule, StateDecl};
 pub use quadtree::{quadtree_task_graph, QuadTree};
 pub use synthesize::{
-    synthesize_from_mapping, synthesize_gather_program, synthesize_quadtree_program,
-    SynthesisError,
+    synthesize_from_mapping, synthesize_gather_program, synthesize_quadtree_program, SynthesisError,
 };
 pub use taskgraph::{Edge, Task, TaskGraph, TaskId, TaskKind};

@@ -133,7 +133,11 @@ impl MappingCost {
         let max = load.iter().copied().fold(0.0, f64::max);
         let sum_sq: f64 = load.iter().map(|x| x * x).sum();
         let n = load.len() as f64;
-        let balance = if sum_sq == 0.0 { 1.0 } else { total * total / (n * sum_sq) };
+        let balance = if sum_sq == 0.0 {
+            1.0
+        } else {
+            total * total / (n * sum_sq)
+        };
         MappingCost {
             total_energy: total,
             max_node_energy: max,
@@ -155,11 +159,7 @@ pub trait Mapper {
 fn leaf_identity_assignment(qt: &QuadTree) -> Vec<GridCoord> {
     // Leaf i (Morton order) → grid location with Morton index i; interior
     // tasks temporarily on their extent origin.
-    qt.graph
-        .tasks()
-        .iter()
-        .map(|t| qt.extent[t.id].0)
-        .collect()
+    qt.graph.tasks().iter().map(|t| qt.extent[t.id].0).collect()
 }
 
 /// The paper's mapping: interior tasks on their extent's north-west
@@ -186,7 +186,9 @@ pub struct RandomFeasibleMapper {
 impl RandomFeasibleMapper {
     /// Seeded constructor.
     pub fn new(seed: u64) -> Self {
-        RandomFeasibleMapper { rng: DetRng::stream(seed, 0x3A9) }
+        RandomFeasibleMapper {
+            rng: DetRng::stream(seed, 0x3A9),
+        }
     }
 }
 
@@ -226,14 +228,15 @@ impl Mapper for CentroidMapper {
             for &t in &qt.ids_by_level[level] {
                 let children = qt.graph.producers(t);
                 let (sum_c, sum_r) = children.iter().fold((0f64, 0f64), |(c, r), &ch| {
-                    (c + f64::from(assignment[ch].col), r + f64::from(assignment[ch].row))
+                    (
+                        c + f64::from(assignment[ch].col),
+                        r + f64::from(assignment[ch].row),
+                    )
                 });
                 let k = children.len() as f64;
                 let (origin, side) = qt.extent[t];
-                let col =
-                    ((sum_c / k).round() as u32).clamp(origin.col, origin.col + side - 1);
-                let row =
-                    ((sum_r / k).round() as u32).clamp(origin.row, origin.row + side - 1);
+                let col = ((sum_c / k).round() as u32).clamp(origin.col, origin.col + side - 1);
+                let row = ((sum_r / k).round() as u32).clamp(origin.row, origin.row + side - 1);
                 assignment[t] = GridCoord::new(col, row);
             }
         }
@@ -255,7 +258,12 @@ pub struct AnnealingMapper {
 impl AnnealingMapper {
     /// Seeded constructor with the objective's cost model.
     pub fn new(seed: u64, cost: CostModel, iterations: u32, hotspot_weight: f64) -> Self {
-        AnnealingMapper { rng: DetRng::stream(seed, 0x51A), cost, iterations, hotspot_weight }
+        AnnealingMapper {
+            rng: DetRng::stream(seed, 0x51A),
+            cost,
+            iterations,
+            hotspot_weight,
+        }
     }
 
     fn objective(&self, qt: &QuadTree, m: &Mapping) -> f64 {
@@ -300,8 +308,8 @@ impl Mapper for AnnealingMapper {
             }
             current.assign(t, candidate);
             let obj = self.objective(qt, &current);
-            let accept = obj <= current_obj
-                || self.rng.unit_f64() < (-(obj - current_obj) / temp).exp();
+            let accept =
+                obj <= current_obj || self.rng.unit_f64() < (-(obj - current_obj) / temp).exp();
             if accept {
                 current_obj = obj;
                 if obj < best_obj {
@@ -364,13 +372,8 @@ mod tests {
             let qt = qt(side);
             let m = QuadrantMapper.map(&qt);
             let c = MappingCost::evaluate(&qt, &m, &CostModel::uniform());
-            let e = wsn_core::quadtree_merge_estimate(
-                side,
-                &CostModel::uniform(),
-                &|_| 1,
-                &|_| 1,
-                1,
-            );
+            let e =
+                wsn_core::quadtree_merge_estimate(side, &CostModel::uniform(), &|_| 1, &|_| 1, 1);
             assert!(
                 (c.total_energy - e.total_energy).abs() < 1e-9,
                 "side {side}: {} vs {}",

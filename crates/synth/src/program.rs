@@ -160,9 +160,15 @@ mod tests {
     #[test]
     fn expr_builders() {
         let e = Expr::var("recLevel").plus(1);
-        assert_eq!(e, Expr::Add(Box::new(Expr::var("recLevel")), Box::new(Expr::Int(1))));
+        assert_eq!(
+            e,
+            Expr::Add(Box::new(Expr::var("recLevel")), Box::new(Expr::Int(1)))
+        );
         let e = Expr::var("recLevel").minus(1);
-        assert_eq!(e, Expr::Sub(Box::new(Expr::var("recLevel")), Box::new(Expr::Int(1))));
+        assert_eq!(
+            e,
+            Expr::Sub(Box::new(Expr::var("recLevel")), Box::new(Expr::Int(1)))
+        );
     }
 
     #[test]
@@ -177,7 +183,11 @@ mod tests {
                     guard: Guard::Eq(Expr::var("x"), Expr::Bool(true)),
                     actions: vec![],
                 },
-                Rule { label: "b".into(), guard: Guard::Received, actions: vec![] },
+                Rule {
+                    label: "b".into(),
+                    guard: Guard::Received,
+                    actions: vec![],
+                },
             ],
         };
         assert_eq!(p.state_rules().count(), 1);

@@ -41,13 +41,22 @@ impl QuadTree {
 
     /// The grid cell a leaf task samples.
     pub fn leaf_cell(&self, t: TaskId) -> GridCoord {
-        assert_eq!(self.graph.task(t).kind, TaskKind::Sensing, "task {t} is not a leaf");
+        assert_eq!(
+            self.graph.task(t).kind,
+            TaskKind::Sensing,
+            "task {t} is not a leaf"
+        );
         self.extent[t].0
     }
 
     /// The root (final aggregation) task.
     pub fn root(&self) -> TaskId {
-        *self.ids_by_level.last().expect("non-empty tree").first().expect("root")
+        *self
+            .ids_by_level
+            .last()
+            .expect("non-empty tree")
+            .first()
+            .expect("root")
     }
 }
 
@@ -99,7 +108,12 @@ pub fn quadtree_task_graph(
         ids_by_level.push(ids);
     }
 
-    QuadTree { graph, side, ids_by_level, extent }
+    QuadTree {
+        graph,
+        side,
+        ids_by_level,
+        extent,
+    }
 }
 
 #[cfg(test)]
@@ -126,8 +140,10 @@ mod tests {
     fn figure2_labels() {
         // Figure 2: level-1 nodes labeled 0, 4, 8, 12; root labeled 0.
         let qt = qt4();
-        let level1: Vec<usize> =
-            qt.ids_by_level[1].iter().map(|&t| qt.figure_label(t)).collect();
+        let level1: Vec<usize> = qt.ids_by_level[1]
+            .iter()
+            .map(|&t| qt.figure_label(t))
+            .collect();
         assert_eq!(level1, vec![0, 4, 8, 12]);
         assert_eq!(qt.figure_label(qt.root()), 0);
         // Leaves are labeled by their own Morton index.

@@ -69,15 +69,26 @@ pub fn synthesize_from_mapping(
     Ok(synthesize_quadtree_program(hierarchy.max_level()))
 }
 
-
 /// Synthesizes the per-node program of the quad-tree region-labeling
 /// algorithm for a grid of depth `max_level` (side `2^max_level`).
 pub fn synthesize_quadtree_program(max_level: u8) -> GuardedProgram {
     let state = vec![
-        StateDecl { name: "start".into(), init: Expr::Bool(false) },
-        StateDecl { name: "transmit".into(), init: Expr::Bool(false) },
-        StateDecl { name: "recLevel".into(), init: Expr::Int(0) },
-        StateDecl { name: "maxrecLevel".into(), init: Expr::Int(i64::from(max_level)) },
+        StateDecl {
+            name: "start".into(),
+            init: Expr::Bool(false),
+        },
+        StateDecl {
+            name: "transmit".into(),
+            init: Expr::Bool(false),
+        },
+        StateDecl {
+            name: "recLevel".into(),
+            init: Expr::Int(0),
+        },
+        StateDecl {
+            name: "maxrecLevel".into(),
+            init: Expr::Int(i64::from(max_level)),
+        },
     ];
 
     let rules = vec![
@@ -113,7 +124,9 @@ pub fn synthesize_quadtree_program(max_level: u8) -> GuardedProgram {
                 Action::Set("transmit".into(), Expr::Bool(false)),
                 Action::IfElse {
                     cond: Guard::Eq(Expr::var("recLevel").minus(1), Expr::var("maxrecLevel")),
-                    then: vec![Action::ExfiltrateSummary { level: Expr::var("maxrecLevel") }],
+                    then: vec![Action::ExfiltrateSummary {
+                        level: Expr::var("maxrecLevel"),
+                    }],
                     otherwise: vec![Action::SendSummaryToLeader {
                         group_level: Expr::var("recLevel"),
                         data_level: Expr::var("recLevel").minus(1),
@@ -135,7 +148,12 @@ pub fn synthesize_quadtree_program(max_level: u8) -> GuardedProgram {
         },
     ];
 
-    GuardedProgram { name: "quadtree-region-labeling".into(), max_level, state, rules }
+    GuardedProgram {
+        name: "quadtree-region-labeling".into(),
+        max_level,
+        state,
+        rules,
+    }
 }
 
 /// Synthesizes the *centralized gather* alternative (§2's strawman) from
@@ -150,13 +168,28 @@ pub fn synthesize_quadtree_program(max_level: u8) -> GuardedProgram {
 pub fn synthesize_gather_program(max_level: u8, grid_side: u32) -> GuardedProgram {
     let n = i64::from(grid_side) * i64::from(grid_side);
     let state = vec![
-        StateDecl { name: "start".into(), init: Expr::Bool(false) },
-        StateDecl { name: "transmit".into(), init: Expr::Bool(false) },
-        StateDecl { name: "recLevel".into(), init: Expr::Int(0) },
-        StateDecl { name: "maxrecLevel".into(), init: Expr::Int(i64::from(max_level)) },
+        StateDecl {
+            name: "start".into(),
+            init: Expr::Bool(false),
+        },
+        StateDecl {
+            name: "transmit".into(),
+            init: Expr::Bool(false),
+        },
+        StateDecl {
+            name: "recLevel".into(),
+            init: Expr::Int(0),
+        },
+        StateDecl {
+            name: "maxrecLevel".into(),
+            init: Expr::Int(i64::from(max_level)),
+        },
     ];
     let mut state = state;
-    state.push(StateDecl { name: "done".into(), init: Expr::Bool(false) });
+    state.push(StateDecl {
+        name: "done".into(),
+        init: Expr::Bool(false),
+    });
     let rules = vec![
         Rule {
             label: "start".into(),
@@ -203,11 +236,18 @@ pub fn synthesize_gather_program(max_level: u8, grid_side: u32) -> GuardedProgra
             .and(Guard::Eq(Expr::var("done"), Expr::Bool(false))),
             actions: vec![
                 Action::Set("done".into(), Expr::Bool(true)),
-                Action::ExfiltrateSummary { level: Expr::var("maxrecLevel") },
+                Action::ExfiltrateSummary {
+                    level: Expr::var("maxrecLevel"),
+                },
             ],
         },
     ];
-    GuardedProgram { name: "centralized-gather".into(), max_level, state, rules }
+    GuardedProgram {
+        name: "centralized-gather".into(),
+        max_level,
+        state,
+        rules,
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +262,10 @@ mod tests {
         assert_eq!(p.receive_rules().count(), 1);
         assert_eq!(p.state_rules().count(), 3);
         let labels: Vec<&str> = p.rules.iter().map(|r| r.label.as_str()).collect();
-        assert_eq!(labels, vec!["start", "received mGraph", "transmit", "quorum"]);
+        assert_eq!(
+            labels,
+            vec!["start", "received mGraph", "transmit", "quorum"]
+        );
     }
 
     #[test]
@@ -239,7 +282,11 @@ mod tests {
     fn gather_program_has_star_shape() {
         let p = synthesize_gather_program(2, 4);
         assert_eq!(p.rules.len(), 4);
-        let quorum = p.rules.iter().find(|r| r.label == "all readings received").unwrap();
+        let quorum = p
+            .rules
+            .iter()
+            .find(|r| r.label == "all readings received")
+            .unwrap();
         assert_eq!(
             quorum.guard,
             Guard::Eq(
@@ -299,7 +346,10 @@ mod tests {
         let quorum = p.rules.iter().find(|r| r.label == "quorum").unwrap();
         assert_eq!(
             quorum.guard,
-            Guard::Eq(Expr::MsgsReceivedAt(Box::new(Expr::var("recLevel"))), Expr::Int(3))
+            Guard::Eq(
+                Expr::MsgsReceivedAt(Box::new(Expr::var("recLevel"))),
+                Expr::Int(3)
+            )
         );
     }
 }

@@ -68,7 +68,12 @@ impl TaskGraph {
     /// Adds a task and returns its id.
     pub fn add_task(&mut self, kind: TaskKind, level: u8, compute_units: u64) -> TaskId {
         let id = self.tasks.len();
-        self.tasks.push(Task { id, kind, level, compute_units });
+        self.tasks.push(Task {
+            id,
+            kind,
+            level,
+            compute_units,
+        });
         self.producers.push(Vec::new());
         self.consumers.push(Vec::new());
         id
@@ -76,9 +81,16 @@ impl TaskGraph {
 
     /// Adds a data-flow edge `from → to`.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId, data_units: u64) {
-        assert!(from < self.tasks.len() && to < self.tasks.len(), "edge endpoint out of range");
+        assert!(
+            from < self.tasks.len() && to < self.tasks.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(from, to, "self-loop");
-        self.edges.push(Edge { from, to, data_units });
+        self.edges.push(Edge {
+            from,
+            to,
+            data_units,
+        });
         self.producers[to].push(from);
         self.consumers[from].push(to);
     }
@@ -115,12 +127,16 @@ impl TaskGraph {
 
     /// Tasks with no producers.
     pub fn sources(&self) -> Vec<TaskId> {
-        (0..self.tasks.len()).filter(|&t| self.producers[t].is_empty()).collect()
+        (0..self.tasks.len())
+            .filter(|&t| self.producers[t].is_empty())
+            .collect()
     }
 
     /// Tasks with no consumers.
     pub fn sinks(&self) -> Vec<TaskId> {
-        (0..self.tasks.len()).filter(|&t| self.consumers[t].is_empty()).collect()
+        (0..self.tasks.len())
+            .filter(|&t| self.consumers[t].is_empty())
+            .collect()
     }
 
     /// Leaf (sensing) tasks.

@@ -157,7 +157,13 @@ impl BoundarySummary {
             .map(|id| comp_area[id as usize])
             .collect();
         closed_areas.sort_unstable();
-        BoundarySummary { origin, side, border, open_areas, closed_areas }
+        BoundarySummary {
+            origin,
+            side,
+            border,
+            open_areas,
+            closed_areas,
+        }
     }
 
     /// Number of open classes (regions whose boundary may continue outside
@@ -201,8 +207,7 @@ impl BoundarySummary {
         let mut out = vec![Vec::new(); self.open_areas.len()];
         for (&(c, r), entry) in perimeter_cells(self.side).iter().zip(&self.border) {
             if let Some(class) = entry {
-                out[*class as usize]
-                    .push(GridCoord::new(self.origin.col + c, self.origin.row + r));
+                out[*class as usize].push(GridCoord::new(self.origin.col + c, self.origin.row + r));
             }
         }
         out
@@ -211,8 +216,14 @@ impl BoundarySummary {
     /// The class at an absolute grid coordinate, which must lie on this
     /// extent's perimeter.
     pub fn class_at(&self, abs: GridCoord) -> Option<u32> {
-        let col = abs.col.checked_sub(self.origin.col).expect("west of extent");
-        let row = abs.row.checked_sub(self.origin.row).expect("north of extent");
+        let col = abs
+            .col
+            .checked_sub(self.origin.col)
+            .expect("west of extent");
+        let row = abs
+            .row
+            .checked_sub(self.origin.row)
+            .expect("north of extent");
         assert!(col < self.side && row < self.side, "{abs:?} outside extent");
         let perim = perimeter_cells(self.side);
         let idx = perim
@@ -238,7 +249,10 @@ struct Dsu {
 
 impl Dsu {
     fn new(areas: Vec<u64>) -> Self {
-        Dsu { parent: (0..areas.len() as u32).collect(), area: areas }
+        Dsu {
+            parent: (0..areas.len() as u32).collect(),
+            area: areas,
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -289,7 +303,10 @@ pub fn merge_four(children: &[BoundarySummary; 4]) -> BoundarySummary {
     ];
     for (child, &want) in children.iter().zip(&expected) {
         assert_eq!(child.side, s, "quadrant sides differ");
-        assert_eq!(child.origin, want, "quadrant origins do not tile the parent");
+        assert_eq!(
+            child.origin, want,
+            "quadrant origins do not tile the parent"
+        );
     }
 
     // Global class namespace across the four children.
@@ -299,8 +316,10 @@ pub fn merge_four(children: &[BoundarySummary; 4]) -> BoundarySummary {
         base[i] = acc;
         acc += child.open_areas.len() as u32;
     }
-    let all_areas: Vec<u64> =
-        children.iter().flat_map(|c| c.open_areas.iter().copied()).collect();
+    let all_areas: Vec<u64> = children
+        .iter()
+        .flat_map(|c| c.open_areas.iter().copied())
+        .collect();
     let mut dsu = Dsu::new(all_areas);
 
     let class_at = |abs: GridCoord| -> Option<u32> {
@@ -317,14 +336,20 @@ pub fn merge_four(children: &[BoundarySummary; 4]) -> BoundarySummary {
     for k in 0..s {
         let pairs = [
             // Vertical seam, northern half (NW | NE).
-            (GridCoord::new(o.col + s - 1, o.row + k), GridCoord::new(o.col + s, o.row + k)),
+            (
+                GridCoord::new(o.col + s - 1, o.row + k),
+                GridCoord::new(o.col + s, o.row + k),
+            ),
             // Vertical seam, southern half (SW | SE).
             (
                 GridCoord::new(o.col + s - 1, o.row + s + k),
                 GridCoord::new(o.col + s, o.row + s + k),
             ),
             // Horizontal seam, western half (NW / SW).
-            (GridCoord::new(o.col + k, o.row + s - 1), GridCoord::new(o.col + k, o.row + s)),
+            (
+                GridCoord::new(o.col + k, o.row + s - 1),
+                GridCoord::new(o.col + k, o.row + s),
+            ),
             // Horizontal seam, eastern half (NE / SE).
             (
                 GridCoord::new(o.col + s + k, o.row + s - 1),
@@ -340,7 +365,11 @@ pub fn merge_four(children: &[BoundarySummary; 4]) -> BoundarySummary {
 
     // New border: canonical renumbering by first appearance.
     let side2 = 2 * s;
-    let mut border = Vec::with_capacity(if side2 == 1 { 1 } else { (4 * side2 - 4) as usize });
+    let mut border = Vec::with_capacity(if side2 == 1 {
+        1
+    } else {
+        (4 * side2 - 4) as usize
+    });
     let mut new_id_of_root: HashMap<u32, u32> = HashMap::new();
     let mut open_areas = Vec::new();
     for (c, r) in perimeter_cells(side2) {
@@ -357,8 +386,10 @@ pub fn merge_four(children: &[BoundarySummary; 4]) -> BoundarySummary {
 
     // Closed regions: inherited ones plus every class root that fell off
     // the border.
-    let mut closed_areas: Vec<u64> =
-        children.iter().flat_map(|c| c.closed_areas.iter().copied()).collect();
+    let mut closed_areas: Vec<u64> = children
+        .iter()
+        .flat_map(|c| c.closed_areas.iter().copied())
+        .collect();
     let mut seen_roots = std::collections::HashSet::new();
     for cls in 0..dsu.parent.len() as u32 {
         let root = dsu.find(cls);
@@ -368,7 +399,13 @@ pub fn merge_four(children: &[BoundarySummary; 4]) -> BoundarySummary {
     }
     closed_areas.sort_unstable();
 
-    BoundarySummary { origin: o, side: side2, border, open_areas, closed_areas }
+    BoundarySummary {
+        origin: o,
+        side: side2,
+        border,
+        open_areas,
+        closed_areas,
+    }
 }
 
 #[cfg(test)]
@@ -379,8 +416,10 @@ mod tests {
 
     fn map_of(rows: &[&str]) -> FeatureMap {
         let side = rows.len() as u32;
-        let rows: Vec<Vec<bool>> =
-            rows.iter().map(|r| r.chars().map(|c| c == '#').collect()).collect();
+        let rows: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|r| r.chars().map(|c| c == '#').collect())
+            .collect();
         FeatureMap::from_fn(side, move |c| rows[c.row as usize][c.col as usize])
     }
 
@@ -412,7 +451,10 @@ mod tests {
         assert_eq!(p3[2], (2, 0));
         assert_eq!(p3[4], (2, 2));
         assert_eq!(p3[6], (0, 2));
-        assert_eq!(p3.len(), p3.iter().collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            p3.len(),
+            p3.iter().collect::<std::collections::HashSet<_>>().len()
+        );
         assert_eq!(perimeter_cells(8).len(), 28);
     }
 
@@ -484,8 +526,10 @@ mod tests {
 
     #[test]
     fn root_count_matches_ground_truth() {
-        let map = map_of(&["#.#.#.#.", "########", "........", "#......#",
-                           "#......#", "........", "##.##.##", "#..#...#"]);
+        let map = map_of(&[
+            "#.#.#.#.", "########", "........", "#......#", "#......#", "........", "##.##.##",
+            "#..#...#",
+        ]);
         let root = merge_tree(&map);
         let truth = label_regions(&map);
         assert_eq!(root.region_count(), truth.region_count());
@@ -529,8 +573,16 @@ mod proptests {
     use proptest::prelude::*;
 
     fn random_map(side: u32, p: f64, seed: u64) -> FeatureMap {
-        Field::generate(FieldSpec::RandomCells { p, hot: 1.0, cold: 0.0 }, side, seed)
-            .threshold(0.5)
+        Field::generate(
+            FieldSpec::RandomCells {
+                p,
+                hot: 1.0,
+                cold: 0.0,
+            },
+            side,
+            seed,
+        )
+        .threshold(0.5)
     }
 
     fn merge_tree(map: &FeatureMap) -> BoundarySummary {

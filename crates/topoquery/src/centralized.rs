@@ -7,7 +7,7 @@
 //! at the origin, which reconstructs the feature map, runs the reference
 //! labeling, and exfiltrates the answer.
 
-use crate::field::{Field, FeatureMap};
+use crate::field::{FeatureMap, Field};
 use crate::regions::label_regions;
 use wsn_core::{CostModel, GridCoord, NodeApi, NodeProgram, RunMetrics, Vm};
 
@@ -55,9 +55,7 @@ impl CentralizedProgram {
             // Reconstruct the map and label it centrally.
             let received = std::mem::take(&mut self.received);
             let side = self.side;
-            let map = FeatureMap::from_fn(side, |c| {
-                received.iter().any(|&(rc, f)| rc == c && f)
-            });
+            let map = FeatureMap::from_fn(side, |c| received.iter().any(|&(rc, f)| rc == c && f));
             api.compute(u64::from(side) * u64::from(side));
             let labeling = label_regions(&map);
             api.exfiltrate(CentralMsg::Result {
@@ -100,7 +98,12 @@ pub struct CentralizedOutcome {
 }
 
 /// Runs the centralized baseline on the ideal virtual machine.
-pub fn run_centralized_vm(side: u32, field: &Field, threshold: f64, seed: u64) -> CentralizedOutcome {
+pub fn run_centralized_vm(
+    side: u32,
+    field: &Field,
+    threshold: f64,
+    seed: u64,
+) -> CentralizedOutcome {
     let field = field.clone();
     let mut vm: Vm<CentralMsg> = Vm::new(
         side,
@@ -114,7 +117,11 @@ pub fn run_centralized_vm(side: u32, field: &Field, threshold: f64, seed: u64) -
     let exfil = vm.take_exfiltrated();
     assert_eq!(exfil.len(), 1, "the sink exfiltrates exactly once");
     match exfil.into_iter().next().unwrap().payload {
-        CentralMsg::Result { regions, area } => CentralizedOutcome { regions, area, metrics },
+        CentralMsg::Result { regions, area } => CentralizedOutcome {
+            regions,
+            area,
+            metrics,
+        },
         CentralMsg::Reading { .. } => unreachable!("sink exfiltrates results only"),
     }
 }
@@ -158,7 +165,10 @@ pub fn run_synthesized_gather_vm(
 ) -> CentralizedOutcome {
     use std::rc::Rc;
     let hierarchy = wsn_core::Hierarchy::new(side);
-    let program = Rc::new(wsn_synth::synthesize_gather_program(hierarchy.max_level(), side));
+    let program = Rc::new(wsn_synth::synthesize_gather_program(
+        hierarchy.max_level(),
+        side,
+    ));
     let semantics = Rc::new(GatherSemantics { threshold });
     let f = field.clone();
     let mut vm: wsn_core::Vm<wsn_synth::SummaryMsg<Vec<(GridCoord, bool)>>> = wsn_core::Vm::new(
@@ -167,7 +177,11 @@ pub fn run_synthesized_gather_vm(
         seed,
         move |c| f.value(c),
         move |_| {
-            Box::new(wsn_synth::SynthesizedNode::new(program.clone(), semantics.clone(), side))
+            Box::new(wsn_synth::SynthesizedNode::new(
+                program.clone(),
+                semantics.clone(),
+                side,
+            ))
         },
     );
     vm.run();
@@ -203,7 +217,15 @@ mod tests {
     use crate::regions::label_regions;
 
     fn field(side: u32, seed: u64) -> Field {
-        Field::generate(FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 }, side, seed)
+        Field::generate(
+            FieldSpec::RandomCells {
+                p: 0.4,
+                hot: 1.0,
+                cold: 0.0,
+            },
+            side,
+            seed,
+        )
     }
 
     #[test]
@@ -233,7 +255,11 @@ mod tests {
         // The motivating trade-off: boundary summaries beat raw shipping.
         let side = 32;
         let f = Field::generate(
-            FieldSpec::Blobs { count: 4, amplitude: 10.0, radius: 3.0 },
+            FieldSpec::Blobs {
+                count: 4,
+                amplitude: 10.0,
+                radius: 3.0,
+            },
             side,
             3,
         );

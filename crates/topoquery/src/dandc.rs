@@ -42,7 +42,11 @@ impl DandcProgram {
     pub fn new(side: u32, threshold: f64) -> Self {
         let hierarchy = Hierarchy::new(side);
         let levels = hierarchy.max_level() as usize + 2;
-        DandcProgram { threshold, hierarchy, pieces: vec![Vec::new(); levels] }
+        DandcProgram {
+            threshold,
+            hierarchy,
+            pieces: vec![Vec::new(); levels],
+        }
     }
 
     fn ship(&mut self, api: &mut dyn NodeApi<DandcMsg>, level: u8, summary: BoundarySummary) {
@@ -84,6 +88,12 @@ impl NodeProgram<DandcMsg> for DandcProgram {
         self.pieces[level].push(piece);
         if self.pieces[level].len() == 4 {
             let merged = merge_pieces(std::mem::take(&mut self.pieces[level]));
+            // Telemetry: the completion instant of each quadtree merge, by
+            // level. The runtime reconstructs per-level spans from these.
+            api.stat_observe(
+                &format!("merge.level{}.complete", msg.level),
+                api.now().ticks() as f64,
+            );
             if msg.level == self.hierarchy.max_level() {
                 api.exfiltrate(SummaryMsg {
                     sender: api.coord(),
@@ -123,13 +133,17 @@ fn make_factory(
     side: u32,
     threshold: f64,
 ) -> impl FnMut(GridCoord) -> Box<dyn NodeProgram<DandcMsg>> {
-    let program = Rc::new(synthesize_quadtree_program(Hierarchy::new(side).max_level()));
+    let program = Rc::new(synthesize_quadtree_program(
+        Hierarchy::new(side).max_level(),
+    ));
     let semantics = Rc::new(RegionSemantics { threshold });
     move |_coord| match implementation {
         Implementation::Native => Box::new(DandcProgram::new(side, threshold)),
-        Implementation::Synthesized => {
-            Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side))
-        }
+        Implementation::Synthesized => Box::new(SynthesizedNode::new(
+            program.clone(),
+            semantics.clone(),
+            side,
+        )),
     }
 }
 
@@ -142,7 +156,14 @@ pub fn run_dandc_vm(
     seed: u64,
     implementation: Implementation,
 ) -> DandcOutcome {
-    run_dandc_vm_with_cost(side, field, threshold, seed, implementation, CostModel::uniform())
+    run_dandc_vm_with_cost(
+        side,
+        field,
+        threshold,
+        seed,
+        implementation,
+        CostModel::uniform(),
+    )
 }
 
 /// Runs the algorithm on the ideal virtual machine under an explicit cost
@@ -170,7 +191,10 @@ pub fn run_dandc_vm_with_cost(
     let exfil = vm.take_exfiltrated();
     DandcOutcome {
         exfil_count: exfil.len(),
-        summary: exfil.into_iter().next().map(|e| e.payload.data.expect_complete().clone()),
+        summary: exfil
+            .into_iter()
+            .next()
+            .map(|e| e.payload.data.expect_complete().clone()),
         metrics,
     }
 }
@@ -204,7 +228,15 @@ pub fn run_dandc_physical(
     seed: u64,
     implementation: Implementation,
 ) -> (DandcOutcome, PhysicalReports) {
-    run_dandc_physical_with(deployment, link, threshold, field, seed, implementation, None)
+    run_dandc_physical_with(
+        deployment,
+        link,
+        threshold,
+        field,
+        seed,
+        implementation,
+        None,
+    )
 }
 
 /// [`run_dandc_physical`] with optional hop-by-hop ARQ
@@ -264,7 +296,15 @@ mod tests {
     use wsn_net::DeploymentSpec;
 
     fn blob_field(side: u32, seed: u64) -> Field {
-        Field::generate(FieldSpec::Blobs { count: 3, amplitude: 10.0, radius: 2.0 }, side, seed)
+        Field::generate(
+            FieldSpec::Blobs {
+                count: 3,
+                amplitude: 10.0,
+                radius: 2.0,
+            },
+            side,
+            seed,
+        )
     }
 
     #[test]
@@ -282,8 +322,15 @@ mod tests {
     #[test]
     fn synthesized_equals_native_exactly() {
         for (side, seed) in [(4u32, 1u64), (8, 2), (16, 3)] {
-            let field =
-                Field::generate(FieldSpec::RandomCells { p: 0.45, hot: 1.0, cold: 0.0 }, side, seed);
+            let field = Field::generate(
+                FieldSpec::RandomCells {
+                    p: 0.45,
+                    hot: 1.0,
+                    cold: 0.0,
+                },
+                side,
+                seed,
+            );
             let native = run_dandc_vm(side, &field, 0.5, 9, Implementation::Native);
             let synth = run_dandc_vm(side, &field, 0.5, 9, Implementation::Synthesized);
             assert_eq!(native.summary, synth.summary, "side {side} seed {seed}");
@@ -294,6 +341,33 @@ mod tests {
             assert!((native.metrics.total_energy - synth.metrics.total_energy).abs() < 1e-9);
             assert_eq!(native.metrics.latency_ticks, synth.metrics.latency_ticks);
         }
+    }
+
+    #[test]
+    fn native_run_observes_merge_completions() {
+        let side = 4u32;
+        let field = blob_field(side, 2);
+        let f = field.clone();
+        let mut vm: Vm<DandcMsg> = Vm::new(
+            side,
+            CostModel::uniform(),
+            1,
+            move |c| f.value(c),
+            make_factory(Implementation::Native, side, 5.0),
+        );
+        vm.run();
+        // 4×4 grid: level 1 completes 4 quadrant merges, level 2 (root) 1.
+        let h1 = vm
+            .stats()
+            .histogram("merge.level1.complete")
+            .expect("level-1 merges observed");
+        assert_eq!(h1.count(), 4);
+        let h2 = vm
+            .stats()
+            .histogram("merge.level2.complete")
+            .expect("root merge observed");
+        assert_eq!(h2.count(), 1);
+        assert!(h2.max() >= h1.max(), "the root completes last");
     }
 
     #[test]
@@ -321,7 +395,10 @@ mod tests {
         assert!(reports.topo.complete);
         assert!(reports.bind.unique);
         assert_eq!(phys_out.exfil_count, 1);
-        assert_eq!(phys_out.summary, vm_out.summary, "same result at both levels");
+        assert_eq!(
+            phys_out.summary, vm_out.summary,
+            "same result at both levels"
+        );
         // But the physical run pays more: protocol energy + multi-hop cells.
         assert!(phys_out.metrics.total_energy > vm_out.metrics.total_energy);
         assert!(phys_out.metrics.latency_ticks >= vm_out.metrics.latency_ticks);

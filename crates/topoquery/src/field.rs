@@ -75,10 +75,17 @@ impl Field {
                     }
                 }
             }
-            FieldSpec::Blobs { count, amplitude, radius } => {
+            FieldSpec::Blobs {
+                count,
+                amplitude,
+                radius,
+            } => {
                 let centers: Vec<(f64, f64)> = (0..count)
                     .map(|_| {
-                        (rng.range_f64(0.0, f64::from(side)), rng.range_f64(0.0, f64::from(side)))
+                        (
+                            rng.range_f64(0.0, f64::from(side)),
+                            rng.range_f64(0.0, f64::from(side)),
+                        )
                     })
                     .collect();
                 for row in 0..side {
@@ -124,7 +131,10 @@ impl Field {
 
     /// Reading at `c`.
     pub fn value(&self, c: GridCoord) -> f64 {
-        assert!(c.col < self.side && c.row < self.side, "{c:?} outside field");
+        assert!(
+            c.col < self.side && c.row < self.side,
+            "{c:?} outside field"
+        );
         self.values[(c.row * self.side + c.col) as usize]
     }
 
@@ -202,7 +212,14 @@ mod tests {
 
     #[test]
     fn gradient_is_monotone_in_columns() {
-        let f = Field::generate(FieldSpec::Gradient { west: 0.0, east: 10.0 }, 8, 1);
+        let f = Field::generate(
+            FieldSpec::Gradient {
+                west: 0.0,
+                east: 10.0,
+            },
+            8,
+            1,
+        );
         assert_eq!(f.value(GridCoord::new(0, 3)), 0.0);
         assert_eq!(f.value(GridCoord::new(7, 3)), 10.0);
         for col in 1..8 {
@@ -220,7 +237,11 @@ mod tests {
     #[test]
     fn blobs_peak_near_centers() {
         let f = Field::generate(
-            FieldSpec::Blobs { count: 3, amplitude: 10.0, radius: 2.0 },
+            FieldSpec::Blobs {
+                count: 3,
+                amplitude: 10.0,
+                radius: 2.0,
+            },
             16,
             7,
         );
@@ -231,14 +252,26 @@ mod tests {
 
     #[test]
     fn random_cells_hit_target_density() {
-        let f = Field::generate(FieldSpec::RandomCells { p: 0.3, hot: 1.0, cold: 0.0 }, 32, 9);
+        let f = Field::generate(
+            FieldSpec::RandomCells {
+                p: 0.3,
+                hot: 1.0,
+                cold: 0.0,
+            },
+            32,
+            9,
+        );
         let d = f.threshold(0.5).density();
         assert!((d - 0.3).abs() < 0.06, "density {d}");
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = FieldSpec::Blobs { count: 2, amplitude: 1.0, radius: 3.0 };
+        let spec = FieldSpec::Blobs {
+            count: 2,
+            amplitude: 1.0,
+            radius: 3.0,
+        };
         assert_eq!(Field::generate(spec, 8, 5), Field::generate(spec, 8, 5));
         assert_ne!(Field::generate(spec, 8, 5), Field::generate(spec, 8, 6));
     }

@@ -24,10 +24,10 @@ pub use centralized::{
     CentralizedProgram, GatherSemantics,
 };
 pub use dandc::{
-    run_dandc_physical, run_dandc_physical_with, run_dandc_vm, run_dandc_vm_with_cost, DandcMsg, DandcOutcome, DandcProgram, Implementation,
-    PhysicalReports,
+    run_dandc_physical, run_dandc_physical_with, run_dandc_vm, run_dandc_vm_with_cost, DandcMsg,
+    DandcOutcome, DandcProgram, Implementation, PhysicalReports,
 };
-pub use field::{Field, FieldSpec, FeatureMap};
+pub use field::{FeatureMap, Field, FieldSpec};
 pub use merge::{merge_pieces, RegionSemantics, RegionSummary};
 pub use regions::{label_regions, RegionLabeling};
 pub use viz::{render_feature_map, render_field, render_labeling};

@@ -46,12 +46,23 @@ impl RegionSummary {
 
 /// Orders four quadrant summaries into NW, NE, SW, SE and merges them.
 pub fn merge_pieces(mut pieces: Vec<BoundarySummary>) -> BoundarySummary {
-    assert_eq!(pieces.len(), 4, "a quadrant merge needs exactly four pieces");
-    let min_col = pieces.iter().map(|p| p.origin.col).min().expect("non-empty");
-    let min_row = pieces.iter().map(|p| p.origin.row).min().expect("non-empty");
+    assert_eq!(
+        pieces.len(),
+        4,
+        "a quadrant merge needs exactly four pieces"
+    );
+    let min_col = pieces
+        .iter()
+        .map(|p| p.origin.col)
+        .min()
+        .expect("non-empty");
+    let min_row = pieces
+        .iter()
+        .map(|p| p.origin.row)
+        .min()
+        .expect("non-empty");
     pieces.sort_by_key(|p| (p.origin.row > min_row, p.origin.col > min_col));
-    let [nw, ne, sw, se]: [BoundarySummary; 4] =
-        pieces.try_into().expect("length checked above");
+    let [nw, ne, sw, se]: [BoundarySummary; 4] = pieces.try_into().expect("length checked above");
     merge_four(&[nw, ne, sw, se])
 }
 
@@ -102,12 +113,21 @@ mod tests {
 
     #[test]
     fn merge_pieces_handles_any_arrival_order() {
-        let quads =
-            [leaf(0, 0, true), leaf(1, 0, true), leaf(0, 1, false), leaf(1, 1, false)];
+        let quads = [
+            leaf(0, 0, true),
+            leaf(1, 0, true),
+            leaf(0, 1, false),
+            leaf(1, 1, false),
+        ];
         let reference = merge_four(&quads.clone());
         // All 24 permutations must give the same merged summary.
         let perms = [
-            [0, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1], [0, 2, 1, 3], [3, 0, 2, 1],
+            [0, 1, 2, 3],
+            [3, 2, 1, 0],
+            [1, 3, 0, 2],
+            [2, 0, 3, 1],
+            [0, 2, 1, 3],
+            [3, 0, 2, 1],
         ];
         for perm in perms {
             let pieces: Vec<BoundarySummary> = perm.iter().map(|&i| quads[i].clone()).collect();
@@ -119,8 +139,12 @@ mod tests {
     fn semantics_accumulates_then_completes() {
         let sem = RegionSemantics { threshold: 0.5 };
         let mut acc: Option<RegionSummary> = None;
-        let quads =
-            [leaf(0, 0, true), leaf(1, 0, false), leaf(0, 1, true), leaf(1, 1, true)];
+        let quads = [
+            leaf(0, 0, true),
+            leaf(1, 0, false),
+            leaf(0, 1, true),
+            leaf(1, 1, true),
+        ];
         for (i, q) in quads.iter().enumerate() {
             let incoming = RegionSummary::Complete(q.clone());
             let merged = sem.merge(acc.take(), &incoming);

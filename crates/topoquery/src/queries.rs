@@ -6,7 +6,7 @@
 //! statistics over region sizes.
 
 use crate::boundary::BoundarySummary;
-use crate::field::{Field, FeatureMap};
+use crate::field::{FeatureMap, Field};
 use crate::regions::{label_regions, RegionLabeling};
 
 /// Number of homogeneous feature regions, answered from the root summary
@@ -23,8 +23,12 @@ pub fn total_feature_area(root: &BoundarySummary) -> u64 {
 
 /// Region areas in descending order.
 pub fn region_areas_desc(root: &BoundarySummary) -> Vec<u64> {
-    let mut v: Vec<u64> =
-        root.open_areas().iter().copied().chain(root.closed_areas().iter().copied()).collect();
+    let mut v: Vec<u64> = root
+        .open_areas()
+        .iter()
+        .copied()
+        .chain(root.closed_areas().iter().copied())
+        .collect();
     v.sort_unstable_by(|a, b| b.cmp(a));
     v
 }
@@ -32,7 +36,10 @@ pub fn region_areas_desc(root: &BoundarySummary) -> Vec<u64> {
 /// Number of regions with area at least `min_area` (e.g. "significant
 /// plumes only").
 pub fn count_regions_with_area_at_least(root: &BoundarySummary, min_area: u64) -> usize {
-    region_areas_desc(root).into_iter().filter(|&a| a >= min_area).count()
+    region_areas_desc(root)
+        .into_iter()
+        .filter(|&a| a >= min_area)
+        .count()
 }
 
 /// The largest region's area, if any region exists.
@@ -60,8 +67,10 @@ mod tests {
 
     fn summary_of(rows: &[&str]) -> BoundarySummary {
         let side = rows.len() as u32;
-        let rows: Vec<Vec<bool>> =
-            rows.iter().map(|r| r.chars().map(|c| c == '#').collect()).collect();
+        let rows: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|r| r.chars().map(|c| c == '#').collect())
+            .collect();
         let map = FeatureMap::from_fn(side, move |c| rows[c.row as usize][c.col as usize]);
         BoundarySummary::from_feature_map(&map, GridCoord::new(0, 0), side)
     }
@@ -101,7 +110,14 @@ mod tests {
 
     #[test]
     fn reading_range_bands_a_gradient() {
-        let f = Field::generate(FieldSpec::Gradient { west: 0.0, east: 7.0 }, 8, 1);
+        let f = Field::generate(
+            FieldSpec::Gradient {
+                west: 0.0,
+                east: 7.0,
+            },
+            8,
+            1,
+        );
         // Band [2, 5): columns 2..=4 → one vertical stripe.
         let l = regions_in_reading_range(&f, 2.0, 5.0);
         assert_eq!(l.region_count(), 1);

@@ -29,7 +29,10 @@ impl RegionLabeling {
 
     /// Region label of `c`, if it is a feature node.
     pub fn label_of(&self, c: GridCoord) -> Option<u32> {
-        assert!(c.col < self.side && c.row < self.side, "{c:?} outside labeling");
+        assert!(
+            c.col < self.side && c.row < self.side,
+            "{c:?} outside labeling"
+        );
         self.labels[(c.row * self.side + c.col) as usize]
     }
 
@@ -99,7 +102,11 @@ pub fn label_regions(map: &FeatureMap) -> RegionLabeling {
         }
     }
 
-    RegionLabeling { side, labels, areas }
+    RegionLabeling {
+        side,
+        labels,
+        areas,
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +116,10 @@ mod tests {
 
     fn map_of(rows: &[&str]) -> FeatureMap {
         let side = rows.len() as u32;
-        let rows: Vec<Vec<bool>> =
-            rows.iter().map(|r| r.chars().map(|c| c == '#').collect()).collect();
+        let rows: Vec<Vec<bool>> = rows
+            .iter()
+            .map(|r| r.chars().map(|c| c == '#').collect())
+            .collect();
         FeatureMap::from_fn(side, move |c| rows[c.row as usize][c.col as usize])
     }
 

@@ -15,7 +15,11 @@ pub fn render_feature_map(map: &FeatureMap) -> String {
     let mut out = String::with_capacity((side as usize + 1) * side as usize);
     for row in 0..side {
         for col in 0..side {
-            out.push(if map.is_feature(GridCoord::new(col, row)) { '#' } else { '.' });
+            out.push(if map.is_feature(GridCoord::new(col, row)) {
+                '#'
+            } else {
+                '.'
+            });
         }
         out.push('\n');
     }
@@ -83,7 +87,14 @@ mod tests {
 
     #[test]
     fn field_rendering_spans_the_ramp() {
-        let f = Field::generate(FieldSpec::Gradient { west: 0.0, east: 9.0 }, 10, 1);
+        let f = Field::generate(
+            FieldSpec::Gradient {
+                west: 0.0,
+                east: 9.0,
+            },
+            10,
+            1,
+        );
         let s = render_field(&f);
         let first_line = s.lines().next().unwrap();
         assert_eq!(first_line.len(), 10);

@@ -19,7 +19,11 @@ fn main() {
     let spec = DeploymentSpec {
         terrain_side: 40.0,
         cells_per_side: side,
-        placement: Placement::Clustered { clusters: 4, per_cluster: 16, spread: 3.5 },
+        placement: Placement::Clustered {
+            clusters: 4,
+            per_cluster: 16,
+            spread: 3.5,
+        },
         ensure_coverage: true, // the grid architecture needs every cell manned
     };
     let deployment = spec.generate(21);
@@ -34,9 +38,13 @@ fn main() {
     // Option A: the grid architecture — one virtual node per cell,
     // hierarchical reduce.
     let grid_est = quadtree_merge_estimate(side, &cost, &|_| 1, &|_| 4, 1);
-    let mut vm: Vm<CollectiveMsg> = Vm::new(side, cost, 1, |_| 1.0, move |_| {
-        Box::new(ReduceProgram::new(side, ReduceOp::Sum))
-    });
+    let mut vm: Vm<CollectiveMsg> = Vm::new(
+        side,
+        cost,
+        1,
+        |_| 1.0,
+        move |_| Box::new(ReduceProgram::new(side, ReduceOp::Sum)),
+    );
     vm.run();
     let gm = vm.metrics();
     println!("\ngrid {side}x{side} architecture (one virtual node per cell):");
@@ -47,8 +55,8 @@ fn main() {
 
     // Option B: the tree architecture — a spanning tree of the *actual*
     // radio graph, so every virtual hop is one physical hop.
-    let tree = spanning_tree_from_positions(deployment.positions(), 12.0)
-        .expect("connected at range 12");
+    let tree =
+        spanning_tree_from_positions(deployment.positions(), 12.0).expect("connected at range 12");
     println!(
         "\ntree architecture (radio spanning tree over all {} nodes): height {}",
         tree.node_count(),
@@ -56,9 +64,13 @@ fn main() {
     );
     let tree_est = tree_convergecast_estimate(&tree, &cost, 1);
     let t2 = tree.clone();
-    let mut tvm = TreeVm::new(tree, cost, 1, |_| 1.0, move |id| {
-        Box::new(ConvergecastSum::new(t2.children(id).len()))
-    });
+    let mut tvm = TreeVm::new(
+        tree,
+        cost,
+        1,
+        |_| 1.0,
+        move |id| Box::new(ConvergecastSum::new(t2.children(id).len())),
+    );
     let (latency, energy, _) = tvm.run();
     let (_, _, (sum, count)) = tvm.take_exfiltrated().pop().unwrap();
     println!(

@@ -9,15 +9,19 @@
 use wsn::core::GridCoord;
 use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
 use wsn::runtime::PhysicalRuntime;
-use wsn::topoquery::{label_regions, DandcProgram, Field, FieldSpec, RegionSummary};
 use wsn::synth::SummaryMsg;
+use wsn::topoquery::{label_regions, DandcProgram, Field, FieldSpec, RegionSummary};
 
 fn main() {
     let side = 4u32;
     let deployment = DeploymentSpec::per_cell(side, 4).generate(77);
     let range = deployment.grid().range_for_adjacent_cell_reachability();
     let field = Field::generate(
-        FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.2 },
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 10.0,
+            radius: 1.2,
+        },
         side,
         9,
     );
@@ -38,14 +42,28 @@ fn main() {
     println!("initial election: {} unique leaders", bind.leaders.len());
     rt.install_programs(move |_| Box::new(DandcProgram::new(side, 5.0)));
     let app = rt.run_application();
-    println!("round 1: {} exfiltration(s), latency {:?} ticks\n", app.exfil_count, app.last_exfil_ticks);
-    let got = rt.take_exfiltrated()[0].payload.data.expect_complete().region_count();
+    println!(
+        "round 1: {} exfiltration(s), latency {:?} ticks\n",
+        app.exfil_count, app.last_exfil_ticks
+    );
+    let got = rt.take_exfiltrated()[0]
+        .payload
+        .data
+        .expect_complete()
+        .region_count();
     assert_eq!(got, truth);
 
     // Kill three leaders, including the root's.
-    for cell in [GridCoord::new(0, 0), GridCoord::new(2, 1), GridCoord::new(3, 3)] {
+    for cell in [
+        GridCoord::new(0, 0),
+        GridCoord::new(2, 1),
+        GridCoord::new(3, 3),
+    ] {
         let victim = rt.leader_of(cell).expect("leader exists");
-        println!("killing node {victim}, leader of cell ({}, {})", cell.col, cell.row);
+        println!(
+            "killing node {victim}, leader of cell ({}, {})",
+            cell.col, cell.row
+        );
         let now = rt.now();
         rt.medium().borrow_mut().kill(victim, now);
     }
@@ -55,7 +73,11 @@ fn main() {
         "\nrecovery: topology re-emulated (complete={}), re-election unique={}",
         topo2.complete, bind2.unique
     );
-    for cell in [GridCoord::new(0, 0), GridCoord::new(2, 1), GridCoord::new(3, 3)] {
+    for cell in [
+        GridCoord::new(0, 0),
+        GridCoord::new(2, 1),
+        GridCoord::new(3, 3),
+    ] {
         println!(
             "  cell ({}, {}) new leader: node {:?}",
             cell.col,
@@ -65,7 +87,11 @@ fn main() {
     }
 
     let app2 = rt.run_application();
-    let got2 = rt.take_exfiltrated()[0].payload.data.expect_complete().region_count();
+    let got2 = rt.take_exfiltrated()[0]
+        .payload
+        .data
+        .expect_complete()
+        .region_count();
     println!(
         "\nround 2 after recovery: {} exfiltration(s), {} regions (truth {}) {}",
         app2.exfil_count,

@@ -41,9 +41,13 @@ fn main() {
     }
 
     // Disseminate a retasking parameter from the root to everyone.
-    let mut vm: Vm<CollectiveMsg> = Vm::new(side, CostModel::uniform(), 1, |_| 0.0, move |_| {
-        Box::new(DisseminateProgram::new(side, 3.25))
-    });
+    let mut vm: Vm<CollectiveMsg> = Vm::new(
+        side,
+        CostModel::uniform(),
+        1,
+        |_| 0.0,
+        move |_| Box::new(DisseminateProgram::new(side, 3.25)),
+    );
     vm.run();
     let metrics = vm.metrics();
     let reached = vm.take_exfiltrated().len();
@@ -56,8 +60,9 @@ fn main() {
 
     // In-network sort: node i of the snake order ends with the i-th
     // smallest reading.
-    let mut vm: Vm<CollectiveMsg> =
-        Vm::new(side, CostModel::uniform(), 1, reading, move |_| Box::new(SortProgram::new(side)));
+    let mut vm: Vm<CollectiveMsg> = Vm::new(side, CostModel::uniform(), 1, reading, move |_| {
+        Box::new(SortProgram::new(side))
+    });
     vm.run();
     let metrics = vm.metrics();
     let mut sorted = vec![0.0f64; grid.node_count()];
@@ -74,7 +79,12 @@ fn main() {
         metrics.total_energy,
         metrics.messages
     );
-    println!("  min {} … median {} … max {}", sorted[0], sorted[sorted.len() / 2], sorted[sorted.len() - 1]);
+    println!(
+        "  min {} … median {} … max {}",
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() - 1]
+    );
 
     // Sanity: the readings really were scattered over the grid.
     let first_linear = snake_index(grid, wsn::core::GridCoord::new(0, 0));

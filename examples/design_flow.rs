@@ -15,8 +15,7 @@
 
 use std::rc::Rc;
 use wsn::core::{
-    centralized_collection_estimate, quadtree_merge_estimate, CostModel, Vm,
-    VirtualArchitecture,
+    centralized_collection_estimate, quadtree_merge_estimate, CostModel, VirtualArchitecture, Vm,
 };
 use wsn::synth::{
     check_all, quadtree_task_graph, render_figure4, synthesize_from_mapping, Mapper, MappingCost,
@@ -51,12 +50,22 @@ fn main() {
         1,
     );
     let central = centralized_collection_estimate(side, &arch.cost, 1, 1, 1);
-    println!("divide & conquer : energy {:>8.0}  latency {:>5} ticks", dandc.total_energy, dandc.latency_ticks);
-    println!("centralized      : energy {:>8.0}  latency {:>5} ticks", central.total_energy, central.latency_ticks);
+    println!(
+        "divide & conquer : energy {:>8.0}  latency {:>5} ticks",
+        dandc.total_energy, dandc.latency_ticks
+    );
+    println!(
+        "centralized      : energy {:>8.0}  latency {:>5} ticks",
+        central.total_energy, central.latency_ticks
+    );
     let choose_dandc = dandc.total_energy < central.total_energy;
     println!(
         "=> choosing {} (total-energy objective)\n",
-        if choose_dandc { "divide & conquer" } else { "centralized" }
+        if choose_dandc {
+            "divide & conquer"
+        } else {
+            "centralized"
+        }
     );
     assert!(choose_dandc, "at this scale the paper's choice holds");
 
@@ -85,16 +94,30 @@ fn main() {
 
     println!("=== 6. execute on the virtual machine ===");
     let field = Field::generate(
-        FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.5 },
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 10.0,
+            radius: 1.5,
+        },
         side,
         7,
     );
     let program = Rc::new(program);
     let semantics = Rc::new(RegionSemantics { threshold: 5.0 });
     let f = field.clone();
-    let mut vm = Vm::new(side, CostModel::uniform(), 1, move |c| f.value(c), move |_| {
-        Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side))
-    });
+    let mut vm = Vm::new(
+        side,
+        CostModel::uniform(),
+        1,
+        move |c| f.value(c),
+        move |_| {
+            Box::new(SynthesizedNode::new(
+                program.clone(),
+                semantics.clone(),
+                side,
+            ))
+        },
+    );
     vm.run();
     let metrics = vm.metrics();
     let result = vm.take_exfiltrated().pop().expect("root exfiltrated");

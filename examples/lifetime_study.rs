@@ -9,8 +9,8 @@
 use wsn::core::GridCoord;
 use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
 use wsn::runtime::PhysicalRuntime;
-use wsn::topoquery::{DandcProgram, Field, FieldSpec, RegionSummary};
 use wsn::synth::SummaryMsg;
+use wsn::topoquery::{DandcProgram, Field, FieldSpec, RegionSummary};
 
 fn main() {
     let side = 4u32;
@@ -18,7 +18,11 @@ fn main() {
     let deployment = DeploymentSpec::per_cell(side, 3).generate(31);
     let range = deployment.grid().range_for_adjacent_cell_reachability();
     let field = Field::generate(
-        FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.0 },
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 10.0,
+            radius: 1.0,
+        },
         side,
         5,
     );
@@ -68,8 +72,15 @@ fn main() {
     println!("\nsystem lifetime: {rounds} rounds until first death");
     for i in dead {
         let cell = rt.deployment().cell_of_node(i);
-        let role = if leaders.contains(&i) { "leader" } else { "relay/follower" };
-        println!("  node {i} died in cell ({}, {}) — {role}", cell.col, cell.row);
+        let role = if leaders.contains(&i) {
+            "leader"
+        } else {
+            "relay/follower"
+        };
+        println!(
+            "  node {i} died in cell ({}, {}) — {role}",
+            cell.col, cell.row
+        );
     }
     // The paper's prediction: traffic concentrates around the root cell.
     let root_cell = GridCoord::new(0, 0);

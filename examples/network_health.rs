@@ -22,7 +22,11 @@ fn main() {
     let side = 4u32;
     let budget = 5_000.0;
     let field = Field::generate(
-        FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.2 },
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 10.0,
+            radius: 1.2,
+        },
         side,
         5,
     );

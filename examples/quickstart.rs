@@ -15,7 +15,11 @@ fn main() {
 
     // 2. A synthetic phenomenon: three hot blobs over the terrain.
     let field = Field::generate(
-        FieldSpec::Blobs { count: 3, amplitude: 10.0, radius: 2.0 },
+        FieldSpec::Blobs {
+            count: 3,
+            amplitude: 10.0,
+            radius: 2.0,
+        },
         16,
         42,
     );
@@ -27,10 +31,22 @@ fn main() {
 
     println!("in-network result:");
     println!("  homogeneous feature regions : {}", summary.region_count());
-    println!("  total feature area          : {} cells", summary.feature_area());
-    println!("  latency                     : {} ticks", outcome.metrics.latency_ticks);
-    println!("  total energy                : {:.0} units", outcome.metrics.total_energy);
-    println!("  energy balance (Jain)       : {:.3}", outcome.metrics.energy_balance);
+    println!(
+        "  total feature area          : {} cells",
+        summary.feature_area()
+    );
+    println!(
+        "  latency                     : {} ticks",
+        outcome.metrics.latency_ticks
+    );
+    println!(
+        "  total energy                : {:.0} units",
+        outcome.metrics.total_energy
+    );
+    println!(
+        "  energy balance (Jain)       : {:.3}",
+        outcome.metrics.energy_balance
+    );
 
     // 4. Verify against centralized ground truth.
     let truth = label_regions(&field.threshold(5.0));

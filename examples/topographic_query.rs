@@ -34,7 +34,11 @@ fn main() {
     );
 
     let field = Field::generate(
-        FieldSpec::Blobs { count: 3, amplitude: 10.0, radius: 1.5 },
+        FieldSpec::Blobs {
+            count: 3,
+            amplitude: 10.0,
+            radius: 1.5,
+        },
         side,
         23,
     );
@@ -67,14 +71,26 @@ fn main() {
     println!("\nphenomenon over the terrain (intensity ramp):");
     print!("{}", render_field(&field));
     println!("\nground-truth delineation (region labels):");
-    print!("{}", render_labeling(&label_regions(&field.threshold(5.0)), side));
+    print!(
+        "{}",
+        render_labeling(&label_regions(&field.threshold(5.0)), side)
+    );
 
     match outcome.summary {
         Some(summary) => {
             println!("\ntopographic queries on the aggregated result:");
-            println!("  regions of interest        : {}", queries::count_regions(&summary));
-            println!("  total feature area         : {} cells", queries::total_feature_area(&summary));
-            println!("  largest region             : {:?} cells", queries::largest_region_area(&summary));
+            println!(
+                "  regions of interest        : {}",
+                queries::count_regions(&summary)
+            );
+            println!(
+                "  total feature area         : {} cells",
+                queries::total_feature_area(&summary)
+            );
+            println!(
+                "  largest region             : {:?} cells",
+                queries::largest_region_area(&summary)
+            );
             println!(
                 "  regions with area >= 3     : {}",
                 queries::count_regions_with_area_at_least(&summary, 3)
@@ -83,13 +99,19 @@ fn main() {
             println!(
                 "  ground truth               : {} regions {}",
                 truth.region_count(),
-                if truth.region_count() == summary.region_count() { "✓" } else { "✗ (loss)" },
+                if truth.region_count() == summary.region_count() {
+                    "✓"
+                } else {
+                    "✗ (loss)"
+                },
             );
         }
         None => println!("\nthe merge tree stalled under loss — rerun with LinkModel::ideal()"),
     }
     println!(
         "\nenergy: total {:.0}, hotspot {:.0}, Jain balance {:.3}",
-        outcome.metrics.total_energy, outcome.metrics.max_node_energy, outcome.metrics.energy_balance,
+        outcome.metrics.total_energy,
+        outcome.metrics.max_node_energy,
+        outcome.metrics.energy_balance,
     );
 }

@@ -10,6 +10,7 @@
 //!   middleware, programming primitives, analytical estimation, VM);
 //! * [`runtime`] — topology emulation and virtual-process binding on real
 //!   deployments;
+//! * [`obs`] — telemetry: phase spans, metric registry, JSONL traces;
 //! * [`synth`] — task graphs, constrained mapping, program synthesis;
 //! * [`topoquery`] — the topographic-querying case study.
 //!
@@ -17,6 +18,7 @@
 
 pub use wsn_core as core;
 pub use wsn_net as net;
+pub use wsn_obs as obs;
 pub use wsn_runtime as runtime;
 pub use wsn_sim as sim;
 pub use wsn_synth as synth;

@@ -37,7 +37,11 @@ fn killing_every_cell_leader_still_recovers() {
     rt.run_topology_emulation();
     let bind = rt.run_binding();
     assert!(bind.unique);
-    let victims: Vec<usize> = rt.grid().nodes().map(|c| rt.leader_of(c).unwrap()).collect();
+    let victims: Vec<usize> = rt
+        .grid()
+        .nodes()
+        .map(|c| rt.leader_of(c).unwrap())
+        .collect();
     for v in &victims {
         let now = rt.now();
         rt.medium().borrow_mut().kill(*v, now);
@@ -53,7 +57,11 @@ fn killing_every_cell_leader_still_recovers() {
     let app = rt.run_application();
     assert_eq!(app.exfil_count, 1);
     assert_eq!(
-        rt.take_exfiltrated()[0].payload.data.expect_complete().region_count(),
+        rt.take_exfiltrated()[0]
+            .payload
+            .data
+            .expect_complete()
+            .region_count(),
         truth
     );
 }
@@ -98,8 +106,15 @@ fn fault_plan_kills_mid_application() {
 fn loss_free_physical_run_is_always_correct() {
     for seed in 0..5u64 {
         let side = 4u32;
-        let field =
-            Field::generate(FieldSpec::RandomCells { p: 0.5, hot: 1.0, cold: 0.0 }, side, seed);
+        let field = Field::generate(
+            FieldSpec::RandomCells {
+                p: 0.5,
+                hot: 1.0,
+                cold: 0.0,
+            },
+            side,
+            seed,
+        );
         let truth = label_regions(&field.threshold(0.5)).region_count();
         let deployment = DeploymentSpec::per_cell(side, 2).generate(seed + 50);
         let (out, _) = run_dandc_physical(
@@ -110,14 +125,25 @@ fn loss_free_physical_run_is_always_correct() {
             seed,
             Implementation::Native,
         );
-        assert_eq!(out.summary.expect("no loss, must complete").region_count(), truth);
+        assert_eq!(
+            out.summary.expect("no loss, must complete").region_count(),
+            truth
+        );
     }
 }
 
 #[test]
 fn lossy_runs_complete_or_stay_silent_never_lie() {
     let side = 4u32;
-    let field = Field::generate(FieldSpec::Blobs { count: 2, amplitude: 10.0, radius: 1.0 }, side, 3);
+    let field = Field::generate(
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 10.0,
+            radius: 1.0,
+        },
+        side,
+        3,
+    );
     let truth = label_regions(&field.threshold(5.0)).region_count();
     let mut completed = 0;
     for seed in 0..8u64 {

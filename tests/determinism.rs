@@ -1,11 +1,22 @@
 //! Whole-stack determinism: every layer is a pure function of (config,
 //! seed). This is the property that makes EXPERIMENTS.md reproducible.
 
-use wsn::net::{DeploymentSpec, LinkModel};
-use wsn::topoquery::{run_dandc_physical, run_dandc_vm, Field, FieldSpec, Implementation};
+use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn::runtime::PhysicalRuntime;
+use wsn::topoquery::{
+    run_dandc_physical, run_dandc_vm, DandcMsg, DandcProgram, Field, FieldSpec, Implementation,
+};
 
 fn field(side: u32, seed: u64) -> Field {
-    Field::generate(FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 }, side, seed)
+    Field::generate(
+        FieldSpec::RandomCells {
+            p: 0.4,
+            hot: 1.0,
+            cold: 0.0,
+        },
+        side,
+        seed,
+    )
 }
 
 #[test]
@@ -64,9 +75,49 @@ fn different_seeds_change_stochastic_outcomes() {
     // With 30% loss the two seeds essentially cannot produce identical
     // physical-hop traces.
     assert_ne!(
-        (ra.app.physical_hops, ra.topo.elapsed_ticks, ra.bind.elapsed_ticks),
-        (rb.app.physical_hops, rb.topo.elapsed_ticks, rb.bind.elapsed_ticks)
+        (
+            ra.app.physical_hops,
+            ra.topo.elapsed_ticks,
+            ra.bind.elapsed_ticks
+        ),
+        (
+            rb.app.physical_hops,
+            rb.topo.elapsed_ticks,
+            rb.bind.elapsed_ticks
+        )
     );
+}
+
+#[test]
+fn telemetry_traces_are_bit_identical() {
+    let f = field(4, 5);
+    let run = || {
+        let deployment = DeploymentSpec::per_cell(4, 3).generate(7);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let f2 = f.clone();
+        let mut rt: PhysicalRuntime<DandcMsg> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            11,
+            move |c| f2.value(c),
+        );
+        rt.enable_telemetry(true);
+        rt.run_topology_emulation();
+        assert!(rt.run_binding().unique);
+        rt.install_programs(|_| Box::new(DandcProgram::new(4, 0.5)));
+        rt.run_application();
+        rt.record_trace()
+    };
+    let a = run();
+    let b = run();
+    // The span forest — phase boundaries, nesting, event counts — is a
+    // pure function of (config, seed), and so is the whole trace export.
+    assert_eq!(a.spans, b.spans);
+    assert!(!a.spans.is_empty());
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
 }
 
 #[test]

@@ -2,8 +2,8 @@
 
 use std::rc::Rc;
 use wsn::core::{
-    centralized_collection_estimate, quadtree_merge_estimate, CostModel, GridCoord, Hierarchy, Vm,
-    VirtualArchitecture,
+    centralized_collection_estimate, quadtree_merge_estimate, CostModel, GridCoord, Hierarchy,
+    VirtualArchitecture, Vm,
 };
 use wsn::net::{DeploymentSpec, LinkModel};
 use wsn::synth::{
@@ -11,8 +11,8 @@ use wsn::synth::{
     MappingCost, QuadrantMapper, SynthesizedNode,
 };
 use wsn::topoquery::{
-    label_regions, queries, run_centralized_vm, run_dandc_physical, run_dandc_vm, Field,
-    FieldSpec, Implementation, RegionSemantics,
+    label_regions, queries, run_centralized_vm, run_dandc_physical, run_dandc_vm, Field, FieldSpec,
+    Implementation, RegionSemantics,
 };
 
 fn units(level: u8) -> u64 {
@@ -48,13 +48,31 @@ fn mapping_synthesis_execution_round_trip() {
     let rendered = render_figure4(&program);
     assert!(rendered.contains("Condition : start = true"));
 
-    let field = Field::generate(FieldSpec::Blobs { count: 2, amplitude: 8.0, radius: 1.5 }, side, 3);
+    let field = Field::generate(
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 8.0,
+            radius: 1.5,
+        },
+        side,
+        3,
+    );
     let program = Rc::new(program);
     let semantics = Rc::new(RegionSemantics { threshold: 4.0 });
     let f = field.clone();
-    let mut vm = Vm::new(side, CostModel::uniform(), 1, move |c| f.value(c), move |_| {
-        Box::new(SynthesizedNode::new(program.clone(), semantics.clone(), side))
-    });
+    let mut vm = Vm::new(
+        side,
+        CostModel::uniform(),
+        1,
+        move |c| f.value(c),
+        move |_| {
+            Box::new(SynthesizedNode::new(
+                program.clone(),
+                semantics.clone(),
+                side,
+            ))
+        },
+    );
     vm.run();
     let metrics = vm.metrics();
     let result = vm.take_exfiltrated().pop().expect("root result");
@@ -73,7 +91,11 @@ fn mapping_synthesis_execution_round_trip() {
 fn queries_answered_from_in_network_result_match_centralized() {
     let side = 16u32;
     let field = Field::generate(
-        FieldSpec::RandomCells { p: 0.35, hot: 1.0, cold: 0.0 },
+        FieldSpec::RandomCells {
+            p: 0.35,
+            hot: 1.0,
+            cold: 0.0,
+        },
         side,
         13,
     );
@@ -91,7 +113,15 @@ fn queries_answered_from_in_network_result_match_centralized() {
 #[test]
 fn same_program_runs_on_vm_and_physical_network_with_same_answer() {
     let side = 4u32;
-    let field = Field::generate(FieldSpec::Blobs { count: 2, amplitude: 9.0, radius: 1.0 }, side, 21);
+    let field = Field::generate(
+        FieldSpec::Blobs {
+            count: 2,
+            amplitude: 9.0,
+            radius: 1.0,
+        },
+        side,
+        21,
+    );
     let vm = run_dandc_vm(side, &field, 5.0, 2, Implementation::Synthesized);
     let deployment = DeploymentSpec::uniform(side, 80).generate(33);
     let (phys, reports) = run_dandc_physical(
@@ -121,7 +151,10 @@ fn estimator_tracks_measured_scaling_shape() {
         let measured = run_dandc_vm(side, &field, 5.0, 1, Implementation::Native);
         let est = quadtree_merge_estimate(side, &cost, &units, &|l| 4 * units(l - 1), 1);
         let ratio = measured.metrics.total_energy / est.total_energy;
-        assert!((ratio - 1.0).abs() < 1e-9, "side {side}: exact on the uniform field");
+        assert!(
+            (ratio - 1.0).abs() < 1e-9,
+            "side {side}: exact on the uniform field"
+        );
         let _ = prev_ratio.replace(ratio);
     }
 }

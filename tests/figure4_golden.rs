@@ -41,5 +41,9 @@ Action    : transmit = true
 #[test]
 fn figure4_rendering_matches_golden() {
     let rendered = render_figure4(&synthesize_quadtree_program(2));
-    assert_eq!(rendered.trim(), GOLDEN.trim(), "\n--- rendered ---\n{rendered}");
+    assert_eq!(
+        rendered.trim(),
+        GOLDEN.trim(),
+        "\n--- rendered ---\n{rendered}"
+    );
 }

@@ -15,7 +15,11 @@ fn medium_scale_vm_side_64() {
     // 4096 virtual nodes on the VM.
     let side = 64u32;
     let field = Field::generate(
-        FieldSpec::Blobs { count: 6, amplitude: 10.0, radius: 6.0 },
+        FieldSpec::Blobs {
+            count: 6,
+            amplitude: 10.0,
+            radius: 6.0,
+        },
         side,
         3,
     );
@@ -29,7 +33,11 @@ fn medium_scale_physical_side_8_dense() {
     // 512 physical nodes emulating an 8×8 grid, end to end.
     let side = 8u32;
     let field = Field::generate(
-        FieldSpec::RandomCells { p: 0.4, hot: 1.0, cold: 0.0 },
+        FieldSpec::RandomCells {
+            p: 0.4,
+            hot: 1.0,
+            cold: 0.0,
+        },
         side,
         9,
     );
@@ -52,7 +60,11 @@ fn medium_scale_physical_side_8_dense() {
 fn giant_physical_side_16() {
     let side = 16u32;
     let field = Field::generate(
-        FieldSpec::Blobs { count: 5, amplitude: 10.0, radius: 3.0 },
+        FieldSpec::Blobs {
+            count: 5,
+            amplitude: 10.0,
+            radius: 3.0,
+        },
         side,
         5,
     );
@@ -76,7 +88,11 @@ fn giant_physical_side_16() {
 fn giant_vm_side_128() {
     let side = 128u32;
     let field = Field::generate(
-        FieldSpec::RandomCells { p: 0.3, hot: 1.0, cold: 0.0 },
+        FieldSpec::RandomCells {
+            p: 0.3,
+            hot: 1.0,
+            cold: 0.0,
+        },
         side,
         1,
     );

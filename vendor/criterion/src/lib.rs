@@ -1,0 +1,245 @@
+//! Vendored minimal benchmarking harness.
+//!
+//! API-compatible with the subset of `criterion` the workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], `bench_function`, `bench_with_input`,
+//! and [`BenchmarkId`]. Instead of criterion's full statistical pipeline it
+//! takes `sample_size` wall-clock samples of an adaptively sized batch and
+//! prints min/median/max ns per iteration — enough to compare hot-path
+//! changes without any external dependency.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` with a displayed `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self, group: &str) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => format!("{group}/{p}"),
+            (f, Some(p)) => format!("{group}/{f}/{p}"),
+            (f, None) => format!("{group}/{f}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, batching iterations so each sample spans enough wall
+    /// clock to be meaningful.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-call cost.
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().as_nanos().max(1);
+        // Aim for ~2ms per sample, capped to keep slow bodies bounded.
+        let batch = ((2_000_000 / estimate) as usize).clamp(1, 10_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        let mut xs = self.samples.clone();
+        if xs.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let min = xs[0];
+        let max = xs[xs.len() - 1];
+        let median = xs[xs.len() / 2];
+        println!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&id.label(&self.name));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&id.label(&self.name));
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is cosmetic).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(&id.label(""));
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. --bench); none are needed here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 8).label("g"), "g/f/8");
+        assert_eq!(BenchmarkId::from_parameter(3).label("g"), "g/3");
+        assert_eq!(BenchmarkId::from("f").label("g"), "g/f");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(3))
+        });
+        group.finish();
+    }
+}

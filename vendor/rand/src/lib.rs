@@ -1,0 +1,93 @@
+//! Vendored minimal subset of the `rand` crate API.
+//!
+//! This workspace builds in fully offline environments, so instead of the
+//! real `rand` crate we vendor exactly the trait surface the code depends
+//! on: [`RngCore`] and [`SeedableRng`]. The workspace's only generator,
+//! `wsn_sim::DetRng`, ships its own xoshiro256++ implementation and merely
+//! implements these traits for interoperability; no distribution code or
+//! OS entropy is ever used, so nothing else from `rand` is needed.
+//!
+//! Trait signatures match rand 0.9 so the workspace can be pointed back at
+//! the real crate without source changes.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a fixed-size byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a new generator from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a new generator from a `u64` seed, expanding it through
+    /// SplitMix64 (the same procedure rand 0.9 documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let a = Counter::seed_from_u64(42).0;
+        let b = Counter::seed_from_u64(42).0;
+        assert_eq!(a, b);
+        assert_ne!(a, Counter::seed_from_u64(43).0);
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 5];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored minimal subset of the `serde` crate API.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types as a
+//! forward-compatible marker but never serializes through serde — trace
+//! export is hand-rolled JSONL in `wsn-obs`. For offline builds we vendor
+//! marker traits plus no-op derive macros; swapping back to real serde is
+//! a Cargo.toml-only change.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Vendored no-op derive macros for `Serialize` / `Deserialize`.
+//!
+//! The workspace only uses serde derives as forward-compatible markers on
+//! plain data types — nothing serializes through serde at runtime (the
+//! telemetry layer hand-rolls its JSON). These derives therefore expand to
+//! nothing, which keeps offline builds dependency-free while leaving every
+//! `#[derive(Serialize, Deserialize)]` in the source untouched.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
