@@ -1,0 +1,105 @@
+//! Pass 5 — cost-budget conformance.
+//!
+//! The paper's methodology evaluates candidate mappings against mission
+//! requirements at design time (§3.2, §5). This pass closes the loop for
+//! the linter: it prices a mapping with [`MappingCost::evaluate`] and
+//! checks the result against a [`CostBudget`], turning each exceeded
+//! dimension into a structured diagnostic ([`Code::CB001`]–
+//! [`Code::CB004`]).
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use wsn_core::{BudgetViolation, CostBudget, CostModel};
+use wsn_synth::{Mapping, MappingCost, QuadTree};
+
+/// Prices `mapping` and reports every budget dimension it exceeds.
+pub fn check_budget(
+    qt: &QuadTree,
+    mapping: &Mapping,
+    cost: &CostModel,
+    budget: &CostBudget,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if budget.is_unbounded() {
+        return diags;
+    }
+    let priced = MappingCost::evaluate(qt, mapping, cost);
+    for v in budget.violations(
+        priced.total_energy,
+        priced.max_node_energy,
+        priced.energy_balance,
+        priced.critical_path_ticks,
+    ) {
+        diags.push(budget_diag(&v));
+    }
+    diags
+}
+
+fn budget_diag(v: &BudgetViolation) -> Diagnostic {
+    let (code, message, help) = match v {
+        BudgetViolation::TotalEnergy { actual, budget } => (
+            Code::CB001,
+            format!("one round costs {actual:.1} energy units network-wide, over the budget of {budget:.1}"),
+            "reduce payloads, shorten routes, or raise the budget",
+        ),
+        BudgetViolation::NodeEnergy { actual, budget } => (
+            Code::CB002,
+            format!("the hotspot node spends {actual:.1} energy units per round, over the budget of {budget:.1}"),
+            "spread interior tasks (e.g. the centroid or annealing mapper) to unload the hotspot",
+        ),
+        BudgetViolation::EnergyBalance { actual, budget } => (
+            Code::CB003,
+            format!("energy balance (Jain fairness) is {actual:.3}, below the budgeted floor of {budget:.3}"),
+            "rebalance interior placements; leader-aligned mappings concentrate load on corners",
+        ),
+        BudgetViolation::Latency { actual, budget } => (
+            Code::CB004,
+            format!("one round's critical path takes {actual} ticks, over the budget of {budget}"),
+            "shorten parent links or reduce per-hop payloads on the critical path",
+        ),
+    };
+    Diagnostic::error(code, Span::Program, message).with_suggestion(help)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_synth::{quadtree_task_graph, Mapper, QuadrantMapper};
+
+    fn priced_fixture() -> (QuadTree, Mapping, MappingCost) {
+        let qt = quadtree_task_graph(4, &|l| u64::from(l) + 1, &|l| u64::from(l));
+        let m = QuadrantMapper.map(&qt);
+        let c = MappingCost::evaluate(&qt, &m, &CostModel::uniform());
+        (qt, m, c)
+    }
+
+    #[test]
+    fn unbounded_budget_reports_nothing() {
+        let (qt, m, _) = priced_fixture();
+        let d = check_budget(&qt, &m, &CostModel::uniform(), &CostBudget::unbounded());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn generous_budget_passes_and_tight_budget_reports_each_dimension() {
+        let (qt, m, priced) = priced_fixture();
+        let generous = CostBudget {
+            max_total_energy: Some(priced.total_energy + 1.0),
+            max_node_energy: Some(priced.max_node_energy + 1.0),
+            min_energy_balance: Some(priced.energy_balance - 0.01),
+            max_latency_ticks: Some(priced.critical_path_ticks + 1),
+        };
+        assert!(check_budget(&qt, &m, &CostModel::uniform(), &generous).is_empty());
+
+        let tight = CostBudget {
+            max_total_energy: Some(priced.total_energy / 2.0),
+            max_node_energy: Some(priced.max_node_energy / 2.0),
+            min_energy_balance: Some((priced.energy_balance + 1.0).min(1.0)),
+            max_latency_ticks: Some(priced.critical_path_ticks / 2),
+        };
+        let d = check_budget(&qt, &m, &CostModel::uniform(), &tight);
+        assert_eq!(d.error_count(), 4, "{}", d.render_text());
+        for code in [Code::CB001, Code::CB002, Code::CB003, Code::CB004] {
+            assert!(d.has_code(code), "{code}");
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! A stable JSON encoding of [`GuardedProgram`], so `wsn-lint` can
+//! analyze programs that did not come out of this process's synthesizer
+//! (fixtures, hand-written variants, programs produced by other tools).
+//!
+//! The encoding is structural and self-describing:
+//!
+//! ```json
+//! {
+//!   "name": "...", "max_level": 2,
+//!   "state": [{"name": "start", "init": {"bool": false}}],
+//!   "rules": [{"label": "...", "guard": {"eq": [..]}, "actions": [..]}]
+//! }
+//! ```
+//!
+//! Expressions are `{"int": v}`, `{"bool": b}`, `{"var": "x"}`,
+//! `{"add": [a, b]}`, `{"sub": [a, b]}`, `{"msgs_received_at": e}`;
+//! guards are `"received"`, `"incoming_from_self"`, `{"eq": [a, b]}`,
+//! `{"and": [g, h]}`; actions are `"compute_local_summary"`,
+//! `"merge_incoming"`, `"count_incoming"`, `{"set": ["x", e]}`,
+//! `{"if": {"cond": g, "then": [...], "else": [...]}}`,
+//! `{"send_summary_to_leader": {"group_level": e, "data_level": e}}`,
+//! `{"exfiltrate_summary": {"level": e}}`.
+
+use wsn_obs::Json;
+use wsn_synth::{Action, Expr, Guard, GuardedProgram, Rule, StateDecl};
+
+/// Encodes a program into the JSON model.
+pub fn program_to_json(p: &GuardedProgram) -> Json {
+    Json::Obj(vec![
+        ("name".to_owned(), Json::Str(p.name.clone())),
+        (
+            "max_level".to_owned(),
+            Json::from_u64(u64::from(p.max_level)),
+        ),
+        (
+            "state".to_owned(),
+            Json::Arr(
+                p.state
+                    .iter()
+                    .map(|d| {
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::Str(d.name.clone())),
+                            ("init".to_owned(), expr_to_json(&d.init)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rules".to_owned(),
+            Json::Arr(
+                p.rules
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("label".to_owned(), Json::Str(r.label.clone())),
+                            ("guard".to_owned(), guard_to_json(&r.guard)),
+                            (
+                                "actions".to_owned(),
+                                Json::Arr(r.actions.iter().map(action_to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a program from the JSON model, with a path-bearing message on
+/// malformed input.
+pub fn program_from_json(j: &Json) -> Result<GuardedProgram, String> {
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("program: missing string field 'name'")?
+        .to_owned();
+    let max_level = j
+        .get("max_level")
+        .and_then(Json::as_u64)
+        .ok_or("program: missing integer field 'max_level'")?;
+    if max_level > 30 {
+        return Err(format!(
+            "program: max_level {max_level} out of range (0..=30)"
+        ));
+    }
+    let mut state = Vec::new();
+    for (i, d) in arr(j, "state")?.iter().enumerate() {
+        let name = d
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("state[{i}]: missing string field 'name'"))?;
+        let init = d
+            .get("init")
+            .ok_or_else(|| format!("state[{i}]: missing field 'init'"))
+            .and_then(expr_from_json)?;
+        state.push(StateDecl {
+            name: name.to_owned(),
+            init,
+        });
+    }
+    let mut rules = Vec::new();
+    for (i, r) in arr(j, "rules")?.iter().enumerate() {
+        let label = r
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("rules[{i}]: missing string field 'label'"))?;
+        let guard = r
+            .get("guard")
+            .ok_or_else(|| format!("rules[{i}]: missing field 'guard'"))
+            .and_then(guard_from_json)?;
+        let mut actions = Vec::new();
+        for a in r
+            .get("actions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("rules[{i}]: missing array field 'actions'"))?
+        {
+            actions.push(action_from_json(a)?);
+        }
+        rules.push(Rule {
+            label: label.to_owned(),
+            guard,
+            actions,
+        });
+    }
+    Ok(GuardedProgram {
+        name,
+        max_level: max_level as u8,
+        state,
+        rules,
+    })
+}
+
+fn arr<'j>(j: &'j Json, key: &str) -> Result<&'j [Json], String> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("program: missing array field '{key}'"))
+}
+
+fn expr_to_json(e: &Expr) -> Json {
+    match e {
+        Expr::Int(v) => Json::Obj(vec![("int".to_owned(), Json::Num(*v as f64))]),
+        Expr::Bool(b) => Json::Obj(vec![("bool".to_owned(), Json::Bool(*b))]),
+        Expr::Var(name) => Json::Obj(vec![("var".to_owned(), Json::Str(name.clone()))]),
+        Expr::Add(a, b) => Json::Obj(vec![(
+            "add".to_owned(),
+            Json::Arr(vec![expr_to_json(a), expr_to_json(b)]),
+        )]),
+        Expr::Sub(a, b) => Json::Obj(vec![(
+            "sub".to_owned(),
+            Json::Arr(vec![expr_to_json(a), expr_to_json(b)]),
+        )]),
+        Expr::MsgsReceivedAt(i) => {
+            Json::Obj(vec![("msgs_received_at".to_owned(), expr_to_json(i))])
+        }
+    }
+}
+
+fn expr_from_json(j: &Json) -> Result<Expr, String> {
+    if let Some(v) = j.get("int") {
+        let f = v.as_f64().ok_or("expr: 'int' is not a number")?;
+        return Ok(Expr::Int(f as i64));
+    }
+    if let Some(v) = j.get("bool") {
+        return match v {
+            Json::Bool(b) => Ok(Expr::Bool(*b)),
+            _ => Err("expr: 'bool' is not a boolean".to_owned()),
+        };
+    }
+    if let Some(v) = j.get("var") {
+        return Ok(Expr::var(v.as_str().ok_or("expr: 'var' is not a string")?));
+    }
+    if let Some(v) = j.get("add") {
+        let [a, b] = pair(v, "add")?;
+        return Ok(Expr::Add(
+            Box::new(expr_from_json(a)?),
+            Box::new(expr_from_json(b)?),
+        ));
+    }
+    if let Some(v) = j.get("sub") {
+        let [a, b] = pair(v, "sub")?;
+        return Ok(Expr::Sub(
+            Box::new(expr_from_json(a)?),
+            Box::new(expr_from_json(b)?),
+        ));
+    }
+    if let Some(v) = j.get("msgs_received_at") {
+        return Ok(Expr::MsgsReceivedAt(Box::new(expr_from_json(v)?)));
+    }
+    Err(format!("expr: unrecognized form {}", j.render()))
+}
+
+fn pair<'j>(j: &'j Json, what: &str) -> Result<[&'j Json; 2], String> {
+    match j.as_arr() {
+        Some([a, b]) => Ok([a, b]),
+        _ => Err(format!("expr: '{what}' needs exactly two operands")),
+    }
+}
+
+fn guard_to_json(g: &Guard) -> Json {
+    match g {
+        Guard::Received => Json::Str("received".to_owned()),
+        Guard::IncomingFromSelf => Json::Str("incoming_from_self".to_owned()),
+        Guard::Eq(a, b) => Json::Obj(vec![(
+            "eq".to_owned(),
+            Json::Arr(vec![expr_to_json(a), expr_to_json(b)]),
+        )]),
+        Guard::And(a, b) => Json::Obj(vec![(
+            "and".to_owned(),
+            Json::Arr(vec![guard_to_json(a), guard_to_json(b)]),
+        )]),
+    }
+}
+
+fn guard_from_json(j: &Json) -> Result<Guard, String> {
+    match j.as_str() {
+        Some("received") => return Ok(Guard::Received),
+        Some("incoming_from_self") => return Ok(Guard::IncomingFromSelf),
+        Some(other) => return Err(format!("guard: unknown tag {other:?}")),
+        None => {}
+    }
+    if let Some(v) = j.get("eq") {
+        let [a, b] = pair(v, "eq")?;
+        return Ok(Guard::Eq(expr_from_json(a)?, expr_from_json(b)?));
+    }
+    if let Some(v) = j.get("and") {
+        let [a, b] = pair(v, "and")?;
+        return Ok(Guard::And(
+            Box::new(guard_from_json(a)?),
+            Box::new(guard_from_json(b)?),
+        ));
+    }
+    Err(format!("guard: unrecognized form {}", j.render()))
+}
+
+fn action_to_json(a: &Action) -> Json {
+    match a {
+        Action::ComputeLocalSummary => Json::Str("compute_local_summary".to_owned()),
+        Action::MergeIncoming => Json::Str("merge_incoming".to_owned()),
+        Action::CountIncoming => Json::Str("count_incoming".to_owned()),
+        Action::Set(name, e) => Json::Obj(vec![(
+            "set".to_owned(),
+            Json::Arr(vec![Json::Str(name.clone()), expr_to_json(e)]),
+        )]),
+        Action::IfElse {
+            cond,
+            then,
+            otherwise,
+        } => Json::Obj(vec![(
+            "if".to_owned(),
+            Json::Obj(vec![
+                ("cond".to_owned(), guard_to_json(cond)),
+                (
+                    "then".to_owned(),
+                    Json::Arr(then.iter().map(action_to_json).collect()),
+                ),
+                (
+                    "else".to_owned(),
+                    Json::Arr(otherwise.iter().map(action_to_json).collect()),
+                ),
+            ]),
+        )]),
+        Action::SendSummaryToLeader {
+            group_level,
+            data_level,
+        } => Json::Obj(vec![(
+            "send_summary_to_leader".to_owned(),
+            Json::Obj(vec![
+                ("group_level".to_owned(), expr_to_json(group_level)),
+                ("data_level".to_owned(), expr_to_json(data_level)),
+            ]),
+        )]),
+        Action::ExfiltrateSummary { level } => Json::Obj(vec![(
+            "exfiltrate_summary".to_owned(),
+            Json::Obj(vec![("level".to_owned(), expr_to_json(level))]),
+        )]),
+    }
+}
+
+fn action_from_json(j: &Json) -> Result<Action, String> {
+    match j.as_str() {
+        Some("compute_local_summary") => return Ok(Action::ComputeLocalSummary),
+        Some("merge_incoming") => return Ok(Action::MergeIncoming),
+        Some("count_incoming") => return Ok(Action::CountIncoming),
+        Some(other) => return Err(format!("action: unknown tag {other:?}")),
+        None => {}
+    }
+    if let Some(v) = j.get("set") {
+        let [name, e] = pair(v, "set")?;
+        let name = name
+            .as_str()
+            .ok_or("action: 'set' target is not a string")?;
+        return Ok(Action::Set(name.to_owned(), expr_from_json(e)?));
+    }
+    if let Some(v) = j.get("if") {
+        let cond = v
+            .get("cond")
+            .ok_or_else(|| "action: 'if' missing 'cond'".to_owned())
+            .and_then(guard_from_json)?;
+        let mut then = Vec::new();
+        for a in v.get("then").and_then(Json::as_arr).unwrap_or(&[]) {
+            then.push(action_from_json(a)?);
+        }
+        let mut otherwise = Vec::new();
+        for a in v.get("else").and_then(Json::as_arr).unwrap_or(&[]) {
+            otherwise.push(action_from_json(a)?);
+        }
+        return Ok(Action::IfElse {
+            cond,
+            then,
+            otherwise,
+        });
+    }
+    if let Some(v) = j.get("send_summary_to_leader") {
+        let group_level = v
+            .get("group_level")
+            .ok_or_else(|| "action: send missing 'group_level'".to_owned())
+            .and_then(expr_from_json)?;
+        let data_level = v
+            .get("data_level")
+            .ok_or_else(|| "action: send missing 'data_level'".to_owned())
+            .and_then(expr_from_json)?;
+        return Ok(Action::SendSummaryToLeader {
+            group_level,
+            data_level,
+        });
+    }
+    if let Some(v) = j.get("exfiltrate_summary") {
+        let level = v
+            .get("level")
+            .ok_or_else(|| "action: exfiltrate missing 'level'".to_owned())
+            .and_then(expr_from_json)?;
+        return Ok(Action::ExfiltrateSummary { level });
+    }
+    Err(format!("action: unrecognized form {}", j.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_synth::{synthesize_gather_program, synthesize_quadtree_program};
+
+    #[test]
+    fn figure4_round_trips_through_json_text() {
+        for depth in 1..=3 {
+            let p = synthesize_quadtree_program(depth);
+            let text = program_to_json(&p).render();
+            let back = program_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, p, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn gather_round_trips() {
+        let p = synthesize_gather_program(2, 4);
+        let back = program_from_json(&program_to_json(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn malformed_input_yields_path_bearing_errors() {
+        let missing = Json::parse(r#"{"name": "x"}"#).unwrap();
+        assert!(program_from_json(&missing)
+            .unwrap_err()
+            .contains("max_level"));
+        let bad_guard = Json::parse(
+            r#"{"name": "x", "max_level": 1, "state": [], "rules":
+               [{"label": "r", "guard": "sometimes", "actions": []}]}"#,
+        )
+        .unwrap();
+        assert!(program_from_json(&bad_guard)
+            .unwrap_err()
+            .contains("sometimes"));
+    }
+}

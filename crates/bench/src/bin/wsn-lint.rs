@@ -1,0 +1,121 @@
+//! `wsn-lint` — static analysis CLI for synthesized WSN artifacts.
+//!
+//! ```text
+//! wsn-lint                         lint the paper's Figure-4 deployment (depth 2)
+//! wsn-lint --fig4 [depth]          same, at an explicit hierarchy depth
+//! wsn-lint --program <file.json>   lint a serialized program (JSON model)
+//! wsn-lint --emit-json-program [depth]   print the Figure-4 program as JSON
+//! wsn-lint --check                 CI gate: paper deployments must be error-free
+//! wsn-lint --codes                 list the diagnostic catalog
+//! ```
+//!
+//! `--json` switches the report to JSON. Exit status: 0 when no
+//! error-severity diagnostics were found, 1 otherwise, 2 on usage or
+//! decode errors.
+
+use std::process::ExitCode;
+use wsn_analyze::{Code, Diagnostics};
+use wsn_bench::lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") || a.as_str() == "--")
+        .collect();
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--codes") {
+        for &code in Code::all() {
+            println!("{code}  {}", code.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--emit-json-program") {
+        let depth = match parse_depth(&positional) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        println!("{}", lint::figure4_program_json(depth));
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--check") {
+        return match lint::check_gate() {
+            Ok(()) => {
+                println!("wsn-lint --check: paper deployments (depths 1..=3) are error-free");
+                ExitCode::SUCCESS
+            }
+            Err(failures) => {
+                for (depth, diags) in failures {
+                    eprintln!("depth {depth} failed the gate:\n{}", diags.render_text());
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.iter().any(|a| a == "--program") {
+        let Some(path) = positional.first() else {
+            return usage_error("--program needs a file path");
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+        };
+        return match lint::lint_program_text(&text) {
+            Ok(diags) => report(&diags, json),
+            Err(e) => usage_error(&format!("{path}: {e}")),
+        };
+    }
+
+    // Default (and --fig4): the paper deployment.
+    let depth = match parse_depth(&positional) {
+        Ok(d) => d,
+        Err(e) => return usage_error(&e),
+    };
+    let diags = lint::lint_figure4(depth);
+    report(&diags, json)
+}
+
+fn parse_depth(positional: &[&String]) -> Result<u8, String> {
+    match positional.first() {
+        None => Ok(2),
+        Some(raw) => match raw.parse::<u8>() {
+            Ok(d) if (1..=4).contains(&d) => Ok(d),
+            _ => Err(format!("depth must be 1..=4, got {raw:?}")),
+        },
+    }
+}
+
+fn report(diags: &Diagnostics, json: bool) -> ExitCode {
+    if json {
+        println!("{}", diags.to_json().render());
+    } else {
+        print!("{}", diags.render_text());
+    }
+    if diags.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("wsn-lint: {message}");
+    print_usage();
+    ExitCode::from(2)
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: wsn-lint [--fig4] [depth] | --program <file.json> | \
+         --emit-json-program [depth] | --check | --codes   [--json]"
+    );
+}

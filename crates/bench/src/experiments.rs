@@ -599,7 +599,7 @@ pub fn exp13_mapping_ablation(sides: &[u32]) -> Table {
         ];
         for mapper in &mut mappers {
             let m = mapper.map(&qt);
-            wsn_synth::check_all(&qt, &m).expect("mapper produced infeasible mapping");
+            wsn_synth::first_violation(&qt, &m).expect("mapper produced infeasible mapping");
             let c = MappingCost::evaluate(&qt, &m, &cost);
             t.row(vec![
                 side.to_string(),

@@ -2,8 +2,7 @@
 
 use wsn_core::Hierarchy;
 use wsn_synth::{
-    quadtree_task_graph, render_figure4, synthesize_quadtree_program, Mapper, QuadTree,
-    QuadrantMapper,
+    quadtree_task_graph, synthesize_quadtree_program, Mapper, QuadTree, QuadrantMapper,
 };
 
 fn labels_of_level(qt: &QuadTree, level: usize) -> Vec<usize> {
@@ -88,13 +87,15 @@ pub fn fig3_mapping() -> String {
 }
 
 /// Figure 4: the synthesized program specification for the 4×4 case
-/// (maxrecLevel = 2).
+/// (maxrecLevel = 2). The program goes through the analysis-gated code
+/// generator: an error-bearing program would abort figure regeneration
+/// instead of printing broken pseudocode.
 pub fn fig4_program() -> String {
     let program = synthesize_quadtree_program(2);
-    format!(
-        "Figure 4: synthesized program specification\n\n{}",
-        render_figure4(&program)
-    )
+    let (rendered, _diags) =
+        wsn_analyze::render_figure4_checked(&program, wsn_analyze::Enforcement::DenyErrors)
+            .expect("the synthesized Figure-4 program analyzes clean");
+    format!("Figure 4: synthesized program specification\n\n{rendered}")
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod lint;
 pub mod parallel;
 pub mod table;
 

@@ -1,0 +1,105 @@
+//! Shared logic of the `wsn-lint` binary: assemble the paper's artifacts
+//! (or decode serialized ones), run the static analyzer, and render the
+//! verdict for terminals, JSON consumers, or the CI gate.
+
+use wsn_analyze::{analyze_deployment, analyze_program, check_deadlock, Diagnostics};
+use wsn_core::Hierarchy;
+use wsn_obs::Json;
+use wsn_synth::{
+    quadtree_task_graph, synthesize_quadtree_program, Mapper, QuadTree, QuadrantMapper,
+};
+
+/// The paper's quad-tree deployment at hierarchy depth `depth`: the task
+/// graph for a `2^depth`-sided grid, the Figure-2/3 quadrant mapping, and
+/// the synthesized Figure-4 program.
+pub fn paper_deployment(depth: u8) -> (QuadTree, wsn_synth::Mapping, wsn_synth::GuardedProgram) {
+    let side = 2u32.pow(u32::from(depth));
+    let qt = quadtree_task_graph(side, &|l| u64::from(l) + 1, &|l| u64::from(l));
+    let mapping = QuadrantMapper.map(&qt);
+    let program = synthesize_quadtree_program(depth);
+    (qt, mapping, program)
+}
+
+/// Lints the paper's full deployment at `depth`: program dynamics, graph
+/// and mapping structure, and cross-node deadlock.
+pub fn lint_figure4(depth: u8) -> Diagnostics {
+    let (qt, mapping, program) = paper_deployment(depth);
+    analyze_deployment(&qt, &mapping, &program)
+}
+
+/// Lints a serialized program (the [`wsn_analyze::model_json`] encoding).
+/// The program is analyzed on its own, then — when it declares a
+/// hierarchy (`max_level ≥ 1`) — its quorums are checked for deadlock
+/// against the paper's quadrant mapping at the matching grid side.
+pub fn lint_program_text(text: &str) -> Result<Diagnostics, String> {
+    let json = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let program = wsn_analyze::program_from_json(&json)?;
+    let mut diags = analyze_program(&program);
+    if program.max_level >= 1 && program.max_level <= 5 {
+        let side = 2u32.pow(u32::from(program.max_level));
+        let qt = quadtree_task_graph(side, &|l| u64::from(l) + 1, &|l| u64::from(l));
+        let mapping = QuadrantMapper.map(&qt);
+        diags.extend(check_deadlock(&qt, &mapping, &program));
+        diags.sort();
+    }
+    Ok(diags)
+}
+
+/// The Figure-4 program at `depth`, in the JSON program model (used to
+/// produce lintable fixtures and to feed external tools).
+pub fn figure4_program_json(depth: u8) -> String {
+    wsn_analyze::program_to_json(&synthesize_quadtree_program(depth)).render()
+}
+
+/// The CI gate: every paper deployment that the experiments regenerate
+/// must analyze clean of errors. Returns the per-depth reports on
+/// failure.
+pub fn check_gate() -> Result<(), Vec<(u8, Diagnostics)>> {
+    let mut failures = Vec::new();
+    for depth in 1..=3 {
+        let diags = lint_figure4(depth);
+        if diags.has_errors() {
+            failures.push((depth, diags));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Sanity anchor for the gate: the depth the paper's figures use.
+pub fn paper_depth() -> u8 {
+    let h = Hierarchy::new(4);
+    h.max_level()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_analyze::Code;
+
+    #[test]
+    fn gate_passes_on_the_paper_artifacts() {
+        assert!(check_gate().is_ok());
+        assert_eq!(paper_depth(), 2);
+    }
+
+    #[test]
+    fn figure4_lints_clean_and_round_trips_through_the_cli_path() {
+        let d = lint_figure4(2);
+        assert_eq!(d.error_count(), 0, "{}", d.render_text());
+        let text = figure4_program_json(2);
+        let d = lint_program_text(&text).unwrap();
+        assert_eq!(d.error_count(), 0, "{}", d.render_text());
+        // The paper's scan-order overlap is still visible through JSON.
+        assert!(d.has_code(Code::RD002), "{}", d.render_text());
+    }
+
+    #[test]
+    fn garbage_input_is_a_decode_error_not_a_panic() {
+        assert!(lint_program_text("{nope").is_err());
+        assert!(lint_program_text("{\"name\": \"x\"}").is_err());
+    }
+}

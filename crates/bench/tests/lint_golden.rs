@@ -1,0 +1,81 @@
+//! Golden tests for `wsn-lint`: the synthesized paper artifacts must lint
+//! clean of errors, and each deliberately-broken fixture must report its
+//! expected diagnostic class.
+
+use wsn_analyze::Code;
+use wsn_bench::lint;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn synthesized_figure4_reports_zero_errors() {
+    for depth in 1..=3 {
+        let diags = lint::lint_figure4(depth);
+        assert_eq!(
+            diags.error_count(),
+            0,
+            "depth {depth}:\n{}",
+            diags.render_text()
+        );
+    }
+}
+
+#[test]
+fn figure4_fixture_round_trips_and_lints_clean() {
+    let diags = lint::lint_program_text(&fixture("figure4_depth2.json")).unwrap();
+    assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
+    // The one expected finding: the paper's scan-order-dependent overlap
+    // between the transmit and quorum rules.
+    assert_eq!(diags.codes(), vec![Code::RD002], "{}", diags.render_text());
+}
+
+#[test]
+fn unbound_variable_fixture_reports_wf_codes() {
+    let diags = lint::lint_program_text(&fixture("broken_unbound_var.json")).unwrap();
+    assert!(diags.has_errors());
+    assert!(diags.has_code(Code::WF002), "{}", diags.render_text());
+    assert!(diags.has_code(Code::WF003), "{}", diags.render_text());
+    // The dynamics pass is skipped for unsound programs.
+    assert!(!diags.has_code(Code::RD001));
+}
+
+#[test]
+fn guard_overlap_fixture_reports_rd002() {
+    let diags = lint::lint_program_text(&fixture("broken_guard_overlap.json")).unwrap();
+    assert!(diags.has_code(Code::RD002), "{}", diags.render_text());
+    // The shadowed second rule never fires.
+    assert!(diags.has_code(Code::RD001), "{}", diags.render_text());
+    assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
+}
+
+#[test]
+fn under_supplied_merge_fixture_reports_dl001() {
+    let diags = lint::lint_program_text(&fixture("broken_under_supplied.json")).unwrap();
+    assert!(diags.has_errors());
+    assert!(diags.has_code(Code::DL001), "{}", diags.render_text());
+    // One deadlocked merge per interior task of the 4×4 quad-tree.
+    let dl = diags
+        .items()
+        .iter()
+        .filter(|d| d.code == Code::DL001)
+        .count();
+    assert_eq!(dl, 5, "{}", diags.render_text());
+}
+
+#[test]
+fn the_three_broken_classes_have_distinct_codes() {
+    let codes_of = |name: &str| lint::lint_program_text(&fixture(name)).unwrap().codes();
+    let unbound = codes_of("broken_unbound_var.json");
+    let overlap = codes_of("broken_guard_overlap.json");
+    let deadlock = codes_of("broken_under_supplied.json");
+    assert!(unbound.contains(&Code::WF002));
+    assert!(overlap.contains(&Code::RD002));
+    assert!(deadlock.contains(&Code::DL001));
+    // No class's signature code appears in another class's report.
+    assert!(!overlap.contains(&Code::WF002) && !deadlock.contains(&Code::WF002));
+    assert!(!unbound.contains(&Code::DL001) && !overlap.contains(&Code::DL001));
+    assert!(!unbound.contains(&Code::RD002));
+}

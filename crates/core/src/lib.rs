@@ -43,7 +43,7 @@ pub use collective::{
     snake_coord, snake_index, CollectiveMsg, DisseminateProgram, ReduceOp, ReduceProgram,
     SortProgram,
 };
-pub use cost::CostModel;
+pub use cost::{BudgetViolation, CostBudget, CostModel};
 pub use estimate::{
     centralized_collection_estimate, follower_to_leader_hops, quadtree_merge_estimate, Estimate,
 };

@@ -44,12 +44,13 @@ pub enum ConstraintViolation {
     },
 }
 
-/// Checks the coverage constraint for `mapping` over `qt`'s grid.
-pub fn check_coverage(qt: &QuadTree, mapping: &Mapping) -> Result<(), ConstraintViolation> {
+/// Collects every coverage violation for `mapping` over `qt`'s grid.
+pub fn coverage_violations(qt: &QuadTree, mapping: &Mapping) -> Vec<ConstraintViolation> {
+    let mut out = Vec::new();
     let leaves = qt.graph.sensing_tasks();
     let nodes = (qt.side as usize).pow(2);
     if leaves.len() != nodes {
-        return Err(ConstraintViolation::CoverageCount {
+        out.push(ConstraintViolation::CoverageCount {
             leaves: leaves.len(),
             nodes,
         });
@@ -58,34 +59,68 @@ pub fn check_coverage(qt: &QuadTree, mapping: &Mapping) -> Result<(), Constraint
     for t in leaves {
         let node = mapping.node_of(t);
         if node.col >= qt.side || node.row >= qt.side {
-            return Err(ConstraintViolation::OutOfGrid { task: t });
+            out.push(ConstraintViolation::OutOfGrid { task: t });
+            continue;
         }
         if !seen.insert(node) {
-            return Err(ConstraintViolation::DuplicateLeafAssignment { node });
+            out.push(ConstraintViolation::DuplicateLeafAssignment { node });
         }
     }
-    Ok(())
+    out
 }
 
-/// Checks the spatial-correlation constraint: for every interior task, the
-/// cells sampled by its leaf descendants form one contiguous square block.
-pub fn check_spatial_correlation(
+/// Collects every spatial-correlation violation: interior tasks whose leaf
+/// descendants do not tile one contiguous square block.
+pub fn spatial_correlation_violations(
     qt: &QuadTree,
     mapping: &Mapping,
-) -> Result<(), ConstraintViolation> {
+) -> Vec<ConstraintViolation> {
+    let mut out = Vec::new();
     for level in 1..qt.ids_by_level.len() {
         for &t in &qt.ids_by_level[level] {
             let cells = descendant_leaf_cells(qt, mapping, t);
             if !is_square_block(&cells) {
-                return Err(ConstraintViolation::NonContiguousExtent { task: t });
+                out.push(ConstraintViolation::NonContiguousExtent { task: t });
             }
         }
     }
-    Ok(())
+    out
 }
 
-/// Checks both constraints.
-pub fn check_all(qt: &QuadTree, mapping: &Mapping) -> Result<(), ConstraintViolation> {
+/// Checks the coverage constraint, reporting the first violation.
+pub fn check_coverage(qt: &QuadTree, mapping: &Mapping) -> Result<(), ConstraintViolation> {
+    match coverage_violations(qt, mapping).into_iter().next() {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+/// Checks the spatial-correlation constraint, reporting the first
+/// violation.
+pub fn check_spatial_correlation(
+    qt: &QuadTree,
+    mapping: &Mapping,
+) -> Result<(), ConstraintViolation> {
+    match spatial_correlation_violations(qt, mapping)
+        .into_iter()
+        .next()
+    {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+/// Sweeps both constraints and collects *all* violations — the analyzer
+/// wants the complete picture, not the first failure.
+pub fn check_all(qt: &QuadTree, mapping: &Mapping) -> Vec<ConstraintViolation> {
+    let mut out = coverage_violations(qt, mapping);
+    out.extend(spatial_correlation_violations(qt, mapping));
+    out
+}
+
+/// First violation of either constraint, if any — the fail-fast entry
+/// point the synthesizer uses.
+pub fn first_violation(qt: &QuadTree, mapping: &Mapping) -> Result<(), ConstraintViolation> {
     check_coverage(qt, mapping)?;
     check_spatial_correlation(qt, mapping)
 }
@@ -140,7 +175,8 @@ mod tests {
     fn paper_mapping_satisfies_both_constraints() {
         let qt = qt();
         let m = quadrant_mapping(&qt);
-        assert_eq!(check_all(&qt, &m), Ok(()));
+        assert_eq!(check_all(&qt, &m), Vec::new());
+        assert_eq!(first_violation(&qt, &m), Ok(()));
     }
 
     #[test]
@@ -193,7 +229,40 @@ mod tests {
         let (na, nb) = (m.node_of(a), m.node_of(b));
         m.assign(a, nb);
         m.assign(b, na);
-        assert_eq!(check_all(&qt, &m), Ok(()));
+        assert_eq!(check_all(&qt, &m), Vec::new());
+    }
+
+    #[test]
+    fn check_all_collects_every_violation() {
+        let qt = qt();
+        let mut m = quadrant_mapping(&qt);
+        // One duplicate leaf (also breaking two extents) plus a cross-
+        // quadrant swap: the sweep must report all of them, not the first.
+        let l0 = qt.ids_by_level[0][0];
+        let l1 = qt.ids_by_level[0][1];
+        m.assign(l1, m.node_of(l0));
+        let nw = qt.ids_by_level[0][2];
+        let se = qt.ids_by_level[0][15];
+        let (a, b) = (m.node_of(nw), m.node_of(se));
+        m.assign(nw, b);
+        m.assign(se, a);
+        let all = check_all(&qt, &m);
+        assert!(
+            all.len() >= 3,
+            "collected {} violations: {all:?}",
+            all.len()
+        );
+        assert!(all
+            .iter()
+            .any(|v| matches!(v, ConstraintViolation::DuplicateLeafAssignment { .. })));
+        assert!(
+            all.iter()
+                .filter(|v| matches!(v, ConstraintViolation::NonContiguousExtent { .. }))
+                .count()
+                >= 2
+        );
+        // Fail-fast helper agrees with the head of the sweep.
+        assert_eq!(first_violation(&qt, &m), Err(all[0].clone()));
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub mod synthesize;
 pub mod taskgraph;
 
 pub use codegen::render_figure4;
-pub use constraints::{check_all, check_coverage, check_spatial_correlation, ConstraintViolation};
+pub use constraints::{
+    check_all, check_coverage, check_spatial_correlation, coverage_violations, first_violation,
+    spatial_correlation_violations, ConstraintViolation,
+};
 pub use interpret::{SummaryMsg, SummarySemantics, SynthesizedNode};
 pub use mapping::{
     AnnealingMapper, CentroidMapper, Mapper, Mapping, MappingCost, QuadrantMapper,
@@ -31,4 +34,4 @@ pub use quadtree::{quadtree_task_graph, QuadTree};
 pub use synthesize::{
     synthesize_from_mapping, synthesize_gather_program, synthesize_quadtree_program, SynthesisError,
 };
-pub use taskgraph::{Edge, Task, TaskGraph, TaskId, TaskKind};
+pub use taskgraph::{Edge, EdgeError, Task, TaskGraph, TaskId, TaskKind};

@@ -53,7 +53,7 @@ pub fn synthesize_from_mapping(
     qt: &QuadTree,
     mapping: &Mapping,
 ) -> Result<GuardedProgram, SynthesisError> {
-    crate::constraints::check_all(qt, mapping).map_err(SynthesisError::InfeasibleMapping)?;
+    crate::constraints::first_violation(qt, mapping).map_err(SynthesisError::InfeasibleMapping)?;
     let hierarchy = Hierarchy::new(qt.side);
     for task in qt.graph.tasks() {
         if task.kind == TaskKind::Processing {

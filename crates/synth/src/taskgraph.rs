@@ -48,6 +48,47 @@ pub struct Edge {
     pub data_units: u64,
 }
 
+/// Why an edge could not be added to a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeError {
+    /// An endpoint names no task in the graph.
+    OutOfRange {
+        /// The offending endpoint.
+        endpoint: TaskId,
+        /// Number of tasks in the graph.
+        tasks: usize,
+    },
+    /// `from == to`.
+    SelfLoop {
+        /// The task looping onto itself.
+        task: TaskId,
+    },
+    /// The graph already has an edge `from → to`.
+    Duplicate {
+        /// Producer.
+        from: TaskId,
+        /// Consumer.
+        to: TaskId,
+    },
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::OutOfRange { endpoint, tasks } => {
+                write!(
+                    f,
+                    "edge endpoint {endpoint} out of range (graph has {tasks} tasks)"
+                )
+            }
+            EdgeError::SelfLoop { task } => write!(f, "self-loop on task {task}"),
+            EdgeError::Duplicate { from, to } => write!(f, "duplicate edge {from} -> {to}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
 /// An annotated, directed, acyclic task graph.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TaskGraph {
@@ -79,13 +120,26 @@ impl TaskGraph {
         id
     }
 
-    /// Adds a data-flow edge `from → to`.
-    pub fn add_edge(&mut self, from: TaskId, to: TaskId, data_units: u64) {
-        assert!(
-            from < self.tasks.len() && to < self.tasks.len(),
-            "edge endpoint out of range"
-        );
-        assert_ne!(from, to, "self-loop");
+    /// Adds a data-flow edge `from → to`, rejecting malformed edges with a
+    /// typed error instead of panicking.
+    pub fn try_add_edge(
+        &mut self,
+        from: TaskId,
+        to: TaskId,
+        data_units: u64,
+    ) -> Result<(), EdgeError> {
+        let tasks = self.tasks.len();
+        for endpoint in [from, to] {
+            if endpoint >= tasks {
+                return Err(EdgeError::OutOfRange { endpoint, tasks });
+            }
+        }
+        if from == to {
+            return Err(EdgeError::SelfLoop { task: from });
+        }
+        if self.producers[to].contains(&from) {
+            return Err(EdgeError::Duplicate { from, to });
+        }
         self.edges.push(Edge {
             from,
             to,
@@ -93,6 +147,16 @@ impl TaskGraph {
         });
         self.producers[to].push(from);
         self.consumers[from].push(to);
+        Ok(())
+    }
+
+    /// Adds a data-flow edge `from → to`, panicking on malformed edges —
+    /// the convenient wrapper for graph builders with edges known valid by
+    /// construction.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId, data_units: u64) {
+        if let Err(e) = self.try_add_edge(from, to, data_units) {
+            panic!("{e}");
+        }
     }
 
     /// Number of tasks.
@@ -218,6 +282,44 @@ mod tests {
         g.add_edge(3, 0, 1);
         assert!(!g.is_dag());
         assert_eq!(g.topological_order(), None);
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_errors() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskKind::Sensing, 0, 1);
+        let b = g.add_task(TaskKind::Processing, 1, 1);
+        assert_eq!(g.try_add_edge(a, b, 1), Ok(()));
+        assert_eq!(
+            g.try_add_edge(a, b, 2),
+            Err(EdgeError::Duplicate { from: a, to: b })
+        );
+        assert_eq!(
+            g.try_add_edge(b, b, 1),
+            Err(EdgeError::SelfLoop { task: b })
+        );
+        assert_eq!(
+            g.try_add_edge(a, 9, 1),
+            Err(EdgeError::OutOfRange {
+                endpoint: 9,
+                tasks: 2
+            })
+        );
+        // Rejected edges leave the graph untouched.
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.producers(b), &[a]);
+        // Reverse direction is a distinct edge, not a duplicate.
+        assert_eq!(g.try_add_edge(b, a, 1), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskKind::Sensing, 0, 1);
+        let b = g.add_task(TaskKind::Processing, 1, 1);
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 1);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use wsn::core::{
     centralized_collection_estimate, quadtree_merge_estimate, CostModel, VirtualArchitecture, Vm,
 };
 use wsn::synth::{
-    check_all, quadtree_task_graph, render_figure4, synthesize_from_mapping, Mapper, MappingCost,
-    QuadrantMapper, SynthesizedNode,
+    first_violation, quadtree_task_graph, render_figure4, synthesize_from_mapping, Mapper,
+    MappingCost, QuadrantMapper, SynthesizedNode,
 };
 use wsn::topoquery::{label_regions, Field, FieldSpec, RegionSemantics};
 
@@ -80,7 +80,7 @@ fn main() {
 
     println!("=== 4. map under coverage + spatial-correlation constraints ===");
     let mapping = QuadrantMapper.map(&qt);
-    check_all(&qt, &mapping).expect("the paper's mapping is feasible");
+    first_violation(&qt, &mapping).expect("the paper's mapping is feasible");
     let cost = MappingCost::evaluate(&qt, &mapping, &arch.cost);
     println!(
         "quadrant mapping: total energy {:.0}, hotspot {:.0}, critical path {} ticks\n",

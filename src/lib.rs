@@ -12,10 +12,13 @@
 //!   deployments;
 //! * [`obs`] — telemetry: phase spans, metric registry, JSONL traces;
 //! * [`synth`] — task graphs, constrained mapping, program synthesis;
+//! * [`analyze`] — static analysis of synthesized artifacts: structured
+//!   diagnostics, reachability, constraint/deadlock/budget lints;
 //! * [`topoquery`] — the topographic-querying case study.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
+pub use wsn_analyze as analyze;
 pub use wsn_core as core;
 pub use wsn_net as net;
 pub use wsn_obs as obs;

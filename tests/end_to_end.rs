@@ -7,7 +7,7 @@ use wsn::core::{
 };
 use wsn::net::{DeploymentSpec, LinkModel};
 use wsn::synth::{
-    check_all, quadtree_task_graph, render_figure4, synthesize_quadtree_program, Mapper,
+    first_violation, quadtree_task_graph, render_figure4, synthesize_quadtree_program, Mapper,
     MappingCost, QuadrantMapper, SynthesizedNode,
 };
 use wsn::topoquery::{
@@ -41,7 +41,7 @@ fn mapping_synthesis_execution_round_trip() {
     let side = 8u32;
     let qt = quadtree_task_graph(side, &units, &|_| 1);
     let mapping = QuadrantMapper.map(&qt);
-    check_all(&qt, &mapping).unwrap();
+    first_violation(&qt, &mapping).unwrap();
     let mapping_cost = MappingCost::evaluate(&qt, &mapping, &CostModel::uniform());
 
     let program = synthesize_quadtree_program(Hierarchy::new(side).max_level());
