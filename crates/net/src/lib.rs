@@ -20,7 +20,8 @@
 //! * [`medium`] — the shared wireless medium used by node actors to
 //!   unicast/broadcast to radio neighbors through the simulation kernel,
 //!   with configurable latency, jitter, and loss;
-//! * [`fault`] — node failure injection.
+//! * [`fault`] — chaos injection: crashes, recoveries, link degradation,
+//!   partitions, delivery anomalies, and energy shocks on a schedule.
 
 pub mod deployment;
 pub mod energy;
@@ -33,9 +34,9 @@ pub mod terrain;
 
 pub use deployment::{Deployment, DeploymentSpec, Placement};
 pub use energy::{EnergyKind, EnergyLedger, EnergySnapshot};
-pub use fault::FaultPlan;
+pub use fault::{ChaosError, ChaosEvent, ChaosPlan, FaultKind, FaultPlan};
 pub use geometry::{Point, Rect};
 pub use graph::UnitDiskGraph;
-pub use medium::{LinkModel, MacModel, Medium, SharedMedium};
+pub use medium::{DeliveryChaos, LinkModel, MacModel, Medium, SharedMedium};
 pub use radio::RadioModel;
 pub use terrain::{CellCoord, CellGrid, Terrain};

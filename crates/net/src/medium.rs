@@ -22,8 +22,49 @@ use crate::graph::UnitDiskGraph;
 use crate::radio::RadioModel;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use wsn_sim::{ActorId, Context, Payload, SimTime};
+
+/// Stochastic message duplication and reordering — the delivery anomalies
+/// a chaos plan can switch on mid-run ([`crate::fault::FaultKind`]).
+///
+/// Duplication delivers a second copy of a successfully received message
+/// a few ticks later; reordering adds bounded extra delay to a fraction of
+/// deliveries so later sends can overtake earlier ones. Both default to
+/// off and cost no RNG draws while off, so existing seeds replay
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryChaos {
+    /// Probability that a delivered message is duplicated.
+    pub dup_prob: f64,
+    /// Probability that a delivery is held back for extra ticks.
+    pub reorder_prob: f64,
+    /// Maximum extra delay (uniform in `[1, max_extra_ticks]`) of a
+    /// held-back delivery.
+    pub reorder_max_extra_ticks: u64,
+}
+
+impl DeliveryChaos {
+    /// No anomalies — the default.
+    pub fn none() -> Self {
+        DeliveryChaos {
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_max_extra_ticks: 0,
+        }
+    }
+
+    fn is_off(&self) -> bool {
+        self.dup_prob == 0.0 && self.reorder_prob == 0.0
+    }
+}
+
+impl Default for DeliveryChaos {
+    fn default() -> Self {
+        DeliveryChaos::none()
+    }
+}
 
 /// Channel-access discipline.
 ///
@@ -109,6 +150,16 @@ pub struct Medium {
     alive: Vec<bool>,
     death_time: Vec<Option<SimTime>>,
     actor_of: Vec<Option<ActorId>>,
+    /// Per-link drop-probability overrides, keyed by canonical (min, max)
+    /// node pair; the effective drop rate is the max of this and the
+    /// global link model (a chaos plan can ramp a link up, never repair it
+    /// below the ambient loss).
+    link_overrides: BTreeMap<(usize, usize), f64>,
+    /// Partition group per node (0 = unassigned). Traffic between nodes in
+    /// different non-zero groups is blocked.
+    partition: Option<Vec<u8>>,
+    /// Duplication / reordering anomalies.
+    chaos: DeliveryChaos,
 }
 
 /// Handle shared by all node actors in one simulation.
@@ -138,7 +189,15 @@ impl Medium {
             alive: vec![true; n],
             death_time: vec![None; n],
             actor_of: vec![None; n],
+            link_overrides: BTreeMap::new(),
+            partition: None,
+            chaos: DeliveryChaos::none(),
         }
+    }
+
+    /// Number of physical nodes in the medium.
+    pub fn node_count(&self) -> usize {
+        self.alive.len()
     }
 
     /// Wraps a medium for sharing among actors.
@@ -186,6 +245,76 @@ impl Medium {
     /// The energy ledger (read side).
     pub fn ledger(&self) -> &EnergyLedger {
         &self.ledger
+    }
+
+    /// Raises the drop probability of the link `{a, b}` to `drop_prob`
+    /// (both directions). Repeated calls at increasing probabilities model
+    /// a loss ramp; [`Medium::restore_link`] removes the override.
+    pub fn degrade_link(&mut self, a: usize, b: usize, drop_prob: f64) {
+        let key = (a.min(b), a.max(b));
+        self.link_overrides.insert(key, drop_prob);
+    }
+
+    /// Removes the per-link override of `{a, b}`, restoring the global
+    /// link model.
+    pub fn restore_link(&mut self, a: usize, b: usize) {
+        let key = (a.min(b), a.max(b));
+        self.link_overrides.remove(&key);
+    }
+
+    /// Splits the network: traffic between `group_a` and `group_b` is
+    /// blocked (both directions) until [`Medium::heal_partition`]. Nodes
+    /// in neither group keep talking to everyone.
+    pub fn set_partition(&mut self, group_a: &[usize], group_b: &[usize]) {
+        let mut groups = vec![0u8; self.alive.len()];
+        for &n in group_a {
+            groups[n] = 1;
+        }
+        for &n in group_b {
+            groups[n] = 2;
+        }
+        self.partition = Some(groups);
+    }
+
+    /// Removes the partition, if one is active.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition currently blocks `from -> to`.
+    pub fn partition_blocks(&self, from: usize, to: usize) -> bool {
+        match &self.partition {
+            None => false,
+            Some(groups) => groups[from] != 0 && groups[to] != 0 && groups[from] != groups[to],
+        }
+    }
+
+    /// Replaces the duplication/reordering anomaly model.
+    pub fn set_delivery_chaos(&mut self, chaos: DeliveryChaos) {
+        self.chaos = chaos;
+    }
+
+    /// The current duplication/reordering anomaly model.
+    pub fn delivery_chaos(&self) -> DeliveryChaos {
+        self.chaos
+    }
+
+    /// Instantly burns `units` of compute energy from `node` (a chaos
+    /// energy shock), killing it if its budget runs out. A no-op on
+    /// unlimited ledgers beyond the accounting entry.
+    pub fn drain_energy(&mut self, node: usize, units: f64, now: SimTime) {
+        self.ledger.charge(node, EnergyKind::Compute, units);
+        self.check_depletion(node, now);
+    }
+
+    /// The effective drop probability of `from -> to`: the global link
+    /// model, raised by any per-link override.
+    fn effective_drop(&self, from: usize, to: usize) -> f64 {
+        let key = (from.min(to), from.max(to));
+        match self.link_overrides.get(&key) {
+            Some(&p) => p.max(self.link.drop_prob),
+            None => self.link.drop_prob,
+        }
     }
 
     /// Whether `node` is alive (not failed, not depleted).
@@ -263,6 +392,64 @@ impl Medium {
         SimTime::from_ticks(access + base + jitter)
     }
 
+    /// Attempts delivery of one already-transmitted copy to `to`: loss,
+    /// partition and liveness checks, reception energy, and the optional
+    /// chaos anomalies (reorder delay, duplicated copy). Returns whether
+    /// the primary copy was delivered.
+    fn try_deliver<M: Payload + Clone>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        from: usize,
+        to: usize,
+        units: u64,
+        msg: M,
+    ) -> bool {
+        if self.partition_blocks(from, to) {
+            ctx.stats().incr("medium.partition_blocked");
+            ctx.stats().incr("medium.dropped");
+            return false;
+        }
+        if !self.alive[to] || ctx.rng().chance(self.effective_drop(from, to)) {
+            ctx.stats().incr("medium.dropped");
+            return false;
+        }
+        self.ledger.charge(
+            to,
+            EnergyKind::Rx,
+            units as f64 * self.radio.rx_energy_per_unit,
+        );
+        self.check_depletion(to, ctx.now());
+        ctx.stats().incr("medium.delivered");
+        let mut delay = self.delivery_delay(ctx, from, units);
+        let actor = self.actor_of[to].expect("destination node has no bound actor");
+        if self.chaos.is_off() {
+            ctx.send(actor, delay, msg);
+            return true;
+        }
+        if self.chaos.reorder_prob > 0.0
+            && self.chaos.reorder_max_extra_ticks > 0
+            && ctx.rng().chance(self.chaos.reorder_prob)
+        {
+            delay = delay + 1 + ctx.rng().bounded_u64(self.chaos.reorder_max_extra_ticks);
+            ctx.stats().incr("medium.reordered");
+        }
+        if self.chaos.dup_prob > 0.0 && ctx.rng().chance(self.chaos.dup_prob) {
+            // The duplicate is a second physical reception: it pays rx
+            // energy and lands a few ticks after the original.
+            self.ledger.charge(
+                to,
+                EnergyKind::Rx,
+                units as f64 * self.radio.rx_energy_per_unit,
+            );
+            self.check_depletion(to, ctx.now());
+            let dup_delay = delay + 1 + ctx.rng().bounded_u64(4);
+            ctx.stats().incr("medium.duplicated");
+            ctx.send(actor, dup_delay, msg.clone());
+        }
+        ctx.send(actor, delay, msg);
+        true
+    }
+
     /// Sends `msg` from `from` to radio neighbor `to` carrying `units` of
     /// data. Returns `true` when the message was put on the air *and*
     /// survived the loss process (the sender cannot observe the
@@ -270,7 +457,7 @@ impl Medium {
     ///
     /// Panics if `to` is not a radio neighbor of `from` — protocols built
     /// on the virtual architecture must route hop by hop.
-    pub fn unicast<M: Payload>(
+    pub fn unicast<M: Payload + Clone>(
         &mut self,
         ctx: &mut Context<'_, M>,
         from: usize,
@@ -293,22 +480,7 @@ impl Medium {
         ctx.stats().incr("medium.tx");
         ctx.stats().add("medium.tx_units", units);
         self.check_depletion(from, ctx.now());
-
-        if !self.alive[to] || ctx.rng().chance(self.link.drop_prob) {
-            ctx.stats().incr("medium.dropped");
-            return false;
-        }
-        self.ledger.charge(
-            to,
-            EnergyKind::Rx,
-            units as f64 * self.radio.rx_energy_per_unit,
-        );
-        self.check_depletion(to, ctx.now());
-        ctx.stats().incr("medium.delivered");
-        let delay = self.delivery_delay(ctx, from, units);
-        let actor = self.actor_of[to].expect("destination node has no bound actor");
-        ctx.send(actor, delay, msg);
-        true
+        self.try_deliver(ctx, from, to, units, msg)
     }
 
     /// Broadcasts `msg` from `from` to *all* its radio neighbors with one
@@ -336,21 +508,9 @@ impl Medium {
         let neighbors: Vec<usize> = self.graph.neighbors(from).to_vec();
         let mut delivered = 0;
         for to in neighbors {
-            if !self.alive[to] || ctx.rng().chance(self.link.drop_prob) {
-                ctx.stats().incr("medium.dropped");
-                continue;
+            if self.try_deliver(ctx, from, to, units, msg.clone()) {
+                delivered += 1;
             }
-            self.ledger.charge(
-                to,
-                EnergyKind::Rx,
-                units as f64 * self.radio.rx_energy_per_unit,
-            );
-            self.check_depletion(to, ctx.now());
-            ctx.stats().incr("medium.delivered");
-            let delay = self.delivery_delay(ctx, from, units);
-            let actor = self.actor_of[to].expect("neighbor node has no bound actor");
-            ctx.send(actor, delay, msg.clone());
-            delivered += 1;
         }
         delivered
     }
@@ -696,5 +856,163 @@ mod tests {
         assert!(m.first_death().is_some());
         // Exactly two transmissions spent energy (6 > 5).
         assert_eq!(m.ledger().consumed_kind(0, EnergyKind::Tx), 6.0);
+    }
+
+    /// One actor that unicasts 0->1 when kicked; node 1's actor records
+    /// arrival times. Shared scaffolding for the chaos-knob tests.
+    struct Pitcher {
+        medium: SharedMedium,
+    }
+    impl Actor<Msg> for Pitcher {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ActorId, msg: Msg) {
+            self.medium.clone().borrow_mut().unicast(ctx, 0, 1, 1, msg);
+        }
+    }
+    struct Catcher {
+        arrivals: Vec<(u64, Msg)>,
+    }
+    impl Actor<Msg> for Catcher {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ActorId, msg: Msg) {
+            self.arrivals.push((ctx.now().ticks(), msg));
+        }
+    }
+
+    fn pitcher_catcher(link: LinkModel) -> (Kernel<Msg>, SharedMedium, ActorId, ActorId) {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let medium = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            link,
+            EnergyLedger::unlimited(2),
+        )
+        .shared();
+        let mut k: Kernel<Msg> = Kernel::new(21);
+        let p = k.add_actor(Box::new(Pitcher {
+            medium: medium.clone(),
+        }));
+        let c = k.add_actor(Box::new(Catcher { arrivals: vec![] }));
+        medium.borrow_mut().bind_actor(0, p);
+        medium.borrow_mut().bind_actor(1, c);
+        (k, medium, p, c)
+    }
+
+    #[test]
+    fn degraded_link_overrides_base_loss_until_restored() {
+        let (mut k, medium, p, c) = pitcher_catcher(LinkModel::ideal());
+        medium.borrow_mut().degrade_link(1, 0, 1.0);
+        k.schedule_message(SimTime::ZERO, p, p, 1);
+        k.run();
+        assert_eq!(k.stats().counter("medium.dropped"), 1);
+        medium.borrow_mut().restore_link(0, 1);
+        k.schedule_message(k.now(), p, p, 2);
+        k.run();
+        let catcher: &Catcher = k.actor(c).unwrap();
+        assert_eq!(catcher.arrivals.len(), 1);
+        assert_eq!(catcher.arrivals[0].1, 2);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_healed() {
+        let (mut k, medium, p, c) = pitcher_catcher(LinkModel::ideal());
+        medium.borrow_mut().set_partition(&[0], &[1]);
+        assert!(medium.borrow().partition_blocks(0, 1));
+        assert!(medium.borrow().partition_blocks(1, 0));
+        k.schedule_message(SimTime::ZERO, p, p, 1);
+        k.run();
+        assert_eq!(k.stats().counter("medium.partition_blocked"), 1);
+        let blocked = {
+            let catcher: &Catcher = k.actor(c).unwrap();
+            catcher.arrivals.len()
+        };
+        assert_eq!(blocked, 0);
+        medium.borrow_mut().heal_partition();
+        assert!(!medium.borrow().partition_blocks(0, 1));
+        k.schedule_message(k.now(), p, p, 2);
+        k.run();
+        let catcher: &Catcher = k.actor(c).unwrap();
+        assert_eq!(catcher.arrivals.len(), 1);
+    }
+
+    #[test]
+    fn duplication_chaos_delivers_extra_copies_and_charges_rx() {
+        let (mut k, medium, p, c) = pitcher_catcher(LinkModel::ideal());
+        medium.borrow_mut().set_delivery_chaos(DeliveryChaos {
+            dup_prob: 1.0,
+            reorder_prob: 0.0,
+            reorder_max_extra_ticks: 0,
+        });
+        k.schedule_message(SimTime::ZERO, p, p, 7);
+        k.run();
+        let catcher: &Catcher = k.actor(c).unwrap();
+        assert_eq!(catcher.arrivals.len(), 2, "original plus duplicate");
+        assert!(catcher.arrivals.iter().all(|&(_, m)| m == 7));
+        assert_eq!(k.stats().counter("medium.duplicated"), 1);
+        // Two receptions → double rx energy for the 1-unit payload.
+        assert_eq!(
+            medium.borrow().ledger().consumed_kind(1, EnergyKind::Rx),
+            2.0
+        );
+    }
+
+    #[test]
+    fn reordering_chaos_adds_bounded_extra_delay() {
+        let (mut k, medium, p, c) = pitcher_catcher(LinkModel::ideal());
+        medium.borrow_mut().set_delivery_chaos(DeliveryChaos {
+            dup_prob: 0.0,
+            reorder_prob: 1.0,
+            reorder_max_extra_ticks: 5,
+        });
+        k.schedule_message(SimTime::ZERO, p, p, 3);
+        k.run();
+        let catcher: &Catcher = k.actor(c).unwrap();
+        assert_eq!(catcher.arrivals.len(), 1);
+        let tick = catcher.arrivals[0].0;
+        // Baseline delivery is 1 tick (1 unit, ideal link); extra is in
+        // [1, 1 + 5].
+        assert!(
+            (2..=7).contains(&tick),
+            "reordered arrival at tick {tick} outside bound"
+        );
+        assert_eq!(k.stats().counter("medium.reordered"), 1);
+    }
+
+    #[test]
+    fn chaos_off_draws_no_extra_randomness() {
+        // Bit-identical arrivals with chaos explicitly set to none() vs
+        // never touched: the gate must not consume RNG words.
+        let run = |set_none: bool| {
+            let (mut k, medium, p, c) = pitcher_catcher(LinkModel::lossy(0.3, 2));
+            if set_none {
+                medium
+                    .borrow_mut()
+                    .set_delivery_chaos(DeliveryChaos::none());
+            }
+            for i in 0..20u64 {
+                k.schedule_message(SimTime::from_ticks(i * 10), p, p, i as Msg);
+            }
+            k.run();
+            let catcher: &Catcher = k.actor(c).unwrap();
+            catcher.arrivals.clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drain_energy_shock_can_deplete_a_node() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let graph = UnitDiskGraph::build(&pts, 1.0);
+        let mut m = Medium::new(
+            graph,
+            RadioModel::uniform(1.0),
+            LinkModel::ideal(),
+            EnergyLedger::with_budget(2, 5.0),
+        );
+        m.drain_energy(0, 2.0, SimTime::from_ticks(1));
+        assert!(m.is_alive(0), "partial drain leaves the node up");
+        m.drain_energy(0, 4.0, SimTime::from_ticks(2));
+        assert!(!m.is_alive(0), "budget exhausted by the shock");
+        assert_eq!(m.death_time(0), Some(SimTime::from_ticks(2)));
+        assert!(!m.wake(0), "depleted nodes stay dead");
     }
 }

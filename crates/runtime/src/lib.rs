@@ -32,8 +32,14 @@ pub mod messages;
 pub mod node;
 pub mod runner;
 
+#[cfg(test)]
+mod arq_tests;
+
 pub use messages::{AppEnvelope, RtMsg};
-pub use node::{dim_order_direction, ArqConfig, ElectionPolicy, Phase, RtNode, FILL_COUNTERS};
+pub use node::{
+    dim_order_direction, ArqConfig, ElectionPolicy, HeartbeatConfig, Phase, RtNode, FILL_COUNTERS,
+};
 pub use runner::{
-    AppReport, BindReport, MissionConfig, MissionReport, PhysicalRuntime, TopoReport,
+    AppReport, BindReport, ChaosMissionReport, MissionConfig, MissionReport, PhysicalRuntime,
+    SelfHealConfig, TopoReport,
 };

@@ -13,6 +13,14 @@ pub struct AppEnvelope<P> {
     pub dest_cell: GridCoord,
     /// Payload size in data units (drives energy and latency per hop).
     pub units: u64,
+    /// Application epoch: bumped on every self-heal so envelopes from a
+    /// pre-heal round cannot corrupt the restarted computation.
+    pub round: u32,
+    /// Physical id of the node that originated the envelope.
+    pub origin: usize,
+    /// Per-origin message id — `(origin, msg_id)` dedups end-to-end
+    /// duplicates (ARQ retransmits, medium duplication chaos).
+    pub msg_id: u64,
     /// Application payload.
     pub payload: P,
 }
@@ -78,6 +86,16 @@ pub enum RtMsg<P> {
         /// The raw local reading.
         reading: f64,
     },
+    /// Leader liveness beacon flooded within the cell during the
+    /// application phase; followers renew their leader lease on receipt.
+    Heartbeat {
+        /// Cell of the sender (suppressed across boundaries).
+        sender_cell: GridCoord,
+        /// Physical id of the leader being attested.
+        leader: usize,
+        /// Monotone beacon number (dedups the intra-cell flood).
+        seq: u64,
+    },
 }
 
 impl<P: 'static> Payload for RtMsg<P> {
@@ -90,6 +108,7 @@ impl<P: 'static> Payload for RtMsg<P> {
             RtMsg::AppArq { .. } => 5,
             RtMsg::Ack { .. } => 6,
             RtMsg::Sample { .. } => 7,
+            RtMsg::Heartbeat { .. } => 8,
         }
     }
 }
@@ -120,6 +139,9 @@ mod tests {
             src_cell: GridCoord::new(0, 0),
             dest_cell: GridCoord::new(1, 1),
             units: 1,
+            round: 0,
+            origin: 0,
+            msg_id: 1,
             payload: 7,
         });
         let arq: RtMsg<u32> = RtMsg::AppArq {
@@ -129,6 +151,9 @@ mod tests {
                 src_cell: GridCoord::new(0, 0),
                 dest_cell: GridCoord::new(1, 1),
                 units: 1,
+                round: 0,
+                origin: 0,
+                msg_id: 2,
                 payload: 7,
             },
         };
@@ -137,13 +162,18 @@ mod tests {
             sender_cell: GridCoord::new(0, 0),
             reading: 2.5,
         };
-        let ds: Vec<u64> = [&topo, &delta, &ann, &app, &arq, &ack, &sample]
+        let hb: RtMsg<u32> = RtMsg::Heartbeat {
+            sender_cell: GridCoord::new(0, 0),
+            leader: 4,
+            seq: 11,
+        };
+        let ds: Vec<u64> = [&topo, &delta, &ann, &app, &arq, &ack, &sample, &hb]
             .iter()
             .map(|m| m.discriminant())
             .collect();
-        // All seven variants carry distinct non-zero tags, so kernel
+        // All eight variants carry distinct non-zero tags, so kernel
         // traces can tell protocol from application traffic.
-        assert_eq!(ds, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(ds, vec![1, 2, 3, 4, 5, 6, 7, 8]);
         assert_eq!(ds.iter().filter(|&&d| d == 0).count(), 0);
     }
 }

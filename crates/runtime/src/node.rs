@@ -15,6 +15,7 @@ pub(crate) const TAG_BIND: u64 = 2;
 pub(crate) const TAG_ANNOUNCE: u64 = 3;
 pub(crate) const TAG_APP: u64 = 4;
 pub(crate) const TAG_SAMPLE: u64 = 5;
+pub(crate) const TAG_HEARTBEAT: u64 = 6;
 /// Timer tags at and above this value carry an ARQ sequence number.
 pub(crate) const TAG_ARQ_BASE: u64 = 1_000;
 
@@ -60,6 +61,19 @@ pub struct ArqConfig {
     /// Ticks to wait for an acknowledgment. Must exceed the worst-case
     /// data + ack round trip (payload ticks + jitter bounds).
     pub timeout_ticks: u64,
+}
+
+/// Leader-liveness detection parameters for the self-healing loop.
+/// Leaders beacon every `period_ticks`; a follower that goes
+/// `lease_ticks` without hearing one considers its leader dead. The
+/// lease must comfortably exceed the period plus intra-cell flood
+/// latency, or healthy cells will churn spuriously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Interval between leader beacons.
+    pub period_ticks: u64,
+    /// Follower patience before declaring the leader dead.
+    pub lease_ticks: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -168,6 +182,25 @@ pub struct RtNode<P: Clone + 'static> {
     next_arq_seq: u64,
     pending_arq: HashMap<u64, PendingHop<P>>,
     seen_arq: HashSet<(usize, u64)>,
+
+    /// Leader-liveness beaconing, when enabled.
+    pub(crate) heartbeat: Option<HeartbeatConfig>,
+    /// When a follower's leader lease runs out (None for leaders and
+    /// before the application phase starts).
+    pub lease_expires: Option<SimTime>,
+    /// Highest heartbeat seq seen per attested leader (flood dedup).
+    hb_last_seq: HashMap<usize, u64>,
+    /// This node's own beacon counter (monotone across heals).
+    hb_seq: u64,
+
+    /// Application epoch this node participates in; envelopes stamped
+    /// with a different round are dropped (see [`AppEnvelope::round`]).
+    pub(crate) app_round: u32,
+    /// Next [`AppEnvelope::msg_id`] this node will originate.
+    next_msg_id: u64,
+    /// End-to-end `(origin, msg_id)` dedup at delivery, protecting the
+    /// application from medium duplication and ARQ re-sends.
+    app_seen: HashSet<(usize, u64)>,
 }
 
 impl<P: Clone + 'static> RtNode<P> {
@@ -208,6 +241,13 @@ impl<P: Clone + 'static> RtNode<P> {
             next_arq_seq: 0,
             pending_arq: HashMap::new(),
             seen_arq: HashSet::new(),
+            heartbeat: None,
+            lease_expires: None,
+            hb_last_seq: HashMap::new(),
+            hb_seq: 0,
+            app_round: 0,
+            next_msg_id: 0,
+            app_seen: HashSet::new(),
         }
     }
 
@@ -243,6 +283,12 @@ impl<P: Clone + 'static> RtNode<P> {
         self.seen_arq.clear();
         self.sample_sum = 0.0;
         self.sample_count = 0;
+        // Liveness state resets with the protocols; `app_round`,
+        // `next_msg_id`, and `hb_seq` stay monotone so stale traffic from
+        // the previous epoch can never alias fresh traffic.
+        self.lease_expires = None;
+        self.hb_last_seq.clear();
+        self.app_seen.clear();
     }
 
     fn dirs_filled(&self) -> [bool; 4] {
@@ -556,7 +602,21 @@ impl<P: Clone + 'static> RtNode<P> {
             ctx.stats().incr("rt.app_stale");
             return;
         }
+        if env.round != self.app_round {
+            // An envelope from a pre-heal epoch (still in flight or ARQ
+            // re-sent across the reset). Delivering it would double-count
+            // a merge piece in the restarted computation.
+            ctx.stats().incr("rt.app_wrong_round");
+            return;
+        }
         if env.dest_cell == self.cell && self.ldr {
+            if !self.app_seen.insert((env.origin, env.msg_id)) {
+                // Medium duplication or an ARQ retransmit that slipped a
+                // hop dedup: the application must see each logical
+                // message exactly once.
+                ctx.stats().incr("rt.app_dedup");
+                return;
+            }
             let Some(mut program) = self.program.take() else {
                 // A node that wrongly believes it leads (e.g. after an
                 // election disturbed by loss or churn) has no program;
@@ -639,6 +699,15 @@ impl<P: Clone + 'static> RtNode<P> {
 
     fn start_app(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
         self.phase = Phase::App;
+        if let Some(hb) = self.heartbeat {
+            if self.ldr {
+                self.lease_expires = None;
+                ctx.set_timer(hb.period_ticks, TAG_HEARTBEAT);
+            } else {
+                // The lease starts now; only beacons refresh it.
+                self.lease_expires = Some(ctx.now() + hb.lease_ticks);
+            }
+        }
         if let Some(mut program) = self.program.take() {
             {
                 let mut api = RtApi { node: self, ctx };
@@ -646,6 +715,66 @@ impl<P: Clone + 'static> RtNode<P> {
             }
             self.program = Some(program);
         }
+    }
+
+    fn beat(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
+        let Some(hb) = self.heartbeat else { return };
+        if self.phase != Phase::App || !self.ldr {
+            // Superseded (a heal demoted us); let the timer chain die.
+            return;
+        }
+        self.hb_seq += 1;
+        ctx.stats().incr("hb.beat");
+        let msg = RtMsg::Heartbeat {
+            sender_cell: self.cell,
+            leader: self.id,
+            seq: self.hb_seq,
+        };
+        self.medium
+            .clone()
+            .borrow_mut()
+            .broadcast(ctx, self.id, self.control_units, msg);
+        ctx.set_timer(hb.period_ticks, TAG_HEARTBEAT);
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        ctx: &mut Context<'_, RtMsg<P>>,
+        sender_cell: GridCoord,
+        leader: usize,
+        seq: u64,
+    ) {
+        if self.phase != Phase::App {
+            ctx.stats().incr("hb.stale");
+            return;
+        }
+        if sender_cell != self.cell {
+            // Liveness is a per-cell concern; beacons die at boundaries
+            // like every other intra-cell flood.
+            ctx.stats().incr("hb.suppressed");
+            return;
+        }
+        let last = self.hb_last_seq.entry(leader).or_insert(0);
+        if seq <= *last {
+            ctx.stats().incr("hb.dup");
+            return;
+        }
+        *last = seq;
+        if let (Some(hb), false) = (self.heartbeat, self.ldr) {
+            self.lease_expires = Some(ctx.now() + hb.lease_ticks);
+            ctx.stats().incr("hb.renewed");
+        }
+        // Flood on so every cell member renews, not just the leader's
+        // radio neighbors.
+        let msg = RtMsg::Heartbeat {
+            sender_cell,
+            leader,
+            seq,
+        };
+        self.medium
+            .clone()
+            .borrow_mut()
+            .broadcast(ctx, self.id, self.control_units, msg);
     }
 }
 
@@ -666,6 +795,7 @@ impl<P: Clone + 'static> Actor<RtMsg<P>> for RtNode<P> {
             TAG_ANNOUNCE => self.start_announce(ctx),
             TAG_SAMPLE => self.start_sampling(ctx),
             TAG_APP => self.start_app(ctx),
+            TAG_HEARTBEAT => self.beat(ctx),
             other => panic!("unknown runtime timer tag {other}"),
         }
     }
@@ -706,6 +836,11 @@ impl<P: Clone + 'static> Actor<RtMsg<P>> for RtNode<P> {
                 sender_cell,
                 reading,
             } => self.on_sample(ctx, sender_cell, reading),
+            RtMsg::Heartbeat {
+                sender_cell,
+                leader,
+                seq,
+            } => self.on_heartbeat(ctx, sender_cell, leader, seq),
         }
     }
 }
@@ -750,10 +885,15 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
         );
         self.ctx.stats().incr("rt.messages");
         self.ctx.stats().add("rt.data_units", units);
+        let msg_id = self.node.next_msg_id;
+        self.node.next_msg_id += 1;
         let env = AppEnvelope {
             src_cell: self.node.cell,
             dest_cell: dest,
             units,
+            round: self.node.app_round,
+            origin: self.node.id,
+            msg_id,
             payload,
         };
         if dest == self.node.cell {

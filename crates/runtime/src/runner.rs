@@ -18,8 +18,8 @@
 
 use crate::messages::RtMsg;
 use crate::node::{
-    dir_idx, ArqConfig, ElectionPolicy, RtNode, RtShared, TAG_ANNOUNCE, TAG_APP, TAG_BIND,
-    TAG_SAMPLE, TAG_TOPO,
+    dir_idx, ArqConfig, ElectionPolicy, HeartbeatConfig, RtNode, RtShared, TAG_ANNOUNCE, TAG_APP,
+    TAG_BIND, TAG_SAMPLE, TAG_TOPO,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -29,12 +29,13 @@ use wsn_core::{
     CTR_MESSAGES,
 };
 use wsn_net::{
-    Deployment, EnergyLedger, LinkModel, Medium, RadioModel, SharedMedium, UnitDiskGraph,
+    ChaosError, ChaosPlan, Deployment, EnergyLedger, LinkModel, Medium, RadioModel, SharedMedium,
+    UnitDiskGraph,
 };
 use wsn_obs::{
     FixedHistogram, NodeSnapshot, Registry, SpanNode, SpanRecorder, TraceDocument, TraceMeta,
 };
-use wsn_sim::{ActorId, Kernel, SimTime, Stats, Tracer};
+use wsn_sim::{ActorId, Kernel, RunReport, SimTime, Stats, StopReason, Tracer};
 
 /// Result of one topology-emulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +122,68 @@ pub struct MissionReport {
     pub refreshes: u32,
     /// Live nodes at the end.
     pub survivors: usize,
+}
+
+/// Configuration of the self-healing loop driven by
+/// [`PhysicalRuntime::run_chaos_mission`]: the application runs in
+/// bounded epochs, leader liveness is watched through heartbeat leases,
+/// and the §5.1 "executes periodically" re-emulation/re-binding fires
+/// automatically on lease expiry or on a fixed period — no test driver
+/// calls [`PhysicalRuntime::refresh_after_churn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfHealConfig {
+    /// Leader beacon period and follower lease.
+    pub heartbeat: HeartbeatConfig,
+    /// Simulated ticks per epoch; liveness is checked at each boundary.
+    pub epoch_ticks: u64,
+    /// Epochs before the mission gives up (bounds wall-clock under any
+    /// chaos schedule).
+    pub max_epochs: u32,
+    /// Time horizon for each bounded protocol re-run during a heal.
+    pub phase_budget_ticks: u64,
+    /// Kernel event budget per bounded run; exhausting it reports a
+    /// stall (livelock guard) instead of hanging.
+    pub max_events_per_epoch: u64,
+    /// Also re-emulate/re-bind every this many epochs even without an
+    /// expired lease (0 = only heal on lease expiry).
+    pub refresh_every_epochs: u32,
+}
+
+impl Default for SelfHealConfig {
+    fn default() -> Self {
+        SelfHealConfig {
+            heartbeat: HeartbeatConfig {
+                period_ticks: 25,
+                lease_ticks: 120,
+            },
+            epoch_ticks: 150,
+            max_epochs: 24,
+            phase_budget_ticks: 400,
+            max_events_per_epoch: 2_000_000,
+            refresh_every_epochs: 0,
+        }
+    }
+}
+
+/// Outcome of one self-healing chaos mission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosMissionReport {
+    /// Epochs executed (≤ `max_epochs`).
+    pub epochs: u32,
+    /// Self-heals performed (lease-triggered or periodic).
+    pub heals: u32,
+    /// Expired leader leases observed at epoch boundaries.
+    pub leases_expired: u64,
+    /// Cells whose leader changed across a heal.
+    pub reelections: u64,
+    /// Exfiltrations produced during the mission.
+    pub exfil_count: usize,
+    /// The kernel event budget was exhausted (suspected livelock).
+    pub stalled: bool,
+    /// `expected_exfils` results arrived.
+    pub completed: bool,
+    /// Simulated ticks the mission consumed.
+    pub elapsed_ticks: u64,
 }
 
 /// A deployed network executing the runtime system.
@@ -760,6 +823,184 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         report
     }
 
+    /// Validates and installs a [`ChaosPlan`] into this runtime's kernel
+    /// and medium. May be called before or mid-run; events are applied at
+    /// their scheduled instants by an injector actor.
+    pub fn install_chaos(&mut self, plan: ChaosPlan) -> Result<ActorId, ChaosError> {
+        plan.install(&mut self.kernel, self.medium.clone())
+    }
+
+    /// Enables leader heartbeats and follower leases on every node
+    /// (effective from the next application start).
+    pub fn set_heartbeat(&mut self, cfg: HeartbeatConfig) {
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.heartbeat = Some(cfg);
+            }
+        }
+    }
+
+    /// Live followers in the application phase whose leader lease has
+    /// run out — the self-healing loop's trigger signal.
+    pub fn expired_leases(&self) -> usize {
+        let now = self.kernel.now();
+        self.live_nodes()
+            .iter()
+            .filter(|&&i| {
+                let node = self.node(i);
+                node.phase == crate::node::Phase::App
+                    && !node.ldr
+                    && node.lease_expires.is_some_and(|t| t < now)
+            })
+            .count()
+    }
+
+    /// Schedules `tag` on every actor now and runs the kernel no further
+    /// than `horizon_ticks` ahead — pending chaos timers beyond the
+    /// horizon stay pending instead of being fast-forwarded through.
+    fn kick_phase_bounded(&mut self, tag: u64, horizon_ticks: u64, max_events: u64) -> RunReport {
+        let start = self.kernel.now();
+        for &a in &self.actors {
+            self.kernel.schedule_timer(start, a, tag);
+        }
+        let run = self
+            .kernel
+            .run_with_limits(Some(start + horizon_ticks), Some(max_events));
+        self.events_total += run.events_processed;
+        run
+    }
+
+    fn bump_app_round(&mut self) {
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.app_round += 1;
+            }
+        }
+    }
+
+    fn current_leaders(&self) -> HashMap<GridCoord, Option<usize>> {
+        self.grid.nodes().map(|c| (c, self.leader_of(c))).collect()
+    }
+
+    /// One self-heal: reset protocol state, bump the application round
+    /// (orphaned in-flight envelopes die at the round check), re-run
+    /// topology emulation and binding under bounded horizons, re-install
+    /// programs on the (possibly new) leaders, and restart the
+    /// application. Returns the number of cells whose leader changed.
+    fn heal(&mut self, cfg: &SelfHealConfig) -> u64 {
+        let before = self.current_leaders();
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.reset_protocols();
+            }
+        }
+        self.bump_app_round();
+        self.kick_phase_bounded(TAG_TOPO, cfg.phase_budget_ticks, cfg.max_events_per_epoch);
+        self.kick_phase_bounded(TAG_BIND, cfg.phase_budget_ticks, cfg.max_events_per_epoch);
+        self.kick_phase_bounded(
+            TAG_ANNOUNCE,
+            cfg.phase_budget_ticks,
+            cfg.max_events_per_epoch,
+        );
+        self.reinstall_programs();
+        let now = self.kernel.now();
+        for &a in &self.actors {
+            self.kernel.schedule_timer(now, a, TAG_APP);
+        }
+        let after = self.current_leaders();
+        before
+            .iter()
+            .filter(|(cell, old)| after.get(cell) != Some(old))
+            .count() as u64
+    }
+
+    /// Runs the application under chaos with automatic self-healing: the
+    /// §5.1 "executes periodically" loop realized inside the runtime
+    /// instead of the test driver. Bring-up, every epoch, and every heal
+    /// run under bounded horizons so chaos events scheduled far in the
+    /// future are applied at their proper instants rather than drained
+    /// through.
+    ///
+    /// The mission ends when `expected_exfils` results have been
+    /// exfiltrated, the event budget trips (reported as a stall), or
+    /// `max_epochs` pass. Recovery counters (`heal.*`) are mirrored into
+    /// the telemetry registry when enabled.
+    ///
+    /// Requires [`PhysicalRuntime::install_programs`]; any
+    /// [`ChaosPlan`] should be installed via
+    /// [`PhysicalRuntime::install_chaos`] beforehand.
+    pub fn run_chaos_mission(
+        &mut self,
+        cfg: SelfHealConfig,
+        expected_exfils: usize,
+    ) -> ChaosMissionReport {
+        assert!(
+            self.factory.is_some(),
+            "install_programs must be called before run_chaos_mission"
+        );
+        self.set_heartbeat(cfg.heartbeat);
+        let start = self.kernel.now();
+        let exfil0 = self.shared.exfil.borrow().len();
+        let mut report = ChaosMissionReport {
+            epochs: 0,
+            heals: 0,
+            leases_expired: 0,
+            reelections: 0,
+            exfil_count: 0,
+            stalled: false,
+            completed: false,
+            elapsed_ticks: 0,
+        };
+        self.span_open("chaos-mission");
+        let events0 = self.events_total;
+        // Bounded bring-up (chaos may already be striking mid-protocol).
+        self.kick_phase_bounded(TAG_TOPO, cfg.phase_budget_ticks, cfg.max_events_per_epoch);
+        self.kick_phase_bounded(TAG_BIND, cfg.phase_budget_ticks, cfg.max_events_per_epoch);
+        self.kick_phase_bounded(
+            TAG_ANNOUNCE,
+            cfg.phase_budget_ticks,
+            cfg.max_events_per_epoch,
+        );
+        self.reinstall_programs();
+        let now = self.kernel.now();
+        for &a in &self.actors {
+            self.kernel.schedule_timer(now, a, TAG_APP);
+        }
+        for epoch in 0..cfg.max_epochs {
+            let horizon = self.kernel.now() + cfg.epoch_ticks;
+            let run = self
+                .kernel
+                .run_with_limits(Some(horizon), Some(cfg.max_events_per_epoch));
+            self.events_total += run.events_processed;
+            report.epochs = epoch + 1;
+            self.telemetry.incr("heal.epochs");
+            if run.stop == StopReason::EventLimit {
+                report.stalled = true;
+                break;
+            }
+            if self.shared.exfil.borrow().len() - exfil0 >= expected_exfils {
+                report.completed = true;
+                break;
+            }
+            let expired = self.expired_leases() as u64;
+            let periodic =
+                cfg.refresh_every_epochs > 0 && (epoch + 1) % cfg.refresh_every_epochs == 0;
+            if expired > 0 || periodic {
+                report.leases_expired += expired;
+                self.telemetry.incr_by("heal.leases_expired", expired);
+                let reelected = self.heal(&cfg);
+                report.heals += 1;
+                report.reelections += reelected;
+                self.telemetry.incr("heal.reemulations");
+                self.telemetry.incr_by("heal.reelections", reelected);
+            }
+        }
+        report.exfil_count = self.shared.exfil.borrow().len() - exfil0;
+        report.elapsed_ticks = self.kernel.now() - start;
+        self.span_close(self.events_total - events0);
+        report
+    }
+
     /// Standard metric bundle for the application phase.
     pub fn metrics(&self, app: &AppReport) -> RunMetrics {
         RunMetrics::from_ledger(
@@ -780,7 +1021,7 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
 mod tests {
     use super::*;
     use wsn_core::{NodeApi, NodeProgram};
-    use wsn_net::DeploymentSpec;
+    use wsn_net::{DeliveryChaos, DeploymentSpec};
 
     fn runtime(side: u32, per_cell: usize, seed: u64) -> PhysicalRuntime<f64> {
         let spec = DeploymentSpec::per_cell(side, per_cell);
@@ -1415,5 +1656,101 @@ mod tests {
         let (spans_b, trace_b) = run();
         assert_eq!(spans_a, spans_b, "same seed, same span tree");
         assert_eq!(trace_a, trace_b, "same seed, same serialized trace");
+    }
+
+    fn gather_factory(
+        expected: usize,
+    ) -> impl FnMut(GridCoord) -> Box<dyn NodeProgram<f64>> + 'static {
+        move |_| {
+            Box::new(Gather {
+                expected,
+                seen: 0,
+                sum: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn chaos_mission_without_chaos_completes_in_first_epoch() {
+        let mut rt = runtime(2, 3, 21);
+        rt.install_programs(gather_factory(4));
+        let report = rt.run_chaos_mission(SelfHealConfig::default(), 1);
+        assert!(report.completed, "{report:?}");
+        assert!(!report.stalled);
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.heals, 0);
+        assert_eq!(report.exfil_count, 1);
+        // Field is col + row on a 2×2 grid: 0 + 1 + 1 + 2.
+        assert_eq!(rt.take_exfiltrated()[0].payload, 4.0);
+    }
+
+    #[test]
+    fn chaos_mission_heals_after_leader_crash_mid_application() {
+        // Probe run (no chaos) to learn who leads the origin cell; same
+        // seed ⇒ the mission's bounded bring-up elects the same leaders.
+        let victim = {
+            let mut probe = runtime(2, 4, 21);
+            probe.run_topology_emulation();
+            assert!(probe.run_binding().unique);
+            probe.leader_of(GridCoord::new(0, 0)).unwrap()
+        };
+
+        let cfg = SelfHealConfig::default();
+        // A pending far-future chaos event keeps every bounded bring-up
+        // phase running to its full horizon, so the application kicks off
+        // at exactly 3 × phase_budget_ticks. One tick later the
+        // origin-cell aggregator dies — too early for any remote
+        // contribution to have landed — so remote sends die at the
+        // corpse, its followers' leases expire unrenewed, and the next
+        // epoch boundary heals.
+        let crash_at = 3 * cfg.phase_budget_ticks + 1;
+        let mut rt = runtime(2, 4, 21);
+        rt.enable_telemetry(false);
+        rt.install_programs(gather_factory(4));
+        rt.install_chaos(ChaosPlan::none().crash_at(SimTime::from_ticks(crash_at), victim))
+            .unwrap();
+        let report = rt.run_chaos_mission(cfg, 1);
+        assert!(
+            report.completed,
+            "self-healing must finish the gather: {report:?}"
+        );
+        assert!(!report.stalled);
+        assert!(report.heals >= 1, "{report:?}");
+        assert!(report.leases_expired >= 1, "{report:?}");
+        assert!(report.reelections >= 1, "the crashed cell re-elects");
+        let new_leader = rt.leader_of(GridCoord::new(0, 0)).unwrap();
+        assert_ne!(new_leader, victim, "a live node took over the cell");
+
+        // Recovery counters are mirrored into the telemetry registry.
+        let reg = rt.telemetry();
+        assert_eq!(reg.counter("heal.reemulations"), u64::from(report.heals));
+        assert_eq!(reg.counter("heal.reelections"), report.reelections);
+        assert_eq!(reg.counter("heal.leases_expired"), report.leases_expired);
+        assert_eq!(reg.counter("heal.epochs"), u64::from(report.epochs));
+        assert_eq!(rt.kernel.stats().counter("chaos.crash"), 1);
+    }
+
+    #[test]
+    fn chaos_mission_is_deterministic() {
+        let run = || {
+            let mut rt = runtime(2, 4, 33);
+            rt.install_programs(gather_factory(4));
+            rt.install_chaos(
+                ChaosPlan::none()
+                    .delivery_at(
+                        SimTime::from_ticks(10),
+                        DeliveryChaos {
+                            dup_prob: 0.2,
+                            reorder_prob: 0.2,
+                            reorder_max_extra_ticks: 3,
+                        },
+                    )
+                    .crash_at(SimTime::from_ticks(60), 0),
+            )
+            .unwrap();
+            let report = rt.run_chaos_mission(SelfHealConfig::default(), 1);
+            (report, rt.now())
+        };
+        assert_eq!(run(), run(), "same seed and plan replay bit-identically");
     }
 }

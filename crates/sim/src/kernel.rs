@@ -225,11 +225,18 @@ impl<M: Payload> Kernel<M> {
         self.tracer.snapshot()
     }
 
-    /// Registers an actor and returns its id. Must be called before `run`.
+    /// Registers an actor and returns its id. May be called mid-run:
+    /// once the kernel has started, the new actor's
+    /// [`Actor::on_start`] fires immediately at the current simulated
+    /// time, so late-installed actors (fault injectors, monitors) can
+    /// arm timers relative to *now*.
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
         let id = self.actors.len();
         self.actors.push(Some(actor));
         self.rngs.push(DetRng::stream(self.master_seed, id as u64));
+        if self.started {
+            self.start_actor(id);
+        }
         id
     }
 
@@ -290,26 +297,31 @@ impl<M: Payload> Kernel<M> {
             return;
         }
         self.started = true;
+        for id in 0..self.actors.len() {
+            self.start_actor(id);
+        }
+    }
+
+    /// Runs `on_start` for one actor and flushes anything it scheduled.
+    fn start_actor(&mut self, id: ActorId) {
         let mut outbox = Vec::new();
         let mut stop = false;
-        for id in 0..self.actors.len() {
-            let mut actor = self.actors[id].take().expect("actor re-entered");
-            {
-                let mut ctx = Context {
-                    now: self.now,
-                    self_id: id,
-                    outbox: &mut outbox,
-                    rng: &mut self.rngs[id],
-                    stats: &mut self.stats,
-                    stop_requested: &mut stop,
-                    actor_count: self.actors.len(),
-                };
-                actor.on_start(&mut ctx);
-            }
-            self.actors[id] = Some(actor);
-            for (time, target, kind) in outbox.drain(..) {
-                self.queue.push_from(self.now, time, target, kind);
-            }
+        let mut actor = self.actors[id].take().expect("actor re-entered");
+        {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: id,
+                outbox: &mut outbox,
+                rng: &mut self.rngs[id],
+                stats: &mut self.stats,
+                stop_requested: &mut stop,
+                actor_count: self.actors.len(),
+            };
+            actor.on_start(&mut ctx);
+        }
+        self.actors[id] = Some(actor);
+        for (time, target, kind) in outbox.drain(..) {
+            self.queue.push_from(self.now, time, target, kind);
         }
     }
 
@@ -518,6 +530,30 @@ mod tests {
         k.run();
         let beat: &TimerBeat = k.actor(t).unwrap();
         assert_eq!(beat.fired, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn actors_added_mid_run_get_started() {
+        let mut k: Kernel<u32> = Kernel::new(1);
+        let first = k.add_actor(Box::new(TimerBeat {
+            fired: vec![],
+            period: 10,
+            remaining: 1,
+        }));
+        k.run_until(SimTime::from_ticks(15));
+        assert_eq!(k.now(), SimTime::from_ticks(15));
+        // Installed after the kernel has started: on_start must fire now,
+        // so the timer lands at now + period.
+        let late = k.add_actor(Box::new(TimerBeat {
+            fired: vec![],
+            period: 10,
+            remaining: 0,
+        }));
+        k.run();
+        let beat: &TimerBeat = k.actor(first).unwrap();
+        assert_eq!(beat.fired, vec![10, 20]);
+        let late_beat: &TimerBeat = k.actor(late).unwrap();
+        assert_eq!(late_beat.fired, vec![25]);
     }
 
     #[test]

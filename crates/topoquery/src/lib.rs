@@ -5,12 +5,14 @@
 //! ([`regions`]), boundary summaries and the 4-way quadrant merge
 //! ([`boundary`], [`merge`]), the in-network divide-and-conquer program
 //! (native and synthesized) with virtual-machine and physical drivers
-//! ([`dandc`]), the centralized baseline ([`centralized`]), and the
+//! ([`dandc`]), the centralized baseline ([`centralized`]), the
 //! topographic queries answerable from the aggregated result
-//! ([`queries`]).
+//! ([`queries`]), and the differential chaos fuzzer that checks the
+//! self-healing runtime against the centralized oracle ([`chaos`]).
 
 pub mod boundary;
 pub mod centralized;
+pub mod chaos;
 pub mod dandc;
 pub mod field;
 pub mod merge;
@@ -22,6 +24,9 @@ pub use boundary::{merge_four, BoundarySummary};
 pub use centralized::{
     run_centralized_vm, run_synthesized_gather_vm, CentralMsg, CentralizedOutcome,
     CentralizedProgram, GatherSemantics,
+};
+pub use chaos::{
+    run_scenario, run_scenario_with_plan, shrink_plan, ChaosScenario, ChaosVerdict, ScenarioOutcome,
 };
 pub use dandc::{
     run_dandc_physical, run_dandc_physical_with, run_dandc_vm, run_dandc_vm_with_cost, DandcMsg,

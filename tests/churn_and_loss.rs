@@ -3,8 +3,8 @@
 //! answer.
 
 use wsn::core::GridCoord;
-use wsn::net::{DeploymentSpec, FaultPlan, LinkModel, RadioModel};
-use wsn::runtime::PhysicalRuntime;
+use wsn::net::{ChaosPlan, DeploymentSpec, FaultPlan, LinkModel, RadioModel};
+use wsn::runtime::{PhysicalRuntime, SelfHealConfig};
 use wsn::sim::SimTime;
 use wsn::synth::SummaryMsg;
 use wsn::topoquery::{
@@ -69,37 +69,68 @@ fn killing_every_cell_leader_still_recovers() {
 #[test]
 fn fault_plan_kills_mid_application() {
     // A mid-run failure of the root leader prevents exfiltration but the
-    // run still terminates (no wedged simulation).
+    // run still terminates (no wedged simulation). The kill travels the
+    // real injector path: a FaultPlan installed into the runtime's kernel,
+    // applied by the injector actor at its scheduled instant.
     let side = 2u32;
     let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
-    let deployment = DeploymentSpec::per_cell(side, 3).generate(5);
-    let range = deployment.grid().range_for_adjacent_cell_reachability();
-    let f = field.clone();
-    let mut rt: PhysicalRuntime<Msg> = PhysicalRuntime::new(
-        deployment,
-        RadioModel::uniform(range),
-        LinkModel::ideal(),
-        None,
-        1,
-        5,
-        move |c| f.value(c),
-    );
+    let mut rt = build_runtime(side, 3, 5, field);
     rt.run_topology_emulation();
     rt.run_binding();
     let root_leader = rt.leader_of(GridCoord::new(0, 0)).unwrap();
     // Schedule the kill just after the application kicks off.
     let kill_at = rt.now() + 1;
     let plan = FaultPlan::none().kill_at(SimTime::from_ticks(kill_at.ticks()), root_leader);
-    // Install the plan via the runtime's medium; the injector needs the
-    // same kernel, so use refresh-less direct scheduling through a second
-    // application run.
-    let medium = rt.medium().clone();
+    rt.install_chaos(plan.into_chaos()).unwrap();
     rt.install_programs(move |_| Box::new(DandcProgram::new(side, 5.0)));
-    // Kill immediately instead (deterministic equivalent of the plan).
-    medium.borrow_mut().kill(root_leader, kill_at);
     let app = rt.run_application();
     assert_eq!(app.exfil_count, 0, "root died; nothing exfiltrated");
-    let _ = plan; // the plan-based path is exercised in wsn-net's tests
+    assert!(
+        !rt.medium().borrow().is_alive(root_leader),
+        "the injector applied the crash"
+    );
+}
+
+#[test]
+fn self_healing_recovers_the_answer_after_leader_crash() {
+    // The same class of failure `fault_plan_kills_mid_application` proves
+    // fatal for a plain application run is survived by the chaos mission:
+    // leases expire, the runtime re-emulates and re-binds, and the answer
+    // still matches the centralized oracle.
+    let side = 2u32;
+    let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
+    let truth = label_regions(&field.threshold(5.0)).region_count();
+    let victim = {
+        let mut probe = build_runtime(side, 4, 3, field.clone());
+        probe.run_topology_emulation();
+        assert!(probe.run_binding().unique);
+        probe.leader_of(GridCoord::new(0, 0)).unwrap()
+    };
+    let cfg = SelfHealConfig::default();
+    // A pending far-future chaos event holds each bounded bring-up phase
+    // to its full horizon, so the application starts at exactly
+    // 3 × phase_budget_ticks; the root-cell leader dies one tick later.
+    let crash_at = 3 * cfg.phase_budget_ticks + 1;
+    let mut rt = build_runtime(side, 4, 3, field);
+    rt.install_programs(move |_| Box::new(DandcProgram::new(side, 5.0)));
+    rt.install_chaos(ChaosPlan::none().crash_at(SimTime::from_ticks(crash_at), victim))
+        .unwrap();
+    let report = rt.run_chaos_mission(cfg, 1);
+    assert!(
+        report.completed,
+        "healing must rescue the merge: {report:?}"
+    );
+    assert!(report.heals >= 1, "{report:?}");
+    assert!(report.leases_expired >= 1, "{report:?}");
+    let answers = rt.take_exfiltrated();
+    assert!(!answers.is_empty());
+    for a in &answers {
+        assert_eq!(
+            a.payload.data.expect_complete().region_count(),
+            truth,
+            "a healed run must still tell the truth"
+        );
+    }
 }
 
 #[test]

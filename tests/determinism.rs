@@ -1,8 +1,10 @@
 //! Whole-stack determinism: every layer is a pure function of (config,
 //! seed). This is the property that makes EXPERIMENTS.md reproducible.
 
-use wsn::net::{DeploymentSpec, LinkModel, RadioModel};
-use wsn::runtime::PhysicalRuntime;
+use wsn::core::GridCoord;
+use wsn::net::{ChaosPlan, DeploymentSpec, LinkModel, RadioModel};
+use wsn::runtime::{PhysicalRuntime, SelfHealConfig};
+use wsn::sim::SimTime;
 use wsn::topoquery::{
     run_dandc_physical, run_dandc_vm, DandcMsg, DandcProgram, Field, FieldSpec, Implementation,
 };
@@ -118,6 +120,76 @@ fn telemetry_traces_are_bit_identical() {
     assert_eq!(a.spans, b.spans);
     assert!(!a.spans.is_empty());
     assert_eq!(a.to_jsonl(), b.to_jsonl());
+}
+
+#[test]
+fn chaos_recovery_traces_are_bit_identical() {
+    // Golden trace: a fixed crash-and-recover schedule under the
+    // self-healing mission exports a byte-identical TraceDocument across
+    // two runs with the same seed, with the recovery counters present.
+    let f = field(2, 5);
+    let victim = {
+        let deployment = DeploymentSpec::per_cell(2, 4).generate(7);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let f2 = f.clone();
+        let mut probe: PhysicalRuntime<DandcMsg> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            11,
+            move |c| f2.value(c),
+        );
+        probe.run_topology_emulation();
+        assert!(probe.run_binding().unique);
+        probe.leader_of(GridCoord::new(0, 0)).unwrap()
+    };
+    let cfg = SelfHealConfig::default();
+    // Pending chaos timers hold each bounded bring-up phase to its full
+    // horizon, so the application starts at exactly 3 × the phase budget.
+    let app_start = 3 * cfg.phase_budget_ticks;
+    let run = || {
+        let deployment = DeploymentSpec::per_cell(2, 4).generate(7);
+        let range = deployment.grid().range_for_adjacent_cell_reachability();
+        let f2 = f.clone();
+        let mut rt: PhysicalRuntime<DandcMsg> = PhysicalRuntime::new(
+            deployment,
+            RadioModel::uniform(range),
+            LinkModel::ideal(),
+            None,
+            1,
+            11,
+            move |c| f2.value(c),
+        );
+        rt.enable_telemetry(true);
+        rt.install_programs(|_| Box::new(DandcProgram::new(2, 0.5)));
+        rt.install_chaos(
+            ChaosPlan::none()
+                .crash_at(SimTime::from_ticks(app_start + 1), victim)
+                .recover_at(SimTime::from_ticks(app_start + 200), victim),
+        )
+        .unwrap();
+        let report = rt.run_chaos_mission(cfg, 1);
+        (report, rt.record_trace())
+    };
+    let (ra, a) = run();
+    let (rb, b) = run();
+    assert_eq!(ra, rb, "mission reports replay bit-identically");
+    assert_eq!(a.to_jsonl(), b.to_jsonl(), "byte-identical trace export");
+    assert!(ra.completed, "{ra:?}");
+    assert!(ra.heals >= 1, "{ra:?}");
+    // The schedule was applied at its instants and the recovery loop's
+    // counters surface in the exported document.
+    assert_eq!(a.counter("chaos.crash"), 1);
+    assert_eq!(a.counter("chaos.recover"), 1);
+    assert!(a.counter("heal.reemulations") >= 1);
+    assert!(a.counter("heal.leases_expired") >= 1);
+    assert_eq!(a.counter("heal.epochs"), u64::from(ra.epochs));
+    assert!(
+        a.spans.iter().any(|s| s.name == "chaos-mission"),
+        "the mission records its own span"
+    );
 }
 
 #[test]
