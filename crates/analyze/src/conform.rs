@@ -1,0 +1,300 @@
+//! Trace conformance: check a measured run against a [`Certificate`].
+//!
+//! The closing move of the §4 story — "theoretical performance analysis
+//! corresponds to real performance measurements" — made mechanical.
+//! Given a certificate from [`mod@crate::certify`] and a `wsn-obs` JSONL
+//! [`TraceDocument`] recorded by the runtime, every certified quantity
+//! is located in the trace (by name and record kind) and tested against
+//! its interval. Any escape is an error-severity `TC0xx` diagnostic:
+//! the run, the cost model, or the certifier is lying, and the
+//! experiment harness fails loudly instead of publishing drifted
+//! numbers.
+
+use crate::certify::{BoundKind, Certificate};
+use crate::diag::{Code, Diagnostic, Diagnostics, Span};
+use wsn_obs::TraceDocument;
+
+/// Checks `doc` against `cert`. Returns the (sorted) `TC0xx` findings;
+/// an empty report means the measured run is inside every certified
+/// bound.
+pub fn check_conformance(cert: &Certificate, doc: &TraceDocument) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    match &doc.meta {
+        None => diags.push(
+            Diagnostic::error(
+                Code::TC007,
+                Span::Program,
+                "trace has no meta record; cannot establish it measures the certified \
+                 deployment"
+                    .to_owned(),
+            )
+            .with_suggestion("re-record with wsn-obs tracing enabled end to end"),
+        ),
+        Some(meta) if meta.grid != u64::from(cert.side) => diags.push(
+            Diagnostic::error(
+                Code::TC007,
+                Span::Program,
+                format!(
+                    "trace measures a side-{} grid but the certificate prices side {}",
+                    meta.grid, cert.side
+                ),
+            )
+            .with_suggestion("certify at the trace's grid side"),
+        ),
+        Some(_) => {}
+    }
+
+    for bound in &cert.bounds {
+        let name = bound.quantity.as_str();
+        let iv = bound.interval;
+        match bound.kind {
+            BoundKind::Counter => {
+                let Some((_, v)) = doc.counters.iter().find(|(n, _)| n == name) else {
+                    diags.push(missing(name));
+                    continue;
+                };
+                let v = *v as f64;
+                if v < iv.lo && !iv.contains(v) {
+                    diags.push(escape(Code::TC001, name, v, "below", iv.lo, bound));
+                } else if !iv.contains(v) {
+                    diags.push(escape(Code::TC002, name, v, "above", iv.hi, bound));
+                }
+            }
+            BoundKind::Gauge => {
+                let Some((_, v)) = doc.gauges.iter().find(|(n, _)| n == name) else {
+                    diags.push(missing(name));
+                    continue;
+                };
+                if !iv.contains(*v) {
+                    // All certified gauges are per-class transmit
+                    // energies; an escape in either direction is the
+                    // energy-drift finding.
+                    diags.push(
+                        Diagnostic::error(
+                            Code::TC006,
+                            Span::Metric(name.to_owned()),
+                            format!(
+                                "measured {name} = {v} escapes the certified interval \
+                                 {iv} ({})",
+                                bound.symbolic
+                            ),
+                        )
+                        .with_suggestion(
+                            "the runtime's radio energy pricing diverges from the certified \
+                             cost model",
+                        ),
+                    );
+                }
+            }
+            BoundKind::SpanTicks => {
+                let Some(span) = doc.spans.iter().find(|s| s.name == name) else {
+                    diags.push(missing(name));
+                    continue;
+                };
+                let dur = (span.end - span.start) as f64;
+                if !iv.contains(dur) {
+                    diags.push(
+                        Diagnostic::error(
+                            Code::TC004,
+                            Span::Phase(name.to_owned()),
+                            format!(
+                                "phase {name:?} ran for {dur} ticks, outside the certified \
+                                 latency interval {iv}"
+                            ),
+                        )
+                        .with_suggestion(
+                            "a hop-cost (ticks-per-unit) mismatch between the runtime radio \
+                             and the certified cost model is the usual cause",
+                        ),
+                    );
+                }
+            }
+            BoundKind::HistCount => {
+                let Some((_, h)) = doc.histograms.iter().find(|(n, _)| n == name) else {
+                    diags.push(missing(name));
+                    continue;
+                };
+                let count = h.count() as f64;
+                if !iv.contains(count) {
+                    diags.push(
+                        Diagnostic::error(
+                            Code::TC005,
+                            Span::Metric(name.to_owned()),
+                            format!(
+                                "{name} completed {count} merges but the hierarchy certifies \
+                                 {iv}"
+                            ),
+                        )
+                        .with_suggestion(
+                            "merges were lost or duplicated: check quorum wiring and churn",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+fn missing(name: &str) -> Diagnostic {
+    Diagnostic::error(
+        Code::TC003,
+        Span::Metric(name.to_owned()),
+        format!("certified quantity {name:?} is absent from the trace"),
+    )
+    .with_suggestion("record the trace with telemetry enabled (the runtime emits it by default)")
+}
+
+fn escape(
+    code: Code,
+    name: &str,
+    v: f64,
+    dir: &str,
+    edge: f64,
+    bound: &crate::certify::CertifiedBound,
+) -> Diagnostic {
+    Diagnostic::error(
+        code,
+        Span::Metric(name.to_owned()),
+        format!(
+            "measured {name} = {v} is {dir} the certified bound {edge} ({})",
+            bound.symbolic
+        ),
+    )
+    .with_suggestion("the runtime and the certified cost model disagree; recalibrate one of them")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify::{certify, CertConfig, Interval};
+    use wsn_obs::{FixedHistogram, SpanNode, TraceDocument, TraceMeta};
+    use wsn_sim::SimTime;
+    use wsn_synth::synthesize_quadtree_program;
+
+    fn paper_cert(side: u32) -> Certificate {
+        let depth = u8::try_from(side.trailing_zeros()).unwrap();
+        let (cert, diags) = certify(
+            &synthesize_quadtree_program(depth),
+            &CertConfig::paper(side),
+        );
+        assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
+        cert
+    }
+
+    /// A hand-built trace that sits exactly on the measured values of
+    /// the seeded side-4 model-fidelity run.
+    fn faithful_trace() -> TraceDocument {
+        let mut doc = TraceDocument::new();
+        doc.meta = Some(TraceMeta {
+            grid: 4,
+            seed: 5,
+            nodes: 48,
+            total_ticks: 36,
+            events: 5281,
+            ..TraceMeta::default()
+        });
+        doc.counters = vec![
+            ("net.messages".into(), 20),
+            ("net.data_units".into(), 52),
+            ("phase.app.physical_hops".into(), 33),
+            ("phase.app.retransmissions".into(), 0),
+            ("phase.app.exfiltrations".into(), 1),
+        ];
+        doc.gauges = vec![
+            ("phase.app.tx_energy.class0".into(), 52.0),
+            ("phase.app.tx_energy.class1".into(), 26.0),
+            ("phase.app.tx_energy.class2".into(), 21.0),
+        ];
+        let mut h1 = FixedHistogram::new(&[16.0, 64.0]);
+        for _ in 0..4 {
+            h1.record(10.0);
+        }
+        let mut h2 = FixedHistogram::new(&[16.0, 64.0]);
+        h2.record(36.0);
+        doc.histograms = vec![
+            ("merge.level1.complete".into(), h1),
+            ("merge.level2.complete".into(), h2),
+        ];
+        doc.spans = vec![SpanNode {
+            name: "application".into(),
+            start: SimTime::from_ticks(5),
+            end: SimTime::from_ticks(36),
+            events: 0,
+            children: vec![],
+        }];
+        doc
+    }
+
+    #[test]
+    fn faithful_trace_conforms() {
+        let d = check_conformance(&paper_cert(4), &faithful_trace());
+        assert!(d.is_empty(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn hop_cost_drift_is_tc004() {
+        let mut doc = faithful_trace();
+        // The mutated runtime (ticks-per-unit doubled behind the
+        // certifier's back) stretches the application span to 62 ticks.
+        doc.spans[0].end = SimTime::from_ticks(5 + 62);
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC004), "{}", d.render_text());
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn energy_drift_is_tc006() {
+        let mut doc = faithful_trace();
+        doc.gauges[2].1 *= 2.0; // class2 transmit energy doubled
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC006), "{}", d.render_text());
+    }
+
+    #[test]
+    fn absent_quantity_is_tc003_and_out_of_interval_counters_split_by_direction() {
+        let mut doc = faithful_trace();
+        doc.counters.retain(|(n, _)| n != "net.messages");
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC003), "{}", d.render_text());
+
+        let mut doc = faithful_trace();
+        for (n, v) in &mut doc.counters {
+            if n == "net.data_units" {
+                *v = 1; // below the unit-payload floor of 20
+            }
+            if n == "phase.app.physical_hops" {
+                *v = 1000;
+            }
+        }
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC001), "{}", d.render_text());
+        assert!(d.has_code(Code::TC002), "{}", d.render_text());
+    }
+
+    #[test]
+    fn merge_count_mismatch_is_tc005_and_wrong_grid_is_tc007() {
+        let mut doc = faithful_trace();
+        let mut h = FixedHistogram::new(&[16.0, 64.0]);
+        h.record(10.0); // only one level-1 merge completed
+        doc.histograms[0].1 = h;
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC005), "{}", d.render_text());
+
+        let mut doc = faithful_trace();
+        doc.meta.as_mut().unwrap().grid = 8;
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC007), "{}", d.render_text());
+    }
+
+    #[test]
+    fn interval_display_and_containment() {
+        let iv = Interval { lo: 2.0, hi: 5.0 };
+        assert!(iv.contains(2.0) && iv.contains(5.0) && !iv.contains(5.1));
+        assert_eq!(iv.to_string(), "[2, 5]");
+        assert_eq!(Interval::exact(3.0).to_string(), "= 3");
+    }
+}

@@ -40,7 +40,10 @@ impl fmt::Display for Severity {
 /// * `RD` — reachability and determinism of the rule system;
 /// * `GM` — task-graph and mapping structure;
 /// * `DL` — cross-node deadlock;
-/// * `CB` — cost-budget conformance.
+/// * `CB` — cost-budget conformance;
+/// * `CC` — cost certification (symbolic §4 bounds and the optimizer
+///   facts that sharpen them);
+/// * `TC` — trace conformance (measured run vs certified interval).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // variants are documented by Self::description
 pub enum Code {
@@ -69,6 +72,18 @@ pub enum Code {
     CB002,
     CB003,
     CB004,
+    CC001,
+    CC002,
+    CC003,
+    CC004,
+    CC005,
+    TC001,
+    TC002,
+    TC003,
+    TC004,
+    TC005,
+    TC006,
+    TC007,
 }
 
 impl Code {
@@ -100,6 +115,18 @@ impl Code {
             Code::CB002 => "hotspot node energy exceeds the cost budget",
             Code::CB003 => "energy balance below the cost budget",
             Code::CB004 => "critical-path latency exceeds the cost budget",
+            Code::CC001 => "program cost structure diverges from the task graph",
+            Code::CC002 => "certified bound is degenerate (lower exceeds upper)",
+            Code::CC003 => "dead handler eliminated; its costs are excluded from the bounds",
+            Code::CC004 => "provably-redundant duplicate send (retransmit) in a rule body",
+            Code::CC005 => "guard is constant-foldable under propagated state constants",
+            Code::TC001 => "measured value below the certified lower bound",
+            Code::TC002 => "measured value above the certified upper bound",
+            Code::TC003 => "certified quantity absent from the trace",
+            Code::TC004 => "phase span duration escapes the certified latency interval",
+            Code::TC005 => "merge fan-in/completion count mismatches the certified count",
+            Code::TC006 => "per-class transmit energy escapes the certified interval",
+            Code::TC007 => "trace metadata incompatible with the certificate's config",
         }
     }
 
@@ -109,7 +136,8 @@ impl Code {
         &[
             WF001, WF002, WF003, WF004, WF005, WF006, WF007, WF008, WF009, WF010, RD001, RD002,
             RD003, RD004, GM001, GM002, GM003, GM004, GM005, DL001, DL002, CB001, CB002, CB003,
-            CB004,
+            CB004, CC001, CC002, CC003, CC004, CC005, TC001, TC002, TC003, TC004, TC005, TC006,
+            TC007,
         ]
     }
 }
@@ -168,6 +196,10 @@ pub enum Span {
     Node(GridCoord),
     /// A hierarchy level.
     Level(u8),
+    /// A measured quantity (counter, gauge, or histogram) in a trace.
+    Metric(String),
+    /// A phase span in a trace.
+    Phase(String),
 }
 
 impl fmt::Display for Span {
@@ -191,6 +223,8 @@ impl fmt::Display for Span {
             Span::Edge { from, to } => write!(f, "edge {from} -> {to}"),
             Span::Node(c) => write!(f, "node ({}, {})", c.col, c.row),
             Span::Level(l) => write!(f, "level {l}"),
+            Span::Metric(name) => write!(f, "metric {name:?}"),
+            Span::Phase(name) => write!(f, "phase {name:?}"),
         }
     }
 }
@@ -335,8 +369,10 @@ impl Diagnostics {
         self.items.iter().any(|d| d.code == code)
     }
 
-    /// Sorts errors first, then warnings, then infos; ties by code and
-    /// rendered span, so reports are stable across runs.
+    /// Sorts errors first, then warnings, then infos; ties by code,
+    /// rendered span, message, and suggestion — a total order over every
+    /// field, so reports (and `--json` output) are byte-stable across
+    /// runs.
     pub fn sort(&mut self) {
         self.items.sort_by(|a, b| {
             b.severity
@@ -344,6 +380,7 @@ impl Diagnostics {
                 .then(a.code.cmp(&b.code))
                 .then_with(|| a.span.to_string().cmp(&b.span.to_string()))
                 .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.suggestion.cmp(&b.suggestion))
         });
     }
 
@@ -484,6 +521,6 @@ mod tests {
         for &c in Code::all() {
             assert!(!c.description().is_empty(), "{c}");
         }
-        assert_eq!(Code::all().len(), 25);
+        assert_eq!(Code::all().len(), 37);
     }
 }

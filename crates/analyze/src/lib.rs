@@ -34,20 +34,30 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod certify;
+pub mod conform;
 pub mod deadlock;
 pub mod diag;
 pub mod graphcheck;
 pub mod model_json;
+pub mod opt;
 pub mod reach;
+pub mod sym;
 pub mod verified;
 pub mod wellformed;
 
 pub use budget::check_budget;
+pub use certify::{
+    certify, BoundKind, CertConfig, Certificate, CertifiedBound, Interval, PayloadProfile,
+};
+pub use conform::check_conformance;
 pub use deadlock::{check_deadlock, quorum_specs, wait_for_graph, QuorumSpec, Wait};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use graphcheck::{check_graph, check_mapping, find_cycle};
-pub use model_json::{program_from_json, program_to_json};
+pub use model_json::{program_from_json, program_to_json, PROGRAM_SCHEMA_VERSION};
+pub use opt::{optimize_program, AbsVal, OptFacts};
 pub use reach::{check_dynamics, explore, ReachConfig, ReachReport};
+pub use sym::Sym;
 pub use verified::{render_figure4_checked, synthesize_checked, CheckedError, Enforcement};
 pub use wellformed::check_program;
 
@@ -91,7 +101,9 @@ pub fn analyze_mapping(qt: &QuadTree, mapping: &Mapping) -> Diagnostics {
 }
 
 /// The full design-time sweep over one deployment: program, graph,
-/// mapping, and cross-node deadlock analysis.
+/// mapping, cross-node deadlock analysis, and — when the deployment's
+/// side admits one — the symbolic cost certification crosscheck
+/// (`CC0xx`: optimizer facts plus program-vs-hierarchy divergence).
 pub fn analyze_deployment(
     qt: &QuadTree,
     mapping: &Mapping,
@@ -101,6 +113,10 @@ pub fn analyze_deployment(
     diags.extend(graphcheck::check_graph(&qt.graph));
     diags.extend(graphcheck::check_mapping(qt, mapping));
     diags.extend(deadlock::check_deadlock(qt, mapping, program));
+    if qt.side >= 2 && qt.side.is_power_of_two() {
+        let (_, cert_diags) = certify::certify(program, &certify::CertConfig::paper(qt.side));
+        diags.extend(cert_diags);
+    }
     diags.sort();
     diags
 }

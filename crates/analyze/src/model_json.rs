@@ -24,9 +24,18 @@
 use wsn_obs::Json;
 use wsn_synth::{Action, Expr, Guard, GuardedProgram, Rule, StateDecl};
 
+/// The program-model schema this encoder emits and this decoder
+/// understands. Bumped on any incompatible encoding change; decoding a
+/// different version is a clear error, not a misparse.
+pub const PROGRAM_SCHEMA_VERSION: u64 = 1;
+
 /// Encodes a program into the JSON model.
 pub fn program_to_json(p: &GuardedProgram) -> Json {
     Json::Obj(vec![
+        (
+            "schema_version".to_owned(),
+            Json::from_u64(PROGRAM_SCHEMA_VERSION),
+        ),
         ("name".to_owned(), Json::Str(p.name.clone())),
         (
             "max_level".to_owned(),
@@ -70,6 +79,19 @@ pub fn program_to_json(p: &GuardedProgram) -> Json {
 /// Decodes a program from the JSON model, with a path-bearing message on
 /// malformed input.
 pub fn program_from_json(j: &Json) -> Result<GuardedProgram, String> {
+    // Pre-versioning documents carry no schema_version; they are v1 by
+    // construction. Anything else is rejected up front.
+    if let Some(v) = j.get("schema_version") {
+        let version = v
+            .as_u64()
+            .ok_or("program: 'schema_version' is not an integer")?;
+        if version != PROGRAM_SCHEMA_VERSION {
+            return Err(format!(
+                "program: unsupported schema_version {version} (this decoder understands \
+                 {PROGRAM_SCHEMA_VERSION}); re-emit with a matching wsn-lint"
+            ));
+        }
+    }
     let name = j
         .get("name")
         .and_then(Json::as_str)
@@ -355,6 +377,25 @@ mod tests {
         let p = synthesize_gather_program(2, 4);
         let back = program_from_json(&program_to_json(&p)).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn schema_version_is_emitted_and_gates_decoding() {
+        let p = synthesize_quadtree_program(2);
+        let text = program_to_json(&p).render();
+        assert!(text.contains("\"schema_version\":1"), "{text}");
+        // Absent version: tolerated as v1 (pre-versioning documents).
+        let legacy =
+            Json::parse(r#"{"name": "x", "max_level": 0, "state": [], "rules": []}"#).unwrap();
+        assert!(program_from_json(&legacy).is_ok());
+        // Mismatched version: clear rejection.
+        let future = Json::parse(
+            r#"{"schema_version": 9, "name": "x", "max_level": 0, "state": [], "rules": []}"#,
+        )
+        .unwrap();
+        let err = program_from_json(&future).unwrap_err();
+        assert!(err.contains("unsupported schema_version 9"), "{err}");
+        assert!(err.contains("understands 1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Symbolic cost expressions over the grid side `s = √N`.
+//!
+//! The §4 analysis expresses every quad-tree cost as a closed form in the
+//! grid side and the hierarchy depth `p = log₂ s`: a level `l ∈ 1..=p`
+//! holds `(s/2^l)²` merges whose children sit `2^(l−1)` and `2·2^(l−1)`
+//! hops away. [`Sym`] is that language as a tiny AST: enough to *state*
+//! the certified bounds symbolically (so a certificate is readable as
+//! mathematics, not just as two numbers) and to *evaluate* them exactly
+//! for a concrete side. The certifier cross-checks its numeric
+//! accumulation against [`Sym::eval`] of the stated form, so the printed
+//! formula provably matches the printed interval.
+
+use std::fmt;
+
+/// A symbolic integer expression in the grid side `s`, the depth
+/// `p = log₂ s`, and — inside a [`Sym::Sum`] — the bound level variable
+/// `l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sym {
+    /// Integer literal.
+    Int(i64),
+    /// The grid side `s` (√N).
+    Side,
+    /// The hierarchy depth `p = log₂ s`.
+    Depth,
+    /// The bound level variable `l` of the innermost enclosing sum.
+    Level,
+    /// `2^e`.
+    Pow2(Box<Sym>),
+    /// `a + b`.
+    Add(Box<Sym>, Box<Sym>),
+    /// `a − b`.
+    Sub(Box<Sym>, Box<Sym>),
+    /// `a · b`.
+    Mul(Box<Sym>, Box<Sym>),
+    /// `a / b` (exact in every certified form: `s/2^l` with `l ≤ p`).
+    Div(Box<Sym>, Box<Sym>),
+    /// `e²`.
+    Sq(Box<Sym>),
+    /// `Σ_{l=1..p} body`.
+    Sum(Box<Sym>),
+}
+
+impl std::ops::Add for Sym {
+    type Output = Sym;
+    fn add(self, other: Sym) -> Sym {
+        Sym::Add(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Sub for Sym {
+    type Output = Sym;
+    fn sub(self, other: Sym) -> Sym {
+        Sym::Sub(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Mul for Sym {
+    type Output = Sym;
+    fn mul(self, other: Sym) -> Sym {
+        Sym::Mul(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Div for Sym {
+    type Output = Sym;
+    fn div(self, other: Sym) -> Sym {
+        Sym::Div(Box::new(self), Box::new(other))
+    }
+}
+
+impl Sym {
+    /// `Σ_{l=1..p} self` helper.
+    pub fn sum_over_levels(self) -> Sym {
+        Sym::Sum(Box::new(self))
+    }
+
+    /// `(s/2^l)²` — the number of level-`l` merges.
+    pub fn merges_at_level() -> Sym {
+        Sym::Sq(Box::new(Sym::Side / Sym::Pow2(Box::new(Sym::Level))))
+    }
+
+    /// `2^(l−1)` — the quadrant side `q` at level `l`.
+    pub fn quadrant_side() -> Sym {
+        Sym::Pow2(Box::new(Sym::Level - Sym::Int(1)))
+    }
+
+    /// Evaluates for a concrete `side` (a power of two). `level` binds
+    /// the innermost [`Sym::Level`]; it is `None` outside any sum.
+    pub fn eval(&self, side: u32) -> i64 {
+        self.eval_at(side, None)
+    }
+
+    fn eval_at(&self, side: u32, level: Option<u32>) -> i64 {
+        let v = match self {
+            Sym::Int(v) => i128::from(*v),
+            Sym::Side => i128::from(side),
+            Sym::Depth => i128::from(side.trailing_zeros()),
+            Sym::Level => i128::from(level.expect("Level outside a Sum")),
+            Sym::Pow2(e) => {
+                let e = e.eval_at(side, level);
+                assert!((0..=62).contains(&e), "2^{e} out of range");
+                1i128 << e
+            }
+            Sym::Add(a, b) => {
+                i128::from(a.eval_at(side, level)) + i128::from(b.eval_at(side, level))
+            }
+            Sym::Sub(a, b) => {
+                i128::from(a.eval_at(side, level)) - i128::from(b.eval_at(side, level))
+            }
+            Sym::Mul(a, b) => {
+                i128::from(a.eval_at(side, level)) * i128::from(b.eval_at(side, level))
+            }
+            Sym::Div(a, b) => {
+                let d = b.eval_at(side, level);
+                assert!(d != 0, "division by zero");
+                i128::from(a.eval_at(side, level)) / i128::from(d)
+            }
+            Sym::Sq(e) => {
+                let v = i128::from(e.eval_at(side, level));
+                v * v
+            }
+            Sym::Sum(body) => {
+                assert!(side.is_power_of_two(), "side must be a power of two");
+                let p = side.trailing_zeros();
+                (1..=p)
+                    .map(|l| i128::from(body.eval_at(side, Some(l))))
+                    .sum()
+            }
+        };
+        i64::try_from(v).expect("symbolic value overflows i64")
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Sym::Add(..) | Sym::Sub(..) => 0,
+            Sym::Mul(..) | Sym::Div(..) => 1,
+            Sym::Int(_) | Sym::Side | Sym::Depth | Sym::Level => 2,
+            Sym::Pow2(_) | Sym::Sq(_) | Sym::Sum(_) => 2,
+        }
+    }
+
+    fn fmt_child(&self, child: &Sym, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if child.precedence() < self.precedence() {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Int(v) => write!(f, "{v}"),
+            Sym::Side => write!(f, "s"),
+            Sym::Depth => write!(f, "p"),
+            Sym::Level => write!(f, "l"),
+            Sym::Pow2(e) => match e.as_ref() {
+                Sym::Int(_) | Sym::Level | Sym::Depth | Sym::Side => write!(f, "2^{e}"),
+                other => write!(f, "2^({other})"),
+            },
+            Sym::Add(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " + ")?;
+                self.fmt_child(b, f)
+            }
+            Sym::Sub(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " - ")?;
+                // Subtraction is left-associative: parenthesize same-level RHS.
+                if b.precedence() <= self.precedence() {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Sym::Mul(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, "*")?;
+                self.fmt_child(b, f)
+            }
+            Sym::Div(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, "/")?;
+                if b.precedence() <= self.precedence() {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
+            Sym::Sq(e) => match e.as_ref() {
+                Sym::Int(_) | Sym::Side | Sym::Depth | Sym::Level | Sym::Pow2(_) => {
+                    write!(f, "{e}^2")
+                }
+                other => write!(f, "({other})^2"),
+            },
+            Sym::Sum(body) => write!(f, "sum_{{l=1..p}} {body}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_evaluate_exactly() {
+        // Total merges of the quad-tree: Σ (s/2^l)² = (s² − 1)/3.
+        let merges = Sym::merges_at_level().sum_over_levels();
+        for side in [2u32, 4, 8, 16, 32] {
+            let n = i64::from(side) * i64::from(side);
+            assert_eq!(merges.eval(side), (n - 1) / 3, "side {side}");
+        }
+        // Σ 2·2^(l−1) = 2(s − 1): the §4.1 O(√N) critical path in steps.
+        let steps = (Sym::Int(2) * Sym::quadrant_side()).sum_over_levels();
+        for side in [2u32, 4, 8, 64] {
+            assert_eq!(steps.eval(side), 2 * (i64::from(side) - 1));
+        }
+    }
+
+    #[test]
+    fn rendering_is_readable_math() {
+        let merges = Sym::merges_at_level().sum_over_levels();
+        assert_eq!(merges.to_string(), "sum_{l=1..p} (s/2^l)^2");
+        let q = Sym::quadrant_side();
+        assert_eq!(q.to_string(), "2^(l - 1)");
+        let mixed = Sym::Int(3) * (Sym::Side + Sym::Int(1));
+        assert_eq!(mixed.to_string(), "3*(s + 1)");
+    }
+
+    #[test]
+    fn depth_and_division_semantics() {
+        assert_eq!(Sym::Depth.eval(16), 4);
+        let e = Sym::Side / Sym::Int(4);
+        assert_eq!(e.eval(8), 2);
+        assert_eq!((Sym::Side - Sym::Int(1)).eval(4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "Level outside a Sum")]
+    fn unbound_level_panics() {
+        Sym::Level.eval(4);
+    }
+}

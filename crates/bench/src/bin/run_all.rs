@@ -43,4 +43,22 @@ fn main() {
         "{}",
         wsn_bench::exp19_architecture_selection(&[4, 8, 16, 32])
     );
+    // Model-fidelity gate: the measurements the tables above are built
+    // from must sit inside the symbolically certified §4 bounds. Any
+    // drift between the runtime's pricing and the certified cost model
+    // fails the whole regeneration loudly.
+    match wsn_bench::lint::conformance_gate(&[4, 8]) {
+        Ok(quantities) => {
+            println!("conformance gate: sides 4 and 8 inside all {quantities} certified bounds")
+        }
+        Err(failures) => {
+            for (side, diags) in &failures {
+                eprintln!(
+                    "side {side} escaped its certificate:\n{}",
+                    diags.render_text()
+                );
+            }
+            panic!("model-fidelity drift: measured runs escaped the certified bounds");
+        }
+    }
 }

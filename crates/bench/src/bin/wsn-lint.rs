@@ -5,6 +5,12 @@
 //! wsn-lint --fig4 [depth]          same, at an explicit hierarchy depth
 //! wsn-lint --program <file.json>   lint a serialized program (JSON model)
 //! wsn-lint --emit-json-program [depth]   print the Figure-4 program as JSON
+//! wsn-lint --certify [depth]       derive the symbolic §4 cost certificate
+//! wsn-lint --conform <trace.jsonl> check a measured trace against the certificate
+//! wsn-lint --record-fidelity-trace <out.jsonl> [depth]
+//!                                  record the seeded model-fidelity run as JSONL;
+//!                                  --mutate-hop-cost <k> / --mutate-tx-energy <x>
+//!                                  deliberately mis-price the runtime radio
 //! wsn-lint --check                 CI gate: paper deployments must be error-free
 //! wsn-lint --codes                 list the diagnostic catalog
 //! ```
@@ -20,10 +26,23 @@ use wsn_bench::lint;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let positional: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") || a.as_str() == "--")
-        .collect();
+    // Flags that consume the following argument as their value.
+    const VALUE_FLAGS: [&str; 2] = ["--mutate-hop-cost", "--mutate-tx-energy"];
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") || a.as_str() == "--" {
+            positional.push(a);
+        }
+    }
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
@@ -43,6 +62,83 @@ fn main() -> ExitCode {
             Err(e) => return usage_error(&e),
         };
         println!("{}", lint::figure4_program_json(depth));
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--certify") {
+        let depth = match parse_depth(&positional) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        let (cert, diags) = lint::certify_figure4(depth);
+        if json {
+            println!("{}", diags.to_json().render());
+        } else {
+            print!("{}", cert.render_text());
+            print!("{}", diags.render_text());
+        }
+        return if diags.has_errors() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if args.iter().any(|a| a == "--conform") {
+        let Some(path) = positional.first() else {
+            return usage_error("--conform needs a trace file path");
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+        };
+        return match lint::conform_trace_text(&text) {
+            Ok((cert, diags)) => {
+                if json {
+                    println!("{}", diags.to_json().render());
+                } else {
+                    print!("{}", cert.render_text());
+                    if diags.is_empty() {
+                        println!("trace conforms: every measured quantity is inside its bound");
+                    } else {
+                        print!("{}", diags.render_text());
+                    }
+                }
+                if diags.has_errors() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => usage_error(&format!("{path}: {e}")),
+        };
+    }
+
+    if args.iter().any(|a| a == "--record-fidelity-trace") {
+        let Some(path) = positional.first() else {
+            return usage_error("--record-fidelity-trace needs an output path");
+        };
+        let depth = match parse_depth(&positional[1..]) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        let hop = match parse_flag_value(&args, "--mutate-hop-cost", 1u64) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let tx = match parse_flag_value(&args, "--mutate-tx-energy", 1.0f64) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let side = 2u32.pow(u32::from(depth));
+        let doc = wsn_bench::experiments::record_model_fidelity_trace(side, 3, 5, hop, tx);
+        if let Err(e) = std::fs::write(path, doc.to_jsonl()) {
+            return usage_error(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "recorded side-{side} model-fidelity trace to {path} \
+             (hop-cost ×{hop}, tx-energy ×{tx})"
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -84,6 +180,22 @@ fn main() -> ExitCode {
     report(&diags, json)
 }
 
+fn parse_flag_value<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{flag} needs a value")),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("{flag}: cannot parse {raw:?}")),
+        },
+    }
+}
+
 fn parse_depth(positional: &[&String]) -> Result<u8, String> {
     match positional.first() {
         None => Ok(2),
@@ -116,6 +228,8 @@ fn usage_error(message: &str) -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage: wsn-lint [--fig4] [depth] | --program <file.json> | \
-         --emit-json-program [depth] | --check | --codes   [--json]"
+         --emit-json-program [depth] | --certify [depth] | --conform <trace.jsonl> | \
+         --record-fidelity-trace <out.jsonl> [depth] [--mutate-hop-cost k] \
+         [--mutate-tx-energy x] | --check | --codes   [--json]"
     );
 }

@@ -35,15 +35,10 @@ pub fn blob_field(side: u32, seed: u64) -> Field {
 }
 
 /// The paper's message-size model for region summaries of a full extent
-/// (worst case, used by the analytic estimates): 1 framing unit plus one
-/// per border cell.
-pub fn full_boundary_units(level: u8) -> u64 {
-    if level == 0 {
-        2
-    } else {
-        4 * (1u64 << level) - 3
-    }
-}
+/// (worst case, used by the analytic estimates). Now lives in
+/// `wsn-core` beside the estimator; re-exported here for the
+/// experiment tables that grew up with it.
+pub use wsn_core::full_boundary_units;
 
 /// EXP-5: the O(√N)-steps claim. Runs the divide-and-conquer algorithm
 /// under the paper's *step* cost model (`ticks_per_unit = 0`: one latency
@@ -799,6 +794,49 @@ pub fn record_end_to_end_trace(
         move |c| f2.value(c),
     );
     rt.enable_telemetry(trace_events);
+    let topo = rt.run_topology_emulation();
+    assert!(topo.complete, "topology emulation must complete");
+    let bind = rt.run_binding();
+    assert!(bind.unique, "binding must elect unique leaders");
+    rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    rt.run_application();
+    rt.record_trace()
+}
+
+/// Records the seeded model-fidelity run the conformance gate checks:
+/// the EXP-9 configuration (uniform field, so every summary is the full
+/// boundary the §4 analysis prices) on the emulated physical network,
+/// exported as a telemetry trace.
+///
+/// The two multipliers deliberately mis-price the *runtime's* radio
+/// against the certifier's `CostModel` — the mutation the conformance
+/// gate must catch: `hop_cost_multiplier` scales ticks-per-unit (latency
+/// drift), `tx_energy_multiplier` scales transmit energy (energy
+/// drift). Pass `1`/`1.0` for the faithful run.
+pub fn record_model_fidelity_trace(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    hop_cost_multiplier: u64,
+    tx_energy_multiplier: f64,
+) -> wsn_obs::TraceDocument {
+    let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
+    let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let mut radio = RadioModel::uniform(range);
+    radio.ticks_per_unit *= hop_cost_multiplier;
+    radio.tx_energy_per_unit *= tx_energy_multiplier;
+    let f2 = field.clone();
+    let mut rt: PhysicalRuntime<wsn_topoquery::DandcMsg> = PhysicalRuntime::new(
+        deployment,
+        radio,
+        LinkModel::ideal(),
+        None,
+        1,
+        seed,
+        move |c| f2.value(c),
+    );
+    rt.enable_telemetry(false);
     let topo = rt.run_topology_emulation();
     assert!(topo.complete, "topology emulation must complete");
     let bind = rt.run_binding();

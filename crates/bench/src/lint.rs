@@ -1,10 +1,16 @@
 //! Shared logic of the `wsn-lint` binary: assemble the paper's artifacts
 //! (or decode serialized ones), run the static analyzer, and render the
-//! verdict for terminals, JSON consumers, or the CI gate.
+//! verdict for terminals, JSON consumers, or the CI gate. Also home of
+//! the certification entry points: symbolic bound derivation
+//! (`--certify`) and measured-trace conformance (`--conform`), plus the
+//! model-fidelity gate `run_all` executes after the experiments.
 
-use wsn_analyze::{analyze_deployment, analyze_program, check_deadlock, Diagnostics};
+use wsn_analyze::{
+    analyze_deployment, analyze_program, certify, check_conformance, check_deadlock, CertConfig,
+    Certificate, Diagnostics,
+};
 use wsn_core::Hierarchy;
-use wsn_obs::Json;
+use wsn_obs::{Json, TraceDocument};
 use wsn_synth::{
     quadtree_task_graph, synthesize_quadtree_program, Mapper, QuadTree, QuadrantMapper,
 };
@@ -73,6 +79,65 @@ pub fn check_gate() -> Result<(), Vec<(u8, Diagnostics)>> {
 pub fn paper_depth() -> u8 {
     let h = Hierarchy::new(4);
     h.max_level()
+}
+
+/// Certifies the paper's Figure-4 program at hierarchy depth `depth`
+/// under the §3.2 uniform cost model: symbolic per-quantity bounds,
+/// evaluated at side `2^depth`.
+pub fn certify_figure4(depth: u8) -> (Certificate, Diagnostics) {
+    let side = 2u32.pow(u32::from(depth));
+    let program = synthesize_quadtree_program(depth);
+    certify(&program, &CertConfig::paper(side))
+}
+
+/// Checks a serialized `wsn-obs` JSONL trace against the Figure-4
+/// certificate at the trace's own grid side. Returns the certificate
+/// (for rendering) and the combined certification + conformance report.
+pub fn conform_trace_text(text: &str) -> Result<(Certificate, Diagnostics), String> {
+    let doc = TraceDocument::from_jsonl(text).map_err(|e| e.to_string())?;
+    let side = doc
+        .meta
+        .as_ref()
+        .map(|m| m.grid)
+        .ok_or("trace has no meta record, so its grid side is unknown")?;
+    let side = u32::try_from(side).map_err(|_| format!("absurd grid side {side}"))?;
+    if side < 2 || !side.is_power_of_two() {
+        return Err(format!(
+            "trace grid side {side} is not a power of two ≥ 2; the quad-tree certifier \
+             does not apply"
+        ));
+    }
+    let depth = u8::try_from(side.trailing_zeros()).map_err(|_| "depth overflow".to_owned())?;
+    let (cert, mut diags) = certify_figure4(depth);
+    diags.extend(check_conformance(&cert, &doc));
+    diags.sort();
+    Ok((cert, diags))
+}
+
+/// The model-fidelity gate `run_all` finishes with: re-record the seeded
+/// EXP-9 uniform-field run on the emulated physical network at each
+/// side, certify the Figure-4 program, and demand the measurements land
+/// inside every certified bound. Returns the per-side reports on
+/// failure.
+pub fn conformance_gate(sides: &[u32]) -> Result<usize, Vec<(u32, Diagnostics)>> {
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    for &side in sides {
+        let depth = u8::try_from(side.trailing_zeros()).expect("side fits");
+        let doc = crate::experiments::record_model_fidelity_trace(side, 3, 5, 1, 1.0);
+        let (cert, mut diags) = certify_figure4(depth);
+        diags.extend(check_conformance(&cert, &doc));
+        diags.sort();
+        checked += cert.bounds.len();
+        if diags.has_errors() {
+            failures.push((side, diags));
+        }
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        Err(failures)
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,24 @@ fn figure4_fixture_round_trips_and_lints_clean() {
 }
 
 #[test]
+fn json_report_is_byte_stable() {
+    // Satellite of the certification PR: diagnostic ordering is a total
+    // order (severity, code, span, message, suggestion), so the JSON
+    // report is byte-for-byte reproducible — across repeated runs and
+    // against the committed golden file.
+    let golden = fixture("figure4_depth2_diags.json");
+    let render = || lint::lint_figure4(2).to_json().render();
+    let first = render();
+    assert_eq!(first, render(), "two renders in one process differ");
+    assert_eq!(
+        format!("{first}\n"),
+        golden,
+        "wsn-lint --json drifted from the golden fixture; if the change is \
+         intentional, regenerate tests/fixtures/figure4_depth2_diags.json"
+    );
+}
+
+#[test]
 fn unbound_variable_fixture_reports_wf_codes() {
     let diags = lint::lint_program_text(&fixture("broken_unbound_var.json")).unwrap();
     assert!(diags.has_errors());

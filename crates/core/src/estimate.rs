@@ -119,6 +119,19 @@ pub fn centralized_collection_estimate(
     }
 }
 
+/// The paper's message-size model for the boundary summary of a *full*
+/// level-`level` extent (the worst case, used by the analytic estimates
+/// and the cost certifier's payload upper bound): one framing unit plus
+/// one per border cell of the `2^level × 2^level` block — `4·2^level − 3`
+/// for `level ≥ 1`, two units for a single cell.
+pub fn full_boundary_units(level: u8) -> u64 {
+    if level == 0 {
+        2
+    } else {
+        4 * (1u64 << level) - 3
+    }
+}
+
 /// Mean and maximum follower→leader hop distance inside a level-`level`
 /// block (§4.2's group-communication cost): with block side `b = 2^level`,
 /// the mean of `col + row` over the block is `b − 1` and the maximum is
@@ -237,5 +250,111 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         quadtree_merge_estimate(6, &CostModel::uniform(), &unit_payload, &|_| 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected_even_when_even() {
+        quadtree_merge_estimate(12, &CostModel::uniform(), &unit_payload, &|_| 0, 1);
+    }
+
+    #[test]
+    fn side_one_grid_is_a_single_leaf() {
+        // Depth 0: no merges, no messages, no latency — only the one
+        // leaf's compute charge.
+        let e = quadtree_merge_estimate(1, &CostModel::uniform(), &unit_payload, &|_| 7, 3);
+        assert_eq!(e.messages, 0);
+        assert_eq!(e.data_units, 0);
+        assert_eq!(e.latency_ticks, 0);
+        assert_eq!(e.total_energy, 3.0);
+        let c = centralized_collection_estimate(1, &CostModel::uniform(), 5, 3, 2);
+        assert_eq!(c.messages, 0);
+        assert_eq!(c.total_energy, 5.0); // leaf + sink compute, no paths
+        assert_eq!(c.latency_ticks, 0);
+    }
+
+    #[test]
+    fn zero_cost_model_still_counts_steps() {
+        // All-zero coefficients: energy vanishes, but hop_ticks floors at
+        // one tick per hop, so latency degrades to the §4.1 *step* count
+        // 2(side − 1) rather than to zero.
+        let zero = CostModel {
+            tx_energy: 0.0,
+            rx_energy: 0.0,
+            compute_energy: 0.0,
+            ticks_per_unit: 0,
+        };
+        for side in [2u32, 4, 8] {
+            let e = quadtree_merge_estimate(side, &zero, &full_boundary_units, &|_| 1, 1);
+            assert_eq!(e.total_energy, 0.0, "side {side}");
+            assert_eq!(e.latency_ticks, u64::from(2 * (side - 1)), "side {side}");
+            assert!(e.messages > 0);
+        }
+    }
+
+    #[test]
+    fn full_boundary_units_by_hand() {
+        assert_eq!(full_boundary_units(0), 2);
+        assert_eq!(full_boundary_units(1), 5); // 2×2 block: 4 border + 1
+        assert_eq!(full_boundary_units(2), 13); // 4×4 block: 12 border + 1
+        assert_eq!(full_boundary_units(3), 29);
+    }
+
+    #[test]
+    fn quadtree_estimate_is_monotone_in_side() {
+        // Property: under the paper's payload model every estimated
+        // dimension strictly grows with the grid side (more levels, more
+        // merges, longer critical path).
+        let cost = CostModel::uniform();
+        let estimates: Vec<Estimate> = (1..=7u32)
+            .map(|p| {
+                quadtree_merge_estimate(
+                    1 << p,
+                    &cost,
+                    &full_boundary_units,
+                    &|l| 4 * full_boundary_units(l - 1),
+                    1,
+                )
+            })
+            .collect();
+        for w in estimates.windows(2) {
+            assert!(w[1].latency_ticks > w[0].latency_ticks, "{w:?}");
+            assert!(w[1].total_energy > w[0].total_energy, "{w:?}");
+            assert!(w[1].messages > w[0].messages, "{w:?}");
+            assert!(w[1].data_units > w[0].data_units, "{w:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Monotonicity holds for *any* positive cost model, not just the
+        /// uniform one: scaling coefficients cannot reorder sides.
+        #[test]
+        fn monotone_in_side_for_random_cost_models(
+            tx in 0.1f64..10.0,
+            rx in 0.1f64..10.0,
+            compute in 0.0f64..10.0,
+            tpu in 1u64..5,
+            p in 1u32..6,
+        ) {
+            let cost = CostModel {
+                tx_energy: tx,
+                rx_energy: rx,
+                compute_energy: compute,
+                ticks_per_unit: tpu,
+            };
+            let small = quadtree_merge_estimate(
+                1 << p, &cost, &full_boundary_units, &|_| 1, 1);
+            let large = quadtree_merge_estimate(
+                1 << (p + 1), &cost, &full_boundary_units, &|_| 1, 1);
+            prop_assert!(large.latency_ticks > small.latency_ticks);
+            prop_assert!(large.total_energy > small.total_energy);
+            prop_assert!(large.messages > small.messages);
+        }
     }
 }

@@ -45,7 +45,8 @@ pub use collective::{
 };
 pub use cost::{BudgetViolation, CostBudget, CostModel};
 pub use estimate::{
-    centralized_collection_estimate, follower_to_leader_hops, quadtree_merge_estimate, Estimate,
+    centralized_collection_estimate, follower_to_leader_hops, full_boundary_units,
+    quadtree_merge_estimate, Estimate,
 };
 pub use grid::{Direction, GridCoord, VirtualGrid};
 pub use groups::Hierarchy;

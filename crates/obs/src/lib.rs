@@ -39,4 +39,6 @@ pub use json::{Json, JsonError};
 pub use registry::{FixedHistogram, Registry, TICK_BUCKETS};
 pub use span::{render_span_forest, SpanNode, SpanRecorder};
 pub use timeline::{render_timeline, TimelineConfig};
-pub use trace::{JsonlEventSink, NodeSnapshot, TraceDocument, TraceMeta, TraceParseError};
+pub use trace::{
+    JsonlEventSink, NodeSnapshot, TraceDocument, TraceMeta, TraceParseError, TRACE_SCHEMA_VERSION,
+};

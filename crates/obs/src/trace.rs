@@ -27,9 +27,16 @@ use std::fmt;
 use std::rc::Rc;
 use wsn_sim::{SimTime, TraceEntry, TraceKind, TraceSink};
 
+/// The JSONL trace schema this writer emits and this reader understands.
+/// Bumped on any incompatible record-shape change; see
+/// [`TraceDocument::from_jsonl`] for the mismatch policy.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
 /// Run parameters recorded in a trace's `meta` line.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceMeta {
+    /// Trace schema version (see [`TRACE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
     /// Grid side length (the run simulates `grid * grid` sensors).
     pub grid: u64,
     /// Master seed of the run.
@@ -40,6 +47,19 @@ pub struct TraceMeta {
     pub total_ticks: u64,
     /// Total kernel events dispatched.
     pub events: u64,
+}
+
+impl Default for TraceMeta {
+    fn default() -> Self {
+        TraceMeta {
+            schema_version: TRACE_SCHEMA_VERSION,
+            grid: 0,
+            seed: 0,
+            nodes: 0,
+            total_ticks: 0,
+            events: 0,
+        }
+    }
 }
 
 /// Per-node resource snapshot recorded in a `node` line.
@@ -194,7 +214,7 @@ impl TraceDocument {
                 .and_then(Json::as_str)
                 .ok_or_else(|| fail("missing record tag \"t\""))?;
             match tag {
-                "meta" => doc.meta = Some(meta_from_json(&v).map_err(&fail)?),
+                "meta" => doc.meta = Some(meta_from_json(&v).map_err(|e| fail(&e))?),
                 "span" => doc.spans.push(span_from_json(&v).map_err(&fail)?),
                 "ctr" => {
                     let name = v
@@ -247,6 +267,10 @@ fn push_line(out: &mut String, v: Json) {
 fn meta_to_json(meta: &TraceMeta) -> Json {
     Json::Obj(vec![
         ("t".to_string(), Json::Str("meta".to_string())),
+        (
+            "schema_version".to_string(),
+            Json::from_u64(meta.schema_version),
+        ),
         ("grid".to_string(), Json::from_u64(meta.grid)),
         ("seed".to_string(), Json::from_u64(meta.seed)),
         ("nodes".to_string(), Json::from_u64(meta.nodes)),
@@ -255,9 +279,20 @@ fn meta_to_json(meta: &TraceMeta) -> Json {
     ])
 }
 
-fn meta_from_json(v: &Json) -> Result<TraceMeta, &'static str> {
+fn meta_from_json(v: &Json) -> Result<TraceMeta, String> {
     let field = |key: &str| v.get(key).and_then(Json::as_u64);
+    // Pre-versioning traces carry no schema_version; they are v1 by
+    // construction. A *different* version is an incompatibility: reject
+    // with a clear message instead of misparsing the records downstream.
+    let schema_version = field("schema_version").unwrap_or(TRACE_SCHEMA_VERSION);
+    if schema_version != TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported trace schema_version {schema_version} (this reader understands \
+             {TRACE_SCHEMA_VERSION}); re-record the trace with a matching wsn-obs"
+        ));
+    }
     Ok(TraceMeta {
+        schema_version,
         grid: field("grid").ok_or("meta without grid")?,
         seed: field("seed").ok_or("meta without seed")?,
         nodes: field("nodes").ok_or("meta without nodes")?,
@@ -462,6 +497,7 @@ mod tests {
     fn sample_doc() -> TraceDocument {
         let mut doc = TraceDocument::new();
         doc.meta = Some(TraceMeta {
+            schema_version: TRACE_SCHEMA_VERSION,
             grid: 16,
             seed: 42,
             nodes: 256,
@@ -523,6 +559,34 @@ mod tests {
         assert_eq!(parsed.events, doc.events);
         // Serialize → parse → serialize is a fixed point.
         assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn schema_version_round_trips_and_gates_parsing() {
+        // The writer stamps the current version.
+        let doc = sample_doc();
+        assert!(doc
+            .to_jsonl()
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"schema_version\":1"));
+        // A pre-versioning meta line (no field) is v1 by construction.
+        let legacy = "{\"t\":\"meta\",\"grid\":4,\"seed\":1,\"nodes\":16,\
+                      \"total_ticks\":9,\"events\":2}";
+        let parsed = TraceDocument::from_jsonl(legacy).unwrap();
+        assert_eq!(parsed.meta.unwrap().schema_version, TRACE_SCHEMA_VERSION);
+        // A mismatched version is a clear error, not a misparse.
+        let future = "{\"t\":\"meta\",\"schema_version\":2,\"grid\":4,\"seed\":1,\
+                      \"nodes\":16,\"total_ticks\":9,\"events\":2}";
+        let err = TraceDocument::from_jsonl(future).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(
+            err.message.contains("unsupported trace schema_version 2"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("understands 1"), "{}", err.message);
     }
 
     #[test]

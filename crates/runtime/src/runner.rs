@@ -625,6 +625,12 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let h0 = self.kernel.stats().counter("rt.app_hops");
         let r0 = self.kernel.stats().counter("rt.arq_retx");
         let u0 = self.kernel.stats().counter("rt.data_units");
+        let tx_before: Vec<f64> = if self.telemetry.is_enabled() {
+            let medium = self.medium.borrow();
+            medium.ledger().snapshot().iter().map(|s| s.tx).collect()
+        } else {
+            Vec::new()
+        };
         self.span_open("application");
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_APP);
@@ -659,7 +665,35 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             .incr_by("phase.app.retransmissions", report.retransmissions);
         self.telemetry
             .incr_by("phase.app.exfiltrations", report.exfil_count as u64);
+        self.record_app_tx_by_class(&tx_before);
         report
+    }
+
+    /// Splits the application phase's transmit energy by *leadership
+    /// class* — the highest hierarchy level a node's cell leads — and
+    /// publishes one `phase.app.tx_energy.classK` gauge per class. The
+    /// cost certifier checks these against its per-class intervals:
+    /// transmit energy is broadcast-invariant (one charge per
+    /// transmission, unlike receive energy, which overhearing inflates),
+    /// so it is the per-node-class quantity the §4 analysis can predict.
+    fn record_app_tx_by_class(&mut self, tx_before: &[f64]) {
+        if !self.telemetry.is_enabled() || !self.grid.side().is_power_of_two() {
+            return;
+        }
+        let hierarchy = wsn_core::Hierarchy::new(self.grid.side());
+        let mut by_class = vec![0.0f64; usize::from(hierarchy.max_level()) + 1];
+        let medium = self.medium.borrow();
+        for snap in medium.ledger().snapshot() {
+            let delta = snap.tx - tx_before.get(snap.node).copied().unwrap_or(0.0);
+            let cell = self.deployment.cell_of_node(snap.node);
+            let class = hierarchy.highest_leader_level(GridCoord::new(cell.col, cell.row));
+            by_class[usize::from(class)] += delta;
+        }
+        drop(medium);
+        for (class, energy) in by_class.iter().enumerate() {
+            self.telemetry
+                .gauge_set(&format!("phase.app.tx_energy.class{class}"), *energy);
+        }
     }
 
     /// Rebuilds per-quadtree-merge-level spans from the `merge.levelK.complete`
@@ -705,6 +739,7 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     pub fn record_trace(&self) -> TraceDocument {
         let mut doc = TraceDocument::new();
         doc.meta = Some(TraceMeta {
+            schema_version: wsn_obs::TRACE_SCHEMA_VERSION,
             grid: u64::from(self.grid.side()),
             seed: self.seed,
             nodes: self.deployment.node_count() as u64,

@@ -547,6 +547,26 @@ mod tests {
     }
 
     #[test]
+    fn fully_covered_extent_costs_exactly_the_certified_payload_ceiling() {
+        // The symbolic cost certifier's payload ceiling
+        // (`wsn_core::full_boundary_units`) claims a fully-featured
+        // 2^l × 2^l extent summarizes to 4·2^l − 3 units (2 at l = 0).
+        // The real summary must agree, or every certified upper bound
+        // built on it is fiction.
+        for level in 0u8..=4 {
+            let side = 1usize << level;
+            let row = "#".repeat(side);
+            let rows: Vec<&str> = (0..side).map(|_| row.as_str()).collect();
+            let root = merge_tree(&map_of(&rows));
+            assert_eq!(
+                root.units(),
+                wsn_core::full_boundary_units(level),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "quadrant origins")]
     fn mismatched_quadrants_panic() {
         let a = BoundarySummary::leaf(GridCoord::new(0, 0), false);
