@@ -135,6 +135,79 @@ pub fn check_conformance(cert: &Certificate, doc: &TraceDocument) -> Diagnostics
         }
     }
 
+    // TC008: cross-check the causal layer's critical path. The path is
+    // an *exact* quantity — its telescoped segment sum must equal the
+    // measured application span, and its length must sit inside the same
+    // certified latency interval TC004 checks the span against. A trace
+    // without causal records skips this (older recordings, control-only
+    // runs); one *with* records has no excuse.
+    if !doc.causal.is_empty() {
+        match wsn_obs::extract_critical_path(&doc.causal) {
+            Err(e) => diags.push(
+                Diagnostic::error(
+                    Code::TC008,
+                    Span::Phase("application".to_owned()),
+                    format!("trace carries causal records but no critical path: {e}"),
+                )
+                .with_suggestion(
+                    "enable causal tracing before run_application so the exfiltration chain \
+                     is recorded end to end",
+                ),
+            ),
+            Ok(path) => {
+                if let Some(span) = doc.spans.iter().find(|s| s.name == "application") {
+                    let dur = span.end - span.start;
+                    if path.start != span.start || path.end != span.end || path.segment_sum() != dur
+                    {
+                        diags.push(
+                            Diagnostic::error(
+                                Code::TC008,
+                                Span::Phase("application".to_owned()),
+                                format!(
+                                    "critical path {}..{} (segments sum {}) does not telescope \
+                                     to the application span {}..{} ({dur} ticks)",
+                                    path.start,
+                                    path.end,
+                                    path.segment_sum(),
+                                    span.start,
+                                    span.end
+                                ),
+                            )
+                            .with_suggestion(
+                                "a lost deliver record or a chain broken across hops breaks \
+                                 exactness; check the causal hooks on every send path",
+                            ),
+                        );
+                    }
+                }
+                if let Some(bound) = cert
+                    .bounds
+                    .iter()
+                    .find(|b| b.kind == BoundKind::SpanTicks && b.quantity == "application")
+                {
+                    let total = path.total_ticks() as f64;
+                    if !bound.interval.contains(total) {
+                        diags.push(
+                            Diagnostic::error(
+                                Code::TC008,
+                                Span::Phase("application".to_owned()),
+                                format!(
+                                    "critical path length {total} ticks escapes the certified \
+                                     latency interval {} ({})",
+                                    bound.interval, bound.symbolic
+                                ),
+                            )
+                            .with_suggestion(
+                                "the latency-determining chain is mispriced: compare per-hop \
+                                 flight ticks against the certified cost model",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     diags.sort();
     diags
 }
@@ -288,6 +361,60 @@ mod tests {
         doc.meta.as_mut().unwrap().grid = 8;
         let d = check_conformance(&paper_cert(4), &doc);
         assert!(d.has_code(Code::TC007), "{}", d.render_text());
+    }
+
+    /// Attaches a minimal exact causal chain spanning the application
+    /// span (5..36): start -> hop send -> delivery -> exfiltration.
+    fn attach_exact_chain(doc: &mut TraceDocument) {
+        let mut log = wsn_sim::CausalLog::new();
+        let root = log.record_local(0, SimTime::from_ticks(5), 0, "app.start");
+        let s = log.record_send(0, SimTime::from_ticks(5), root, "app.hop", 2);
+        let d = log.record_deliver(1, SimTime::from_ticks(36), s, "app.hop", 2);
+        log.record_local(1, SimTime::from_ticks(36), d, "app.exfil");
+        doc.causal = log.into_events();
+    }
+
+    #[test]
+    fn exact_critical_path_passes_tc008() {
+        let mut doc = faithful_trace();
+        attach_exact_chain(&mut doc);
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.is_empty(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn critical_path_span_disagreement_is_tc008() {
+        let mut doc = faithful_trace();
+        attach_exact_chain(&mut doc);
+        // The chain ends before the measured span does: exactness broken.
+        doc.causal[2].time = SimTime::from_ticks(30);
+        doc.causal[3].time = SimTime::from_ticks(30);
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC008), "{}", d.render_text());
+    }
+
+    #[test]
+    fn critical_path_outside_certified_latency_is_tc008() {
+        let mut doc = faithful_trace();
+        attach_exact_chain(&mut doc);
+        // Span and chain agree with each other but both escape the
+        // certificate: TC004 (span) and TC008 (path) fire together.
+        doc.spans[0].end = SimTime::from_ticks(80);
+        doc.causal[2].time = SimTime::from_ticks(80);
+        doc.causal[3].time = SimTime::from_ticks(80);
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC004), "{}", d.render_text());
+        assert!(d.has_code(Code::TC008), "{}", d.render_text());
+    }
+
+    #[test]
+    fn causal_records_without_an_exfiltration_are_tc008() {
+        let mut doc = faithful_trace();
+        let mut log = wsn_sim::CausalLog::new();
+        log.record_local(0, SimTime::from_ticks(5), 0, "app.start");
+        doc.causal = log.into_events();
+        let d = check_conformance(&paper_cert(4), &doc);
+        assert!(d.has_code(Code::TC008), "{}", d.render_text());
     }
 
     #[test]

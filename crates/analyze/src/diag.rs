@@ -84,6 +84,7 @@ pub enum Code {
     TC005,
     TC006,
     TC007,
+    TC008,
 }
 
 impl Code {
@@ -127,6 +128,7 @@ impl Code {
             Code::TC005 => "merge fan-in/completion count mismatches the certified count",
             Code::TC006 => "per-class transmit energy escapes the certified interval",
             Code::TC007 => "trace metadata incompatible with the certificate's config",
+            Code::TC008 => "critical path disagrees with the span or certified latency",
         }
     }
 
@@ -137,7 +139,7 @@ impl Code {
             WF001, WF002, WF003, WF004, WF005, WF006, WF007, WF008, WF009, WF010, RD001, RD002,
             RD003, RD004, GM001, GM002, GM003, GM004, GM005, DL001, DL002, CB001, CB002, CB003,
             CB004, CC001, CC002, CC003, CC004, CC005, TC001, TC002, TC003, TC004, TC005, TC006,
-            TC007,
+            TC007, TC008,
         ]
     }
 }
@@ -521,6 +523,6 @@ mod tests {
         for &c in Code::all() {
             assert!(!c.description().is_empty(), "{c}");
         }
-        assert_eq!(Code::all().len(), 37);
+        assert_eq!(Code::all().len(), 38);
     }
 }

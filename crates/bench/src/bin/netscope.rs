@@ -9,14 +9,27 @@
 //! ```text
 //! netscope <trace.jsonl> [--top K] [--no-timeline]
 //! netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]
+//! netscope critical-path <trace.jsonl> [--width W]
+//! netscope critical-path --demo [--side N] [--per-cell K] [--seed S] [--width W]
+//! netscope diff <a.jsonl> <b.jsonl>
 //! ```
 //!
 //! `--demo` records a fresh end-to-end run (topology emulation → binding →
 //! divide-and-conquer application, 16×16 virtual grid by default) and
 //! inspects it in place; `--out` additionally writes the JSONL to a file.
+//!
+//! `critical-path` walks the trace's causal log back from the final
+//! exfiltration, renders the per-hop/per-merge-level waterfall, and
+//! cross-checks the telescoped path length against the measured
+//! application span — exiting non-zero on a mismatch, so CI can assert
+//! the exactness invariant. `diff` prints per-counter/per-span deltas
+//! between two traces.
 
 use std::process::ExitCode;
-use wsn_obs::{render_span_forest, render_timeline, TimelineConfig, TraceDocument};
+use wsn_obs::{
+    extract_critical_path, render_span_forest, render_timeline, render_trace_diff, TimelineConfig,
+    TraceDocument,
+};
 
 struct Options {
     input: Option<String>,
@@ -30,7 +43,10 @@ struct Options {
 }
 
 const USAGE: &str = "usage: netscope <trace.jsonl> [--top K] [--no-timeline]
-       netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]";
+       netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]
+       netscope critical-path <trace.jsonl> [--width W]
+       netscope critical-path --demo [--side N] [--per-cell K] [--seed S] [--width W]
+       netscope diff <a.jsonl> <b.jsonl>";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -73,7 +89,127 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid number {s:?}"))
 }
 
+fn load_trace(path: &str) -> Result<TraceDocument, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TraceDocument::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `netscope critical-path …`: waterfall + exactness verdict. Non-zero
+/// exit when the telescoped path length disagrees with the measured
+/// application span (or the trace has no causal log).
+fn cmd_critical_path(args: &[String]) -> Result<String, String> {
+    let mut input = None;
+    let mut demo = false;
+    let mut side: u32 = 4;
+    let mut per_cell: usize = 3;
+    let mut seed: u64 = 5;
+    let mut width: usize = 64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--demo" => demo = true,
+            "--side" => side = parse_num(&value("--side")?)?,
+            "--per-cell" => per_cell = parse_num(&value("--per-cell")?)?,
+            "--seed" => seed = parse_num(&value("--seed")?)?,
+            "--width" => width = parse_num(&value("--width")?)?,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let doc = match (&input, demo) {
+        (Some(path), false) => load_trace(path)?,
+        (None, true) => wsn_bench::record_end_to_end_trace(side, per_cell, seed, false),
+        _ => {
+            return Err(format!(
+                "pass exactly one of a trace file or --demo\n{USAGE}"
+            ))
+        }
+    };
+    if doc.causal.is_empty() {
+        return Err("trace carries no causal events (cev records) — \
+                    record it with causal tracing enabled"
+            .to_string());
+    }
+    let path = extract_critical_path(&doc.causal)?;
+    let mut out = path.render_waterfall(width);
+    let span = doc.spans.iter().find(|s| s.name == "application");
+    match span {
+        Some(span) => {
+            let measured = span.duration_ticks();
+            let verdict = if path.total_ticks() == measured
+                && path.segment_sum() == measured
+                && path.start == span.start
+                && path.end == span.end
+            {
+                "EXACT"
+            } else {
+                "MISMATCH"
+            };
+            out.push_str(&format!(
+                "application span {}..{} ({measured} ticks) vs critical path {} ticks — {verdict}\n",
+                span.start.ticks(),
+                span.end.ticks(),
+                path.total_ticks(),
+            ));
+            if verdict == "MISMATCH" {
+                return Err(out);
+            }
+        }
+        None => {
+            out.push_str("(no application span in trace; cannot cross-check)\n");
+            return Err(out);
+        }
+    }
+    Ok(out)
+}
+
+/// `netscope diff a.jsonl b.jsonl`: per-counter/per-span deltas.
+fn cmd_diff(args: &[String]) -> Result<String, String> {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if files.len() != 2 || args.len() != 2 {
+        return Err(format!("diff takes exactly two trace files\n{USAGE}"));
+    }
+    let a = load_trace(files[0])?;
+    let b = load_trace(files[1])?;
+    Ok(render_trace_diff(&a, &b))
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("critical-path") => {
+            return match cmd_critical_path(&argv[1..]) {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff") => {
+            return match cmd_diff(&argv[1..]) {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {}
+    }
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(msg) => {
@@ -226,6 +362,14 @@ fn report(doc: &TraceDocument, top: usize, timeline: bool) -> String {
     if timeline && !doc.events.is_empty() {
         push(&mut out, "activity timeline");
         out.push_str(&render_timeline(&doc.events, &TimelineConfig::default()));
+    }
+
+    if !doc.causal.is_empty() {
+        push(&mut out, "critical path");
+        match extract_critical_path(&doc.causal) {
+            Ok(path) => out.push_str(&path.render_waterfall(64)),
+            Err(e) => out.push_str(&format!("(not extractable: {e})\n")),
+        }
     }
     out
 }

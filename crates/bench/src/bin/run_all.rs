@@ -1,4 +1,14 @@
-//! Runs every figure regenerator and experiment in DESIGN.md order.
+//! Runs every figure regenerator and experiment in DESIGN.md order, then
+//! the model-fidelity conformance gate and the perf-baseline regression
+//! gate (seeded snapshots vs the committed `BENCH_topoquery.json`).
+
+/// Where the committed perf baseline lives, relative to the invocation
+/// directory (the workspace root in CI).
+const BASELINE_PATH: &str = "BENCH_topoquery.json";
+
+/// Allowed per-metric drift before the regression gate fails the run.
+const TOLERANCE_PCT: f64 = 10.0;
+
 fn main() {
     print!("{}\n\n", wsn_bench::fig2_quadtree());
     print!("{}\n\n", wsn_bench::fig3_mapping());
@@ -61,4 +71,31 @@ fn main() {
             panic!("model-fidelity drift: measured runs escaped the certified bounds");
         }
     }
+    // Perf-baseline regression gate: distill the seeded runs into
+    // machine-readable snapshots (latency, messages, energy, critical
+    // path per side) and diff them against the committed baseline
+    // *before* rewriting it, so drift fails loudly instead of being
+    // silently absorbed into a fresh snapshot.
+    let snaps = wsn_bench::perfbase::perf_snapshots(&[4, 8], 1.0, 1.0)
+        .expect("seeded perf snapshots must record");
+    match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(text) => {
+            let baseline = wsn_bench::perfbase::parse_snapshots(&text)
+                .unwrap_or_else(|e| panic!("{BASELINE_PATH}: {e}"));
+            match wsn_bench::perfbase::regression_gate(&snaps, &baseline, TOLERANCE_PCT) {
+                Ok(report) => {
+                    print!("{report}");
+                    println!("perf baseline gate: every metric within +/-{TOLERANCE_PCT}%");
+                }
+                Err(report) => {
+                    eprint!("{report}");
+                    panic!("perf regression: current run drifted from {BASELINE_PATH}");
+                }
+            }
+        }
+        Err(_) => println!("no {BASELINE_PATH} baseline found; recording a fresh one"),
+    }
+    std::fs::write(BASELINE_PATH, wsn_bench::perfbase::render_snapshots(&snaps))
+        .unwrap_or_else(|e| panic!("cannot write {BASELINE_PATH}: {e}"));
+    println!("wrote {BASELINE_PATH} ({} sides)", snaps.len());
 }

@@ -11,6 +11,12 @@
 //!                                  record the seeded model-fidelity run as JSONL;
 //!                                  --mutate-hop-cost <k> / --mutate-tx-energy <x>
 //!                                  deliberately mis-price the runtime radio
+//! wsn-lint --perf-baseline <out.json>
+//!                                  record the seeded perf snapshots (sides 4, 8)
+//! wsn-lint --perf-gate <baseline.json> [--tolerance pct]
+//!                                  re-record the snapshots and fail on drift;
+//!                                  the mutation flags apply here too, so CI can
+//!                                  prove an injected +50% hop delay trips it
 //! wsn-lint --check                 CI gate: paper deployments must be error-free
 //! wsn-lint --codes                 list the diagnostic catalog
 //! ```
@@ -27,7 +33,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     // Flags that consume the following argument as their value.
-    const VALUE_FLAGS: [&str; 2] = ["--mutate-hop-cost", "--mutate-tx-energy"];
+    const VALUE_FLAGS: [&str; 3] = ["--mutate-hop-cost", "--mutate-tx-energy", "--tolerance"];
     let mut positional: Vec<&String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -122,7 +128,7 @@ fn main() -> ExitCode {
             Ok(d) => d,
             Err(e) => return usage_error(&e),
         };
-        let hop = match parse_flag_value(&args, "--mutate-hop-cost", 1u64) {
+        let hop = match parse_flag_value(&args, "--mutate-hop-cost", 1.0f64) {
             Ok(v) => v,
             Err(e) => return usage_error(&e),
         };
@@ -140,6 +146,63 @@ fn main() -> ExitCode {
              (hop-cost ×{hop}, tx-energy ×{tx})"
         );
         return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--perf-baseline") {
+        let Some(path) = positional.first() else {
+            return usage_error("--perf-baseline needs an output path");
+        };
+        let snaps = match wsn_bench::perfbase::perf_snapshots(&[4, 8], 1.0, 1.0) {
+            Ok(s) => s,
+            Err(e) => return usage_error(&e),
+        };
+        if let Err(e) = std::fs::write(path, wsn_bench::perfbase::render_snapshots(&snaps)) {
+            return usage_error(&format!("cannot write {path}: {e}"));
+        }
+        println!("recorded perf baseline (sides 4, 8) to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--perf-gate") {
+        let Some(path) = positional.first() else {
+            return usage_error("--perf-gate needs a baseline file path");
+        };
+        let hop = match parse_flag_value(&args, "--mutate-hop-cost", 1.0f64) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let tx = match parse_flag_value(&args, "--mutate-tx-energy", 1.0f64) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let tolerance = match parse_flag_value(&args, "--tolerance", 10.0f64) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+        };
+        let baseline = match wsn_bench::perfbase::parse_snapshots(&text) {
+            Ok(b) => b,
+            Err(e) => return usage_error(&format!("{path}: {e}")),
+        };
+        let sides: Vec<u32> = baseline.iter().map(|r| r.side).collect();
+        let current = match wsn_bench::perfbase::perf_snapshots(&sides, hop, tx) {
+            Ok(s) => s,
+            Err(e) => return usage_error(&e),
+        };
+        return match wsn_bench::perfbase::regression_gate(&current, &baseline, tolerance) {
+            Ok(report) => {
+                print!("{report}");
+                println!("perf baseline gate: every metric within +/-{tolerance}%");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprint!("{report}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if args.iter().any(|a| a == "--check") {
@@ -230,6 +293,8 @@ fn print_usage() {
         "usage: wsn-lint [--fig4] [depth] | --program <file.json> | \
          --emit-json-program [depth] | --certify [depth] | --conform <trace.jsonl> | \
          --record-fidelity-trace <out.jsonl> [depth] [--mutate-hop-cost k] \
-         [--mutate-tx-energy x] | --check | --codes   [--json]"
+         [--mutate-tx-energy x] | --perf-baseline <out.json> | \
+         --perf-gate <baseline.json> [--tolerance pct] [--mutate-hop-cost k] | \
+         --check | --codes   [--json]"
     );
 }

@@ -799,6 +799,10 @@ pub fn record_end_to_end_trace(
     let bind = rt.run_binding();
     assert!(bind.unique, "binding must elect unique leaders");
     rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    // Causal tracing goes on after the control phases so the exported
+    // happens-before DAG covers exactly the application — the shape the
+    // critical-path profiler walks.
+    rt.enable_causal_tracing();
     rt.run_application();
     rt.record_trace()
 }
@@ -811,13 +815,14 @@ pub fn record_end_to_end_trace(
 /// The two multipliers deliberately mis-price the *runtime's* radio
 /// against the certifier's `CostModel` — the mutation the conformance
 /// gate must catch: `hop_cost_multiplier` scales ticks-per-unit (latency
-/// drift), `tx_energy_multiplier` scales transmit energy (energy
-/// drift). Pass `1`/`1.0` for the faithful run.
+/// drift; fractional values like `1.5` express a +50% hop delay),
+/// `tx_energy_multiplier` scales transmit energy (energy drift). Pass
+/// `1.0`/`1.0` for the faithful run.
 pub fn record_model_fidelity_trace(
     side: u32,
     per_cell: usize,
     seed: u64,
-    hop_cost_multiplier: u64,
+    hop_cost_multiplier: f64,
     tx_energy_multiplier: f64,
 ) -> wsn_obs::TraceDocument {
     let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
@@ -842,6 +847,7 @@ pub fn record_model_fidelity_trace(
     let bind = rt.run_binding();
     assert!(bind.unique, "binding must elect unique leaders");
     rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    rt.enable_causal_tracing();
     rt.run_application();
     rt.record_trace()
 }

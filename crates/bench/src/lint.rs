@@ -124,7 +124,7 @@ pub fn conformance_gate(sides: &[u32]) -> Result<usize, Vec<(u32, Diagnostics)>>
     let mut failures = Vec::new();
     for &side in sides {
         let depth = u8::try_from(side.trailing_zeros()).expect("side fits");
-        let doc = crate::experiments::record_model_fidelity_trace(side, 3, 5, 1, 1.0);
+        let doc = crate::experiments::record_model_fidelity_trace(side, 3, 5, 1.0, 1.0);
         let (cert, mut diags) = certify_figure4(depth);
         diags.extend(check_conformance(&cert, &doc));
         diags.sort();

@@ -1,0 +1,269 @@
+//! Machine-readable run snapshots and the perf-baseline regression gate.
+//!
+//! `run_all` distills each seeded topoquery run into a [`RunSnapshot`]
+//! (latency, messages, energy, critical-path shape per grid side), writes
+//! the set to `BENCH_topoquery.json`, and diffs it against the committed
+//! baseline with [`regression_gate`]: any per-metric drift beyond the
+//! tolerance fails the build. The causal layer makes the gate sharp — the
+//! critical-path length is an *exact* quantity on seeded runs, so a +50%
+//! hop-delay mutation shifts it deterministically and must trip the gate.
+
+use wsn_obs::{extract_critical_path, Json, TraceDocument};
+
+/// Headline numbers of one seeded topoquery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSnapshot {
+    /// Grid side (the run simulates a `side x side` virtual grid).
+    pub side: u32,
+    /// Application span duration in ticks.
+    pub latency_ticks: u64,
+    /// Application messages (`net.messages`).
+    pub messages: u64,
+    /// Total energy spent across the network.
+    pub energy_total: f64,
+    /// Critical-path length in ticks (equals `latency_ticks` on faithful
+    /// seeded runs — the exactness invariant).
+    pub critpath_ticks: u64,
+    /// Radio hops on the critical path.
+    pub critpath_hops: u64,
+}
+
+/// Distills a recorded trace into a [`RunSnapshot`].
+pub fn snapshot_from_trace(side: u32, doc: &TraceDocument) -> Result<RunSnapshot, String> {
+    let span = doc
+        .spans
+        .iter()
+        .find(|s| s.name == "application")
+        .ok_or("trace has no application span")?;
+    let energy = doc
+        .gauges
+        .iter()
+        .find(|(k, _)| k == "energy.total")
+        .map(|&(_, v)| v)
+        .ok_or("trace has no energy.total gauge")?;
+    let path = extract_critical_path(&doc.causal)?;
+    Ok(RunSnapshot {
+        side,
+        latency_ticks: span.duration_ticks(),
+        messages: doc.counter("net.messages"),
+        energy_total: energy,
+        critpath_ticks: path.total_ticks(),
+        critpath_hops: path.hop_count() as u64,
+    })
+}
+
+/// Renders snapshots as the `BENCH_topoquery.json` document.
+pub fn render_snapshots(runs: &[RunSnapshot]) -> String {
+    let arr = runs
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("side".to_string(), Json::from_u64(u64::from(r.side))),
+                ("latency_ticks".to_string(), Json::from_u64(r.latency_ticks)),
+                ("messages".to_string(), Json::from_u64(r.messages)),
+                ("energy_total".to_string(), Json::Num(r.energy_total)),
+                (
+                    "critpath_ticks".to_string(),
+                    Json::from_u64(r.critpath_ticks),
+                ),
+                ("critpath_hops".to_string(), Json::from_u64(r.critpath_hops)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![("runs".to_string(), Json::Arr(arr))]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// Parses a `BENCH_topoquery.json` document.
+pub fn parse_snapshots(text: &str) -> Result<Vec<RunSnapshot>, String> {
+    let doc = Json::parse(text.trim()).map_err(|e| e.to_string())?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("baseline without a runs array")?;
+    runs.iter()
+        .map(|r| {
+            let u = |key: &str| {
+                r.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("run without {key}"))
+            };
+            Ok(RunSnapshot {
+                side: u("side")? as u32,
+                latency_ticks: u("latency_ticks")?,
+                messages: u("messages")?,
+                energy_total: r
+                    .get("energy_total")
+                    .and_then(Json::as_f64)
+                    .ok_or("run without energy_total")?,
+                critpath_ticks: u("critpath_ticks")?,
+                critpath_hops: u("critpath_hops")?,
+            })
+        })
+        .collect()
+}
+
+/// Records the seeded fidelity run at each side and distills snapshots.
+/// The multipliers mirror
+/// [`record_model_fidelity_trace`](crate::experiments::record_model_fidelity_trace):
+/// `1.0`/`1.0` is the faithful run; `hop_cost_multiplier = 1.5` is the
+/// +50% hop-delay mutation the gate must catch.
+pub fn perf_snapshots(
+    sides: &[u32],
+    hop_cost_multiplier: f64,
+    tx_energy_multiplier: f64,
+) -> Result<Vec<RunSnapshot>, String> {
+    sides
+        .iter()
+        .map(|&side| {
+            let doc = crate::experiments::record_model_fidelity_trace(
+                side,
+                3,
+                5,
+                hop_cost_multiplier,
+                tx_energy_multiplier,
+            );
+            snapshot_from_trace(side, &doc).map_err(|e| format!("side {side}: {e}"))
+        })
+        .collect()
+}
+
+fn drift_pct(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((current - baseline) / baseline * 100.0).abs()
+    }
+}
+
+/// Diffs `current` against `baseline`, metric by metric. Returns the
+/// rendered report; `Err` when any metric drifts more than
+/// `tolerance_pct` percent (or a side is missing from either set).
+pub fn regression_gate(
+    current: &[RunSnapshot],
+    baseline: &[RunSnapshot],
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    let mut report = String::new();
+    let mut failures = 0usize;
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.side == base.side) else {
+            report.push_str(&format!("side {}: MISSING from current run\n", base.side));
+            failures += 1;
+            continue;
+        };
+        let metrics: [(&str, f64, f64); 5] = [
+            (
+                "latency_ticks",
+                base.latency_ticks as f64,
+                cur.latency_ticks as f64,
+            ),
+            ("messages", base.messages as f64, cur.messages as f64),
+            ("energy_total", base.energy_total, cur.energy_total),
+            (
+                "critpath_ticks",
+                base.critpath_ticks as f64,
+                cur.critpath_ticks as f64,
+            ),
+            (
+                "critpath_hops",
+                base.critpath_hops as f64,
+                cur.critpath_hops as f64,
+            ),
+        ];
+        for (name, b, c) in metrics {
+            let drift = drift_pct(b, c);
+            let verdict = if drift > tolerance_pct { "FAIL" } else { "ok" };
+            if drift > tolerance_pct {
+                failures += 1;
+            }
+            report.push_str(&format!(
+                "side {}: {name:<16} {b:>10} -> {c:<10} drift {drift:>6.1}%  {verdict}\n",
+                base.side
+            ));
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|r| r.side == cur.side) {
+            report.push_str(&format!(
+                "side {}: not in baseline (re-commit BENCH_topoquery.json)\n",
+                cur.side
+            ));
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        Err(format!(
+            "{report}perf baseline gate: {failures} metric(s) beyond +/-{tolerance_pct}%"
+        ))
+    } else {
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(side: u32) -> RunSnapshot {
+        RunSnapshot {
+            side,
+            latency_ticks: 31,
+            messages: 20,
+            energy_total: 99.0,
+            critpath_ticks: 31,
+            critpath_hops: 3,
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_json() {
+        let runs = vec![snap(4), snap(8)];
+        let text = render_snapshots(&runs);
+        let parsed = parse_snapshots(&text).unwrap();
+        assert_eq!(parsed, runs);
+    }
+
+    #[test]
+    fn gate_passes_identical_runs_and_reports_every_metric() {
+        let runs = vec![snap(4)];
+        let report = regression_gate(&runs, &runs, 10.0).unwrap();
+        assert_eq!(report.matches(" ok\n").count(), 5);
+        assert!(!report.contains("FAIL"));
+    }
+
+    #[test]
+    fn gate_fails_on_latency_drift_beyond_tolerance() {
+        let baseline = vec![snap(4)];
+        let mut current = vec![snap(4)];
+        current[0].latency_ticks = 47; // the +50% hop-delay shape
+        current[0].critpath_ticks = 47;
+        let err = regression_gate(&current, &baseline, 10.0).unwrap_err();
+        assert!(err.contains("latency_ticks"), "{err}");
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("beyond"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_or_extra_sides() {
+        let baseline = vec![snap(4), snap(8)];
+        let current = vec![snap(4), snap(16)];
+        let err = regression_gate(&current, &baseline, 10.0).unwrap_err();
+        assert!(err.contains("side 8: MISSING"), "{err}");
+        assert!(err.contains("side 16: not in baseline"), "{err}");
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let baseline = vec![snap(4)];
+        let mut current = vec![snap(4)];
+        current[0].energy_total = 101.0; // ~2% drift
+        assert!(regression_gate(&current, &baseline, 10.0).is_ok());
+    }
+}

@@ -12,7 +12,7 @@ use wsn_bench::lint;
 fn faithful_runs_conform_at_every_paper_side() {
     for side in [4u32, 8] {
         let depth = u8::try_from(side.trailing_zeros()).unwrap();
-        let doc = record_model_fidelity_trace(side, 3, 5, 1, 1.0);
+        let doc = record_model_fidelity_trace(side, 3, 5, 1.0, 1.0);
         let (cert, diags) = lint::certify_figure4(depth);
         assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
         let report = check_conformance(&cert, &doc);
@@ -30,7 +30,7 @@ fn doubled_hop_cost_in_the_runtime_is_caught_as_tc004() {
     // The runtime's radio charges 2 ticks per unit per hop; the
     // certifier still prices the uniform model. The stretched
     // application phase escapes the certified latency interval.
-    let doc = record_model_fidelity_trace(4, 3, 5, 2, 1.0);
+    let doc = record_model_fidelity_trace(4, 3, 5, 2.0, 1.0);
     let (cert, _) = lint::certify_figure4(2);
     let report = check_conformance(&cert, &doc);
     assert!(report.has_errors(), "{}", report.render_text());
@@ -39,7 +39,7 @@ fn doubled_hop_cost_in_the_runtime_is_caught_as_tc004() {
 
 #[test]
 fn doubled_tx_energy_in_the_runtime_is_caught_as_tc006() {
-    let doc = record_model_fidelity_trace(4, 3, 5, 1, 2.0);
+    let doc = record_model_fidelity_trace(4, 3, 5, 1.0, 2.0);
     let (cert, _) = lint::certify_figure4(2);
     let report = check_conformance(&cert, &doc);
     assert!(report.has_errors(), "{}", report.render_text());
@@ -51,11 +51,11 @@ fn conformance_gate_passes_clean_and_trace_text_round_trips() {
     assert!(lint::conformance_gate(&[4]).is_ok());
     // The CLI path: serialize the faithful trace to JSONL, re-parse,
     // certify at the trace's own side, conform.
-    let doc = record_model_fidelity_trace(4, 3, 5, 1, 1.0);
+    let doc = record_model_fidelity_trace(4, 3, 5, 1.0, 1.0);
     let (_, diags) = lint::conform_trace_text(&doc.to_jsonl()).unwrap();
     assert!(diags.is_empty(), "{}", diags.render_text());
     // And the mutated trace through the same path carries errors.
-    let doc = record_model_fidelity_trace(4, 3, 5, 2, 1.0);
+    let doc = record_model_fidelity_trace(4, 3, 5, 2.0, 1.0);
     let (_, diags) = lint::conform_trace_text(&doc.to_jsonl()).unwrap();
     assert!(diags.has_errors(), "{}", diags.render_text());
 }

@@ -1,0 +1,90 @@
+//! End-to-end critical-path exactness over the real runtime.
+//!
+//! The acceptance bar for the causal layer: on seeded ideal-link runs the
+//! extracted critical path's per-hop/per-merge segment durations must sum
+//! *exactly* to the measured application span — no approximation, no
+//! off-by-one. Telescoping (see `wsn_sim::causal`) guarantees the segment
+//! sum equals the chain's end-to-end duration; these tests pin the chain
+//! itself to the application span on the paper's quad-tree configurations.
+
+use wsn_bench::experiments::record_model_fidelity_trace;
+use wsn_obs::{extract_critical_path, HbDag, SegmentKind};
+
+#[test]
+fn critical_path_is_exact_on_seeded_runs_at_sides_4_and_8() {
+    for side in [4u32, 8] {
+        let doc = record_model_fidelity_trace(side, 3, 5, 1.0, 1.0);
+        let span = doc
+            .spans
+            .iter()
+            .find(|s| s.name == "application")
+            .expect("application span");
+        let path =
+            extract_critical_path(&doc.causal).unwrap_or_else(|e| panic!("side {side}: {e}"));
+        // Telescoping: segments partition the chain interval exactly.
+        assert_eq!(path.segment_sum(), path.total_ticks(), "side {side}");
+        // And the chain interval is exactly the measured application span.
+        assert_eq!(path.start, span.start, "side {side}");
+        assert_eq!(path.end, span.end, "side {side}");
+        assert_eq!(
+            path.total_ticks(),
+            span.duration_ticks(),
+            "side {side}: critical path must equal the application span"
+        );
+        // Per-stage attribution also telescopes to the same total.
+        let staged: u64 = path.per_stage().iter().map(|&(_, t)| t).sum();
+        assert_eq!(staged, path.total_ticks(), "side {side}");
+        // The path crosses at least one radio hop per merge level.
+        assert!(path.hop_count() >= 2, "side {side}: {}", path.hop_count());
+    }
+}
+
+#[test]
+fn recorded_causal_log_is_a_valid_happens_before_dag() {
+    let doc = record_model_fidelity_trace(4, 3, 5, 1.0, 1.0);
+    assert!(!doc.causal.is_empty());
+    let dag = HbDag::build(doc.causal.clone()).expect("valid DAG");
+    // Exactly one exfiltration terminates the seeded run.
+    assert_eq!(
+        dag.events()
+            .iter()
+            .filter(|e| e.label == "app.exfil")
+            .count(),
+        1
+    );
+    // Every node that started the application phase recorded a root.
+    let meta = doc.meta.expect("meta");
+    assert_eq!(
+        dag.events()
+            .iter()
+            .filter(|e| e.label == "app.start")
+            .count() as u64,
+        meta.nodes
+    );
+}
+
+#[test]
+fn hop_delay_mutation_stretches_the_critical_path() {
+    let faithful = record_model_fidelity_trace(4, 3, 5, 1.0, 1.0);
+    let mutated = record_model_fidelity_trace(4, 3, 5, 1.5, 1.0);
+    let base = extract_critical_path(&faithful.causal).unwrap();
+    let slow = extract_critical_path(&mutated.causal).unwrap();
+    assert!(
+        slow.total_ticks() > base.total_ticks(),
+        "+50% hop delay must lengthen the path: {} vs {}",
+        slow.total_ticks(),
+        base.total_ticks()
+    );
+    // The mutated run still telescopes exactly — the mutation changes
+    // the numbers, not the accounting.
+    assert_eq!(slow.segment_sum(), slow.total_ticks());
+    // Flight time (radio) is what grew; it dominates the increase.
+    let flight = |p: &wsn_obs::CriticalPath| -> u64 {
+        p.segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Flight)
+            .map(|s| s.ticks())
+            .sum()
+    };
+    assert!(flight(&slow) > flight(&base));
+}

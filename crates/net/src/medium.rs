@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
-use wsn_sim::{ActorId, Context, Payload, SimTime};
+use wsn_sim::{ActorId, CausalStamp, Context, Payload, SharedCausalLog, SimTime};
 
 /// Stochastic message duplication and reordering — the delivery anomalies
 /// a chaos plan can switch on mid-run ([`crate::fault::FaultKind`]).
@@ -160,6 +160,11 @@ pub struct Medium {
     partition: Option<Vec<u8>>,
     /// Duplication / reordering anomalies.
     chaos: DeliveryChaos,
+    /// Causal send/deliver event log, when causal tracing is enabled.
+    causal: Option<SharedCausalLog>,
+    /// A send event recorded by the caller for the very next
+    /// transmission (see [`Medium::causal_send_stamp`]).
+    prestamp: Option<CausalStamp>,
 }
 
 /// Handle shared by all node actors in one simulation.
@@ -192,6 +197,8 @@ impl Medium {
             link_overrides: BTreeMap::new(),
             partition: None,
             chaos: DeliveryChaos::none(),
+            causal: None,
+            prestamp: None,
         }
     }
 
@@ -286,6 +293,68 @@ impl Medium {
         match &self.partition {
             None => false,
             Some(groups) => groups[from] != 0 && groups[to] != 0 && groups[from] != groups[to],
+        }
+    }
+
+    /// Attaches a shared causal log: every subsequent transmission
+    /// records a send event and every arrival a deliver event (at the
+    /// scheduled delivery instant, linked to the send by sequence
+    /// number).
+    pub fn set_causal(&mut self, log: SharedCausalLog) {
+        self.causal = Some(log);
+    }
+
+    /// The attached causal log, if tracing is enabled.
+    pub fn causal_log(&self) -> Option<&SharedCausalLog> {
+        self.causal.as_ref()
+    }
+
+    /// Records a send event on behalf of the caller and arms it for the
+    /// next transmission, so the caller can copy the returned stamp into
+    /// the message payload *before* handing it to
+    /// [`Medium::unicast`]/[`Medium::broadcast`] (which would otherwise
+    /// self-stamp with a generic label and no cause). Returns
+    /// [`CausalStamp::NONE`] when causal tracing is off.
+    pub fn causal_send_stamp(
+        &mut self,
+        from: usize,
+        now: SimTime,
+        cause: u64,
+        label: &str,
+        units: u64,
+    ) -> CausalStamp {
+        let Some(log) = &self.causal else {
+            return CausalStamp::NONE;
+        };
+        let stamp = log.borrow_mut().record_send(from, now, cause, label, units);
+        self.prestamp = Some(stamp);
+        stamp
+    }
+
+    /// The stamp for the transmission happening right now: the armed
+    /// pre-stamp if the caller recorded one, else a fresh generic send
+    /// event (control traffic the application layer never stamps).
+    fn tx_stamp(&mut self, from: usize, now: SimTime, units: u64) -> CausalStamp {
+        if let Some(stamp) = self.prestamp.take() {
+            return stamp;
+        }
+        match &self.causal {
+            Some(log) => log.borrow_mut().record_send(from, now, 0, "net.tx", units),
+            None => CausalStamp::NONE,
+        }
+    }
+
+    /// Records the deliver event paired with `stamp` at arrival time
+    /// `at`, reusing the send event's label so waterfalls read naturally.
+    fn record_deliver(&self, at: SimTime, to: usize, stamp: CausalStamp, units: u64) {
+        if let Some(log) = &self.causal {
+            let mut log = log.borrow_mut();
+            let label = if stamp.is_some() {
+                log.events()[stamp.seq as usize - 1].label.clone()
+            } else {
+                "net.rx".to_string()
+            };
+            log.record_deliver(to, at, stamp, &label, units);
         }
     }
 
@@ -403,6 +472,7 @@ impl Medium {
         to: usize,
         units: u64,
         msg: M,
+        stamp: CausalStamp,
     ) -> bool {
         if self.partition_blocks(from, to) {
             ctx.stats().incr("medium.partition_blocked");
@@ -423,6 +493,7 @@ impl Medium {
         let mut delay = self.delivery_delay(ctx, from, units);
         let actor = self.actor_of[to].expect("destination node has no bound actor");
         if self.chaos.is_off() {
+            self.record_deliver(ctx.now() + delay, to, stamp, units);
             ctx.send(actor, delay, msg);
             return true;
         }
@@ -444,8 +515,10 @@ impl Medium {
             self.check_depletion(to, ctx.now());
             let dup_delay = delay + 1 + ctx.rng().bounded_u64(4);
             ctx.stats().incr("medium.duplicated");
+            self.record_deliver(ctx.now() + dup_delay, to, stamp, units);
             ctx.send(actor, dup_delay, msg.clone());
         }
+        self.record_deliver(ctx.now() + delay, to, stamp, units);
         ctx.send(actor, delay, msg);
         true
     }
@@ -470,6 +543,7 @@ impl Medium {
             "unicast {from}->{to}: not radio neighbors"
         );
         if !self.alive[from] {
+            self.prestamp = None;
             return false;
         }
         self.ledger.charge(
@@ -480,7 +554,8 @@ impl Medium {
         ctx.stats().incr("medium.tx");
         ctx.stats().add("medium.tx_units", units);
         self.check_depletion(from, ctx.now());
-        self.try_deliver(ctx, from, to, units, msg)
+        let stamp = self.tx_stamp(from, ctx.now(), units);
+        self.try_deliver(ctx, from, to, units, msg, stamp)
     }
 
     /// Broadcasts `msg` from `from` to *all* its radio neighbors with one
@@ -494,6 +569,7 @@ impl Medium {
         msg: M,
     ) -> usize {
         if !self.alive[from] {
+            self.prestamp = None;
             return 0;
         }
         self.ledger.charge(
@@ -505,10 +581,11 @@ impl Medium {
         ctx.stats().add("medium.tx_units", units);
         self.check_depletion(from, ctx.now());
 
+        let stamp = self.tx_stamp(from, ctx.now(), units);
         let neighbors: Vec<usize> = self.graph.neighbors(from).to_vec();
         let mut delivered = 0;
         for to in neighbors {
-            if self.try_deliver(ctx, from, to, units, msg.clone()) {
+            if self.try_deliver(ctx, from, to, units, msg.clone(), stamp) {
                 delivered += 1;
             }
         }
@@ -645,6 +722,93 @@ mod tests {
         assert_eq!(m.ledger().consumed(2), 2.0);
         // Latency: 2 ticks per hop, 2 hops (delivery of the kick is at t=0).
         assert_eq!(k.now(), SimTime::from_ticks(4));
+    }
+
+    #[test]
+    fn causal_log_pairs_every_delivery_with_its_send() {
+        use wsn_sim::{shared_causal_log, CausalKind};
+        let (mut k, medium, actors) = three_node_line();
+        let log = shared_causal_log();
+        medium.borrow_mut().set_causal(log.clone());
+        k.schedule_message(SimTime::ZERO, actors[0], actors[0], 0);
+        k.run();
+        let log = log.borrow();
+        // Two hops: send+deliver per hop, plus the kick is not a medium
+        // transmission and records nothing.
+        let sends: Vec<_> = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == CausalKind::Send)
+            .collect();
+        let delivers: Vec<_> = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == CausalKind::Deliver)
+            .collect();
+        assert_eq!(sends.len(), 2);
+        assert_eq!(delivers.len(), 2);
+        for d in &delivers {
+            let s = &log.events()[d.cause as usize - 1];
+            assert_eq!(s.kind, CausalKind::Send);
+            assert!(d.lamport > s.lamport);
+            // The deliver is recorded at the arrival instant: exactly
+            // tx_ticks(2 units) = 2 ticks after the send.
+            assert_eq!(d.time - s.time, 2);
+            assert_eq!(d.units, s.units);
+        }
+        // Un-prestamped medium traffic self-stamps with the generic label.
+        assert!(sends.iter().all(|s| s.label == "net.tx"));
+    }
+
+    #[test]
+    fn dead_sender_clears_an_armed_prestamp() {
+        use wsn_sim::{shared_causal_log, CausalKind};
+        let (mut k, medium, actors) = three_node_line();
+        let log = shared_causal_log();
+        medium.borrow_mut().set_causal(log.clone());
+        medium.borrow_mut().kill(0, SimTime::ZERO);
+        // Arm a prestamp for node 0, whose transmission then fails: the
+        // stamp must not leak onto node 1's later unrelated send.
+        medium
+            .borrow_mut()
+            .causal_send_stamp(0, SimTime::ZERO, 0, "app.hop", 2);
+        struct Kick {
+            medium: SharedMedium,
+            from: usize,
+            to: usize,
+        }
+        impl Actor<Msg> for Kick {
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ActorId, msg: Msg) {
+                self.medium
+                    .clone()
+                    .borrow_mut()
+                    .unicast(ctx, self.from, self.to, 1, msg);
+            }
+        }
+        let k0 = k.add_actor(Box::new(Kick {
+            medium: medium.clone(),
+            from: 0,
+            to: 1,
+        }));
+        let k1 = k.add_actor(Box::new(Kick {
+            medium: medium.clone(),
+            from: 1,
+            to: 2,
+        }));
+        k.schedule_message(SimTime::ZERO, k0, k0, 0);
+        k.schedule_message(SimTime::from_ticks(1), k1, k1, 0);
+        k.run();
+        let _ = actors;
+        let log = log.borrow();
+        let sends: Vec<_> = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == CausalKind::Send)
+            .collect();
+        // The armed app.hop stamp (dead sender) plus node 1's generic one.
+        assert_eq!(sends.len(), 2);
+        let live = sends.iter().find(|s| s.node == 1).unwrap();
+        assert_eq!(live.label, "net.tx", "prestamp did not leak");
     }
 
     #[test]

@@ -22,8 +22,11 @@ pub struct RadioModel {
     pub rx_energy_per_unit: f64,
     /// Energy to compute on one unit of data.
     pub compute_energy_per_unit: f64,
-    /// Ticks to transmit one unit of data over one hop.
-    pub ticks_per_unit: u64,
+    /// Ticks to transmit one unit of data over one hop. Fractional rates
+    /// are rounded up per message in [`RadioModel::tx_ticks`], so a
+    /// mis-calibrated radio (e.g. a +50% hop-delay mutation) is
+    /// expressible without losing the integer-tick kernel.
+    pub ticks_per_unit: f64,
 }
 
 impl RadioModel {
@@ -37,14 +40,14 @@ impl RadioModel {
             tx_energy_per_unit: 1.0,
             rx_energy_per_unit: 1.0,
             compute_energy_per_unit: 1.0,
-            ticks_per_unit: 1,
+            ticks_per_unit: 1.0,
         }
     }
 
     /// Ticks to push `units` of data across one hop (at least one tick, so
     /// causality is preserved even for zero-length control messages).
     pub fn tx_ticks(&self, units: u64) -> u64 {
-        (units * self.ticks_per_unit).max(1)
+        ((units as f64 * self.ticks_per_unit).ceil() as u64).max(1)
     }
 }
 
@@ -65,6 +68,14 @@ mod tests {
     fn zero_unit_message_still_takes_a_tick() {
         let m = RadioModel::uniform(10.0);
         assert_eq!(m.tx_ticks(0), 1);
+    }
+
+    #[test]
+    fn fractional_rates_round_up_per_message() {
+        let mut m = RadioModel::uniform(10.0);
+        m.ticks_per_unit *= 1.5;
+        assert_eq!(m.tx_ticks(2), 3);
+        assert_eq!(m.tx_ticks(5), 8); // ceil(7.5)
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Happens-before DAG stitched from a trace's causal events.
+//!
+//! A [`TraceDocument`](crate::TraceDocument) carries the flat causal event
+//! list a run recorded (`cev` lines). [`HbDag`] validates that list into a
+//! queryable happens-before DAG: every event indexed by sequence number,
+//! `cause` edges pointing strictly backwards, Lamport clocks strictly
+//! increasing and simulated time monotone along every edge. Consumers
+//! (the critical-path profiler, the conformance checker) can then walk
+//! chains without re-checking the invariants at every step.
+
+use std::collections::HashMap;
+use wsn_sim::CausalEvent;
+
+/// Why a causal event list failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagError {
+    /// Sequence number of the offending event (0 when structural).
+    pub seq: u64,
+    /// What invariant broke.
+    pub message: String,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "causal event {}: {}", self.seq, self.message)
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A validated happens-before DAG over a run's causal events.
+#[derive(Debug, Clone)]
+pub struct HbDag {
+    events: Vec<CausalEvent>,
+    /// Out-degree per event (indexed `seq - 1`): how many later events
+    /// name it as their cause.
+    effects: Vec<u32>,
+}
+
+impl HbDag {
+    /// Validates `events` into a DAG.
+    ///
+    /// Invariants checked:
+    /// * sequence numbers are dense and 1-based, in order;
+    /// * every `cause` is 0 (root) or an earlier sequence number;
+    /// * Lamport clocks strictly exceed the cause's along every edge;
+    /// * simulated time never runs backwards along an edge.
+    pub fn build(events: Vec<CausalEvent>) -> Result<Self, DagError> {
+        let mut effects = vec![0u32; events.len()];
+        for (i, ev) in events.iter().enumerate() {
+            let expect = i as u64 + 1;
+            if ev.seq != expect {
+                return Err(DagError {
+                    seq: ev.seq,
+                    message: format!("sequence numbers not dense (expected {expect})"),
+                });
+            }
+            if ev.cause >= ev.seq {
+                return Err(DagError {
+                    seq: ev.seq,
+                    message: format!("cause {} does not precede the event", ev.cause),
+                });
+            }
+            if ev.cause != 0 {
+                let cause = &events[ev.cause as usize - 1];
+                if ev.lamport <= cause.lamport {
+                    return Err(DagError {
+                        seq: ev.seq,
+                        message: format!(
+                            "lamport {} not greater than cause's {}",
+                            ev.lamport, cause.lamport
+                        ),
+                    });
+                }
+                if ev.time < cause.time {
+                    return Err(DagError {
+                        seq: ev.seq,
+                        message: format!("time {} precedes cause's {}", ev.time, cause.time),
+                    });
+                }
+                effects[ev.cause as usize - 1] += 1;
+            }
+        }
+        Ok(HbDag { events, effects })
+    }
+
+    /// All events, in sequence order.
+    pub fn events(&self) -> &[CausalEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event with sequence number `seq` (1-based).
+    pub fn event(&self, seq: u64) -> Option<&CausalEvent> {
+        if seq == 0 {
+            return None;
+        }
+        self.events.get(seq as usize - 1)
+    }
+
+    /// Events with no recorded cause (chain roots).
+    pub fn roots(&self) -> impl Iterator<Item = &CausalEvent> {
+        self.events.iter().filter(|e| e.cause == 0)
+    }
+
+    /// Events no later event names as a cause (chain tips).
+    pub fn leaves(&self) -> impl Iterator<Item = &CausalEvent> {
+        self.events
+            .iter()
+            .zip(&self.effects)
+            .filter(|&(_, &n)| n == 0)
+            .map(|(e, _)| e)
+    }
+
+    /// The last (highest-sequence) event with the given label.
+    pub fn last_labeled(&self, label: &str) -> Option<&CausalEvent> {
+        self.events.iter().rev().find(|e| e.label == label)
+    }
+
+    /// The cause chain ending at `seq`, root first. `None` when `seq` is
+    /// out of range.
+    pub fn chain_to(&self, seq: u64) -> Option<Vec<&CausalEvent>> {
+        let mut chain = Vec::new();
+        let mut cur = self.event(seq)?;
+        loop {
+            chain.push(cur);
+            if cur.cause == 0 {
+                break;
+            }
+            // Validated at build time: cause < seq, so this indexes.
+            cur = &self.events[cur.cause as usize - 1];
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Per-label event counts — a quick shape summary for reports.
+    pub fn label_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for ev in &self.events {
+            *counts.entry(ev.label.as_str()).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::{CausalLog, SimTime};
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn chain_log() -> Vec<CausalEvent> {
+        let mut log = CausalLog::new();
+        let root = log.record_local(0, t(0), 0, "app.start");
+        let s = log.record_send(0, t(1), root, "app.hop", 2);
+        let d = log.record_deliver(1, t(3), s, "app.hop", 2);
+        let m = log.record_local(1, t(3), d, "merge.level1");
+        let s2 = log.record_send(1, t(4), m, "app.hop", 5);
+        let d2 = log.record_deliver(2, t(9), s2, "app.hop", 5);
+        log.record_local(2, t(9), d2, "app.exfil");
+        log.into_events()
+    }
+
+    #[test]
+    fn valid_chain_builds_and_walks() {
+        let dag = HbDag::build(chain_log()).unwrap();
+        assert_eq!(dag.len(), 7);
+        assert_eq!(dag.roots().count(), 1);
+        assert_eq!(dag.leaves().count(), 1);
+        let exfil = dag.last_labeled("app.exfil").unwrap();
+        let chain = dag.chain_to(exfil.seq).unwrap();
+        assert_eq!(chain.len(), 7);
+        assert_eq!(chain[0].label, "app.start");
+        assert_eq!(chain[6].label, "app.exfil");
+        // Time is monotone along the chain.
+        for pair in chain.windows(2) {
+            assert!(pair[1].time >= pair[0].time);
+        }
+    }
+
+    #[test]
+    fn forward_cause_is_rejected() {
+        let mut events = chain_log();
+        events[0].cause = 5; // root now points forward
+        let err = HbDag::build(events).unwrap_err();
+        assert_eq!(err.seq, 1);
+        assert!(err.message.contains("precede"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_monotone_lamport_is_rejected() {
+        let mut events = chain_log();
+        events[3].lamport = events[2].lamport; // merge no longer after deliver
+        let err = HbDag::build(events).unwrap_err();
+        assert_eq!(err.seq, 4);
+        assert!(err.message.contains("lamport"), "{}", err.message);
+    }
+
+    #[test]
+    fn time_travel_is_rejected() {
+        let mut events = chain_log();
+        events[2].time = t(0); // delivery before its send
+        let err = HbDag::build(events).unwrap_err();
+        assert_eq!(err.seq, 3);
+        assert!(err.message.contains("precedes"), "{}", err.message);
+    }
+
+    #[test]
+    fn sparse_sequences_are_rejected() {
+        let mut events = chain_log();
+        events.remove(3);
+        let err = HbDag::build(events).unwrap_err();
+        assert!(err.message.contains("dense"), "{}", err.message);
+    }
+
+    #[test]
+    fn label_histogram_summarizes_shape() {
+        let dag = HbDag::build(chain_log()).unwrap();
+        let hist = dag.label_histogram();
+        assert!(hist.contains(&("app.hop".to_string(), 4)));
+        assert!(hist.contains(&("merge.level1".to_string(), 1)));
+    }
+}

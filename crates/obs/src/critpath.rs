@@ -1,0 +1,374 @@
+//! Critical-path extraction over the happens-before DAG.
+//!
+//! The runtime's causal log chains every exfiltrated result back through
+//! the hop sends and merge completions that produced it (see
+//! `wsn_sim::causal`). The *critical path* is that cause chain: at each
+//! quad-tree merge the runtime chained the latest-arriving (hence
+//! critical) input, so walking `cause` links from the final exfiltration
+//! to its root traverses exactly the run's latency-determining events.
+//!
+//! Each consecutive chain pair spans the interval `[prev.time,
+//! cur.time]`, so the extracted segments **telescope**: their durations
+//! sum to the chain's end-to-end duration with no gaps or overlaps.
+//! Against a seeded ideal-link run, that sum equals the measured
+//! application span duration *exactly* — the invariant the conformance
+//! checker and `netscope critical-path` both assert.
+//!
+//! Hop segments are split at the recorded delivery instant into *flight*
+//! (radio time, paid per the cost model's ticks-per-unit) and *handle*
+//! (the receiving node holding the datum before acting), which is the
+//! per-hop, per-merge-level attribution §4's latency analysis prices.
+
+use crate::causal::HbDag;
+use wsn_sim::{CausalEvent, CausalKind, SimTime};
+
+/// What a critical-path segment's time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A message in the air (send instant to delivery instant).
+    Flight,
+    /// A delivered datum waiting for the receiver to act on it.
+    Handle,
+    /// Node-local progress (compute, self-delivery, milestone to milestone).
+    Local,
+}
+
+impl SegmentKind {
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SegmentKind::Flight => "flight",
+            SegmentKind::Handle => "handle",
+            SegmentKind::Local => "local",
+        }
+    }
+}
+
+/// One interval of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Segment start (inclusive).
+    pub start: SimTime,
+    /// Segment end (the chain event that closes it).
+    pub end: SimTime,
+    /// Node the segment's time is attributed to (the receiving/acting node).
+    pub node: usize,
+    /// Flight, handle, or local.
+    pub kind: SegmentKind,
+    /// Label of the chain event that closes the segment.
+    pub label: String,
+    /// The next milestone this segment feeds (`merge.levelK` or
+    /// `app.exfil`) — the per-level attribution bucket.
+    pub stage: String,
+}
+
+impl PathSegment {
+    /// Segment duration in ticks.
+    pub fn ticks(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// The extracted critical path: a gap-free partition of the interval from
+/// the chain's root to the final exfiltration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Segments in chain order.
+    pub segments: Vec<PathSegment>,
+    /// Chain root instant (the paced application start).
+    pub start: SimTime,
+    /// Final exfiltration instant.
+    pub end: SimTime,
+}
+
+impl CriticalPath {
+    /// End-to-end duration in ticks.
+    pub fn total_ticks(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Sum of all segment durations. Telescoping makes this equal
+    /// [`CriticalPath::total_ticks`] by construction; callers compare the
+    /// *measured* application span against either.
+    pub fn segment_sum(&self) -> u64 {
+        self.segments.iter().map(PathSegment::ticks).sum()
+    }
+
+    /// Number of radio hops on the path (flight segments).
+    pub fn hop_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Flight)
+            .count()
+    }
+
+    /// Ticks per stage (merge level / exfiltration), in chain order.
+    pub fn per_stage(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for seg in &self.segments {
+            match out.last_mut() {
+                Some((stage, ticks)) if *stage == seg.stage => *ticks += seg.ticks(),
+                _ => out.push((seg.stage.clone(), seg.ticks())),
+            }
+        }
+        out
+    }
+
+    /// ASCII waterfall: one row per segment, bars proportional to time,
+    /// followed by the per-stage attribution and the telescoped total.
+    pub fn render_waterfall(&self, width: usize) -> String {
+        let width = width.max(8);
+        let span = self.total_ticks().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: {} .. {}  ({} ticks, {} hops, {} segments)\n",
+            self.start,
+            self.end,
+            self.total_ticks(),
+            self.hop_count(),
+            self.segments.len()
+        ));
+        for seg in &self.segments {
+            let off = ((seg.start - self.start) as u128 * width as u128 / span as u128) as usize;
+            let mut len = (seg.ticks() as u128 * width as u128 / span as u128) as usize;
+            if seg.ticks() > 0 {
+                len = len.max(1);
+            }
+            let len = len.min(width.saturating_sub(off));
+            let mut bar = String::new();
+            bar.push_str(&".".repeat(off));
+            bar.push_str(&"#".repeat(len));
+            bar.push_str(&".".repeat(width - off - len));
+            out.push_str(&format!(
+                "  {:>5}..{:<5} {:>4}t {:<6} n{:<4} |{bar}| {} -> {}\n",
+                seg.start.ticks(),
+                seg.end.ticks(),
+                seg.ticks(),
+                seg.kind.name(),
+                seg.node,
+                seg.label,
+                seg.stage,
+            ));
+        }
+        out.push_str("per stage:\n");
+        for (stage, ticks) in self.per_stage() {
+            out.push_str(&format!("  {stage:<16} {ticks:>5} ticks\n"));
+        }
+        out.push_str(&format!(
+            "total {} ticks (segments sum to {})\n",
+            self.total_ticks(),
+            self.segment_sum()
+        ));
+        out
+    }
+}
+
+/// Extracts the critical path from a run's causal events: builds the
+/// validated [`HbDag`], walks the cause chain back from the *last*
+/// `app.exfil` event, and splits hop intervals at their recorded delivery
+/// instants.
+pub fn extract_critical_path(events: &[CausalEvent]) -> Result<CriticalPath, String> {
+    let dag = HbDag::build(events.to_vec()).map_err(|e| e.to_string())?;
+    let exfil = dag
+        .last_labeled("app.exfil")
+        .ok_or("no app.exfil event in the causal log (did the application exfiltrate?)")?;
+    let chain = dag.chain_to(exfil.seq).expect("exfil event is in the DAG");
+    // Stage of each chain position: the next milestone at or after it.
+    let mut stages = vec![String::new(); chain.len()];
+    let mut next = String::from("app.exfil");
+    for (i, ev) in chain.iter().enumerate().rev() {
+        if ev.label.starts_with("merge.level") || ev.label == "app.exfil" {
+            next = ev.label.clone();
+        }
+        stages[i] = next.clone();
+    }
+    let mut segments = Vec::new();
+    for (i, pair) in chain.windows(2).enumerate() {
+        let (prev, cur) = (pair[0], pair[1]);
+        let stage = stages[i + 1].clone();
+        if prev.kind == CausalKind::Send {
+            if cur.kind == CausalKind::Deliver {
+                // The chain event *is* the delivery: pure flight.
+                segments.push(PathSegment {
+                    start: prev.time,
+                    end: cur.time,
+                    node: cur.node,
+                    kind: SegmentKind::Flight,
+                    label: cur.label.clone(),
+                    stage,
+                });
+                continue;
+            }
+            // Find the delivery pairing this send on the acting node.
+            let deliver = dag.events().iter().find(|d| {
+                d.kind == CausalKind::Deliver
+                    && d.cause == prev.seq
+                    && d.node == cur.node
+                    && d.time >= prev.time
+                    && d.time <= cur.time
+            });
+            match deliver {
+                Some(d) => {
+                    segments.push(PathSegment {
+                        start: prev.time,
+                        end: d.time,
+                        node: cur.node,
+                        kind: SegmentKind::Flight,
+                        label: d.label.clone(),
+                        stage: stage.clone(),
+                    });
+                    segments.push(PathSegment {
+                        start: d.time,
+                        end: cur.time,
+                        node: cur.node,
+                        kind: SegmentKind::Handle,
+                        label: cur.label.clone(),
+                        stage,
+                    });
+                }
+                // Un-mediated sends (local self-messages) record no
+                // delivery; the whole interval is node-local.
+                None if cur.node == prev.node => segments.push(PathSegment {
+                    start: prev.time,
+                    end: cur.time,
+                    node: cur.node,
+                    kind: SegmentKind::Local,
+                    label: cur.label.clone(),
+                    stage,
+                }),
+                None => segments.push(PathSegment {
+                    start: prev.time,
+                    end: cur.time,
+                    node: cur.node,
+                    kind: SegmentKind::Flight,
+                    label: cur.label.clone(),
+                    stage,
+                }),
+            }
+        } else {
+            segments.push(PathSegment {
+                start: prev.time,
+                end: cur.time,
+                node: cur.node,
+                kind: SegmentKind::Local,
+                label: cur.label.clone(),
+                stage,
+            });
+        }
+    }
+    Ok(CriticalPath {
+        segments,
+        start: chain.first().expect("non-empty chain").time,
+        end: exfil.time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::CausalLog;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    /// A two-level quad-tree chain the way the runtime stamps it: merges
+    /// chain to the critical input's *send*; deliveries are side records.
+    fn runtime_shaped_log() -> Vec<CausalEvent> {
+        let mut log = CausalLog::new();
+        let root = log.record_local(0, t(5), 0, "app.start");
+        let s1 = log.record_send(0, t(5), root, "app.hop", 2);
+        log.record_deliver(1, t(7), s1, "app.hop", 2);
+        let m1 = log.record_local(1, t(10), s1.seq, "merge.level1");
+        let s2 = log.record_send(1, t(10), m1, "app.hop", 5);
+        log.record_deliver(2, t(15), s2, "app.hop", 5);
+        let s3 = log.record_send(2, t(15), s2.seq, "app.hop", 5);
+        log.record_deliver(3, t(20), s3, "app.hop", 5);
+        let m2 = log.record_local(3, t(20), s3.seq, "merge.level2");
+        log.record_local(3, t(20), m2, "app.exfil");
+        log.into_events()
+    }
+
+    #[test]
+    fn segments_telescope_to_the_chain_duration() {
+        let path = extract_critical_path(&runtime_shaped_log()).unwrap();
+        assert_eq!(path.start, t(5));
+        assert_eq!(path.end, t(20));
+        assert_eq!(path.total_ticks(), 15);
+        assert_eq!(path.segment_sum(), 15);
+        // Gap-free partition: each segment starts where the last ended.
+        let mut cursor = path.start;
+        for seg in &path.segments {
+            assert_eq!(seg.start, cursor);
+            cursor = seg.end;
+        }
+        assert_eq!(cursor, path.end);
+    }
+
+    #[test]
+    fn hop_intervals_split_into_flight_and_handle() {
+        let path = extract_critical_path(&runtime_shaped_log()).unwrap();
+        // Segment 0 is the zero-width root->send local; then the first
+        // hop: send t5, delivered t7, merged t10.
+        assert_eq!(path.segments[0].kind, SegmentKind::Local);
+        assert_eq!(path.segments[0].ticks(), 0);
+        assert_eq!(path.segments[1].kind, SegmentKind::Flight);
+        assert_eq!(path.segments[1].ticks(), 2);
+        assert_eq!(path.segments[2].kind, SegmentKind::Handle);
+        assert_eq!(path.segments[2].ticks(), 3);
+        // Relay hop (send chained to send): deliver at t15 == relay time,
+        // so the handle collapses to zero width but stays on the path.
+        assert_eq!(path.hop_count(), 3);
+    }
+
+    #[test]
+    fn stages_attribute_ticks_to_merge_levels() {
+        let path = extract_critical_path(&runtime_shaped_log()).unwrap();
+        let stages = path.per_stage();
+        assert_eq!(
+            stages,
+            vec![
+                ("merge.level1".to_string(), 5),
+                ("merge.level2".to_string(), 10),
+                ("app.exfil".to_string(), 0),
+            ]
+        );
+        let total: u64 = stages.iter().map(|&(_, ticks)| ticks).sum();
+        assert_eq!(total, path.total_ticks());
+    }
+
+    #[test]
+    fn missing_exfil_is_a_clear_error() {
+        let mut log = CausalLog::new();
+        log.record_local(0, t(0), 0, "app.start");
+        let err = extract_critical_path(log.events()).unwrap_err();
+        assert!(err.contains("app.exfil"), "{err}");
+    }
+
+    #[test]
+    fn self_sends_without_deliveries_become_local_segments() {
+        let mut log = CausalLog::new();
+        let root = log.record_local(0, t(0), 0, "app.start");
+        // A self-send bypasses the medium: no deliver record exists.
+        let s = log.record_send(0, t(1), root, "app.self", 5);
+        let m = log.record_local(0, t(1), s.seq, "merge.level1");
+        log.record_local(0, t(1), m, "app.exfil");
+        let path = extract_critical_path(log.events()).unwrap();
+        assert_eq!(path.segments[1].kind, SegmentKind::Local);
+        assert_eq!(path.segment_sum(), path.total_ticks());
+    }
+
+    #[test]
+    fn waterfall_renders_every_segment_and_the_totals() {
+        let path = extract_critical_path(&runtime_shaped_log()).unwrap();
+        let text = path.render_waterfall(32);
+        assert!(text.contains("critical path: t=5 .. t=20"));
+        assert!(text.contains("flight"));
+        assert!(text.contains("handle"));
+        assert!(text.contains("merge.level2"));
+        assert!(text.contains("total 15 ticks (segments sum to 15)"));
+        // One row per segment plus header, per-stage block, and total.
+        let rows = text.lines().count();
+        assert_eq!(rows, 1 + path.segments.len() + 1 + 3 + 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Structural diff between two trace documents.
+//!
+//! `netscope diff a.jsonl b.jsonl` renders this: per-counter, per-gauge,
+//! per-span, and per-histogram deltas between two runs of the same
+//! scenario. Entries present in only one trace are flagged rather than
+//! silently dropped, and unchanged entries are suppressed so regressions
+//! stand out.
+
+use crate::span::SpanNode;
+use crate::trace::TraceDocument;
+
+fn flatten_spans(prefix: &str, spans: &[SpanNode], out: &mut Vec<(String, u64)>) {
+    for span in spans {
+        let path = if prefix.is_empty() {
+            span.name.clone()
+        } else {
+            format!("{prefix}/{}", span.name)
+        };
+        out.push((path.clone(), span.duration_ticks()));
+        flatten_spans(&path, &span.children, out);
+    }
+}
+
+fn pct(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        return if new == 0.0 {
+            "+0.0%".to_string()
+        } else {
+            "new".to_string()
+        };
+    }
+    format!("{:+.1}%", (new - old) / old * 100.0)
+}
+
+/// One diffed section: rows of `(name, a-value, b-value)` rendered with
+/// deltas, keeping only changed rows.
+fn render_section<T: PartialEq + Copy + std::fmt::Display>(
+    out: &mut String,
+    title: &str,
+    a: &[(String, T)],
+    b: &[(String, T)],
+    to_f64: impl Fn(T) -> f64,
+    zero: T,
+) {
+    let mut names: Vec<&str> = a.iter().chain(b).map(|(k, _)| k.as_str()).collect();
+    names.sort();
+    names.dedup();
+    let find =
+        |rows: &[(String, T)], name: &str| rows.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
+    let mut lines = Vec::new();
+    for name in names {
+        let va = find(a, name);
+        let vb = find(b, name);
+        if va == vb {
+            continue;
+        }
+        let xa = va.unwrap_or(zero);
+        let xb = vb.unwrap_or(zero);
+        let note = match (va, vb) {
+            (None, _) => " (only in b)".to_string(),
+            (_, None) => " (only in a)".to_string(),
+            _ => format!(" ({})", pct(to_f64(xa), to_f64(xb))),
+        };
+        lines.push(format!("  {name:<34} {xa:>12} -> {xb:<12}{note}"));
+    }
+    out.push_str(&format!("{title}:\n"));
+    if lines.is_empty() {
+        out.push_str("  (no changes)\n");
+    } else {
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders a human-readable diff of `a` vs `b`.
+pub fn render_trace_diff(a: &TraceDocument, b: &TraceDocument) -> String {
+    let mut out = String::new();
+    match (&a.meta, &b.meta) {
+        (Some(ma), Some(mb)) => {
+            out.push_str(&format!(
+                "meta: grid {}x{} -> {}x{}, seed {} -> {}, ticks {} -> {}, events {} -> {}\n",
+                ma.grid,
+                ma.grid,
+                mb.grid,
+                mb.grid,
+                ma.seed,
+                mb.seed,
+                ma.total_ticks,
+                mb.total_ticks,
+                ma.events,
+                mb.events
+            ));
+        }
+        _ => out.push_str("meta: missing on one side\n"),
+    }
+    render_section(
+        &mut out,
+        "counters",
+        &a.counters,
+        &b.counters,
+        |v| v as f64,
+        0u64,
+    );
+    render_section(&mut out, "gauges", &a.gauges, &b.gauges, |v| v, 0.0f64);
+    let mut sa = Vec::new();
+    let mut sb = Vec::new();
+    flatten_spans("", &a.spans, &mut sa);
+    flatten_spans("", &b.spans, &mut sb);
+    render_section(&mut out, "span ticks", &sa, &sb, |v| v as f64, 0u64);
+    let ha: Vec<(String, u64)> = a
+        .histograms
+        .iter()
+        .map(|(k, h)| (k.clone(), h.count()))
+        .collect();
+    let hb: Vec<(String, u64)> = b
+        .histograms
+        .iter()
+        .map(|(k, h)| (k.clone(), h.count()))
+        .collect();
+    render_section(&mut out, "histogram counts", &ha, &hb, |v| v as f64, 0u64);
+    out.push_str(&format!(
+        "causal events: {} -> {}\n",
+        a.causal.len(),
+        b.causal.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceMeta;
+    use wsn_sim::SimTime;
+
+    fn doc(ticks: u64, msgs: u64, energy: f64) -> TraceDocument {
+        let mut d = TraceDocument::new();
+        d.meta = Some(TraceMeta {
+            grid: 4,
+            seed: 5,
+            nodes: 48,
+            total_ticks: ticks,
+            events: 100,
+            ..TraceMeta::default()
+        });
+        d.counters.push(("net.messages".to_string(), msgs));
+        d.counters.push(("stable.counter".to_string(), 7));
+        d.gauges.push(("energy.total".to_string(), energy));
+        d.spans.push(SpanNode::leaf(
+            "application",
+            SimTime::from_ticks(5),
+            SimTime::from_ticks(ticks),
+            50,
+        ));
+        d
+    }
+
+    #[test]
+    fn diff_is_stable_golden_output() {
+        let a = doc(36, 20, 99.0);
+        let b = doc(46, 26, 120.5);
+        let text = render_trace_diff(&a, &b);
+        let expected = "\
+meta: grid 4x4 -> 4x4, seed 5 -> 5, ticks 36 -> 46, events 100 -> 100
+counters:
+  net.messages                                 20 -> 26           (+30.0%)
+gauges:
+  energy.total                                 99 -> 120.5        (+21.7%)
+span ticks:
+  application                                  31 -> 41           (+32.3%)
+histogram counts:
+  (no changes)
+causal events: 0 -> 0
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn identical_documents_diff_to_no_changes() {
+        let a = doc(36, 20, 99.0);
+        let text = render_trace_diff(&a, &a.clone());
+        assert!(text.contains("counters:\n  (no changes)"), "{text}");
+        assert!(text.contains("gauges:\n  (no changes)"), "{text}");
+        assert!(text.contains("span ticks:\n  (no changes)"), "{text}");
+    }
+
+    #[test]
+    fn one_sided_entries_are_flagged() {
+        let mut a = doc(36, 20, 99.0);
+        let b = doc(36, 20, 99.0);
+        a.counters.push(("only.a".to_string(), 3));
+        let text = render_trace_diff(&a, &b);
+        assert!(text.contains("only.a"), "{text}");
+        assert!(text.contains("(only in a)"), "{text}");
+    }
+}

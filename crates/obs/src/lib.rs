@@ -25,16 +25,28 @@
 //!   [`Registry::render_prometheus`] — human-readable sinks: an ASCII
 //!   span tree with durations and shares, a per-node activity timeline,
 //!   and a Prometheus-style text dump.
+//! * [`HbDag`] / [`extract_critical_path`] — the causal layer: a
+//!   validated happens-before DAG over a run's Lamport-stamped events,
+//!   and the exact critical path through the quad-tree merge with
+//!   per-hop flight/handle and per-merge-level attribution.
+//! * [`render_trace_diff`] — per-counter/per-span deltas between two
+//!   trace documents (what `netscope diff` prints).
 //!
 //! Everything here is deterministic: spans and traces from two runs with
 //! the same seed compare equal, which the determinism suite asserts.
 
+pub mod causal;
+pub mod critpath;
+pub mod diff;
 pub mod json;
 pub mod registry;
 pub mod span;
 pub mod timeline;
 pub mod trace;
 
+pub use causal::{DagError, HbDag};
+pub use critpath::{extract_critical_path, CriticalPath, PathSegment, SegmentKind};
+pub use diff::render_trace_diff;
 pub use json::{Json, JsonError};
 pub use registry::{FixedHistogram, Registry, TICK_BUCKETS};
 pub use span::{render_span_forest, SpanNode, SpanRecorder};

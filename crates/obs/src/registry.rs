@@ -134,11 +134,15 @@ impl FixedHistogram {
     }
 
     /// Approximate quantile by linear interpolation inside the bucket
-    /// that crosses rank `q * count` (`q` in `[0, 1]`).
+    /// that crosses rank `q * count` (`q` in `[0, 1]`, clamped; a NaN `q`
+    /// reads as 0). An empty histogram reports every quantile as 0 —
+    /// finite, like [`mean`](Self::mean)/[`min`](Self::min)/
+    /// [`max`](Self::max) — so report renderers never print NaN.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
+        let q = if q.is_nan() { 0.0 } else { q };
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -424,6 +428,41 @@ mod tests {
         let q99 = h.quantile(0.99);
         assert!(q50 <= q99);
         assert!(q50 >= h.min() && q99 <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_finite_zeros() {
+        let h = FixedHistogram::ticks();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        // The whole summary row a report renderer would print is finite.
+        assert!(h.quantile(0.5).is_finite());
+    }
+
+    #[test]
+    fn quantile_tolerates_out_of_range_and_nan_q() {
+        let mut h = FixedHistogram::new(&[10.0]);
+        h.record(4.0);
+        h.record(6.0);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        let q = h.quantile(f64::NAN);
+        assert!(q.is_finite());
+        assert_eq!(q, h.quantile(0.0));
+    }
+
+    #[test]
+    fn empty_registry_reads_report_zeros_not_panics() {
+        let r = Registry::enabled();
+        assert_eq!(r.counter("never.touched"), 0);
+        assert_eq!(r.gauge("never.touched"), None);
+        assert!(r.histogram("never.touched").is_none());
+        assert!(r.counters().is_empty());
+        assert!(r.render_prometheus().is_empty());
     }
 
     #[test]

@@ -121,8 +121,7 @@ impl SpanRecorder {
 pub fn render_span_forest(roots: &[SpanNode]) -> String {
     let mut out = String::new();
     for root in roots {
-        let total = root.duration_ticks().max(1);
-        render_node(root, "", true, true, total, &mut out);
+        render_node(root, "", true, true, root.duration_ticks(), &mut out);
     }
     out
 }
@@ -142,7 +141,13 @@ fn render_node(
     } else {
         format!("{prefix}├─ ")
     };
-    let share = 100.0 * node.duration_ticks() as f64 / root_ticks as f64;
+    // A zero-duration root is a degenerate point interval: everything in
+    // the tree covers all of it, so report 100% rather than 0/0 noise.
+    let share = if root_ticks == 0 {
+        100.0
+    } else {
+        100.0 * node.duration_ticks() as f64 / root_ticks as f64
+    };
     let label = format!("{connector}{}", node.name);
     out.push_str(&format!(
         "{label:<42} {}..{}  {:>6} ticks  {:>8} events  {share:>5.1}%\n",
@@ -218,6 +223,20 @@ mod tests {
         // With nothing open, attach creates a new root.
         rec.attach(SpanNode::leaf("loose", t(9), t(10), 0));
         assert_eq!(rec.roots().len(), 2);
+    }
+
+    #[test]
+    fn zero_duration_spans_render_finite_shares() {
+        let mut rec = SpanRecorder::new();
+        rec.open("instant", t(7));
+        rec.open("sub-instant", t(7));
+        rec.close(t(7), 0);
+        rec.close(t(7), 3);
+        let text = rec.render();
+        // A point interval is 100% of itself, never NaN or 0/0.
+        assert!(!text.contains("NaN"), "{text}");
+        assert_eq!(text.matches("100.0%").count(), 2, "{text}");
+        assert!(text.contains("0 ticks"), "{text}");
     }
 
     #[test]

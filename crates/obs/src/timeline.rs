@@ -117,6 +117,26 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_trace_renders_single_column() {
+        // Every event on one tick: the bucket math must not divide by the
+        // zero-width span, and all activity lands in the first column.
+        let events = vec![ev(7, 0), ev(7, 0), ev(7, 1)];
+        let text = render_timeline(
+            &events,
+            &TimelineConfig {
+                width: 8,
+                max_rows: 4,
+            },
+        );
+        assert!(text.contains("t=7..7"), "{text}");
+        for line in text.lines().filter(|l| l.starts_with("node")) {
+            let row = line.split('|').nth(1).unwrap();
+            assert!(!row.starts_with(' '), "{text}");
+            assert!(row[1..].chars().all(|c| c == ' '), "{text}");
+        }
+    }
+
+    #[test]
     fn rows_cover_active_nodes_only() {
         let events = vec![ev(0, 0), ev(10, 0), ev(50, 2)];
         let text = render_timeline(

@@ -12,6 +12,7 @@
 //! | `hist`  | a [`FixedHistogram`] with buckets and summary stats      |
 //! | `node`  | a per-node snapshot (energy, tx/rx message counts)       |
 //! | `ev`    | one kernel [`TraceEntry`] (dispatched event)             |
+//! | `cev`   | one causal [`CausalEvent`] (Lamport-stamped send/deliver/local) |
 //!
 //! [`TraceDocument`] is the in-memory form; [`TraceDocument::to_jsonl`] and
 //! [`TraceDocument::from_jsonl`] convert losslessly in both directions.
@@ -25,12 +26,17 @@ use crate::span::SpanNode;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
-use wsn_sim::{SimTime, TraceEntry, TraceKind, TraceSink};
+use wsn_sim::{CausalEvent, CausalKind, SimTime, TraceEntry, TraceKind, TraceSink};
 
 /// The JSONL trace schema this writer emits and this reader understands.
 /// Bumped on any incompatible record-shape change; see
 /// [`TraceDocument::from_jsonl`] for the mismatch policy.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — meta/span/ctr/gauge/hist/node/ev records.
+/// * v2 — adds `cev` causal-event records (Lamport stamps, cause links);
+///   consumers assume causal semantics v1 readers cannot check, so v1
+///   traces are rejected rather than silently read without them.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Run parameters recorded in a trace's `meta` line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +99,9 @@ pub struct TraceDocument {
     pub nodes: Vec<NodeSnapshot>,
     /// Kernel events, in dispatch order.
     pub events: Vec<TraceEntry>,
+    /// Causal events (Lamport-stamped sends/deliveries/local milestones),
+    /// in record order — empty unless causal tracing was enabled.
+    pub causal: Vec<CausalEvent>,
 }
 
 /// Failure to parse a JSONL trace, with the 1-based offending line.
@@ -189,6 +198,9 @@ impl TraceDocument {
         for ev in &self.events {
             push_line(&mut out, event_to_json(ev));
         }
+        for cev in &self.causal {
+            push_line(&mut out, causal_to_json(cev));
+        }
         out
     }
 
@@ -252,6 +264,7 @@ impl TraceDocument {
                     rx: v.get("rx").and_then(Json::as_u64).unwrap_or(0),
                 }),
                 "ev" => doc.events.push(event_from_json(&v).map_err(&fail)?),
+                "cev" => doc.causal.push(causal_from_json(&v).map_err(&fail)?),
                 other => return Err(fail(&format!("unknown record tag {other:?}"))),
             }
         }
@@ -284,7 +297,7 @@ fn meta_from_json(v: &Json) -> Result<TraceMeta, String> {
     // Pre-versioning traces carry no schema_version; they are v1 by
     // construction. A *different* version is an incompatibility: reject
     // with a clear message instead of misparsing the records downstream.
-    let schema_version = field("schema_version").unwrap_or(TRACE_SCHEMA_VERSION);
+    let schema_version = field("schema_version").unwrap_or(1);
     if schema_version != TRACE_SCHEMA_VERSION {
         return Err(format!(
             "unsupported trace schema_version {schema_version} (this reader understands \
@@ -452,6 +465,66 @@ fn event_from_json(v: &Json) -> Result<TraceEntry, &'static str> {
     })
 }
 
+fn causal_to_json(cev: &CausalEvent) -> Json {
+    let kind = match cev.kind {
+        CausalKind::Send => "s",
+        CausalKind::Deliver => "d",
+        CausalKind::Local => "l",
+    };
+    Json::Obj(vec![
+        ("t".to_string(), Json::Str("cev".to_string())),
+        ("seq".to_string(), Json::from_u64(cev.seq)),
+        ("time".to_string(), Json::from_u64(cev.time.ticks())),
+        ("node".to_string(), Json::from_u64(cev.node as u64)),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("lam".to_string(), Json::from_u64(cev.lamport)),
+        ("cause".to_string(), Json::from_u64(cev.cause)),
+        ("label".to_string(), Json::Str(cev.label.clone())),
+        ("units".to_string(), Json::from_u64(cev.units)),
+    ])
+}
+
+fn causal_from_json(v: &Json) -> Result<CausalEvent, &'static str> {
+    let seq = v
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or("cev without seq")?;
+    let time = v
+        .get("time")
+        .and_then(Json::as_u64)
+        .ok_or("cev without time")?;
+    let node = v
+        .get("node")
+        .and_then(Json::as_u64)
+        .ok_or("cev without node")?;
+    let kind = match v.get("kind").and_then(Json::as_str) {
+        Some("s") => CausalKind::Send,
+        Some("d") => CausalKind::Deliver,
+        Some("l") => CausalKind::Local,
+        _ => return Err("cev with unknown kind"),
+    };
+    let lamport = v
+        .get("lam")
+        .and_then(Json::as_u64)
+        .ok_or("cev without lam")?;
+    let cause = v.get("cause").and_then(Json::as_u64).unwrap_or(0);
+    let label = v
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("cev without label")?;
+    let units = v.get("units").and_then(Json::as_u64).unwrap_or(0);
+    Ok(CausalEvent {
+        seq,
+        time: SimTime::from_ticks(time),
+        node: node as usize,
+        kind,
+        lamport,
+        cause,
+        label: label.to_string(),
+        units,
+    })
+}
+
 /// A [`TraceSink`] that renders each kernel event as an `ev` JSONL line
 /// into a shared string buffer.
 ///
@@ -541,6 +614,36 @@ mod tests {
             a: 0,
             b: 2,
         });
+        doc.causal.push(CausalEvent {
+            seq: 1,
+            time: t(5),
+            node: 2,
+            kind: CausalKind::Send,
+            lamport: 1,
+            cause: 0,
+            label: "app.hop".to_string(),
+            units: 5,
+        });
+        doc.causal.push(CausalEvent {
+            seq: 2,
+            time: t(10),
+            node: 7,
+            kind: CausalKind::Deliver,
+            lamport: 2,
+            cause: 1,
+            label: "app.hop".to_string(),
+            units: 5,
+        });
+        doc.causal.push(CausalEvent {
+            seq: 3,
+            time: t(10),
+            node: 7,
+            kind: CausalKind::Local,
+            lamport: 3,
+            cause: 1,
+            label: "merge.level1".to_string(),
+            units: 0,
+        });
         doc
     }
 
@@ -548,7 +651,7 @@ mod tests {
     fn jsonl_round_trip_is_lossless() {
         let doc = sample_doc();
         let text = doc.to_jsonl();
-        assert_eq!(text.lines().count(), 8);
+        assert_eq!(text.lines().count(), 11);
         let parsed = TraceDocument::from_jsonl(&text).unwrap();
         assert_eq!(parsed.meta, doc.meta);
         assert_eq!(parsed.spans, doc.spans);
@@ -557,8 +660,35 @@ mod tests {
         assert_eq!(parsed.histograms, doc.histograms);
         assert_eq!(parsed.nodes, doc.nodes);
         assert_eq!(parsed.events, doc.events);
+        assert_eq!(parsed.causal, doc.causal);
         // Serialize → parse → serialize is a fixed point.
         assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn causal_round_trip_preserves_every_stamp_field() {
+        // Property-style sweep: every kind × a spread of stamp values must
+        // survive the JSONL round trip bit-for-bit, including the fields
+        // new in schema v2 (lamport, cause, label, units).
+        let kinds = [CausalKind::Send, CausalKind::Deliver, CausalKind::Local];
+        let mut doc = TraceDocument::new();
+        doc.meta = Some(TraceMeta::default());
+        for (i, &kind) in kinds.iter().cycle().take(60).enumerate() {
+            let i = i as u64;
+            doc.causal.push(CausalEvent {
+                seq: i + 1,
+                time: t(i * 3 + 1),
+                node: (i % 7) as usize,
+                kind,
+                lamport: i + 1,
+                cause: i, // 0 on the first = a root
+                label: format!("label-{i}"),
+                units: i % 6,
+            });
+        }
+        let parsed = TraceDocument::from_jsonl(&doc.to_jsonl()).unwrap();
+        assert_eq!(parsed.causal, doc.causal);
+        assert_eq!(parsed.to_jsonl(), doc.to_jsonl());
     }
 
     #[test]
@@ -570,23 +700,34 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .contains("\"schema_version\":1"));
-        // A pre-versioning meta line (no field) is v1 by construction.
+            .contains("\"schema_version\":2"));
+        // A pre-versioning meta line (no field) is v1 by construction —
+        // rejected now that the reader assumes v2 causal semantics.
         let legacy = "{\"t\":\"meta\",\"grid\":4,\"seed\":1,\"nodes\":16,\
                       \"total_ticks\":9,\"events\":2}";
-        let parsed = TraceDocument::from_jsonl(legacy).unwrap();
-        assert_eq!(parsed.meta.unwrap().schema_version, TRACE_SCHEMA_VERSION);
-        // A mismatched version is a clear error, not a misparse.
-        let future = "{\"t\":\"meta\",\"schema_version\":2,\"grid\":4,\"seed\":1,\
+        let err = TraceDocument::from_jsonl(legacy).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(
+            err.message.contains("unsupported trace schema_version 1"),
+            "{}",
+            err.message
+        );
+        // An explicit v1 stamp is rejected the same way.
+        let v1 = "{\"t\":\"meta\",\"schema_version\":1,\"grid\":4,\"seed\":1,\
+                  \"nodes\":16,\"total_ticks\":9,\"events\":2}";
+        let err = TraceDocument::from_jsonl(v1).unwrap_err();
+        assert!(err.message.contains("understands 2"), "{}", err.message);
+        // So is a future version: a clear error, not a misparse.
+        let future = "{\"t\":\"meta\",\"schema_version\":3,\"grid\":4,\"seed\":1,\
                       \"nodes\":16,\"total_ticks\":9,\"events\":2}";
         let err = TraceDocument::from_jsonl(future).unwrap_err();
         assert_eq!(err.line, 1);
         assert!(
-            err.message.contains("unsupported trace schema_version 2"),
+            err.message.contains("unsupported trace schema_version 3"),
             "{}",
             err.message
         );
-        assert!(err.message.contains("understands 1"), "{}", err.message);
+        assert!(err.message.contains("understands 2"), "{}", err.message);
     }
 
     #[test]

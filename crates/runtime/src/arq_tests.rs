@@ -73,6 +73,7 @@ fn envelope() -> AppEnvelope<f64> {
         round: 0,
         origin: 0,
         msg_id: 1,
+        stamp: wsn_sim::CausalStamp::NONE,
         payload: 2.5,
     }
 }

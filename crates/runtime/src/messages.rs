@@ -1,7 +1,7 @@
 //! Kernel messages exchanged by the runtime protocols.
 
 use wsn_core::GridCoord;
-use wsn_sim::Payload;
+use wsn_sim::{CausalStamp, Payload};
 
 /// An application message in flight between virtual nodes, carried hop by
 /// hop across physical nodes.
@@ -21,6 +21,10 @@ pub struct AppEnvelope<P> {
     /// Per-origin message id — `(origin, msg_id)` dedups end-to-end
     /// duplicates (ARQ retransmits, medium duplication chaos).
     pub msg_id: u64,
+    /// Causal stamp of the hop send carrying this envelope
+    /// ([`CausalStamp::NONE`] when causal tracing is off). Re-stamped on
+    /// every hop, so the receiver always chains to the latest send.
+    pub stamp: CausalStamp,
     /// Application payload.
     pub payload: P,
 }
@@ -142,6 +146,7 @@ mod tests {
             round: 0,
             origin: 0,
             msg_id: 1,
+            stamp: CausalStamp::NONE,
             payload: 7,
         });
         let arq: RtMsg<u32> = RtMsg::AppArq {
@@ -154,6 +159,7 @@ mod tests {
                 round: 0,
                 origin: 0,
                 msg_id: 2,
+                stamp: CausalStamp::NONE,
                 payload: 7,
             },
         };

@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use wsn_core::{Direction, Exfiltrated, GridCoord, NodeApi, NodeProgram, VirtualGrid};
 use wsn_net::{Point, SharedMedium};
-use wsn_sim::{Actor, ActorId, Context, SimTime};
+use wsn_sim::{Actor, ActorId, Context, SharedCausalLog, SimTime};
 
 /// Timer tags used by the phase kick-offs.
 pub(crate) const TAG_TOPO: u64 = 1;
@@ -201,6 +201,14 @@ pub struct RtNode<P: Clone + 'static> {
     /// End-to-end `(origin, msg_id)` dedup at delivery, protecting the
     /// application from medium duplication and ARQ re-sends.
     app_seen: HashSet<(usize, u64)>,
+
+    /// Causal event log (shared with the medium), when causal tracing is
+    /// enabled.
+    pub(crate) causal: Option<SharedCausalLog>,
+    /// Sequence number of the most recent causal event on this node's
+    /// application chain — the cause the next send or local milestone
+    /// links to.
+    cur_cause: u64,
 }
 
 impl<P: Clone + 'static> RtNode<P> {
@@ -248,7 +256,15 @@ impl<P: Clone + 'static> RtNode<P> {
             app_round: 0,
             next_msg_id: 0,
             app_seen: HashSet::new(),
+            causal: None,
+            cur_cause: 0,
         }
+    }
+
+    /// Attaches the shared causal log; application traffic through this
+    /// node records stamped send events and chained local milestones.
+    pub(crate) fn enable_causal(&mut self, log: SharedCausalLog) {
+        self.causal = Some(log);
     }
 
     /// δ: Euclidean distance to the cell center.
@@ -289,6 +305,7 @@ impl<P: Clone + 'static> RtNode<P> {
         self.lease_expires = None;
         self.hb_last_seq.clear();
         self.app_seen.clear();
+        self.cur_cause = 0;
     }
 
     fn dirs_filled(&self) -> [bool; 4] {
@@ -482,8 +499,26 @@ impl<P: Clone + 'static> RtNode<P> {
     }
 
     /// Transmits `env` one physical hop to `to`, with or without ARQ.
-    fn tx_hop(&mut self, ctx: &mut Context<'_, RtMsg<P>>, to: usize, env: AppEnvelope<P>) {
+    fn tx_hop(&mut self, ctx: &mut Context<'_, RtMsg<P>>, to: usize, mut env: AppEnvelope<P>) {
         let units = env.units;
+        if self.causal.is_some() {
+            // Chain to the incoming hop's send when relaying, or to this
+            // node's latest chain event (phase start, merge) when
+            // originating. The fresh stamp rides in the envelope so the
+            // receiver keeps the chain going.
+            let cause = if env.stamp.is_some() {
+                env.stamp.seq
+            } else {
+                self.cur_cause
+            };
+            env.stamp = self.medium.clone().borrow_mut().causal_send_stamp(
+                self.id,
+                ctx.now(),
+                cause,
+                "app.hop",
+                units,
+            );
+        }
         match self.arq {
             None => {
                 self.medium
@@ -534,6 +569,23 @@ impl<P: Clone + 'static> RtNode<P> {
         };
         ctx.stats().incr("rt.arq_retx");
         let units = env.units;
+        let mut env = env;
+        if self.causal.is_some() {
+            // A retransmission is a fresh physical send caused by the
+            // previous (timed-out) one; re-stamp the envelope and the
+            // pending copy so later retries chain on.
+            let stamp = self.medium.clone().borrow_mut().causal_send_stamp(
+                self.id,
+                ctx.now(),
+                env.stamp.seq,
+                "app.retx",
+                units,
+            );
+            env.stamp = stamp;
+            if let Some(pending) = self.pending_arq.get_mut(&seq) {
+                pending.env.stamp = stamp;
+            }
+        }
         self.medium.clone().borrow_mut().unicast(
             ctx,
             self.id,
@@ -608,6 +660,12 @@ impl<P: Clone + 'static> RtNode<P> {
             // a merge piece in the restarted computation.
             ctx.stats().incr("rt.app_wrong_round");
             return;
+        }
+        if env.stamp.is_some() {
+            // Whatever this envelope triggers next (a forward hop, a
+            // merge, an exfiltration) is caused by the hop that carried
+            // it here.
+            self.cur_cause = env.stamp.seq;
         }
         if env.dest_cell == self.cell && self.ldr {
             if !self.app_seen.insert((env.origin, env.msg_id)) {
@@ -699,6 +757,14 @@ impl<P: Clone + 'static> RtNode<P> {
 
     fn start_app(&mut self, ctx: &mut Context<'_, RtMsg<P>>) {
         self.phase = Phase::App;
+        if let Some(log) = &self.causal {
+            // The root of this node's application chain: everything it
+            // originates before receiving traffic links back here, so
+            // every causal chain bottoms out at the phase start.
+            self.cur_cause = log
+                .borrow_mut()
+                .record_local(self.id, ctx.now(), 0, "app.start");
+        }
         if let Some(hb) = self.heartbeat {
             if self.ldr {
                 self.lease_expires = None;
@@ -887,18 +953,31 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
         self.ctx.stats().add("rt.data_units", units);
         let msg_id = self.node.next_msg_id;
         self.node.next_msg_id += 1;
-        let env = AppEnvelope {
+        let mut env = AppEnvelope {
             src_cell: self.node.cell,
             dest_cell: dest,
             units,
             round: self.node.app_round,
             origin: self.node.id,
             msg_id,
+            stamp: wsn_sim::CausalStamp::NONE,
             payload,
         };
         if dest == self.node.cell {
             // Logical self-message (Figure 4's "one of the four incoming
             // messages … is from the node to itself"): free and immediate.
+            if let Some(log) = &self.node.causal {
+                // No radio transmission, so the medium never sees it:
+                // record the zero-latency send here and stamp the
+                // envelope so the receiving handler chains to it.
+                env.stamp = log.borrow_mut().record_send(
+                    self.node.id,
+                    self.ctx.now(),
+                    self.node.cur_cause,
+                    "app.self",
+                    units,
+                );
+            }
             let me = self.ctx.id();
             self.ctx.send(me, SimTime::ZERO, RtMsg::App(env));
         } else {
@@ -908,6 +987,15 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
 
     fn exfiltrate(&mut self, payload: P) {
         self.ctx.stats().incr("rt.exfiltrated");
+        if let Some(log) = &self.node.causal {
+            // The terminal event of the application chain.
+            self.node.cur_cause = log.borrow_mut().record_local(
+                self.node.id,
+                self.ctx.now(),
+                self.node.cur_cause,
+                "app.exfil",
+            );
+        }
         self.node.shared.exfil.borrow_mut().push(Exfiltrated {
             from: self.node.cell,
             at: self.ctx.now(),
@@ -925,6 +1013,23 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
 
     fn stat_observe(&mut self, name: &str, value: f64) {
         self.ctx.stats().observe(name, value);
+        if let Some(log) = &self.node.causal {
+            // Quad-tree merge completions are the per-level milestones of
+            // the causal chain: the merge fires when its last piece
+            // arrives, so chaining to `cur_cause` (that piece's hop)
+            // follows the latest — i.e. critical — input path.
+            if let Some(level) = name
+                .strip_prefix("merge.level")
+                .and_then(|s| s.strip_suffix(".complete"))
+            {
+                self.node.cur_cause = log.borrow_mut().record_local(
+                    self.node.id,
+                    self.ctx.now(),
+                    self.node.cur_cause,
+                    &format!("merge.level{level}"),
+                );
+            }
+        }
     }
 }
 

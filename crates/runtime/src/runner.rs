@@ -35,7 +35,10 @@ use wsn_net::{
 use wsn_obs::{
     FixedHistogram, NodeSnapshot, Registry, SpanNode, SpanRecorder, TraceDocument, TraceMeta,
 };
-use wsn_sim::{ActorId, Kernel, RunReport, SimTime, Stats, StopReason, Tracer};
+use wsn_sim::{
+    shared_causal_log, ActorId, Kernel, RunReport, SharedCausalLog, SimTime, Stats, StopReason,
+    Tracer,
+};
 
 /// Result of one topology-emulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,6 +207,9 @@ pub struct PhysicalRuntime<P: Clone + 'static> {
     telemetry: Registry,
     /// Phase span tree, populated only while telemetry is enabled.
     spans: SpanRecorder,
+    /// Causal event log shared with the medium and every node; `None`
+    /// unless [`PhysicalRuntime::enable_causal_tracing`] was called.
+    causal: Option<SharedCausalLog>,
 }
 
 impl<P: Clone + 'static> PhysicalRuntime<P> {
@@ -279,6 +285,7 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             events_total: 0,
             telemetry: Registry::disabled(),
             spans: SpanRecorder::new(),
+            causal: None,
         }
     }
 
@@ -299,6 +306,30 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// [`PhysicalRuntime::enable_telemetry`] was called).
     pub fn telemetry(&self) -> &Registry {
         &self.telemetry
+    }
+
+    /// Turns causal tracing on: every subsequent radio transmission,
+    /// delivery, and application milestone (start, hop, merge completion,
+    /// exfiltration) is Lamport-stamped into a shared [`wsn_sim::CausalLog`]
+    /// that [`PhysicalRuntime::record_trace`] exports. Call it *after* the
+    /// control phases (topology emulation, binding) and before
+    /// [`PhysicalRuntime::run_application`] to capture an application-only
+    /// happens-before DAG — the shape the critical-path profiler expects.
+    pub fn enable_causal_tracing(&mut self) {
+        let log = shared_causal_log();
+        self.medium.borrow_mut().set_causal(log.clone());
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.enable_causal(log.clone());
+            }
+        }
+        self.causal = Some(log);
+    }
+
+    /// The shared causal log, if [`PhysicalRuntime::enable_causal_tracing`]
+    /// was called.
+    pub fn causal_log(&self) -> Option<&SharedCausalLog> {
+        self.causal.as_ref()
     }
 
     /// The recorded phase spans.
@@ -777,6 +808,9 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             .collect();
         drop(medium);
         doc.events = self.kernel.trace_snapshot();
+        if let Some(log) = &self.causal {
+            doc.causal = log.borrow().events().to_vec();
+        }
         doc
     }
 

@@ -44,6 +44,7 @@
 //! assert_eq!(report.events_processed, 7); // initial + 3 + 3 replies
 //! ```
 
+pub mod causal;
 pub mod event;
 pub mod kernel;
 pub mod rng;
@@ -51,6 +52,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use causal::{
+    shared_causal_log, CausalEvent, CausalKind, CausalLog, CausalStamp, SharedCausalLog,
+};
 pub use event::{EventKind, ScheduledEvent};
 pub use kernel::{
     Actor, ActorId, Context, Kernel, Payload, RunReport, StopReason, METRIC_DISPATCH_LATENCY,
