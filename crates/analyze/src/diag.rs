@@ -43,6 +43,8 @@ impl fmt::Display for Severity {
 /// * `CB` — cost-budget conformance;
 /// * `CC` — cost certification (symbolic §4 bounds and the optimizer
 ///   facts that sharpen them);
+/// * `SI` — shard interference (footprint and commutativity of handlers
+///   under a quad-tree shard plan);
 /// * `TC` — trace conformance (measured run vs certified interval).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // variants are documented by Self::description
@@ -77,6 +79,10 @@ pub enum Code {
     CC003,
     CC004,
     CC005,
+    SI001,
+    SI002,
+    SI003,
+    SI004,
     TC001,
     TC002,
     TC003,
@@ -85,6 +91,7 @@ pub enum Code {
     TC006,
     TC007,
     TC008,
+    TC009,
 }
 
 impl Code {
@@ -121,6 +128,10 @@ impl Code {
             Code::CC003 => "dead handler eliminated; its costs are excluded from the bounds",
             Code::CC004 => "provably-redundant duplicate send (retransmit) in a rule body",
             Code::CC005 => "guard is constant-foldable under propagated state constants",
+            Code::SI001 => "handler footprint escapes the region space of its role",
+            Code::SI002 => "same-shard write/write conflict: overlapping send footprints",
+            Code::SI003 => "cross-shard send off the certified region boundary",
+            Code::SI004 => "receive handler writes scalar state across the epoch barrier",
             Code::TC001 => "measured value below the certified lower bound",
             Code::TC002 => "measured value above the certified upper bound",
             Code::TC003 => "certified quantity absent from the trace",
@@ -129,6 +140,7 @@ impl Code {
             Code::TC006 => "per-class transmit energy escapes the certified interval",
             Code::TC007 => "trace metadata incompatible with the certificate's config",
             Code::TC008 => "critical path disagrees with the span or certified latency",
+            Code::TC009 => "observed cross-shard delivery off the certified boundary edge set",
         }
     }
 
@@ -138,8 +150,8 @@ impl Code {
         &[
             WF001, WF002, WF003, WF004, WF005, WF006, WF007, WF008, WF009, WF010, RD001, RD002,
             RD003, RD004, GM001, GM002, GM003, GM004, GM005, DL001, DL002, CB001, CB002, CB003,
-            CB004, CC001, CC002, CC003, CC004, CC005, TC001, TC002, TC003, TC004, TC005, TC006,
-            TC007, TC008,
+            CB004, CC001, CC002, CC003, CC004, CC005, SI001, SI002, SI003, SI004, TC001, TC002,
+            TC003, TC004, TC005, TC006, TC007, TC008, TC009,
         ]
     }
 }
@@ -523,6 +535,6 @@ mod tests {
         for &c in Code::all() {
             assert!(!c.description().is_empty(), "{c}");
         }
-        assert_eq!(Code::all().len(), 38);
+        assert_eq!(Code::all().len(), 43);
     }
 }

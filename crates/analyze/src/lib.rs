@@ -26,11 +26,18 @@
 //! 5. **Cost budget** ([`budget`]) — priced mapping vs mission budget
 //!    (`CB001`–`CB004`).
 //!
+//! 6. **Shard interference** ([`footprint`], [`shard`]) — per-role
+//!    read/write footprints in region space and commutativity under a
+//!    quad-tree [`wsn_core::ShardPlan`], yielding a machine-checkable
+//!    [`shard::ShardCertificate`] with the closed-form cross-shard
+//!    message bound (`SI001`–`SI004`, trace replay `TC009`).
+//!
 //! [`verified`] gates synthesis and code generation on the verdict:
 //! error-bearing artifacts are refused unless the caller opts out.
 //! [`model_json`] gives programs a stable JSON encoding so external
 //! artifacts can be linted too.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod budget;
@@ -38,10 +45,12 @@ pub mod certify;
 pub mod conform;
 pub mod deadlock;
 pub mod diag;
+pub mod footprint;
 pub mod graphcheck;
 pub mod model_json;
 pub mod opt;
 pub mod reach;
+pub mod shard;
 pub mod sym;
 pub mod verified;
 pub mod wellformed;
@@ -53,10 +62,15 @@ pub use certify::{
 pub use conform::check_conformance;
 pub use deadlock::{check_deadlock, quorum_specs, wait_for_graph, QuorumSpec, Wait};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
+pub use footprint::{check_footprints, role_footprints};
 pub use graphcheck::{check_graph, check_mapping, find_cycle};
 pub use model_json::{program_from_json, program_to_json, PROGRAM_SCHEMA_VERSION};
 pub use opt::{optimize_program, AbsVal, OptFacts};
-pub use reach::{check_dynamics, explore, ReachConfig, ReachReport};
+pub use reach::{check_dynamics, explore, explore_with_levels, ReachConfig, ReachReport};
+pub use shard::{
+    analyze_shards, check_shard_conformance, shard_cert_from_json, shard_cert_to_json,
+    ShardCertificate, SHARD_CERT_SCHEMA_VERSION,
+};
 pub use sym::Sym;
 pub use verified::{render_figure4_checked, synthesize_checked, CheckedError, Enforcement};
 pub use wellformed::check_program;

@@ -105,7 +105,22 @@ pub struct ReachReport {
 
 /// Explores `program` and returns the raw report.
 pub fn explore(program: &GuardedProgram, config: ReachConfig) -> ReachReport {
-    Explorer::new(program, config).run()
+    let levels: Vec<i64> = (0..=i64::from(program.max_level)).collect();
+    Explorer::new(program, config, levels).run()
+}
+
+/// Explores `program` with message deliveries restricted to the given
+/// level tags — the footprint pass's per-role abstraction: a cell whose
+/// highest leader level is `r` only ever receives summaries tagged
+/// `1..=r`, so exploring under that restriction yields the exact
+/// region-space footprint of every cell of that role. An empty slice
+/// allows no deliveries at all (only the boot scan runs).
+pub fn explore_with_levels(
+    program: &GuardedProgram,
+    config: ReachConfig,
+    levels: &[i64],
+) -> ReachReport {
+    Explorer::new(program, config, levels.to_vec()).run()
 }
 
 /// Explores `program` and renders the findings as diagnostics (the pass
@@ -264,6 +279,7 @@ struct Incoming {
 struct Explorer<'p> {
     program: &'p GuardedProgram,
     config: ReachConfig,
+    levels: Vec<i64>,
     var_index: HashMap<&'p str, usize>,
     state_rules: Vec<usize>,
     receive_rules: Vec<usize>,
@@ -274,7 +290,7 @@ struct Explorer<'p> {
 }
 
 impl<'p> Explorer<'p> {
-    fn new(program: &'p GuardedProgram, config: ReachConfig) -> Self {
+    fn new(program: &'p GuardedProgram, config: ReachConfig, levels: Vec<i64>) -> Self {
         let mut var_index = HashMap::new();
         for (i, d) in program.state.iter().enumerate() {
             var_index.entry(d.name.as_str()).or_insert(i);
@@ -292,6 +308,7 @@ impl<'p> Explorer<'p> {
         let max_level = i64::from(program.max_level);
         Explorer {
             config,
+            levels,
             var_index,
             state_rules,
             receive_rules,
@@ -343,7 +360,7 @@ impl<'p> Explorer<'p> {
             if self.report.livelock.is_some() {
                 break;
             }
-            for level in 0..=self.max_level {
+            for level in self.levels.clone() {
                 for from_self in [false, true] {
                     let mut next = st.clone();
                     let incoming = Incoming { level, from_self };

@@ -17,6 +17,19 @@
 //!                                  re-record the snapshots and fail on drift;
 //!                                  the mutation flags apply here too, so CI can
 //!                                  prove an injected +50% hop delay trips it
+//! wsn-lint --shard-check [depth] [--cut-level N] [--emit-shard-cert]
+//!                                  shard-interference analysis (SI001–SI004) of the
+//!                                  Figure-4 program (or --program <file.json>) under
+//!                                  the level-N quadrant plan; --emit-shard-cert
+//!                                  prints the machine-checkable certificate JSON;
+//!                                  --mutate-shard-leak plants a cross-shard defect
+//! wsn-lint --shard-conform <trace.jsonl> [--cut-level N]
+//!                                  TC009: replay a causal trace and verify every
+//!                                  cross-shard delivery is a certified boundary edge
+//! wsn-lint --record-shard-leak-trace <out.jsonl> [depth]
+//!                                  record the planted-leak run TC009 must catch
+//! wsn-lint --shard-gate            CI gate: shard-check + TC009 on sides 4 and 8
+//!                                  at cut levels 1 and 2
 //! wsn-lint --check                 CI gate: paper deployments must be error-free
 //! wsn-lint --codes                 list the diagnostic catalog
 //! ```
@@ -33,7 +46,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     // Flags that consume the following argument as their value.
-    const VALUE_FLAGS: [&str; 3] = ["--mutate-hop-cost", "--mutate-tx-energy", "--tolerance"];
+    const VALUE_FLAGS: [&str; 4] = [
+        "--mutate-hop-cost",
+        "--mutate-tx-energy",
+        "--tolerance",
+        "--cut-level",
+    ];
     let mut positional: Vec<&String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -67,7 +85,12 @@ fn main() -> ExitCode {
             Ok(d) => d,
             Err(e) => return usage_error(&e),
         };
-        println!("{}", lint::figure4_program_json(depth));
+        if args.iter().any(|a| a == "--mutate-shard-leak") {
+            let program = lint::leak_mutated_figure4(depth);
+            println!("{}", wsn_analyze::program_to_json(&program).render());
+        } else {
+            println!("{}", lint::figure4_program_json(depth));
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -205,6 +228,138 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.iter().any(|a| a == "--shard-check") {
+        let cut = match parse_flag_value(&args, "--cut-level", 1u8) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let mutate = args.iter().any(|a| a == "--mutate-shard-leak");
+        let result = if args.iter().any(|a| a == "--program") {
+            let Some(path) = positional.first() else {
+                return usage_error("--shard-check --program needs a file path");
+            };
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    lint::shard_check_program_text(&text, cut).map_err(|e| format!("{path}: {e}"))
+                }
+                Err(e) => Err(format!("cannot read {path}: {e}")),
+            }
+        } else {
+            match parse_depth(&positional) {
+                Ok(depth) => lint::shard_check_figure4(depth, cut, mutate),
+                Err(e) => Err(e),
+            }
+        };
+        return match result {
+            Ok((cert, diags)) => {
+                if args.iter().any(|a| a == "--emit-shard-cert") {
+                    match &cert {
+                        Some(c) => println!("{}", wsn_analyze::shard_cert_to_json(c).render()),
+                        None => eprintln!(
+                            "wsn-lint: no certificate to emit (the program did not shard-check)"
+                        ),
+                    }
+                } else if json {
+                    println!("{}", diags.to_json().render());
+                } else {
+                    if let Some(c) = &cert {
+                        print!("{}", c.render_text());
+                    }
+                    if diags.is_empty() {
+                        println!(
+                            "shard check: clean — same-shard events commute, cross-shard \
+                             traffic stays on the boundary"
+                        );
+                    } else {
+                        print!("{}", diags.render_text());
+                    }
+                }
+                if diags.has_errors() || cert.is_none() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => usage_error(&e),
+        };
+    }
+
+    if args.iter().any(|a| a == "--shard-conform") {
+        let Some(path) = positional.first() else {
+            return usage_error("--shard-conform needs a trace file path");
+        };
+        let cut = match parse_flag_value(&args, "--cut-level", 1u8) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+        };
+        return match lint::shard_conform_trace_text(&text, cut) {
+            Ok((cert, diags)) => {
+                if json {
+                    println!("{}", diags.to_json().render());
+                } else {
+                    print!("{}", cert.render_text());
+                    if diags.is_empty() {
+                        println!(
+                            "trace conforms: every cross-shard delivery is a certified \
+                             boundary edge"
+                        );
+                    } else {
+                        print!("{}", diags.render_text());
+                    }
+                }
+                if diags.has_errors() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => usage_error(&format!("{path}: {e}")),
+        };
+    }
+
+    if args.iter().any(|a| a == "--record-shard-leak-trace") {
+        let Some(path) = positional.first() else {
+            return usage_error("--record-shard-leak-trace needs an output path");
+        };
+        let depth = match parse_depth(&positional[1..]) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        let side = 2u32.pow(u32::from(depth));
+        let doc = wsn_bench::experiments::record_shard_leak_trace(side, 3, 5);
+        if let Err(e) = std::fs::write(path, doc.to_jsonl()) {
+            return usage_error(&format!("cannot write {path}: {e}"));
+        }
+        println!("recorded side-{side} planted-leak trace to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--shard-gate") {
+        let configs = [(2u8, 1u8), (2, 2), (3, 1), (3, 2)];
+        return match lint::shard_gate(&configs) {
+            Ok(checked) => {
+                println!(
+                    "wsn-lint --shard-gate: {checked} certificate(s) hold, statically and \
+                     on the seeded causal traces (sides 4, 8 at cut levels 1, 2)"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(failures) => {
+                for (depth, cut, diags) in failures {
+                    eprintln!(
+                        "depth {depth} cut {cut} failed the shard gate:\n{}",
+                        diags.render_text()
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.iter().any(|a| a == "--check") {
         return match lint::check_gate() {
             Ok(()) => {
@@ -295,6 +450,10 @@ fn print_usage() {
          --record-fidelity-trace <out.jsonl> [depth] [--mutate-hop-cost k] \
          [--mutate-tx-energy x] | --perf-baseline <out.json> | \
          --perf-gate <baseline.json> [--tolerance pct] [--mutate-hop-cost k] | \
+         --shard-check [depth] [--cut-level N] [--emit-shard-cert] [--mutate-shard-leak] | \
+         --shard-check --program <file.json> [--cut-level N] | \
+         --shard-conform <trace.jsonl> [--cut-level N] | \
+         --record-shard-leak-trace <out.jsonl> [depth] | --shard-gate | \
          --check | --codes   [--json]"
     );
 }

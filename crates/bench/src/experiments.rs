@@ -852,6 +852,84 @@ pub fn record_model_fidelity_trace(
     rt.record_trace()
 }
 
+/// The correct D&C program plus one planted defect: the far-corner cell
+/// `(side−1, side−1)` also sends its leaf summary straight up its column
+/// to cell `(side−1, 0)` — a point-to-point message that is not a
+/// child-leader → parent-leader merge, so its hops cross the quad-tree
+/// shard boundary off the certified edge set. The extra message lands in
+/// a quorum slot that never fills (level 0), leaving the algorithm's
+/// result untouched: only the shard-conformance replay (`TC009`) can see
+/// the leak.
+struct ShardLeakProgram {
+    inner: wsn_topoquery::DandcProgram,
+    side: u32,
+}
+
+impl NodeProgram<wsn_topoquery::DandcMsg> for ShardLeakProgram {
+    fn on_init(&mut self, api: &mut dyn NodeApi<wsn_topoquery::DandcMsg>) {
+        self.inner.on_init(api);
+        let here = api.coord();
+        if here == GridCoord::new(self.side - 1, self.side - 1) {
+            let leaf = wsn_topoquery::BoundarySummary::leaf(here, false);
+            let units = leaf.units();
+            api.send(
+                GridCoord::new(self.side - 1, 0),
+                units,
+                wsn_synth::SummaryMsg {
+                    sender: here,
+                    level: 0,
+                    data: wsn_topoquery::RegionSummary::Complete(leaf),
+                },
+            );
+        }
+    }
+
+    fn on_receive(
+        &mut self,
+        api: &mut dyn NodeApi<wsn_topoquery::DandcMsg>,
+        from: GridCoord,
+        msg: wsn_topoquery::DandcMsg,
+    ) {
+        self.inner.on_receive(api, from, msg);
+    }
+}
+
+/// Records the seeded model-fidelity run with the planted cross-shard
+/// leak of `ShardLeakProgram` — the dynamic half of the
+/// `--mutate-shard-leak` gate check. The static analyzer cannot see this
+/// defect (it lives in the hand-written program, not the synthesized
+/// one); the `TC009` trace replay must.
+pub fn record_shard_leak_trace(side: u32, per_cell: usize, seed: u64) -> wsn_obs::TraceDocument {
+    assert!(side >= 2, "a leak needs somewhere to cross");
+    let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
+    let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let f2 = field.clone();
+    let mut rt: PhysicalRuntime<wsn_topoquery::DandcMsg> = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        None,
+        1,
+        seed,
+        move |c| f2.value(c),
+    );
+    rt.enable_telemetry(false);
+    let topo = rt.run_topology_emulation();
+    assert!(topo.complete, "topology emulation must complete");
+    let bind = rt.run_binding();
+    assert!(bind.unique, "binding must elect unique leaders");
+    rt.install_programs(move |_| {
+        Box::new(ShardLeakProgram {
+            inner: wsn_topoquery::DandcProgram::new(side, 5.0),
+            side,
+        })
+    });
+    rt.enable_causal_tracing();
+    rt.run_application();
+    rt.record_trace()
+}
+
 /// EXP-16: sustained operation under churn — the paper's "the above
 /// protocol should execute periodically" (§5.1), quantified. Rounds
 /// completed over a mission with one random node death per round, as a

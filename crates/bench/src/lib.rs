@@ -5,6 +5,8 @@
 //! benches. Binaries print their tables as aligned text; pass `--csv` to a
 //! binary to get CSV instead, so EXPERIMENTS.md can quote either.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod figures;
 pub mod lint;

@@ -6,13 +6,14 @@
 //! model-fidelity gate `run_all` executes after the experiments.
 
 use wsn_analyze::{
-    analyze_deployment, analyze_program, certify, check_conformance, check_deadlock, CertConfig,
-    Certificate, Diagnostics,
+    analyze_deployment, analyze_program, analyze_shards, certify, check_conformance,
+    check_deadlock, check_shard_conformance, CertConfig, Certificate, Diagnostics, ReachConfig,
+    ShardCertificate,
 };
-use wsn_core::Hierarchy;
+use wsn_core::{Hierarchy, ShardPlan};
 use wsn_obs::{Json, TraceDocument};
 use wsn_synth::{
-    quadtree_task_graph, synthesize_quadtree_program, Mapper, QuadTree, QuadrantMapper,
+    quadtree_task_graph, synthesize_quadtree_program, Expr, Mapper, QuadTree, QuadrantMapper,
 };
 
 /// The paper's quad-tree deployment at hierarchy depth `depth`: the task
@@ -140,6 +141,147 @@ pub fn conformance_gate(sides: &[u32]) -> Result<usize, Vec<(u32, Diagnostics)>>
     }
 }
 
+/// Validated [`ShardPlan`] for a depth-`depth` paper deployment — a
+/// friendly error instead of a panic on absurd cut levels.
+fn shard_plan(depth: u8, cut: u8) -> Result<ShardPlan, String> {
+    if cut > depth {
+        return Err(format!(
+            "cut level {cut} exceeds the hierarchy depth {depth} (shards are level-L \
+             quadrants, so L must be 0..={depth})"
+        ));
+    }
+    Ok(ShardPlan::new(2u32.pow(u32::from(depth)), cut))
+}
+
+/// The Figure-4 program with the planted static shard leak the
+/// `--mutate-shard-leak` CI check uses: every cell also addresses the
+/// global root directly at boot — reachable, same-slot (`SI002`) and,
+/// once there is more than one shard, off the region boundary (`SI003`).
+pub fn leak_mutated_figure4(depth: u8) -> wsn_synth::GuardedProgram {
+    let mut program = synthesize_quadtree_program(depth);
+    program.rules[0]
+        .actions
+        .push(wsn_synth::Action::SendSummaryToLeader {
+            group_level: Expr::var("maxrecLevel"),
+            data_level: Expr::Int(0),
+        });
+    program
+}
+
+/// Runs the shard-interference analyzer on the paper's Figure-4 program
+/// at hierarchy depth `depth` under the level-`cut` quadrant plan.
+/// `mutate` plants the [`leak_mutated_figure4`] defect first.
+pub fn shard_check_figure4(
+    depth: u8,
+    cut: u8,
+    mutate: bool,
+) -> Result<(Option<ShardCertificate>, Diagnostics), String> {
+    let plan = shard_plan(depth, cut)?;
+    let program = if mutate {
+        leak_mutated_figure4(depth)
+    } else {
+        synthesize_quadtree_program(depth)
+    };
+    Ok(analyze_shards(&program, &plan, ReachConfig::default()))
+}
+
+/// Shard-checks a serialized program (the [`wsn_analyze::model_json`]
+/// encoding) under the quadrant plan at the program's own grid side.
+pub fn shard_check_program_text(
+    text: &str,
+    cut: u8,
+) -> Result<(Option<ShardCertificate>, Diagnostics), String> {
+    let json = Json::parse(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let program = wsn_analyze::program_from_json(&json)?;
+    if program.max_level < 1 || program.max_level > 5 {
+        return Err(format!(
+            "program declares maxrecLevel {}; the shard analyzer needs a hierarchy \
+             (1..=5)",
+            program.max_level
+        ));
+    }
+    let plan = shard_plan(program.max_level, cut)?;
+    Ok(analyze_shards(&program, &plan, ReachConfig::default()))
+}
+
+/// Replays a serialized `wsn-obs` JSONL causal trace against the
+/// Figure-4 shard certificate at the trace's own grid side (`TC009`):
+/// every observed cross-shard delivery hop must be a certified boundary
+/// edge of the cut-`cut` plan.
+pub fn shard_conform_trace_text(
+    text: &str,
+    cut: u8,
+) -> Result<(ShardCertificate, Diagnostics), String> {
+    let doc = TraceDocument::from_jsonl(text).map_err(|e| e.to_string())?;
+    let side = doc
+        .meta
+        .as_ref()
+        .map(|m| m.grid)
+        .ok_or("trace has no meta record, so its grid side is unknown")?;
+    let side = u32::try_from(side).map_err(|_| format!("absurd grid side {side}"))?;
+    if side < 2 || !side.is_power_of_two() {
+        return Err(format!(
+            "trace grid side {side} is not a power of two ≥ 2; the quad-tree shard \
+             plan does not apply"
+        ));
+    }
+    let depth = u8::try_from(side.trailing_zeros()).map_err(|_| "depth overflow".to_owned())?;
+    let (cert, mut diags) = shard_check_figure4(depth, cut, false)?;
+    let cert = cert.ok_or_else(|| {
+        format!(
+            "the Figure-4 program failed to certify at depth {depth} cut {cut}:\n{}",
+            diags.render_text()
+        )
+    })?;
+    diags.extend(check_shard_conformance(&cert, &doc));
+    diags.sort();
+    Ok((cert, diags))
+}
+
+/// The shard CI gate: the paper deployments must shard-check clean and
+/// their seeded causal traces must replay inside the certified boundary
+/// (`TC009`) at every listed `(depth, cut)`. Returns the number of
+/// certificates checked, or the failing reports.
+#[allow(clippy::type_complexity)]
+pub fn shard_gate(configs: &[(u8, u8)]) -> Result<usize, Vec<(u8, u8, Diagnostics)>> {
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    let mut traces: std::collections::BTreeMap<u8, String> = std::collections::BTreeMap::new();
+    for &(depth, cut) in configs {
+        let (cert, mut diags) = match shard_check_figure4(depth, cut, false) {
+            Ok(r) => r,
+            Err(e) => {
+                let mut d = Diagnostics::new();
+                d.push(wsn_analyze::Diagnostic::error(
+                    wsn_analyze::Code::CC001,
+                    wsn_analyze::Span::Program,
+                    e,
+                ));
+                failures.push((depth, cut, d));
+                continue;
+            }
+        };
+        if let Some(cert) = cert {
+            let side = 2u32.pow(u32::from(depth));
+            let text = traces.entry(depth).or_insert_with(|| {
+                crate::experiments::record_model_fidelity_trace(side, 3, 5, 1.0, 1.0).to_jsonl()
+            });
+            let doc = TraceDocument::from_jsonl(text).expect("own trace round-trips");
+            diags.extend(check_shard_conformance(&cert, &doc));
+            diags.sort();
+            checked += 1;
+        }
+        if diags.has_errors() {
+            failures.push((depth, cut, diags));
+        }
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        Err(failures)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +308,57 @@ mod tests {
     fn garbage_input_is_a_decode_error_not_a_panic() {
         assert!(lint_program_text("{nope").is_err());
         assert!(lint_program_text("{\"name\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn shard_check_certifies_the_paper_deployments() {
+        for (depth, cut) in [(2u8, 1u8), (2, 2), (3, 1), (3, 2)] {
+            let (cert, diags) = shard_check_figure4(depth, cut, false).unwrap();
+            assert_eq!(
+                diags.error_count(),
+                0,
+                "depth {depth} cut {cut}: {}",
+                diags.render_text()
+            );
+            let cert = cert.expect("certificate");
+            assert_eq!(cert.cut_level, cut);
+            // And through the serialized-program path too.
+            let (cert2, _) = shard_check_program_text(&figure4_program_json(depth), cut).unwrap();
+            assert_eq!(cert2.unwrap(), cert);
+        }
+        assert!(shard_check_figure4(2, 3, false).is_err());
+    }
+
+    #[test]
+    fn shard_leak_mutation_trips_the_static_check() {
+        let (_, diags) = shard_check_figure4(2, 1, true).unwrap();
+        assert!(diags.has_code(Code::SI003), "{}", diags.render_text());
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn shard_conformance_holds_on_the_seeded_trace_and_trips_on_the_leak() {
+        let faithful = crate::experiments::record_model_fidelity_trace(4, 3, 5, 1.0, 1.0);
+        let (cert, diags) = shard_conform_trace_text(&faithful.to_jsonl(), 1).unwrap();
+        assert_eq!(cert.cross_shard_messages, 3);
+        assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
+
+        let leak = crate::experiments::record_shard_leak_trace(4, 3, 5);
+        let (_, diags) = shard_conform_trace_text(&leak.to_jsonl(), 1).unwrap();
+        assert!(diags.has_code(Code::TC009), "{}", diags.render_text());
+    }
+
+    #[test]
+    fn shard_gate_passes_on_the_paper_artifacts() {
+        let checked = shard_gate(&[(2, 1), (2, 2)]).unwrap_or_else(|fails| {
+            panic!(
+                "{}",
+                fails
+                    .iter()
+                    .map(|(d, c, diags)| format!("depth {d} cut {c}:\n{}", diags.render_text()))
+                    .collect::<String>()
+            )
+        });
+        assert_eq!(checked, 2);
     }
 }

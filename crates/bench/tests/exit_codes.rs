@@ -1,0 +1,193 @@
+//! Golden exit-code matrix for `wsn-lint`: every gate/check entry point
+//! must exit 0 on a clean run, 1 when it finds error-severity findings,
+//! and 2 on usage or decode errors — so CI can trust the process status
+//! without parsing the report.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wsn-lint"))
+}
+
+fn run(args: &[&str]) -> i32 {
+    lint()
+        .args(args)
+        .output()
+        .expect("spawn wsn-lint")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wsn-lint-exit-codes-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn static_analysis_paths() {
+    // (args, expected exit) — 0 clean, 1 findings, 2 usage.
+    let matrix: &[(&[&str], i32)] = &[
+        (&[], 0),
+        (&["--fig4", "2"], 0),
+        (&["--check"], 0),
+        (&["--codes"], 0),
+        (&["--certify", "2"], 0),
+        (&["--program", &fixture("figure4_depth2.json")], 0),
+        (&["--program", &fixture("broken_unbound_var.json")], 1),
+        (&["--program", &fixture("broken_under_supplied.json")], 1),
+        (&["--program", "/nonexistent/nope.json"], 2),
+        (&["--fig4", "9"], 2),
+    ];
+    for (args, want) in matrix {
+        assert_eq!(run(args), *want, "wsn-lint {}", args.join(" "));
+    }
+}
+
+#[test]
+fn shard_check_paths() {
+    let matrix: &[(&[&str], i32)] = &[
+        (&["--shard-check"], 0),
+        (&["--shard-check", "2", "--cut-level", "2"], 0),
+        (&["--shard-check", "3", "--cut-level", "1"], 0),
+        (&["--shard-check", "--emit-shard-cert"], 0),
+        (&["--shard-check", "--mutate-shard-leak"], 1),
+        (
+            &["--shard-check", "--mutate-shard-leak", "--cut-level", "2"],
+            1,
+        ),
+        // cut level beyond the hierarchy depth is a usage error.
+        (&["--shard-check", "2", "--cut-level", "5"], 2),
+        (&["--shard-check", "--cut-level"], 2),
+        (
+            &[
+                "--shard-check",
+                "--program",
+                &fixture("figure4_depth2.json"),
+            ],
+            0,
+        ),
+        (
+            &["--shard-check", "--program", &fixture("shard_leak.json")],
+            1,
+        ),
+        (&["--shard-conform", "/nonexistent/nope.jsonl"], 2),
+    ];
+    for (args, want) in matrix {
+        assert_eq!(run(args), *want, "wsn-lint {}", args.join(" "));
+    }
+}
+
+#[test]
+fn shard_cert_json_is_machine_checkable() {
+    let out = lint()
+        .args([
+            "--shard-check",
+            "2",
+            "--cut-level",
+            "1",
+            "--emit-shard-cert",
+        ])
+        .output()
+        .expect("spawn wsn-lint");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8 cert");
+    let json = wsn_obs::Json::parse(text.trim()).expect("cert parses");
+    let cert = wsn_analyze::shard_cert_from_json(&json).expect("cert decodes");
+    assert_eq!(cert.side, 4);
+    assert_eq!(cert.cut_level, 1);
+    assert_eq!(cert.cross_shard_messages, 3);
+    assert_eq!(cert.total_messages, 20);
+    assert_eq!(cert.boundary_edges.len(), 3);
+}
+
+#[test]
+fn conformance_paths_trip_on_recorded_mutations() {
+    // Record the faithful and mutated runs once, then drive every
+    // trace-checking entry point through both.
+    let faithful = temp("faithful.jsonl");
+    let drifted = temp("drifted.jsonl");
+    let leak = temp("leak.jsonl");
+    assert_eq!(
+        run(&["--record-fidelity-trace", faithful.to_str().unwrap(), "2"]),
+        0
+    );
+    assert_eq!(
+        run(&[
+            "--record-fidelity-trace",
+            drifted.to_str().unwrap(),
+            "2",
+            "--mutate-hop-cost",
+            "2.0",
+        ]),
+        0
+    );
+    assert_eq!(
+        run(&["--record-shard-leak-trace", leak.to_str().unwrap(), "2"]),
+        0
+    );
+
+    let matrix: &[(&[&str], i32)] = &[
+        (&["--conform", faithful.to_str().unwrap()], 0),
+        (&["--conform", drifted.to_str().unwrap()], 1),
+        (
+            &[
+                "--shard-conform",
+                faithful.to_str().unwrap(),
+                "--cut-level",
+                "1",
+            ],
+            0,
+        ),
+        (
+            &[
+                "--shard-conform",
+                leak.to_str().unwrap(),
+                "--cut-level",
+                "1",
+            ],
+            1,
+        ),
+        // With a single shard (cut = depth) nothing can cross: even the
+        // leaking run conforms, which is exactly what the plan says.
+        (
+            &[
+                "--shard-conform",
+                leak.to_str().unwrap(),
+                "--cut-level",
+                "2",
+            ],
+            0,
+        ),
+    ];
+    for (args, want) in matrix {
+        assert_eq!(run(args), *want, "wsn-lint {}", args.join(" "));
+    }
+    for p in [faithful, drifted, leak] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn perf_gate_path_round_trips_and_trips() {
+    let baseline = temp("perf-baseline.json");
+    assert_eq!(run(&["--perf-baseline", baseline.to_str().unwrap()]), 0);
+    assert_eq!(run(&["--perf-gate", baseline.to_str().unwrap()]), 0);
+    assert_eq!(
+        run(&[
+            "--perf-gate",
+            baseline.to_str().unwrap(),
+            "--mutate-hop-cost",
+            "1.5",
+        ]),
+        1
+    );
+    assert_eq!(run(&["--perf-gate", "/nonexistent/base.json"]), 2);
+    let _ = std::fs::remove_file(baseline);
+}

@@ -84,6 +84,81 @@ fn under_supplied_merge_fixture_reports_dl001() {
 }
 
 #[test]
+fn footprint_pass_covers_the_existing_fixtures() {
+    // The shard analyzer over the four pre-existing lint fixtures: the
+    // clean program certifies, the unbound program is gated at
+    // well-formedness (no SI evaluation over unbound names), and the two
+    // structurally-broken programs fail certification (CC001) with clean
+    // footprints — their defects are not interference defects.
+    let shard = |name: &str| lint::shard_check_program_text(&fixture(name), 1).unwrap();
+
+    let (cert, diags) = shard("figure4_depth2.json");
+    assert_eq!(diags.error_count(), 0, "{}", diags.render_text());
+    let cert = cert.expect("clean figure-4 must certify");
+    assert_eq!(cert.cross_shard_messages, 3);
+    assert_eq!(cert.total_messages, 20);
+
+    let (cert, diags) = shard("broken_unbound_var.json");
+    assert!(cert.is_none());
+    assert!(diags.has_code(Code::WF002));
+    assert!(!diags
+        .codes()
+        .iter()
+        .any(|c| { matches!(c, Code::SI001 | Code::SI002 | Code::SI003 | Code::SI004) }));
+
+    for name in ["broken_guard_overlap.json", "broken_under_supplied.json"] {
+        let (cert, diags) = shard(name);
+        assert!(cert.is_none(), "{name}");
+        assert!(
+            diags.has_code(Code::CC001),
+            "{name}: {}",
+            diags.render_text()
+        );
+        assert!(
+            !diags
+                .codes()
+                .iter()
+                .any(|c| { matches!(c, Code::SI001 | Code::SI002 | Code::SI003 | Code::SI004) }),
+            "{name}: {}",
+            diags.render_text()
+        );
+    }
+}
+
+#[test]
+fn shard_leak_fixture_reports_si_codes_byte_stably() {
+    // The new fixture: Figure 4 plus a boot-time send straight to the
+    // global root. Two interference findings — the duplicate write into
+    // the level-2 quorum slot (SI002) and the off-boundary cross-shard
+    // send (SI003) — and the JSON report is byte-for-byte reproducible
+    // against the committed golden file.
+    let (cert, diags) = lint::shard_check_program_text(&fixture("shard_leak.json"), 1).unwrap();
+    assert!(
+        cert.is_none(),
+        "an interfering program earns no certificate"
+    );
+    assert!(diags.has_code(Code::SI002), "{}", diags.render_text());
+    assert!(diags.has_code(Code::SI003), "{}", diags.render_text());
+    let golden = fixture("shard_leak_diags.json");
+    let render = || {
+        lint::shard_check_program_text(&fixture("shard_leak.json"), 1)
+            .unwrap()
+            .1
+            .to_json()
+            .render()
+    };
+    let first = render();
+    assert_eq!(first, render(), "two renders in one process differ");
+    assert_eq!(
+        format!("{first}\n"),
+        golden,
+        "shard-check --json drifted from the golden fixture; if the change is \
+         intentional, regenerate tests/fixtures/shard_leak_diags.json with \
+         wsn-lint --shard-check --program shard_leak.json --cut-level 1 --json"
+    );
+}
+
+#[test]
 fn the_three_broken_classes_have_distinct_codes() {
     let codes_of = |name: &str| lint::lint_program_text(&fixture(name)).unwrap().codes();
     let unbound = codes_of("broken_unbound_var.json");

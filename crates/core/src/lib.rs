@@ -27,6 +27,8 @@
 //! (simulated) deployment through `wsn-runtime`; comparing the two (and
 //! the closed forms) is experiment EXP-9.
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod collective;
 pub mod cost;
@@ -35,6 +37,7 @@ pub mod grid;
 pub mod groups;
 pub mod metrics;
 pub mod program;
+pub mod shard;
 pub mod tree;
 pub mod vm;
 
@@ -52,6 +55,7 @@ pub use grid::{Direction, GridCoord, VirtualGrid};
 pub use groups::Hierarchy;
 pub use metrics::{RunMetrics, CTR_DATA_UNITS, CTR_MESSAGES};
 pub use program::{NodeApi, NodeProgram, ProgramFactory};
+pub use shard::{HopEdge, RoleFootprint, ShardPlan, SiteFootprint};
 pub use tree::{
     spanning_tree_from_positions, tree_convergecast_estimate, ConvergecastSum, TreeApi,
     TreeProgram, TreeVm, VirtualTree,

@@ -1,0 +1,347 @@
+//! Shard plans: quad-tree quadrants as parallel-simulation shards.
+//!
+//! ROADMAP item 1 wants a spatially-sharded parallel kernel. The safe
+//! decomposition candidate is the one the paper's §4 analysis already
+//! reasons about: cut the quad-tree at level `L` and give each level-`L`
+//! block (a `2^L × 2^L` quadrant of cells) to one shard. The claim that
+//! makes this safe — cross-shard traffic flows only on region boundaries,
+//! i.e. on the certified child-leader → parent-leader merge routes at
+//! levels above the cut — is exactly what `wsn-analyze`'s shard-interference
+//! passes verify. This module holds the *geometry* of that argument: the
+//! shard map, the boundary hop-edge set, and the closed-form cross-shard
+//! message count in the grid side `s`, all pure functions of coordinates
+//! (the same property that makes the group middleware protocol-free).
+
+use crate::grid::{GridCoord, VirtualGrid};
+use crate::groups::Hierarchy;
+use std::collections::BTreeSet;
+
+/// A directed physical hop between two adjacent cells, as observed by the
+/// routing layer (`from` transmits, `to` receives next).
+pub type HopEdge = (GridCoord, GridCoord);
+
+/// A quad-tree shard decomposition of a `2^p × 2^p` grid: cut the
+/// hierarchy at `cut_level`, one shard per level-`cut_level` block.
+///
+/// ```
+/// use wsn_core::{GridCoord, ShardPlan};
+///
+/// let plan = ShardPlan::new(4, 1); // 4×4 grid, 2×2-cell shards
+/// assert_eq!(plan.shard_count(), 4);
+/// assert_eq!(plan.shard_of(GridCoord::new(0, 0)), 0);
+/// assert_eq!(plan.shard_of(GridCoord::new(3, 1)), 1);
+/// assert_eq!(plan.shard_of(GridCoord::new(1, 2)), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    side: u32,
+    cut_level: u8,
+}
+
+impl ShardPlan {
+    /// A plan cutting the `side × side` grid's quad-tree at `cut_level`.
+    /// `side` must be a power of two and `cut_level ≤ log₂ side`; panics
+    /// otherwise (same contract as [`Hierarchy::new`]).
+    pub fn new(side: u32, cut_level: u8) -> Self {
+        let h = Hierarchy::new(side);
+        assert!(
+            cut_level <= h.max_level(),
+            "cut level {cut_level} exceeds hierarchy depth {}",
+            h.max_level()
+        );
+        ShardPlan { side, cut_level }
+    }
+
+    /// Grid side `s = 2^p`.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The cut level `L`; shards are the level-`L` blocks.
+    pub fn cut_level(&self) -> u8 {
+        self.cut_level
+    }
+
+    /// Hierarchy depth `p = log₂ s`.
+    pub fn max_level(&self) -> u8 {
+        self.side.trailing_zeros() as u8
+    }
+
+    /// Cells per shard side, `2^L`.
+    pub fn block_side(&self) -> u32 {
+        1 << self.cut_level
+    }
+
+    /// Shards per grid side, `s / 2^L`.
+    pub fn shards_per_side(&self) -> u32 {
+        self.side / self.block_side()
+    }
+
+    /// Total shard count, `(s / 2^L)²`.
+    pub fn shard_count(&self) -> u32 {
+        self.shards_per_side().pow(2)
+    }
+
+    /// The shard owning cell `c`: row-major index of its level-`L` block.
+    pub fn shard_of(&self, c: GridCoord) -> u32 {
+        debug_assert!(c.col < self.side && c.row < self.side);
+        let b = self.block_side();
+        (c.row / b) * self.shards_per_side() + c.col / b
+    }
+
+    /// The NW-corner cell of shard `shard` (its block leader).
+    pub fn shard_leader(&self, shard: u32) -> GridCoord {
+        assert!(shard < self.shard_count(), "shard {shard} out of range");
+        let per = self.shards_per_side();
+        let b = self.block_side();
+        GridCoord::new(shard % per * b, shard / per * b)
+    }
+
+    /// The certified boundary: every directed cell-adjacent hop edge that
+    /// any child-leader → parent-leader merge route (dimension-order, the
+    /// runtime's routing contract) takes across a shard boundary. Sorted
+    /// and deduplicated. A conforming execution's cross-shard deliveries
+    /// happen on exactly these edges.
+    pub fn boundary_hop_edges(&self) -> BTreeSet<HopEdge> {
+        let grid = VirtualGrid::new(self.side);
+        let hier = Hierarchy::new(self.side);
+        let mut edges = BTreeSet::new();
+        for level in 1..=hier.max_level() {
+            for parent in hier.leaders_at(level) {
+                for child in hier.children(parent, level) {
+                    let mut prev = child;
+                    for hop in grid.route(child, parent) {
+                        if self.shard_of(prev) != self.shard_of(hop) {
+                            edges.insert((prev, hop));
+                        }
+                        prev = hop;
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Counts, by explicit route enumeration, the merge messages whose
+    /// route crosses at least one shard boundary, with every send site
+    /// weighted `k_send` (the per-child send multiplicity the certifier
+    /// extracts from the program). Equals
+    /// [`ShardPlan::cross_shard_closed_form`]; the certifier's conformance
+    /// gate holds the two against each other.
+    pub fn cross_shard_route_messages(&self, k_send: u64) -> u64 {
+        let grid = VirtualGrid::new(self.side);
+        let hier = Hierarchy::new(self.side);
+        let mut crossing = 0;
+        for level in 1..=hier.max_level() {
+            for parent in hier.leaders_at(level) {
+                for child in hier.children(parent, level) {
+                    let mut prev = child;
+                    let crosses = grid.route(child, parent).into_iter().any(|hop| {
+                        let c = self.shard_of(prev) != self.shard_of(hop);
+                        prev = hop;
+                        c
+                    });
+                    if crosses {
+                        crossing += k_send;
+                    }
+                }
+            }
+        }
+        crossing
+    }
+
+    /// The §4-style closed form for the cross-shard message count:
+    /// Σ_{l=L+1}^{p} 3 · k_send · (s / 2^l)². At each level above the cut
+    /// a parent merges four children; the NW child is the parent itself
+    /// (no message crosses), and the E, S, SE child leaders live in other
+    /// shards, so each of their `k_send` sends crosses the boundary. At or
+    /// below the cut, blocks nest inside a single shard and nothing
+    /// crosses.
+    pub fn cross_shard_closed_form(&self, k_send: u64) -> u64 {
+        let p = self.max_level();
+        let mut total = 0;
+        for level in self.cut_level + 1..=p {
+            let merges = u64::from(self.side >> level).pow(2);
+            total += 3 * k_send * merges;
+        }
+        total
+    }
+
+    /// The closed form as text, for certificates and reports.
+    pub fn cross_shard_symbolic(&self, k_send: u64) -> String {
+        let p = self.max_level();
+        if self.cut_level >= p {
+            "0 (single shard: cut level equals hierarchy depth)".to_owned()
+        } else {
+            format!(
+                "sum_{{l={}..{}}} 3*{k_send}*(s/2^l)^2 at s={}",
+                self.cut_level + 1,
+                p,
+                self.side
+            )
+        }
+    }
+}
+
+/// One send/exfiltrate site's observed region-space interval at a role:
+/// the site at `rule`/`path` evaluated its level expression to values in
+/// `[lo, hi]` across every reachable behavior of that role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteFootprint {
+    /// Rule index in the guarded program.
+    pub rule: usize,
+    /// Action path within the rule (through nested branches).
+    pub path: Vec<usize>,
+    /// Smallest observed level.
+    pub lo: i64,
+    /// Largest observed level.
+    pub hi: i64,
+}
+
+impl SiteFootprint {
+    /// Whether this site's interval overlaps `other`'s (both sites can
+    /// target the same region level).
+    pub fn overlaps(&self, other: &SiteFootprint) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// The read/write footprint of one handler *role* in region space. A role
+/// is the highest leader level of the executing cell — the only property
+/// of a cell the synthesized programs can observe — so one footprint per
+/// role covers every cell of that role.
+///
+/// Writes are the quorum slots of destination leaders (`group_level` of
+/// fired sends: the message increments `msgsReceived[g]` at
+/// `Leader(g)`); reads are the local summary slots a send serializes
+/// (`data_level`) plus exfiltrated levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleFootprint {
+    /// Highest leader level of the cells this footprint covers.
+    pub role: u8,
+    /// `group_level` intervals of sends that fired at this role.
+    pub writes: Vec<SiteFootprint>,
+    /// `data_level` intervals of sends that fired at this role.
+    pub reads: Vec<SiteFootprint>,
+    /// `ExfiltrateSummary` level intervals fired at this role.
+    pub exfils: Vec<SiteFootprint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_footprint_overlap_is_symmetric_interval_intersection() {
+        let a = SiteFootprint {
+            rule: 0,
+            path: vec![],
+            lo: 1,
+            hi: 3,
+        };
+        let b = SiteFootprint {
+            rule: 1,
+            path: vec![0],
+            lo: 3,
+            hi: 5,
+        };
+        let c = SiteFootprint {
+            rule: 2,
+            path: vec![],
+            lo: 4,
+            hi: 4,
+        };
+        assert!(a.overlaps(&b) && b.overlaps(&a));
+        assert!(!a.overlaps(&c) && !c.overlaps(&a));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn shard_map_is_a_partition() {
+        for (side, cut) in [(4, 1), (4, 2), (8, 1), (8, 2), (8, 3), (16, 2)] {
+            let plan = ShardPlan::new(side, cut);
+            let grid = VirtualGrid::new(side);
+            let mut counts = vec![0u32; plan.shard_count() as usize];
+            for c in grid.nodes() {
+                counts[plan.shard_of(c) as usize] += 1;
+            }
+            let per_shard = plan.block_side().pow(2);
+            assert!(counts.iter().all(|&n| n == per_shard), "{side}/{cut}");
+        }
+    }
+
+    #[test]
+    fn shard_leader_inverts_shard_of() {
+        let plan = ShardPlan::new(8, 2);
+        for s in 0..plan.shard_count() {
+            let leader = plan.shard_leader(s);
+            assert_eq!(plan.shard_of(leader), s);
+            assert_eq!(leader.col % plan.block_side(), 0);
+            assert_eq!(leader.row % plan.block_side(), 0);
+        }
+    }
+
+    #[test]
+    fn side4_cut1_boundary_edges_match_hand_derivation() {
+        // The only routes above the cut are the three non-self level-2
+        // children converging on the origin, column-first.
+        let plan = ShardPlan::new(4, 1);
+        let edges = plan.boundary_hop_edges();
+        let expect: BTreeSet<HopEdge> = [
+            (GridCoord::new(2, 0), GridCoord::new(1, 0)),
+            (GridCoord::new(0, 2), GridCoord::new(0, 1)),
+            (GridCoord::new(2, 2), GridCoord::new(1, 2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(edges, expect);
+    }
+
+    #[test]
+    fn cut_at_depth_means_one_shard_and_no_boundary() {
+        let plan = ShardPlan::new(4, 2);
+        assert_eq!(plan.shard_count(), 1);
+        assert!(plan.boundary_hop_edges().is_empty());
+        assert_eq!(plan.cross_shard_closed_form(1), 0);
+        assert_eq!(plan.cross_shard_route_messages(1), 0);
+    }
+
+    #[test]
+    fn closed_form_matches_route_enumeration() {
+        for side in [2u32, 4, 8, 16] {
+            for cut in 0..=side.trailing_zeros() as u8 {
+                let plan = ShardPlan::new(side, cut);
+                for k in [1u64, 2] {
+                    assert_eq!(
+                        plan.cross_shard_closed_form(k),
+                        plan.cross_shard_route_messages(k),
+                        "side {side} cut {cut} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_cross_shard_counts() {
+        assert_eq!(ShardPlan::new(4, 1).cross_shard_closed_form(1), 3);
+        assert_eq!(ShardPlan::new(8, 1).cross_shard_closed_form(1), 15);
+        assert_eq!(ShardPlan::new(8, 2).cross_shard_closed_form(1), 3);
+        assert_eq!(ShardPlan::new(16, 1).cross_shard_closed_form(1), 63);
+    }
+
+    #[test]
+    fn every_boundary_edge_is_cell_adjacent_and_crossing() {
+        let plan = ShardPlan::new(8, 1);
+        for (a, b) in plan.boundary_hop_edges() {
+            assert_eq!(a.manhattan(b), 1);
+            assert_ne!(plan.shard_of(a), plan.shard_of(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds hierarchy depth")]
+    fn cut_above_depth_panics() {
+        ShardPlan::new(4, 3);
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`fault`] — chaos injection: crashes, recoveries, link degradation,
 //!   partitions, delivery anomalies, and energy shocks on a schedule.
 
+#![forbid(unsafe_code)]
+
 pub mod deployment;
 pub mod energy;
 pub mod fault;

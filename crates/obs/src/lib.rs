@@ -35,6 +35,8 @@
 //! Everything here is deterministic: spans and traces from two runs with
 //! the same seed compare equal, which the determinism suite asserts.
 
+#![forbid(unsafe_code)]
+
 pub mod causal;
 pub mod critpath;
 pub mod diff;

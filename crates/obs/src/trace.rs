@@ -80,6 +80,11 @@ pub struct NodeSnapshot {
     pub tx: u64,
     /// Receive activity, in data units.
     pub rx: u64,
+    /// Deployment cell `(col, row)` the node lies in, when the recorder
+    /// knows the placement map; `None` for synthetic or legacy traces.
+    /// Optional within schema v2: shard-conformance replay requires it,
+    /// plain bound conformance does not.
+    pub cell: Option<(u32, u32)>,
 }
 
 /// A parsed or under-construction trace; see the module docs.
@@ -184,16 +189,18 @@ impl TraceDocument {
             push_line(&mut out, hist_to_json(name, h));
         }
         for node in &self.nodes {
-            push_line(
-                &mut out,
-                Json::Obj(vec![
-                    ("t".to_string(), Json::Str("node".to_string())),
-                    ("id".to_string(), Json::from_u64(node.id)),
-                    ("energy".to_string(), Json::Num(node.energy)),
-                    ("tx".to_string(), Json::from_u64(node.tx)),
-                    ("rx".to_string(), Json::from_u64(node.rx)),
-                ]),
-            );
+            let mut fields = vec![
+                ("t".to_string(), Json::Str("node".to_string())),
+                ("id".to_string(), Json::from_u64(node.id)),
+                ("energy".to_string(), Json::Num(node.energy)),
+                ("tx".to_string(), Json::from_u64(node.tx)),
+                ("rx".to_string(), Json::from_u64(node.rx)),
+            ];
+            if let Some((col, row)) = node.cell {
+                fields.push(("col".to_string(), Json::from_u64(u64::from(col))));
+                fields.push(("row".to_string(), Json::from_u64(u64::from(row))));
+            }
+            push_line(&mut out, Json::Obj(fields));
         }
         for ev in &self.events {
             push_line(&mut out, event_to_json(ev));
@@ -262,6 +269,16 @@ impl TraceDocument {
                         .ok_or_else(|| fail("node without energy"))?,
                     tx: v.get("tx").and_then(Json::as_u64).unwrap_or(0),
                     rx: v.get("rx").and_then(Json::as_u64).unwrap_or(0),
+                    cell: match (
+                        v.get("col").and_then(Json::as_u64),
+                        v.get("row").and_then(Json::as_u64),
+                    ) {
+                        (Some(col), Some(row)) => Some((
+                            u32::try_from(col).map_err(|_| fail("node col overflows u32"))?,
+                            u32::try_from(row).map_err(|_| fail("node row overflows u32"))?,
+                        )),
+                        _ => None,
+                    },
                 }),
                 "ev" => doc.events.push(event_from_json(&v).map_err(&fail)?),
                 "cev" => doc.causal.push(causal_from_json(&v).map_err(&fail)?),
@@ -599,6 +616,7 @@ mod tests {
             energy: 1.25,
             tx: 40,
             rx: 41,
+            cell: Some((5, 2)),
         });
         doc.events.push(TraceEntry {
             time: t(7),
@@ -741,6 +759,20 @@ mod tests {
         let err = TraceDocument::from_jsonl("{\"t\":\"ctr\",\"name\":\"x\",\"value\":3}\nnot json")
             .unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn node_cell_is_optional_and_round_trips() {
+        // Legacy node lines carry no placement; the reader must not
+        // reject them (bound conformance never needed cells).
+        let legacy = "{\"t\":\"node\",\"id\":1,\"energy\":0.5,\"tx\":2,\"rx\":3}";
+        let doc = TraceDocument::from_jsonl(legacy).unwrap();
+        assert_eq!(doc.nodes[0].cell, None);
+        assert!(!doc.to_jsonl().contains("col"));
+        // A recorded cell survives the round trip.
+        let with_cell = sample_doc();
+        let parsed = TraceDocument::from_jsonl(&with_cell.to_jsonl()).unwrap();
+        assert_eq!(parsed.nodes[0].cell, Some((5, 2)));
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! [`wsn_core::Vm`] is exactly the abstraction cost the paper's
 //! methodology accepts (§7).
 
+#![forbid(unsafe_code)]
+
 pub mod messages;
 pub mod node;
 pub mod runner;

@@ -799,11 +799,15 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         doc.nodes = ledger
             .snapshot()
             .into_iter()
-            .map(|s| NodeSnapshot {
-                id: s.node as u64,
-                energy: s.total,
-                tx: s.tx.round() as u64,
-                rx: s.rx.round() as u64,
+            .map(|s| {
+                let cell = self.deployment.cell_of_node(s.node);
+                NodeSnapshot {
+                    id: s.node as u64,
+                    energy: s.total,
+                    tx: s.tx.round() as u64,
+                    rx: s.rx.round() as u64,
+                    cell: Some((cell.col, cell.row)),
+                }
             })
             .collect();
         drop(medium);

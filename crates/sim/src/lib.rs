@@ -44,6 +44,8 @@
 //! assert_eq!(report.events_processed, 7); // initial + 3 + 3 replies
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod causal;
 pub mod event;
 pub mod kernel;

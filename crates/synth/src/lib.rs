@@ -10,6 +10,8 @@
 //! which is executable through the interpreter ([`interpret`]) and
 //! printable in the paper's notation by the code generator ([`codegen`]).
 
+#![forbid(unsafe_code)]
+
 pub mod codegen;
 pub mod constraints;
 pub mod interpret;

@@ -10,6 +10,8 @@
 //! ([`queries`]), and the differential chaos fuzzer that checks the
 //! self-healing runtime against the centralized oracle ([`chaos`]).
 
+#![forbid(unsafe_code)]
+
 pub mod boundary;
 pub mod centralized;
 pub mod chaos;

@@ -18,6 +18,8 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
+#![forbid(unsafe_code)]
+
 pub use wsn_analyze as analyze;
 pub use wsn_core as core;
 pub use wsn_net as net;

@@ -8,6 +8,8 @@
 //! prints min/median/max ns per iteration — enough to compare hot-path
 //! changes without any external dependency.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::Instant;
 

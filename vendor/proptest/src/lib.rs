@@ -11,6 +11,8 @@
 //! same cases — which is exactly what a bit-reproducible simulation
 //! workspace wants from its test suite.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Why a single test case did not pass.

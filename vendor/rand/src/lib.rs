@@ -10,6 +10,8 @@
 //! Trait signatures match rand 0.9 so the workspace can be pointed back at
 //! the real crate without source changes.
 
+#![forbid(unsafe_code)]
+
 /// The core of a random number generator.
 pub trait RngCore {
     /// Returns the next random `u32`.

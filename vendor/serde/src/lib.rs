@@ -6,6 +6,8 @@
 //! marker traits plus no-op derive macros; swapping back to real serde is
 //! a Cargo.toml-only change.
 
+#![forbid(unsafe_code)]
+
 /// Marker trait standing in for `serde::Serialize`.
 pub trait Serialize {}
 

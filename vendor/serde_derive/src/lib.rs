@@ -6,6 +6,8 @@
 //! nothing, which keeps offline builds dependency-free while leaving every
 //! `#[derive(Serialize, Deserialize)]` in the source untouched.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.
