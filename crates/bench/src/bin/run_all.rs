@@ -53,6 +53,20 @@ fn main() {
         "{}",
         wsn_bench::exp19_architecture_selection(&[4, 8, 16, 32])
     );
+    println!(
+        "{}",
+        wsn_bench::exp20_parallel_scale(
+            &[8, 16],
+            3,
+            &[
+                wsn_bench::experiments::RunEngine::Sequential,
+                wsn_bench::experiments::RunEngine::Sharded {
+                    cut_level: 2,
+                    workers: 4,
+                },
+            ],
+        )
+    );
     // Model-fidelity gate: the measurements the tables above are built
     // from must sit inside the symbolically certified §4 bounds. Any
     // drift between the runtime's pricing and the certified cost model
@@ -76,13 +90,13 @@ fn main() {
     // path per side) and diff them against the committed baseline
     // *before* rewriting it, so drift fails loudly instead of being
     // silently absorbed into a fresh snapshot.
-    let snaps = wsn_bench::perfbase::perf_snapshots(&[4, 8], 1.0, 1.0)
+    let mut snaps = wsn_bench::perfbase::perf_snapshots(&[4, 8], 1.0, 1.0)
         .expect("seeded perf snapshots must record");
     match std::fs::read_to_string(BASELINE_PATH) {
         Ok(text) => {
             let baseline = wsn_bench::perfbase::parse_snapshots(&text)
                 .unwrap_or_else(|e| panic!("{BASELINE_PATH}: {e}"));
-            match wsn_bench::perfbase::regression_gate(&snaps, &baseline, TOLERANCE_PCT) {
+            match wsn_bench::perfbase::regression_gate(&snaps, &baseline, TOLERANCE_PCT, false) {
                 Ok(report) => {
                     print!("{report}");
                     println!("perf baseline gate: every metric within +/-{TOLERANCE_PCT}%");
@@ -92,6 +106,10 @@ fn main() {
                     panic!("perf regression: current run drifted from {BASELINE_PATH}");
                 }
             }
+            // Carry the committed scale rows (the side-512 sharded run)
+            // forward unchanged — run_all does not re-record them; use
+            // `wsn-lint --perf-baseline --include-scale` for that.
+            snaps.extend(baseline.into_iter().filter(|r| r.scale));
         }
         Err(_) => println!("no {BASELINE_PATH} baseline found; recording a fresh one"),
     }

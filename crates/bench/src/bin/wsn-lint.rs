@@ -11,12 +11,21 @@
 //!                                  record the seeded model-fidelity run as JSONL;
 //!                                  --mutate-hop-cost <k> / --mutate-tx-energy <x>
 //!                                  deliberately mis-price the runtime radio
-//! wsn-lint --perf-baseline <out.json>
-//!                                  record the seeded perf snapshots (sides 4, 8)
+//! wsn-lint --perf-baseline <out.json> [--include-scale]
+//!                                  record the seeded perf snapshots (sides 4, 8);
+//!                                  --include-scale adds the sharded-kernel scale row
+//!                                  (--scale-side N, --scale-cut L, --scale-workers W)
 //! wsn-lint --perf-gate <baseline.json> [--tolerance pct]
 //!                                  re-record the snapshots and fail on drift;
 //!                                  the mutation flags apply here too, so CI can
-//!                                  prove an injected +50% hop delay trips it
+//!                                  prove an injected +50% hop delay trips it;
+//!                                  --include-scale re-records the scale rows,
+//!                                  --gate-throughput also gates events_per_sec and
+//!                                  peak_rss_bytes (same-machine baselines only)
+//! wsn-lint --parallel-gate         differential gate: sharded-kernel runs must be
+//!                                  byte-identical to the sequential reference and
+//!                                  certificate gating must hold; --mutate-misorder
+//!                                  sabotages the boundary merge (gate must fail)
 //! wsn-lint --shard-check [depth] [--cut-level N] [--emit-shard-cert]
 //!                                  shard-interference analysis (SI001–SI004) of the
 //!                                  Figure-4 program (or --program <file.json>) under
@@ -46,11 +55,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     // Flags that consume the following argument as their value.
-    const VALUE_FLAGS: [&str; 4] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--mutate-hop-cost",
         "--mutate-tx-energy",
         "--tolerance",
         "--cut-level",
+        "--scale-side",
+        "--scale-cut",
+        "--scale-workers",
     ];
     let mut positional: Vec<&String> = Vec::new();
     let mut skip_next = false;
@@ -175,14 +187,26 @@ fn main() -> ExitCode {
         let Some(path) = positional.first() else {
             return usage_error("--perf-baseline needs an output path");
         };
-        let snaps = match wsn_bench::perfbase::perf_snapshots(&[4, 8], 1.0, 1.0) {
+        let mut snaps = match wsn_bench::perfbase::perf_snapshots(&[4, 8], 1.0, 1.0) {
             Ok(s) => s,
             Err(e) => return usage_error(&e),
         };
+        let mut described = "sides 4, 8".to_string();
+        if args.iter().any(|a| a == "--include-scale") {
+            let (side, engine) = match parse_scale_config(&args) {
+                Ok(c) => c,
+                Err(e) => return usage_error(&e),
+            };
+            match wsn_bench::perfbase::perf_snapshots_with(&[side], 1.0, 1.0, engine, true) {
+                Ok(scale) => snaps.extend(scale),
+                Err(e) => return usage_error(&e),
+            }
+            described = format!("{described} + scale side {side} ({engine})");
+        }
         if let Err(e) = std::fs::write(path, wsn_bench::perfbase::render_snapshots(&snaps)) {
             return usage_error(&format!("cannot write {path}: {e}"));
         }
-        println!("recorded perf baseline (sides 4, 8) to {path}");
+        println!("recorded perf baseline ({described}) to {path}");
         return ExitCode::SUCCESS;
     }
 
@@ -210,12 +234,47 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => return usage_error(&format!("{path}: {e}")),
         };
-        let sides: Vec<u32> = baseline.iter().map(|r| r.side).collect();
-        let current = match wsn_bench::perfbase::perf_snapshots(&sides, hop, tx) {
+        // Scale rows (the side-512 sharded run) are only re-recorded on
+        // request — routine gate runs stay cheap and deterministic.
+        let include_scale = args.iter().any(|a| a == "--include-scale");
+        let gate_throughput = args.iter().any(|a| a == "--gate-throughput");
+        let sides: Vec<u32> = baseline
+            .iter()
+            .filter(|r| !r.scale)
+            .map(|r| r.side)
+            .collect();
+        let mut current = match wsn_bench::perfbase::perf_snapshots(&sides, hop, tx) {
             Ok(s) => s,
             Err(e) => return usage_error(&e),
         };
-        return match wsn_bench::perfbase::regression_gate(&current, &baseline, tolerance) {
+        if include_scale {
+            let (default_side, engine) = match parse_scale_config(&args) {
+                Ok(c) => c,
+                Err(e) => return usage_error(&e),
+            };
+            let scale_sides: Vec<u32> = {
+                let from_baseline: Vec<u32> = baseline
+                    .iter()
+                    .filter(|r| r.scale)
+                    .map(|r| r.side)
+                    .collect();
+                if from_baseline.is_empty() {
+                    vec![default_side]
+                } else {
+                    from_baseline
+                }
+            };
+            match wsn_bench::perfbase::perf_snapshots_with(&scale_sides, hop, tx, engine, true) {
+                Ok(scale) => current.extend(scale),
+                Err(e) => return usage_error(&e),
+            }
+        }
+        return match wsn_bench::perfbase::regression_gate(
+            &current,
+            &baseline,
+            tolerance,
+            gate_throughput,
+        ) {
             Ok(report) => {
                 print!("{report}");
                 println!("perf baseline gate: every metric within +/-{tolerance}%");
@@ -338,6 +397,33 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if args.iter().any(|a| a == "--parallel-gate") {
+        // --mutate-misorder flips the sharded kernel's deterministic
+        // boundary merge; the gate MUST then fail (CI inverts the exit
+        // code to prove the differential suite has teeth).
+        if args.iter().any(|a| a == "--mutate-misorder") {
+            std::env::set_var("WSN_SHARD_MISORDER", "1");
+        }
+        let workers = match parse_flag_value(&args, "--scale-workers", 4usize) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        return match lint::parallel_gate(workers) {
+            Ok(checked) => {
+                println!(
+                    "wsn-lint --parallel-gate: certificate gating holds and {checked} sharded \
+                     runs (sides 4, 8 at cut levels 1, 2) are byte-identical to the sequential \
+                     reference"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("wsn-lint --parallel-gate: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.iter().any(|a| a == "--shard-gate") {
         let configs = [(2u8, 1u8), (2, 2), (3, 1), (3, 2)];
         return match lint::shard_gate(&configs) {
@@ -398,6 +484,27 @@ fn main() -> ExitCode {
     report(&diags, json)
 }
 
+/// Shape of the `--include-scale` run shared by `--perf-baseline` and
+/// `--perf-gate`: scale side (default 512), cut level (default 2 → 16
+/// shards), worker lanes (default 4). The engine is certificate-gated —
+/// when the shard certificate is not clean at that cut, the scale row
+/// silently runs on the sequential reference (with a warning), exactly
+/// like the runtime drivers.
+fn parse_scale_config(args: &[String]) -> Result<(u32, wsn_bench::experiments::RunEngine), String> {
+    let side = parse_flag_value(args, "--scale-side", 512u32)?;
+    let cut = parse_flag_value(args, "--scale-cut", 2u8)?;
+    let workers = parse_flag_value(args, "--scale-workers", 4usize)?;
+    let (engine, diags) = wsn_bench::lint::certified_engine(side, cut, workers, false);
+    if engine == wsn_bench::experiments::RunEngine::Sequential {
+        eprintln!(
+            "wsn-lint: shard certificate not clean at side {side} cut {cut}; the scale row \
+             falls back to the sequential kernel\n{}",
+            diags.render_text()
+        );
+    }
+    Ok((side, engine))
+}
+
 fn parse_flag_value<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
@@ -449,7 +556,10 @@ fn print_usage() {
          --emit-json-program [depth] | --certify [depth] | --conform <trace.jsonl> | \
          --record-fidelity-trace <out.jsonl> [depth] [--mutate-hop-cost k] \
          [--mutate-tx-energy x] | --perf-baseline <out.json> | \
-         --perf-gate <baseline.json> [--tolerance pct] [--mutate-hop-cost k] | \
+         --perf-gate <baseline.json> [--tolerance pct] [--mutate-hop-cost k] \
+         [--include-scale] [--gate-throughput] [--scale-side N] [--scale-cut L] \
+         [--scale-workers W] | \
+         --parallel-gate [--mutate-misorder] [--scale-workers W] | \
          --shard-check [depth] [--cut-level N] [--emit-shard-cert] [--mutate-shard-leak] | \
          --shard-check --program <file.json> [--cut-level N] | \
          --shard-conform <trace.jsonl> [--cut-level N] | \

@@ -11,7 +11,7 @@ use wsn_core::{
     ReduceOp, ReduceProgram, SortProgram, TreeVm, VirtualGrid, VirtualTree, Vm,
 };
 use wsn_net::{DeploymentSpec, LinkModel, RadioModel, UnitDiskGraph};
-use wsn_runtime::PhysicalRuntime;
+use wsn_runtime::{AppReport, ParallelConfig, PhysicalRuntime};
 use wsn_synth::{
     quadtree_task_graph, AnnealingMapper, CentroidMapper, Mapper, Mapping, MappingCost,
     QuadrantMapper, RandomFeasibleMapper,
@@ -768,6 +768,52 @@ pub fn exp15_mac_ablation(side: u32, per_cell: usize, frames: &[u64]) -> Table {
     t
 }
 
+/// Which scheduler drives a traced topoquery run. Every driver taking an
+/// engine produces **bit-identical** output under either variant — that
+/// contract is what the differential determinism suite certifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEngine {
+    /// The single-queue reference kernel.
+    Sequential,
+    /// The sharded kernel: level-`cut_level` quad-tree quadrant shards
+    /// striped over `workers` logical lanes, synchronized at window
+    /// barriers.
+    Sharded { cut_level: u32, workers: usize },
+}
+
+impl RunEngine {
+    /// Runs the application phase of `rt` on this engine.
+    pub fn run_application(self, rt: &mut PhysicalRuntime<wsn_topoquery::DandcMsg>) -> AppReport {
+        match self {
+            RunEngine::Sequential => rt.run_application(),
+            RunEngine::Sharded { cut_level, workers } => {
+                rt.run_application_parallel(&ParallelConfig { cut_level, workers })
+            }
+        }
+    }
+
+    /// Shard count of the engine's plan (1 for the sequential engine).
+    pub fn shard_count(self, side: u32) -> usize {
+        match self {
+            RunEngine::Sequential => 1,
+            RunEngine::Sharded { cut_level, .. } => {
+                wsn_core::ShardPlan::new(side, cut_level as u8).shard_count() as usize
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RunEngine {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunEngine::Sequential => write!(out, "sequential"),
+            RunEngine::Sharded { cut_level, workers } => {
+                write!(out, "sharded cut={cut_level} w={workers}")
+            }
+        }
+    }
+}
+
 /// Runs the full mission (topology emulation → binding → D&C application)
 /// on an emulated deployment with telemetry enabled, and exports the run
 /// as a [`wsn_obs::TraceDocument`]: phase spans, registry counters, kernel
@@ -780,6 +826,20 @@ pub fn record_end_to_end_trace(
     seed: u64,
     trace_events: bool,
 ) -> wsn_obs::TraceDocument {
+    record_end_to_end_trace_with(side, per_cell, seed, trace_events, RunEngine::Sequential).0
+}
+
+/// [`record_end_to_end_trace`] parameterized by execution engine, also
+/// returning the application phase's [`wsn_core::RunMetrics`] — the
+/// triple (JSONL trace, causal log inside it, metrics) the differential
+/// determinism suite compares byte for byte across engines.
+pub fn record_end_to_end_trace_with(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    trace_events: bool,
+    engine: RunEngine,
+) -> (wsn_obs::TraceDocument, wsn_core::RunMetrics) {
     let field = blob_field(side, seed);
     let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
     let range = deployment.grid().range_for_adjacent_cell_reachability();
@@ -803,8 +863,9 @@ pub fn record_end_to_end_trace(
     // happens-before DAG covers exactly the application — the shape the
     // critical-path profiler walks.
     rt.enable_causal_tracing();
-    rt.run_application();
-    rt.record_trace()
+    let app = engine.run_application(&mut rt);
+    let metrics = rt.metrics(&app);
+    (rt.record_trace(), metrics)
 }
 
 /// Records the seeded model-fidelity run the conformance gate checks:
@@ -824,6 +885,28 @@ pub fn record_model_fidelity_trace(
     seed: u64,
     hop_cost_multiplier: f64,
     tx_energy_multiplier: f64,
+) -> wsn_obs::TraceDocument {
+    record_model_fidelity_trace_with(
+        side,
+        per_cell,
+        seed,
+        hop_cost_multiplier,
+        tx_energy_multiplier,
+        RunEngine::Sequential,
+    )
+}
+
+/// [`record_model_fidelity_trace`] parameterized by execution engine.
+/// The sharded engine must land inside exactly the same certified §4
+/// intervals as the sequential one — the oracle-at-scale suite runs
+/// this at sides where exhaustive differential fuzzing can't reach.
+pub fn record_model_fidelity_trace_with(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    hop_cost_multiplier: f64,
+    tx_energy_multiplier: f64,
+    engine: RunEngine,
 ) -> wsn_obs::TraceDocument {
     let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
     let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
@@ -848,8 +931,61 @@ pub fn record_model_fidelity_trace(
     assert!(bind.unique, "binding must elect unique leaders");
     rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
     rt.enable_causal_tracing();
-    rt.run_application();
+    engine.run_application(&mut rt);
     rt.record_trace()
+}
+
+/// EXP-20: parallel-kernel scaling. For each side, runs the seeded
+/// uniform-field topoquery mission on the given engine and reports the
+/// event throughput and memory high-water mark — the `events_per_sec` /
+/// `peak_rss_bytes` axes the perf baseline records. Deterministic
+/// columns (events, latency, exfiltrations) are engine-independent by
+/// the determinism contract; only the wall-clock-derived columns vary
+/// between machines.
+pub fn exp20_parallel_scale(sides: &[u32], per_cell: usize, engines: &[RunEngine]) -> Table {
+    let mut t = Table::new(
+        "EXP-20: sharded kernel scaling (seeded topoquery mission)",
+        &[
+            "side",
+            "N phys",
+            "engine",
+            "shards",
+            "events",
+            "wall ms",
+            "events/sec",
+            "peak RSS MiB",
+            "latency",
+        ],
+    );
+    for &side in sides {
+        for &engine in engines {
+            let started = std::time::Instant::now();
+            let doc = record_model_fidelity_trace_with(side, per_cell, 5, 1.0, 1.0, engine);
+            let wall = started.elapsed();
+            let meta = doc.meta.expect("trace has a meta line");
+            let span = doc
+                .spans
+                .iter()
+                .find(|s| s.name == "application")
+                .expect("application span");
+            let rate = meta.events as f64 / wall.as_secs_f64().max(1e-9);
+            t.row(vec![
+                side.to_string(),
+                meta.nodes.to_string(),
+                engine.to_string(),
+                engine.shard_count(side).to_string(),
+                meta.events.to_string(),
+                wall.as_millis().to_string(),
+                f(rate, 0),
+                f(
+                    crate::perfbase::peak_rss_bytes() as f64 / (1024.0 * 1024.0),
+                    1,
+                ),
+                span.duration_ticks().to_string(),
+            ]);
+        }
+    }
+    t
 }
 
 /// The correct D&C program plus one planted defect: the far-corner cell

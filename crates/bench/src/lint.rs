@@ -5,6 +5,7 @@
 //! (`--certify`) and measured-trace conformance (`--conform`), plus the
 //! model-fidelity gate `run_all` executes after the experiments.
 
+use crate::experiments::{record_end_to_end_trace_with, RunEngine};
 use wsn_analyze::{
     analyze_deployment, analyze_program, analyze_shards, certify, check_conformance,
     check_deadlock, check_shard_conformance, CertConfig, Certificate, Diagnostics, ReachConfig,
@@ -280,6 +281,106 @@ pub fn shard_gate(configs: &[(u8, u8)]) -> Result<usize, Vec<(u8, u8, Diagnostic
     } else {
         Err(failures)
     }
+}
+
+/// Certificate-gated engine selection: the sharded kernel engages only
+/// when the Figure-4 program shard-checks clean (no SI/CC errors and a
+/// certificate was produced) under the level-`cut` quadrant plan at the
+/// deployment's own depth; otherwise the run falls back to the
+/// sequential reference kernel. Returns the selected engine together
+/// with the analyzer's report. `mutate` plants the
+/// [`leak_mutated_figure4`] defect first — the fallback path CI proves.
+pub fn certified_engine(
+    side: u32,
+    cut: u8,
+    workers: usize,
+    mutate: bool,
+) -> (RunEngine, Diagnostics) {
+    let sequential = RunEngine::Sequential;
+    if side < 2 || !side.is_power_of_two() {
+        let mut d = Diagnostics::new();
+        d.push(wsn_analyze::Diagnostic::error(
+            wsn_analyze::Code::CC001,
+            wsn_analyze::Span::Program,
+            format!("side {side} is not a power of two; no quad-tree shard plan"),
+        ));
+        return (sequential, d);
+    }
+    let depth = side.trailing_zeros() as u8;
+    match shard_check_figure4(depth, cut, mutate) {
+        Ok((Some(_), diags)) if !diags.has_errors() => (
+            RunEngine::Sharded {
+                cut_level: u32::from(cut),
+                workers,
+            },
+            diags,
+        ),
+        Ok((_, diags)) => (sequential, diags),
+        Err(e) => {
+            let mut d = Diagnostics::new();
+            d.push(wsn_analyze::Diagnostic::error(
+                wsn_analyze::Code::CC001,
+                wsn_analyze::Span::Program,
+                e,
+            ));
+            (sequential, d)
+        }
+    }
+}
+
+/// The parallel CI gate behind `wsn-lint --parallel-gate`:
+///
+/// 1. certificate gating — the sharded engine must engage on the clean
+///    Figure-4 program and must *refuse* (fall back to sequential) on the
+///    leak-mutated program;
+/// 2. the differential matrix at CLI scale — for each (side, cut, seed),
+///    the sharded run's JSONL trace (dispatch log + causal log inside it)
+///    and its `RunMetrics` must be **byte-identical** to the sequential
+///    reference.
+///
+/// Returns the number of differential comparisons performed, or a
+/// description of the first divergence. The `WSN_SHARD_MISORDER`
+/// sabotage knob (a deliberately misordered boundary merge) must make
+/// this gate fail — the CI inverted-mutation step.
+pub fn parallel_gate(workers: usize) -> Result<usize, String> {
+    let (mutated, _) = certified_engine(4, 1, workers, true);
+    if mutated != RunEngine::Sequential {
+        return Err(
+            "certificate gating is broken: the leak-mutated program still selected the \
+             sharded engine"
+                .into(),
+        );
+    }
+    let mut checked = 0;
+    for &(side, cut) in &[(4u32, 1u8), (4, 2), (8, 1), (8, 2)] {
+        let (engine, diags) = certified_engine(side, cut, workers, false);
+        if engine == RunEngine::Sequential {
+            return Err(format!(
+                "side {side} cut {cut}: shard certificate not clean, sharded kernel refused \
+                 to engage:\n{}",
+                diags.render_text()
+            ));
+        }
+        for seed in [5u64, 6] {
+            let (seq_doc, seq_metrics) =
+                record_end_to_end_trace_with(side, 3, seed, true, RunEngine::Sequential);
+            let (par_doc, par_metrics) = record_end_to_end_trace_with(side, 3, seed, true, engine);
+            if seq_doc.to_jsonl() != par_doc.to_jsonl() {
+                return Err(format!(
+                    "side {side} cut {cut} seed {seed}: sharded trace diverged from the \
+                     sequential reference"
+                ));
+            }
+            if format!("{seq_metrics:?}") != format!("{par_metrics:?}") {
+                return Err(format!(
+                    "side {side} cut {cut} seed {seed}: sharded RunMetrics diverged: \
+                     {par_metrics:?} vs {seq_metrics:?}"
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
 }
 
 #[cfg(test)]

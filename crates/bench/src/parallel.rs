@@ -6,9 +6,27 @@
 //! input order. Determinism is preserved — ordering comes from the input
 //! position, not from completion time.
 
-/// Applies `f` to every item on a pool of scoped threads, returning
-/// results in input order.
+/// Applies `f` to every item on a pool of scoped threads sized to the
+/// machine, returning results in input order.
 pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    // `available_parallelism` can fail (containers with no visible CPU
+    // topology); report that as 0 and let the explicit-count path clamp.
+    let probed = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    parallel_map_with(items, probed, f)
+}
+
+/// [`parallel_map`] with an explicit worker count. A count of 0 (the
+/// "probe failed" sentinel) degrades to 1 — the sweep still completes,
+/// just without parallelism — and counts beyond the item total are
+/// clamped so no worker is spawned idle.
+pub fn parallel_map_with<I, O, F>(items: Vec<I>, workers: usize, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
@@ -18,10 +36,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = workers.clamp(1, n);
     let chunk_size = n.div_ceil(workers);
 
     let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
@@ -64,6 +79,28 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7u8], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_workers_degrades_to_one() {
+        // The available_parallelism error path reports 0 workers; the
+        // sweep must still complete (serially) instead of dividing by 0.
+        let out = parallel_map_with((0..10u32).collect(), 0, |x| x + 1);
+        assert_eq!(out, (1..=10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_remainder_is_not_dropped() {
+        // 10 items over 4 workers -> chunks of 3,3,3,1; the short tail
+        // chunk must survive with order intact.
+        let out = parallel_map_with((0..10u64).collect(), 4, |x| x * 2);
+        assert_eq!(out, (0..10u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_items_clamps() {
+        let out = parallel_map_with(vec![1u8, 2, 3], 64, |x| x);
+        assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]

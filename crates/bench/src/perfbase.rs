@@ -7,7 +7,17 @@
 //! tolerance fails the build. The causal layer makes the gate sharp — the
 //! critical-path length is an *exact* quantity on seeded runs, so a +50%
 //! hop-delay mutation shifts it deterministically and must trip the gate.
+//!
+//! Two snapshot columns are machine-dependent rather than seeded:
+//! `events_per_sec` (simulator throughput) and `peak_rss_bytes` (process
+//! memory high-water mark). They are always *recorded* so the baseline
+//! documents the scale runs, but only *gated* when the caller opts in
+//! (`gate_throughput`) — CI gates them against a same-machine baseline,
+//! never against numbers committed from another box. Snapshots marked
+//! `scale: true` (the side-512 sharded-kernel row) are likewise exempt
+//! from the missing-side check unless the caller re-records them.
 
+use crate::experiments::RunEngine;
 use wsn_obs::{extract_critical_path, Json, TraceDocument};
 
 /// Headline numbers of one seeded topoquery run.
@@ -26,10 +36,48 @@ pub struct RunSnapshot {
     pub critpath_ticks: u64,
     /// Radio hops on the critical path.
     pub critpath_hops: u64,
+    /// Kernel events dispatched over the whole mission (deterministic).
+    pub events: u64,
+    /// Events dispatched per wall-clock second (machine-dependent).
+    pub events_per_sec: f64,
+    /// Process peak RSS after the run, from `/proc/self/status` VmHWM
+    /// (machine-dependent; 0 where the proc interface is unavailable).
+    pub peak_rss_bytes: u64,
+    /// Scale-experiment row (sharded kernel at a large side): exempt
+    /// from the default gate's missing-side check so routine `--perf-gate`
+    /// runs stay cheap.
+    pub scale: bool,
 }
 
-/// Distills a recorded trace into a [`RunSnapshot`].
-pub fn snapshot_from_trace(side: u32, doc: &TraceDocument) -> Result<RunSnapshot, String> {
+/// The process's peak resident-set size in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns 0 on platforms or sandboxes
+/// without that interface — callers treat 0 as "unmeasured".
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+/// Distills a recorded trace into a [`RunSnapshot`]. `wall_secs` is the
+/// measured wall-clock duration of the recording (throughput
+/// denominator); the RSS high-water mark is read at call time.
+pub fn snapshot_from_trace(
+    side: u32,
+    doc: &TraceDocument,
+    wall_secs: f64,
+) -> Result<RunSnapshot, String> {
     let span = doc
         .spans
         .iter()
@@ -41,6 +89,7 @@ pub fn snapshot_from_trace(side: u32, doc: &TraceDocument) -> Result<RunSnapshot
         .find(|(k, _)| k == "energy.total")
         .map(|&(_, v)| v)
         .ok_or("trace has no energy.total gauge")?;
+    let events = doc.meta.as_ref().map(|m| m.events).unwrap_or(0);
     let path = extract_critical_path(&doc.causal)?;
     Ok(RunSnapshot {
         side,
@@ -49,6 +98,10 @@ pub fn snapshot_from_trace(side: u32, doc: &TraceDocument) -> Result<RunSnapshot
         energy_total: energy,
         critpath_ticks: path.total_ticks(),
         critpath_hops: path.hop_count() as u64,
+        events,
+        events_per_sec: events as f64 / wall_secs.max(1e-9),
+        peak_rss_bytes: peak_rss_bytes(),
+        scale: false,
     })
 }
 
@@ -67,6 +120,16 @@ pub fn render_snapshots(runs: &[RunSnapshot]) -> String {
                     Json::from_u64(r.critpath_ticks),
                 ),
                 ("critpath_hops".to_string(), Json::from_u64(r.critpath_hops)),
+                ("events".to_string(), Json::from_u64(r.events)),
+                (
+                    "events_per_sec".to_string(),
+                    Json::Num((r.events_per_sec * 10.0).round() / 10.0),
+                ),
+                (
+                    "peak_rss_bytes".to_string(),
+                    Json::from_u64(r.peak_rss_bytes),
+                ),
+                ("scale".to_string(), Json::Bool(r.scale)),
             ])
         })
         .collect();
@@ -76,7 +139,9 @@ pub fn render_snapshots(runs: &[RunSnapshot]) -> String {
     text
 }
 
-/// Parses a `BENCH_topoquery.json` document.
+/// Parses a `BENCH_topoquery.json` document. The throughput columns and
+/// the scale flag default to zero/false so baselines recorded before
+/// those columns existed still parse.
 pub fn parse_snapshots(text: &str) -> Result<Vec<RunSnapshot>, String> {
     let doc = Json::parse(text.trim()).map_err(|e| e.to_string())?;
     let runs = doc
@@ -100,6 +165,13 @@ pub fn parse_snapshots(text: &str) -> Result<Vec<RunSnapshot>, String> {
                     .ok_or("run without energy_total")?,
                 critpath_ticks: u("critpath_ticks")?,
                 critpath_hops: u("critpath_hops")?,
+                events: u("events").unwrap_or(0),
+                events_per_sec: r
+                    .get("events_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                peak_rss_bytes: u("peak_rss_bytes").unwrap_or(0),
+                scale: r.get("scale").and_then(Json::as_bool).unwrap_or(false),
             })
         })
         .collect()
@@ -115,17 +187,45 @@ pub fn perf_snapshots(
     hop_cost_multiplier: f64,
     tx_energy_multiplier: f64,
 ) -> Result<Vec<RunSnapshot>, String> {
+    perf_snapshots_with(
+        sides,
+        hop_cost_multiplier,
+        tx_energy_multiplier,
+        RunEngine::Sequential,
+        false,
+    )
+}
+
+/// [`perf_snapshots`] on an explicit engine. `scale` marks the resulting
+/// rows as scale-experiment rows (recorded but side-set-exempt in the
+/// default gate); scale rows deploy one node per cell — at side 512 that
+/// is already a quarter-million physical nodes.
+pub fn perf_snapshots_with(
+    sides: &[u32],
+    hop_cost_multiplier: f64,
+    tx_energy_multiplier: f64,
+    engine: RunEngine,
+    scale: bool,
+) -> Result<Vec<RunSnapshot>, String> {
     sides
         .iter()
         .map(|&side| {
-            let doc = crate::experiments::record_model_fidelity_trace(
+            let started = std::time::Instant::now();
+            let doc = crate::experiments::record_model_fidelity_trace_with(
                 side,
-                3,
+                if scale { 1 } else { 3 },
                 5,
                 hop_cost_multiplier,
                 tx_energy_multiplier,
+                engine,
             );
-            snapshot_from_trace(side, &doc).map_err(|e| format!("side {side}: {e}"))
+            let wall = started.elapsed().as_secs_f64();
+            snapshot_from_trace(side, &doc, wall)
+                .map(|mut s| {
+                    s.scale = scale;
+                    s
+                })
+                .map_err(|e| format!("side {side}: {e}"))
         })
         .collect()
 }
@@ -143,59 +243,103 @@ fn drift_pct(baseline: f64, current: f64) -> f64 {
 }
 
 /// Diffs `current` against `baseline`, metric by metric. Returns the
-/// rendered report; `Err` when any metric drifts more than
-/// `tolerance_pct` percent (or a side is missing from either set).
+/// rendered report; `Err` when any gated metric drifts more than
+/// `tolerance_pct` percent (or a non-scale side is missing from either
+/// set).
+///
+/// Seeded metrics (latency, messages, energy, critical path, events) are
+/// always gated. The machine-dependent throughput metrics
+/// (`events_per_sec`, `peak_rss_bytes`) are reported as `info` unless
+/// `gate_throughput` is set — only meaningful against a baseline recorded
+/// on the same machine. Rows flagged `scale` are skipped (not failed)
+/// when the other set lacks them.
 pub fn regression_gate(
     current: &[RunSnapshot],
     baseline: &[RunSnapshot],
     tolerance_pct: f64,
+    gate_throughput: bool,
 ) -> Result<String, String> {
     let mut report = String::new();
     let mut failures = 0usize;
     for base in baseline {
         let Some(cur) = current.iter().find(|r| r.side == base.side) else {
-            report.push_str(&format!("side {}: MISSING from current run\n", base.side));
-            failures += 1;
+            if base.scale {
+                report.push_str(&format!(
+                    "side {}: scale row not re-recorded (skipped)\n",
+                    base.side
+                ));
+            } else {
+                report.push_str(&format!("side {}: MISSING from current run\n", base.side));
+                failures += 1;
+            }
             continue;
         };
-        let metrics: [(&str, f64, f64); 5] = [
+        // (name, baseline, current, gated)
+        let metrics: [(&str, f64, f64, bool); 8] = [
             (
                 "latency_ticks",
                 base.latency_ticks as f64,
                 cur.latency_ticks as f64,
+                true,
             ),
-            ("messages", base.messages as f64, cur.messages as f64),
-            ("energy_total", base.energy_total, cur.energy_total),
+            ("messages", base.messages as f64, cur.messages as f64, true),
+            ("energy_total", base.energy_total, cur.energy_total, true),
             (
                 "critpath_ticks",
                 base.critpath_ticks as f64,
                 cur.critpath_ticks as f64,
+                true,
             ),
             (
                 "critpath_hops",
                 base.critpath_hops as f64,
                 cur.critpath_hops as f64,
+                true,
+            ),
+            ("events", base.events as f64, cur.events as f64, true),
+            (
+                "events_per_sec",
+                base.events_per_sec,
+                cur.events_per_sec,
+                gate_throughput,
+            ),
+            (
+                "peak_rss_bytes",
+                base.peak_rss_bytes as f64,
+                cur.peak_rss_bytes as f64,
+                gate_throughput,
             ),
         ];
-        for (name, b, c) in metrics {
+        for (name, b, c, gated) in metrics {
             let drift = drift_pct(b, c);
-            let verdict = if drift > tolerance_pct { "FAIL" } else { "ok" };
-            if drift > tolerance_pct {
+            let verdict = if !gated {
+                "info"
+            } else if drift > tolerance_pct {
                 failures += 1;
-            }
+                "FAIL"
+            } else {
+                "ok"
+            };
             report.push_str(&format!(
-                "side {}: {name:<16} {b:>10} -> {c:<10} drift {drift:>6.1}%  {verdict}\n",
+                "side {}: {name:<16} {b:>12.1} -> {c:<12.1} drift {drift:>6.1}%  {verdict}\n",
                 base.side
             ));
         }
     }
     for cur in current {
         if !baseline.iter().any(|r| r.side == cur.side) {
-            report.push_str(&format!(
-                "side {}: not in baseline (re-commit BENCH_topoquery.json)\n",
-                cur.side
-            ));
-            failures += 1;
+            if cur.scale {
+                report.push_str(&format!(
+                    "side {}: new scale row (re-commit BENCH_topoquery.json to keep it)\n",
+                    cur.side
+                ));
+            } else {
+                report.push_str(&format!(
+                    "side {}: not in baseline (re-commit BENCH_topoquery.json)\n",
+                    cur.side
+                ));
+                failures += 1;
+            }
         }
     }
     if failures > 0 {
@@ -219,22 +363,45 @@ mod tests {
             energy_total: 99.0,
             critpath_ticks: 31,
             critpath_hops: 3,
+            events: 500,
+            events_per_sec: 120000.0,
+            peak_rss_bytes: 40 * 1024 * 1024,
+            scale: false,
+        }
+    }
+
+    fn scale_snap(side: u32) -> RunSnapshot {
+        RunSnapshot {
+            scale: true,
+            ..snap(side)
         }
     }
 
     #[test]
     fn snapshots_round_trip_through_json() {
-        let runs = vec![snap(4), snap(8)];
+        let runs = vec![snap(4), snap(8), scale_snap(512)];
         let text = render_snapshots(&runs);
         let parsed = parse_snapshots(&text).unwrap();
         assert_eq!(parsed, runs);
     }
 
     #[test]
+    fn legacy_baseline_without_throughput_columns_still_parses() {
+        let text = r#"{"runs": [{"side": 4, "latency_ticks": 31, "messages": 20,
+            "energy_total": 99.0, "critpath_ticks": 31, "critpath_hops": 3}]}"#;
+        let parsed = parse_snapshots(text).unwrap();
+        assert_eq!(parsed[0].events, 0);
+        assert_eq!(parsed[0].events_per_sec, 0.0);
+        assert_eq!(parsed[0].peak_rss_bytes, 0);
+        assert!(!parsed[0].scale);
+    }
+
+    #[test]
     fn gate_passes_identical_runs_and_reports_every_metric() {
         let runs = vec![snap(4)];
-        let report = regression_gate(&runs, &runs, 10.0).unwrap();
-        assert_eq!(report.matches(" ok\n").count(), 5);
+        let report = regression_gate(&runs, &runs, 10.0, false).unwrap();
+        assert_eq!(report.matches(" ok\n").count(), 6);
+        assert_eq!(report.matches(" info\n").count(), 2);
         assert!(!report.contains("FAIL"));
     }
 
@@ -244,7 +411,7 @@ mod tests {
         let mut current = vec![snap(4)];
         current[0].latency_ticks = 47; // the +50% hop-delay shape
         current[0].critpath_ticks = 47;
-        let err = regression_gate(&current, &baseline, 10.0).unwrap_err();
+        let err = regression_gate(&current, &baseline, 10.0, false).unwrap_err();
         assert!(err.contains("latency_ticks"), "{err}");
         assert!(err.contains("FAIL"), "{err}");
         assert!(err.contains("beyond"), "{err}");
@@ -254,9 +421,38 @@ mod tests {
     fn gate_fails_on_missing_or_extra_sides() {
         let baseline = vec![snap(4), snap(8)];
         let current = vec![snap(4), snap(16)];
-        let err = regression_gate(&current, &baseline, 10.0).unwrap_err();
+        let err = regression_gate(&current, &baseline, 10.0, false).unwrap_err();
         assert!(err.contains("side 8: MISSING"), "{err}");
         assert!(err.contains("side 16: not in baseline"), "{err}");
+    }
+
+    #[test]
+    fn scale_rows_are_exempt_from_the_side_set_check() {
+        let baseline = vec![snap(4), scale_snap(512)];
+        let current = vec![snap(4)];
+        let report = regression_gate(&current, &baseline, 10.0, false).unwrap();
+        assert!(
+            report.contains("side 512: scale row not re-recorded"),
+            "{report}"
+        );
+        // And a freshly recorded scale row not yet committed passes too.
+        let report = regression_gate(&[snap(4), scale_snap(512)], &[snap(4)], 10.0, false).unwrap();
+        assert!(report.contains("side 512: new scale row"), "{report}");
+    }
+
+    #[test]
+    fn throughput_gating_is_opt_in() {
+        let baseline = vec![snap(4)];
+        let mut current = vec![snap(4)];
+        current[0].events_per_sec = 10.0; // collapsed throughput
+        current[0].peak_rss_bytes = 100 * 1024 * 1024 * 1024; // blown RSS
+        assert!(
+            regression_gate(&current, &baseline, 10.0, false).is_ok(),
+            "throughput drift must not fail the default gate"
+        );
+        let err = regression_gate(&current, &baseline, 10.0, true).unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
+        assert!(err.contains("peak_rss_bytes"), "{err}");
     }
 
     #[test]
@@ -264,6 +460,14 @@ mod tests {
         let baseline = vec![snap(4)];
         let mut current = vec![snap(4)];
         current[0].energy_total = 101.0; // ~2% drift
-        assert!(regression_gate(&current, &baseline, 10.0).is_ok());
+        assert!(regression_gate(&current, &baseline, 10.0, false).is_ok());
+    }
+
+    #[test]
+    fn peak_rss_reads_a_plausible_value_on_linux() {
+        let rss = peak_rss_bytes();
+        // On Linux this process certainly exceeds 1 MiB; elsewhere 0 is
+        // the documented "unmeasured" value.
+        assert!(rss == 0 || rss > 1024 * 1024, "implausible VmHWM {rss}");
     }
 }

@@ -175,6 +175,15 @@ fn conformance_paths_trip_on_recorded_mutations() {
 }
 
 #[test]
+fn parallel_gate_paths() {
+    assert_eq!(run(&["--parallel-gate"]), 0);
+    // A misordered boundary merge must trip the differential gate — CI
+    // inverts this exit code to prove the suite has teeth.
+    assert_eq!(run(&["--parallel-gate", "--mutate-misorder"]), 1);
+    assert_eq!(run(&["--parallel-gate", "--scale-workers"]), 2);
+}
+
+#[test]
 fn perf_gate_path_round_trips_and_trips() {
     let baseline = temp("perf-baseline.json");
     assert_eq!(run(&["--perf-baseline", baseline.to_str().unwrap()]), 0);

@@ -1,0 +1,81 @@
+//! Oracle-at-scale: where exhaustive differential fuzzing no longer
+//! reaches (sides ≥ 64), the certifier's closed forms in `s` remain the
+//! oracle. Each case runs the seeded uniform-field topoquery mission on
+//! the **sharded** kernel once and demands
+//!
+//! 1. every measured quantity lands inside the symbolically certified §4
+//!    intervals (`check_conformance`, TC001–TC008), and
+//! 2. every observed cross-shard delivery hop is a certified boundary
+//!    edge of the quadrant plan (`check_shard_conformance`, TC009).
+//!
+//! Side 64 runs in the default suite; sides 128 and 512 are `#[ignore]`d
+//! locally (minutes of wall clock) and executed by the CI parallel-gate
+//! job, which also records their throughput into the perf baseline.
+
+use wsn_analyze::{check_conformance, check_shard_conformance};
+use wsn_bench::experiments::{record_model_fidelity_trace_with, RunEngine};
+use wsn_bench::lint;
+
+fn oracle_at(side: u32, cut: u8, workers: usize, per_cell: usize) {
+    let depth = u8::try_from(side.trailing_zeros()).expect("depth fits");
+
+    // Certificate gating: the sharded engine must engage cleanly here.
+    let (engine, diags) = lint::certified_engine(side, cut, workers, false);
+    assert!(
+        matches!(engine, RunEngine::Sharded { .. }),
+        "side {side} cut {cut}: sharded kernel refused to engage:\n{}",
+        diags.render_text()
+    );
+
+    let doc = record_model_fidelity_trace_with(side, per_cell, 5, 1.0, 1.0, engine);
+
+    // §4 interval conformance (TC001–TC008).
+    let (cert, cert_diags) = lint::certify_figure4(depth);
+    assert_eq!(
+        cert_diags.error_count(),
+        0,
+        "side {side}: certification failed:\n{}",
+        cert_diags.render_text()
+    );
+    let report = check_conformance(&cert, &doc);
+    assert!(
+        report.is_empty(),
+        "side {side}: sharded run escaped its certificate:\n{}{}",
+        cert.render_text(),
+        report.render_text()
+    );
+
+    // Boundary-traffic conformance (TC009): the sharded run's cross-shard
+    // deliveries must stay on the certified hop edges of its own plan.
+    let (shard_cert, shard_diags) = lint::shard_check_figure4(depth, cut, false)
+        .unwrap_or_else(|e| panic!("side {side} cut {cut}: {e}"));
+    let shard_cert = shard_cert.unwrap_or_else(|| {
+        panic!(
+            "side {side} cut {cut}: no shard certificate:\n{}",
+            shard_diags.render_text()
+        )
+    });
+    let replay = check_shard_conformance(&shard_cert, &doc);
+    assert!(
+        !replay.has_errors(),
+        "side {side} cut {cut}: cross-shard traffic left the certified boundary:\n{}",
+        replay.render_text()
+    );
+}
+
+#[test]
+fn sharded_side_64_lands_inside_the_certified_intervals() {
+    oracle_at(64, 2, 4, 1);
+}
+
+#[test]
+#[ignore = "minutes of wall clock; run by the CI parallel-gate job"]
+fn sharded_side_128_lands_inside_the_certified_intervals() {
+    oracle_at(128, 2, 4, 1);
+}
+
+#[test]
+#[ignore = "minutes of wall clock; run by the CI parallel-gate job"]
+fn sharded_side_512_lands_inside_the_certified_intervals() {
+    oracle_at(512, 2, 8, 1);
+}

@@ -78,6 +78,13 @@ impl EnergyLedger {
         self.consumed[node][kind_index(kind)]
     }
 
+    /// Whether this ledger has no budget at all (pure accounting): the
+    /// precondition for sharded execution, where charges are deferred to
+    /// window barriers and mid-window depletion checks must be vacuous.
+    pub fn is_unlimited(&self) -> bool {
+        self.budget.is_none()
+    }
+
     /// Remaining budget of `node` (`None` when unlimited).
     pub fn residual(&self, node: usize) -> Option<f64> {
         self.budget.map(|b| b - self.consumed(node))

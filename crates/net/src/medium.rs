@@ -24,7 +24,9 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
-use wsn_sim::{ActorId, CausalStamp, Context, Payload, SharedCausalLog, SimTime};
+use wsn_sim::{
+    ActorId, CausalStamp, Context, DispatchTag, OrderTap, Payload, SharedCausalLog, SimTime,
+};
 
 /// Stochastic message duplication and reordering — the delivery anomalies
 /// a chaos plan can switch on mid-run ([`crate::fault::FaultKind`]).
@@ -165,6 +167,13 @@ pub struct Medium {
     /// A send event recorded by the caller for the very next
     /// transmission (see [`Medium::causal_send_stamp`]).
     prestamp: Option<CausalStamp>,
+    /// Sharded-scheduler order tap: while it holds a live tag, energy
+    /// charges are journaled instead of applied, so the f64 accumulation
+    /// order can be replayed canonically at the window barrier
+    /// (see [`Medium::apply_energy_journal`]).
+    tap: Option<OrderTap>,
+    /// Deferred charges `(tag, node, kind, units)` in append order.
+    journal: Vec<(DispatchTag, usize, EnergyKind, f64)>,
 }
 
 /// Handle shared by all node actors in one simulation.
@@ -199,6 +208,8 @@ impl Medium {
             chaos: DeliveryChaos::none(),
             causal: None,
             prestamp: None,
+            tap: None,
+            journal: Vec::new(),
         }
     }
 
@@ -368,11 +379,57 @@ impl Medium {
         self.chaos
     }
 
+    /// Connects the medium to the sharded scheduler's order tap. While
+    /// the tap holds a live [`DispatchTag`], energy charges are journaled
+    /// under that tag instead of hitting the ledger, because f64
+    /// accumulation is order-sensitive and shard processing order differs
+    /// from the sequential dispatch order. The runtime only engages
+    /// sharded execution on unlimited ledgers, so deferring charges
+    /// cannot change depletion behavior.
+    pub fn set_order_tap(&mut self, tap: OrderTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Replays all journaled charges into the ledger in canonical window
+    /// order (`tags` is the scheduler's barrier-hook order; intra-tag
+    /// charges keep their append order). Called once per window barrier.
+    pub fn apply_energy_journal(&mut self, tags: &[DispatchTag]) {
+        if self.journal.is_empty() {
+            return;
+        }
+        let rank: BTreeMap<DispatchTag, usize> =
+            tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut journal = std::mem::take(&mut self.journal);
+        journal.sort_by_key(|&(tag, ..)| {
+            rank.get(&tag)
+                .copied()
+                .unwrap_or_else(|| panic!("journaled charge under unknown dispatch tag {tag:?}"))
+        });
+        for (_, node, kind, units) in journal {
+            self.ledger.charge(node, kind, units);
+        }
+    }
+
+    /// Charges the ledger directly, or journals the charge when a sharded
+    /// window is in progress (see [`Medium::set_order_tap`]).
+    fn charge_energy(&mut self, node: usize, kind: EnergyKind, units: f64) {
+        let tag = self
+            .tap
+            .as_ref()
+            .map(|t| t.get())
+            .unwrap_or(DispatchTag::NONE);
+        if tag.is_none() {
+            self.ledger.charge(node, kind, units);
+        } else {
+            self.journal.push((tag, node, kind, units));
+        }
+    }
+
     /// Instantly burns `units` of compute energy from `node` (a chaos
     /// energy shock), killing it if its budget runs out. A no-op on
     /// unlimited ledgers beyond the accounting entry.
     pub fn drain_energy(&mut self, node: usize, units: f64, now: SimTime) {
-        self.ledger.charge(node, EnergyKind::Compute, units);
+        self.charge_energy(node, EnergyKind::Compute, units);
         self.check_depletion(node, now);
     }
 
@@ -430,7 +487,7 @@ impl Medium {
         node: usize,
         units: f64,
     ) {
-        self.ledger.charge(
+        self.charge_energy(
             node,
             EnergyKind::Compute,
             units * self.radio.compute_energy_per_unit,
@@ -483,7 +540,7 @@ impl Medium {
             ctx.stats().incr("medium.dropped");
             return false;
         }
-        self.ledger.charge(
+        self.charge_energy(
             to,
             EnergyKind::Rx,
             units as f64 * self.radio.rx_energy_per_unit,
@@ -507,7 +564,7 @@ impl Medium {
         if self.chaos.dup_prob > 0.0 && ctx.rng().chance(self.chaos.dup_prob) {
             // The duplicate is a second physical reception: it pays rx
             // energy and lands a few ticks after the original.
-            self.ledger.charge(
+            self.charge_energy(
                 to,
                 EnergyKind::Rx,
                 units as f64 * self.radio.rx_energy_per_unit,
@@ -546,7 +603,7 @@ impl Medium {
             self.prestamp = None;
             return false;
         }
-        self.ledger.charge(
+        self.charge_energy(
             from,
             EnergyKind::Tx,
             units as f64 * self.radio.tx_energy_per_unit,
@@ -572,7 +629,7 @@ impl Medium {
             self.prestamp = None;
             return 0;
         }
-        self.ledger.charge(
+        self.charge_energy(
             from,
             EnergyKind::Tx,
             units as f64 * self.radio.tx_energy_per_unit,

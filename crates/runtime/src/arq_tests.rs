@@ -37,6 +37,8 @@ fn two_node_arq(cfg: ArqConfig) -> (Kernel<RtMsg<f64>>, SharedMedium) {
         grid: VirtualGrid::new(1),
         field: Box::new(|_| 0.0),
         exfil: RefCell::new(Vec::new()),
+        tap: RefCell::new(None),
+        staged_exfil: RefCell::new(Vec::new()),
     });
     let mut k: Kernel<RtMsg<f64>> = Kernel::new(3);
     for (i, &pt) in pts.iter().enumerate() {

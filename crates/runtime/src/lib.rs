@@ -42,6 +42,6 @@ pub use node::{
     dim_order_direction, ArqConfig, ElectionPolicy, HeartbeatConfig, Phase, RtNode, FILL_COUNTERS,
 };
 pub use runner::{
-    AppReport, BindReport, ChaosMissionReport, MissionConfig, MissionReport, PhysicalRuntime,
-    SelfHealConfig, TopoReport,
+    AppReport, BindReport, ChaosMissionReport, MissionConfig, MissionReport, ParallelConfig,
+    PhysicalRuntime, SelfHealConfig, TopoReport,
 };

@@ -88,6 +88,50 @@ pub(crate) struct RtShared<P> {
     pub grid: VirtualGrid,
     pub field: Box<dyn Fn(GridCoord) -> f64>,
     pub exfil: RefCell<Vec<Exfiltrated<P>>>,
+    /// Sharded-scheduler order tap: while it holds a live tag,
+    /// exfiltrations are staged under that tag and appended to `exfil` in
+    /// canonical order at the window barrier, so the buffer reads exactly
+    /// as a sequential run would have written it.
+    pub tap: RefCell<Option<wsn_sim::OrderTap>>,
+    pub staged_exfil: RefCell<Vec<(wsn_sim::DispatchTag, Exfiltrated<P>)>>,
+}
+
+impl<P> RtShared<P> {
+    /// Records one exfiltration, staging it when a sharded window is in
+    /// progress (see the `tap` field).
+    pub fn push_exfil(&self, e: Exfiltrated<P>) {
+        let tag = self
+            .tap
+            .borrow()
+            .as_ref()
+            .map(|t| t.get())
+            .unwrap_or(wsn_sim::DispatchTag::NONE);
+        if tag.is_none() {
+            self.exfil.borrow_mut().push(e);
+        } else {
+            self.staged_exfil.borrow_mut().push((tag, e));
+        }
+    }
+
+    /// Flushes staged exfiltrations into the main buffer in canonical
+    /// window order (`tags` from the scheduler's barrier hook; intra-tag
+    /// order is append order).
+    pub fn assign_exfil_order(&self, tags: &[wsn_sim::DispatchTag]) {
+        let mut staged = self.staged_exfil.borrow_mut();
+        if staged.is_empty() {
+            return;
+        }
+        let rank: std::collections::BTreeMap<wsn_sim::DispatchTag, usize> =
+            tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut staged: Vec<_> = staged.drain(..).collect();
+        staged.sort_by_key(|&(tag, _)| {
+            rank.get(&tag)
+                .copied()
+                .unwrap_or_else(|| panic!("staged exfiltration under unknown tag {tag:?}"))
+        });
+        let mut exfil = self.exfil.borrow_mut();
+        exfil.extend(staged.into_iter().map(|(_, e)| e));
+    }
 }
 
 /// The direction's index into a routing table, in [`Direction::ALL`] order.
@@ -996,7 +1040,7 @@ impl<P: Clone + 'static> NodeApi<P> for RtApi<'_, '_, P> {
                 "app.exfil",
             );
         }
-        self.node.shared.exfil.borrow_mut().push(Exfiltrated {
+        self.node.shared.push_exfil(Exfiltrated {
             from: self.node.cell,
             at: self.ctx.now(),
             payload,

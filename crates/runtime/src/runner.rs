@@ -24,6 +24,7 @@ use crate::node::{
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use wsn_core::ShardPlan;
 use wsn_core::{
     Direction, Exfiltrated, GridCoord, NodeProgram, RunMetrics, VirtualGrid, CTR_DATA_UNITS,
     CTR_MESSAGES,
@@ -36,8 +37,8 @@ use wsn_obs::{
     FixedHistogram, NodeSnapshot, Registry, SpanNode, SpanRecorder, TraceDocument, TraceMeta,
 };
 use wsn_sim::{
-    shared_causal_log, ActorId, Kernel, RunReport, SharedCausalLog, SimTime, Stats, StopReason,
-    Tracer,
+    order_tap, shared_causal_log, ActorId, Kernel, RunReport, ShardSchedule, SharedCausalLog,
+    SimTime, Stats, StopReason, Tracer,
 };
 
 /// Result of one topology-emulation run.
@@ -189,6 +190,31 @@ pub struct ChaosMissionReport {
     pub elapsed_ticks: u64,
 }
 
+/// Configuration of sharded (parallel-scheduler) execution: the network
+/// is split into the level-`cut_level` quad-tree quadrants of
+/// [`wsn_core::ShardPlan`], one scheduler worker per quadrant, with
+/// cross-shard messages exchanged at window barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Quad-tree cut level (1 = 4 shards, 2 = 16, …). Must not exceed the
+    /// grid's quad-tree depth.
+    pub cut_level: u32,
+    /// Logical worker lanes the shards are striped over. Any value
+    /// produces identical observables (the property tests enforce this);
+    /// it exists to exercise stripe-order independence.
+    pub workers: usize,
+}
+
+impl ParallelConfig {
+    /// One worker lane per shard at `cut_level`.
+    pub fn at_cut(cut_level: u32) -> Self {
+        ParallelConfig {
+            cut_level,
+            workers: 1,
+        }
+    }
+}
+
 /// A deployed network executing the runtime system.
 pub struct PhysicalRuntime<P: Clone + 'static> {
     kernel: Kernel<RtMsg<P>>,
@@ -244,6 +270,8 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             grid,
             field: Box::new(field),
             exfil: RefCell::new(Vec::new()),
+            tap: RefCell::new(None),
+            staged_exfil: RefCell::new(Vec::new()),
         });
 
         let mut kernel: Kernel<RtMsg<P>> = Kernel::new(seed);
@@ -645,8 +673,108 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         }
     }
 
+    /// Checks the mechanical preconditions of sharded execution:
+    ///
+    /// * the energy ledger must be unlimited (charges are deferred to
+    ///   window barriers, so mid-window depletion checks must be vacuous);
+    /// * the grid side must be a power of two with `cut_level` inside the
+    ///   quad-tree depth (the [`ShardPlan`] constraint).
+    ///
+    /// The *semantic* precondition — a clean shard-interference
+    /// certificate for the program being run — is the caller's to check
+    /// via `wsn-analyze`'s `analyze_shards`; this layer cannot see the
+    /// program source.
+    pub fn parallel_preconditions(&self, cfg: &ParallelConfig) -> Result<(), String> {
+        let side = self.grid.side();
+        if !self.medium.borrow().ledger().is_unlimited() {
+            return Err("energy ledger has a budget; sharded execution defers charges".into());
+        }
+        if !side.is_power_of_two() {
+            return Err(format!("grid side {side} is not a power of two"));
+        }
+        let depth = side.trailing_zeros();
+        if cfg.cut_level == 0 || cfg.cut_level > depth {
+            return Err(format!(
+                "cut level {} outside the quad-tree depth 1..={depth}",
+                cfg.cut_level
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the actor→shard assignment from the quad-tree plan: node
+    /// `i` goes to the shard of its deployment cell. Actors installed
+    /// later (e.g. a chaos injector) fall outside the map and run on the
+    /// global pseudo-shard.
+    fn shard_schedule(&self, cfg: &ParallelConfig) -> ShardSchedule {
+        let plan = ShardPlan::new(self.grid.side(), cfg.cut_level as u8);
+        let map: Vec<u32> = (0..self.deployment.node_count())
+            .map(|i| {
+                let cell = self.deployment.cell_of_node(i);
+                plan.shard_of(GridCoord::new(cell.col, cell.row))
+            })
+            .collect();
+        let schedule = ShardSchedule::new(map, plan.shard_count()).with_workers(cfg.workers);
+        // Sabotage knob for the CI inverted-mutation step: a deliberately
+        // misordered boundary merge must make the differential suite
+        // fail. Never set outside that check.
+        if std::env::var_os("WSN_SHARD_MISORDER").is_some() {
+            schedule.with_misordered_merge()
+        } else {
+            schedule
+        }
+    }
+
+    /// Runs the kernel under `schedule`, wiring the window order tap into
+    /// every order-sensitive shared component (energy ledger journal,
+    /// causal log, exfiltration buffer) and replaying their staged side
+    /// effects in canonical order at each barrier.
+    fn run_kernel_sharded(
+        &mut self,
+        schedule: &ShardSchedule,
+        until: Option<SimTime>,
+        max_events: Option<u64>,
+    ) -> RunReport {
+        let tap = order_tap();
+        self.medium.borrow_mut().set_order_tap(tap.clone());
+        if let Some(log) = &self.causal {
+            log.borrow_mut().set_order_tap(tap.clone());
+        }
+        *self.shared.tap.borrow_mut() = Some(tap.clone());
+        let medium = self.medium.clone();
+        let causal = self.causal.clone();
+        let shared = self.shared.clone();
+        self.kernel
+            .run_sharded(schedule, until, max_events, Some(&tap), |tags| {
+                medium.borrow_mut().apply_energy_journal(tags);
+                if let Some(log) = &causal {
+                    log.borrow_mut().assign_order(tags);
+                }
+                shared.assign_exfil_order(tags);
+            })
+    }
+
     /// Phase 3: runs the application to quiescence.
     pub fn run_application(&mut self) -> AppReport {
+        self.run_application_with(None)
+    }
+
+    /// Phase 3 on the sharded scheduler: one logical worker per quad-tree
+    /// shard at `cfg.cut_level`, with epoch-barrier synchronization.
+    /// Produces **bit-identical** traces, causal logs, and metrics to
+    /// [`PhysicalRuntime::run_application`] for the same seed.
+    ///
+    /// Panics when [`PhysicalRuntime::parallel_preconditions`] fails —
+    /// drivers that want graceful sequential fallback check it first.
+    pub fn run_application_parallel(&mut self, cfg: &ParallelConfig) -> AppReport {
+        if let Err(refusal) = self.parallel_preconditions(cfg) {
+            panic!("sharded execution refused: {refusal}");
+        }
+        let schedule = self.shard_schedule(cfg);
+        self.run_application_with(Some(&schedule))
+    }
+
+    fn run_application_with(&mut self, schedule: Option<&ShardSchedule>) -> AppReport {
         assert!(
             self.factory.is_some(),
             "install_programs must be called before run_application"
@@ -666,7 +794,10 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_APP);
         }
-        let run = self.kernel.run();
+        let run = match schedule {
+            None => self.kernel.run(),
+            Some(schedule) => self.run_kernel_sharded(schedule, None, Some(1_000_000_000)),
+        };
         self.events_total += run.events_processed;
         if self.telemetry.is_enabled() {
             self.attach_merge_level_spans();
@@ -813,7 +944,10 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         drop(medium);
         doc.events = self.kernel.trace_snapshot();
         if let Some(log) = &self.causal {
-            doc.causal = log.borrow().events().to_vec();
+            // Canonical (sequential-equivalent) order: identity for plain
+            // sequential runs, and the re-keyed merge order after sharded
+            // windows — so traces diff bit-for-bit across engines.
+            doc.causal = log.borrow().canonical_events();
         }
         doc
     }
@@ -1007,6 +1141,38 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         cfg: SelfHealConfig,
         expected_exfils: usize,
     ) -> ChaosMissionReport {
+        self.run_chaos_mission_with(cfg, expected_exfils, None)
+    }
+
+    /// [`PhysicalRuntime::run_chaos_mission`] with the epoch loops running
+    /// on the sharded kernel. Bring-up and heal phases stay sequential
+    /// (they re-bind leaders, which is not window-shaped work); the epoch
+    /// bodies — where virtually all events are processed — run sharded.
+    /// Chaos injector actors live past the deployment map and therefore
+    /// execute on the global pseudo-shard, preserving injection order.
+    ///
+    /// # Panics
+    ///
+    /// If [`PhysicalRuntime::parallel_preconditions`] rejects `pcfg`.
+    pub fn run_chaos_mission_parallel(
+        &mut self,
+        cfg: SelfHealConfig,
+        expected_exfils: usize,
+        pcfg: &ParallelConfig,
+    ) -> ChaosMissionReport {
+        if let Err(why) = self.parallel_preconditions(pcfg) {
+            panic!("sharded execution precondition failed: {why}");
+        }
+        let schedule = self.shard_schedule(pcfg);
+        self.run_chaos_mission_with(cfg, expected_exfils, Some(&schedule))
+    }
+
+    fn run_chaos_mission_with(
+        &mut self,
+        cfg: SelfHealConfig,
+        expected_exfils: usize,
+        schedule: Option<&ShardSchedule>,
+    ) -> ChaosMissionReport {
         assert!(
             self.factory.is_some(),
             "install_programs must be called before run_chaos_mission"
@@ -1041,9 +1207,14 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         }
         for epoch in 0..cfg.max_epochs {
             let horizon = self.kernel.now() + cfg.epoch_ticks;
-            let run = self
-                .kernel
-                .run_with_limits(Some(horizon), Some(cfg.max_events_per_epoch));
+            let run = match schedule {
+                None => self
+                    .kernel
+                    .run_with_limits(Some(horizon), Some(cfg.max_events_per_epoch)),
+                Some(schedule) => {
+                    self.run_kernel_sharded(schedule, Some(horizon), Some(cfg.max_events_per_epoch))
+                }
+            };
             self.events_total += run.events_processed;
             report.epochs = epoch + 1;
             self.telemetry.incr("heal.epochs");
@@ -1825,5 +1996,123 @@ mod tests {
             (report, rt.now())
         };
         assert_eq!(run(), run(), "same seed and plan replay bit-identically");
+    }
+
+    /// Full observable state of a finished run, for engine differencing:
+    /// the trace document (events, causal log, counters, gauges,
+    /// histograms, per-node energy) plus exfiltrated payload order and
+    /// the standard metric bundle.
+    fn observables(rt: &PhysicalRuntime<f64>, app: &AppReport) -> (String, String, String) {
+        let doc = rt.record_trace();
+        let exfil: Vec<_> = rt
+            .shared
+            .exfil
+            .borrow()
+            .iter()
+            .map(|e| (e.from, e.at, e.payload))
+            .collect();
+        (
+            format!("{doc:?}"),
+            format!("{exfil:?}"),
+            format!("{:?}", rt.metrics(app)),
+        )
+    }
+
+    fn gather_app(seed: u64, parallel: Option<ParallelConfig>) -> (String, String, String) {
+        let mut rt = runtime(4, 3, seed);
+        rt.enable_telemetry(true);
+        rt.enable_causal_tracing();
+        let topo = rt.run_topology_emulation();
+        assert!(topo.complete);
+        assert!(rt.run_binding().unique);
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 16,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
+        let app = match parallel {
+            None => rt.run_application(),
+            Some(cfg) => rt.run_application_parallel(&cfg),
+        };
+        assert_eq!(app.exfil_count, 1);
+        observables(&rt, &app)
+    }
+
+    #[test]
+    fn parallel_application_matches_sequential_bit_for_bit() {
+        let sequential = gather_app(7, None);
+        for cut_level in [1, 2] {
+            for workers in [1, 3] {
+                let cfg = ParallelConfig { cut_level, workers };
+                assert_eq!(
+                    gather_app(7, Some(cfg)),
+                    sequential,
+                    "sharded run at {cfg:?} diverged from the sequential reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_chaos_mission_matches_sequential() {
+        let run = |parallel: bool| {
+            let mut rt = runtime(2, 4, 33);
+            rt.enable_causal_tracing();
+            rt.install_programs(gather_factory(4));
+            rt.install_chaos(
+                ChaosPlan::none()
+                    .delivery_at(
+                        SimTime::from_ticks(10),
+                        DeliveryChaos {
+                            dup_prob: 0.2,
+                            reorder_prob: 0.2,
+                            reorder_max_extra_ticks: 3,
+                        },
+                    )
+                    .crash_at(SimTime::from_ticks(60), 0),
+            )
+            .unwrap();
+            let report = if parallel {
+                rt.run_chaos_mission_parallel(
+                    SelfHealConfig::default(),
+                    1,
+                    &ParallelConfig::at_cut(1),
+                )
+            } else {
+                rt.run_chaos_mission(SelfHealConfig::default(), 1)
+            };
+            let causal = rt.causal_log().unwrap().borrow().canonical_events();
+            (report, rt.now(), format!("{causal:?}"))
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "sharded chaos mission diverged from sequential"
+        );
+    }
+
+    #[test]
+    fn parallel_preconditions_reject_bad_cut_levels() {
+        let rt = runtime(4, 3, 1);
+        assert!(rt
+            .parallel_preconditions(&ParallelConfig::at_cut(1))
+            .is_ok());
+        assert!(rt
+            .parallel_preconditions(&ParallelConfig::at_cut(2))
+            .is_ok());
+        assert!(rt
+            .parallel_preconditions(&ParallelConfig::at_cut(0))
+            .is_err());
+        assert!(rt
+            .parallel_preconditions(&ParallelConfig::at_cut(3))
+            .is_err());
+        let rt3 = runtime(3, 5, 1);
+        assert!(
+            rt3.parallel_preconditions(&ParallelConfig::at_cut(1))
+                .is_err(),
+            "side 3 is not a power of two"
+        );
     }
 }

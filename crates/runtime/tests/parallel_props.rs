@@ -1,0 +1,105 @@
+//! Property tests over the sharded kernel's configuration space.
+//!
+//! The determinism contract says the worker count and quadrant cut are
+//! pure performance knobs: for ANY seed, ANY legal cut level, and ANY
+//! worker count — one lane, two lanes, one lane per shard, or more
+//! lanes than shards — the sharded kernel replays the sequential
+//! reference bit for bit across every observable surface (trace
+//! document with causal log, exfiltrated payload order, metric bundle).
+
+use proptest::prelude::*;
+use wsn_core::{GridCoord, NodeApi, NodeProgram};
+use wsn_net::{DeploymentSpec, LinkModel, RadioModel};
+use wsn_runtime::{ParallelConfig, PhysicalRuntime};
+
+struct Gather {
+    expected: usize,
+    seen: usize,
+    sum: f64,
+}
+
+impl NodeProgram<f64> for Gather {
+    fn on_init(&mut self, api: &mut dyn NodeApi<f64>) {
+        let v = api.read_sensor();
+        api.compute(1);
+        if api.coord() != GridCoord::new(0, 0) {
+            api.send(GridCoord::new(0, 0), 1, v);
+        } else {
+            self.sum += v;
+            self.seen += 1;
+        }
+    }
+
+    fn on_receive(&mut self, api: &mut dyn NodeApi<f64>, _from: GridCoord, payload: f64) {
+        self.sum += payload;
+        self.seen += 1;
+        if self.seen == self.expected {
+            api.exfiltrate(self.sum);
+        }
+    }
+}
+
+/// Runs the seeded side-4 gather mission on the requested engine and
+/// returns every observable surface, rendered for exact comparison.
+fn observables(seed: u64, parallel: Option<ParallelConfig>) -> (String, String, String) {
+    let spec = DeploymentSpec::per_cell(4, 3);
+    let deployment = spec.generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let mut rt = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        None,
+        1,
+        seed,
+        |c| f64::from(c.col + c.row),
+    );
+    rt.enable_telemetry(true);
+    rt.enable_causal_tracing();
+    assert!(rt.run_topology_emulation().complete);
+    assert!(rt.run_binding().unique);
+    rt.install_programs(|_| {
+        Box::new(Gather {
+            expected: 16,
+            seen: 0,
+            sum: 0.0,
+        })
+    });
+    let app = match &parallel {
+        None => rt.run_application(),
+        Some(cfg) => rt.run_application_parallel(cfg),
+    };
+    assert_eq!(
+        app.exfil_count, 1,
+        "gather must complete under {parallel:?}"
+    );
+    let doc = format!("{:?}", rt.record_trace());
+    let metrics = format!("{:?}", rt.metrics(&app));
+    let exfil = format!("{:?}", rt.take_exfiltrated());
+    (doc, exfil, metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 1 worker, 2 workers, one worker per shard, and an oversubscribed
+    /// N+7 all produce the sequential observables — including the
+    /// 1-worker sharded run, which exercises the barrier machinery with
+    /// no actual parallelism.
+    #[test]
+    fn worker_count_never_changes_observables(seed in 0u64..512, cut_level in 1u32..3u32) {
+        let sequential = observables(seed, None);
+        // The quadrant plan at cut level c has 4^c shards.
+        let shards = 4usize.pow(cut_level);
+        for workers in [1, 2, shards, shards + 7] {
+            let got = observables(seed, Some(ParallelConfig { cut_level, workers }));
+            prop_assert_eq!(
+                &got,
+                &sequential,
+                "cut {} with {} workers diverged from sequential",
+                cut_level,
+                workers
+            );
+        }
+    }
+}

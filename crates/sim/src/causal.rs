@@ -23,8 +23,10 @@
 //! record order, which the kernel's total event order fixes — so two
 //! same-seed runs produce identical logs.
 
+use crate::shard::{DispatchTag, OrderTap};
 use crate::time::SimTime;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Metadata a sender attaches to an in-flight message: the send event's
@@ -80,10 +82,29 @@ pub struct CausalEvent {
 }
 
 /// Accumulates [`CausalEvent`]s and maintains per-node Lamport clocks.
+///
+/// Storage order is always append order — [`CausalStamp::seq`] indexes
+/// into it — but under the sharded scheduler append order is *shard*
+/// order, not the sequential kernel's dispatch order. The log therefore
+/// keeps a parallel canonical permutation: events appended while an
+/// [`OrderTap`] holds a live [`DispatchTag`] are staged, and
+/// [`CausalLog::assign_order`] (called from the scheduler's barrier hook
+/// with the window's canonical tag order) slots them into the global
+/// order. [`CausalLog::canonical_events`] then renumbers sequence
+/// numbers, cause edges, and Lamport clocks as if the log had been
+/// written sequentially — the identity transform for a log that *was*.
 #[derive(Debug, Default)]
 pub struct CausalLog {
     events: Vec<CausalEvent>,
     clocks: Vec<u64>,
+    /// Canonical position of `events[i]` (`u64::MAX` while staged).
+    order_keys: Vec<u64>,
+    /// Next canonical position to hand out.
+    cursor: u64,
+    /// Append indices awaiting a canonical position, with the dispatch
+    /// tag they were recorded under (intra-tag order = append order).
+    staged: Vec<(usize, DispatchTag)>,
+    tap: Option<OrderTap>,
 }
 
 impl CausalLog {
@@ -121,7 +142,50 @@ impl CausalLog {
             label: label.to_string(),
             units,
         });
+        let tag = self
+            .tap
+            .as_ref()
+            .map(|t| t.get())
+            .unwrap_or(DispatchTag::NONE);
+        if tag.is_none() {
+            self.order_keys.push(self.cursor);
+            self.cursor += 1;
+        } else {
+            self.order_keys.push(u64::MAX);
+            self.staged.push((self.events.len() - 1, tag));
+        }
         seq
+    }
+
+    /// Connects the log to the sharded scheduler's order tap: events
+    /// recorded while the tap holds a live [`DispatchTag`] are staged for
+    /// barrier-time ordering instead of taking the next canonical slot.
+    pub fn set_order_tap(&mut self, tap: OrderTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Assigns canonical positions to all staged events, in the order of
+    /// their tags within `tags` (the window's canonical dispatch order
+    /// from the scheduler's barrier hook), ties broken by append order.
+    pub fn assign_order(&mut self, tags: &[DispatchTag]) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let rank: BTreeMap<DispatchTag, usize> =
+            tags.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.sort_by_key(|&(idx, tag)| {
+            (
+                rank.get(&tag).copied().unwrap_or_else(|| {
+                    panic!("staged causal event under unknown dispatch tag {tag:?}")
+                }),
+                idx,
+            )
+        });
+        for (idx, _) in staged {
+            self.order_keys[idx] = self.cursor;
+            self.cursor += 1;
+        }
     }
 
     /// Records a send event on `node` and returns the stamp to attach to
@@ -176,9 +240,72 @@ impl CausalLog {
         self.push(time, node, CausalKind::Local, lamport, cause, label, 0)
     }
 
-    /// The recorded events, in sequence order.
+    /// The recorded events, in sequence (append) order.
     pub fn events(&self) -> &[CausalEvent] {
         &self.events
+    }
+
+    /// The log as the sequential kernel would have written it: events in
+    /// canonical dispatch order, with sequence numbers, cause edges, and
+    /// Lamport clocks renumbered to match. Lamport clocks are recomputed
+    /// by replaying the canonical order (delivers merge the cause event's
+    /// recomputed clock), because the append-order clocks were advanced in
+    /// shard order. For a log recorded entirely outside sharded windows
+    /// this is exactly `events().to_vec()`.
+    ///
+    /// Panics if staged events are still awaiting [`CausalLog::assign_order`].
+    pub fn canonical_events(&self) -> Vec<CausalEvent> {
+        assert!(
+            self.staged.is_empty(),
+            "canonical_events while {} events await assign_order",
+            self.staged.len()
+        );
+        let n = self.events.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_by_key(|&i| self.order_keys[i]);
+        let mut new_seq = vec![0u64; n];
+        for (pos, &old) in perm.iter().enumerate() {
+            new_seq[old] = pos as u64 + 1;
+        }
+        let mut clocks: Vec<u64> = Vec::new();
+        let mut lamports = vec![0u64; n];
+        let mut out = Vec::with_capacity(n);
+        for (pos, &old) in perm.iter().enumerate() {
+            let ev = &self.events[old];
+            if ev.node >= clocks.len() {
+                clocks.resize(ev.node + 1, 0);
+            }
+            let cause = if ev.cause == 0 {
+                0
+            } else {
+                let c = new_seq[ev.cause as usize - 1];
+                debug_assert!(
+                    c <= pos as u64,
+                    "cause edge points forward in canonical order"
+                );
+                c
+            };
+            let lamport = match ev.kind {
+                CausalKind::Deliver => {
+                    let merged = if ev.cause == 0 {
+                        0
+                    } else {
+                        lamports[ev.cause as usize - 1]
+                    };
+                    clocks[ev.node].max(merged) + 1
+                }
+                CausalKind::Send | CausalKind::Local => clocks[ev.node] + 1,
+            };
+            clocks[ev.node] = lamport;
+            lamports[old] = lamport;
+            out.push(CausalEvent {
+                seq: pos as u64 + 1,
+                cause,
+                lamport,
+                ..ev.clone()
+            });
+        }
+        out
     }
 
     /// Number of recorded events.
@@ -277,5 +404,74 @@ mod tests {
         let clone = Rc::clone(&log);
         log.borrow_mut().record_local(0, t(0), 0, "a");
         assert_eq!(clone.borrow().len(), 1);
+    }
+
+    #[test]
+    fn canonical_is_identity_for_sequential_logs() {
+        let mut log = CausalLog::new();
+        let a = log.record_local(0, t(0), 0, "start");
+        let s = log.record_send(0, t(1), a, "hop", 1);
+        let d = log.record_deliver(3, t(4), s, "hop", 1);
+        let m = log.record_local(3, t(4), d, "merge");
+        let s2 = log.record_send(3, t(5), m, "hop", 2);
+        log.record_deliver(7, t(9), s2, "hop", 2);
+        assert_eq!(log.canonical_events(), log.events().to_vec());
+    }
+
+    #[test]
+    fn staged_events_reorder_into_canonical_positions() {
+        use crate::shard::order_tap;
+
+        let tag = |slot: u32, idx: u32| DispatchTag {
+            window: 0,
+            slot,
+            idx,
+        };
+        // Shard order appends slot 0's events before slot 1's, but the
+        // canonical dispatch order interleaves them the other way.
+        let tap = order_tap();
+        let mut log = CausalLog::new();
+        log.set_order_tap(tap.clone());
+
+        tap.set(tag(0, 0));
+        let s0 = log.record_send(0, t(5), 0, "hop", 1); // append 1
+        tap.set(tag(1, 0));
+        let s1 = log.record_send(2, t(5), 0, "hop", 1); // append 2
+        let d1 = log.record_deliver(3, t(6), s1, "hop", 1); // append 3
+        tap.set(DispatchTag::NONE);
+
+        // Canonical order says shard 1's dispatch came first.
+        log.assign_order(&[tag(1, 0), tag(0, 0)]);
+        let canon = log.canonical_events();
+        assert_eq!(canon.len(), 3);
+        // s1 and d1 now lead; s0 trails with renumbered seq.
+        assert_eq!(canon[0].node, 2);
+        assert_eq!(canon[1].node, 3);
+        assert_eq!(canon[1].cause, 1, "deliver cause remapped to new seq");
+        assert_eq!(canon[2].node, 0);
+        assert_eq!(canon[2].seq, 3);
+        assert_eq!(canon[2].cause, 0);
+        // Lamports replayed in canonical order: send=1, deliver merges to 2.
+        assert_eq!(canon[0].lamport, 1);
+        assert_eq!(canon[1].lamport, 2);
+        assert_eq!(canon[2].lamport, 1);
+        // Append-order accessors are untouched (stamp indexing contract).
+        assert_eq!(log.events()[s0.seq as usize - 1].node, 0);
+        assert_eq!(log.events()[d1 as usize - 1].cause, s1.seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "await assign_order")]
+    fn canonical_with_pending_staged_events_panics() {
+        let tap = crate::shard::order_tap();
+        let mut log = CausalLog::new();
+        log.set_order_tap(tap.clone());
+        tap.set(DispatchTag {
+            window: 0,
+            slot: 0,
+            idx: 0,
+        });
+        log.record_local(0, t(1), 0, "staged");
+        log.canonical_events();
     }
 }

@@ -119,6 +119,36 @@ impl<M> EventQueue<M> {
         self.heap.pop().map(|e| e.0)
     }
 
+    /// Re-inserts an already-sequenced event without assigning a fresh
+    /// sequence number. The sharded scheduler uses this to move events
+    /// between the global queue and per-shard queues while preserving the
+    /// exact `(time, seq)` total order the sequential kernel would have
+    /// used.
+    pub(crate) fn push_scheduled(&mut self, ev: ScheduledEvent<M>) {
+        self.heap.push(HeapEntry(ev));
+    }
+
+    /// Drains every pending event (heap order is unspecified; callers
+    /// sort by `(time, seq)` as needed).
+    pub(crate) fn drain_all(&mut self) -> Vec<ScheduledEvent<M>> {
+        std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|e| e.0)
+            .collect()
+    }
+
+    /// The next sequence number this queue will assign.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Advances the sequence counter to `seq` (monotone only — the
+    /// sharded replay hands out the intervening numbers itself).
+    pub(crate) fn set_next_seq(&mut self, seq: u64) {
+        debug_assert!(seq >= self.next_seq, "sequence counter ran backwards");
+        self.next_seq = seq;
+    }
+
     /// Instant of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.0.time)

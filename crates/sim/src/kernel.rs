@@ -82,14 +82,17 @@ pub struct RunReport {
 }
 
 /// The facilities an actor may use while handling an event.
+///
+/// Fields are crate-visible so the sharded scheduler ([`crate::shard`])
+/// can build identical contexts for its per-shard dispatch loop.
 pub struct Context<'a, M: Payload> {
-    now: SimTime,
-    self_id: ActorId,
-    outbox: &'a mut Vec<(SimTime, ActorId, EventKind<M>)>,
-    rng: &'a mut DetRng,
-    stats: &'a mut Stats,
-    stop_requested: &'a mut bool,
-    actor_count: usize,
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ActorId,
+    pub(crate) outbox: &'a mut Vec<(SimTime, ActorId, EventKind<M>)>,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) stats: &'a mut Stats,
+    pub(crate) stop_requested: &'a mut bool,
+    pub(crate) actor_count: usize,
 }
 
 impl<'a, M: Payload> Context<'a, M> {
@@ -152,16 +155,20 @@ impl<'a, M: Payload> Context<'a, M> {
 }
 
 /// A deterministic discrete-event simulator over actors exchanging `M`s.
+///
+/// Fields are crate-visible so the sharded scheduler
+/// ([`crate::shard`]) can drive the same actor store, queue, and
+/// bookkeeping as the sequential loop below.
 pub struct Kernel<M: Payload> {
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
-    rngs: Vec<DetRng>,
-    queue: EventQueue<M>,
-    now: SimTime,
+    pub(crate) actors: Vec<Option<Box<dyn Actor<M>>>>,
+    pub(crate) rngs: Vec<DetRng>,
+    pub(crate) queue: EventQueue<M>,
+    pub(crate) now: SimTime,
     master_seed: u64,
-    stats: Stats,
-    tracer: Tracer,
-    metrics: bool,
-    started: bool,
+    pub(crate) stats: Stats,
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: bool,
+    pub(crate) started: bool,
 }
 
 impl<M: Payload> Kernel<M> {
@@ -292,7 +299,7 @@ impl<M: Payload> Kernel<M> {
         self.queue.push(at, target, EventKind::Timer { tag });
     }
 
-    fn start_actors(&mut self) {
+    pub(crate) fn start_actors(&mut self) {
         if self.started {
             return;
         }

@@ -50,6 +50,7 @@ pub mod causal;
 pub mod event;
 pub mod kernel;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -63,6 +64,7 @@ pub use kernel::{
     METRIC_QUEUE_DEPTH,
 };
 pub use rng::DetRng;
+pub use shard::{order_tap, DispatchTag, OrderTap, ShardSchedule, GLOBAL_SHARD};
 pub use stats::{Histogram, Stats, TimeSeries};
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceKind, TraceSink, Tracer};
