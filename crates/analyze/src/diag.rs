@@ -45,6 +45,10 @@ impl fmt::Display for Severity {
 ///   facts that sharpen them);
 /// * `SI` — shard interference (footprint and commutativity of handlers
 ///   under a quad-tree shard plan);
+/// * `FL` — frame layout (every reachable send site fits the fixed wire
+///   frame at its certified offsets);
+/// * `AL` — allocation discipline (runtime state on the certified hot
+///   path is arena-allocatable, not per-event heap);
 /// * `TC` — trace conformance (measured run vs certified interval).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // variants are documented by Self::description
@@ -83,6 +87,14 @@ pub enum Code {
     SI002,
     SI003,
     SI004,
+    FL001,
+    FL002,
+    FL003,
+    FL004,
+    FL005,
+    AL001,
+    AL002,
+    AL003,
     TC001,
     TC002,
     TC003,
@@ -132,6 +144,14 @@ impl Code {
             Code::SI002 => "same-shard write/write conflict: overlapping send footprints",
             Code::SI003 => "cross-shard send off the certified region boundary",
             Code::SI004 => "receive handler writes scalar state across the epoch barrier",
+            Code::FL001 => "reachable send site's payload bound exceeds the frame capacity",
+            Code::FL002 => "send site's data level is unbounded (no static payload bound)",
+            Code::FL003 => "message variant has no wire representation on the fixed frame",
+            Code::FL004 => "frame layout table violates an offset/alignment/size invariant",
+            Code::FL005 => "causal stamp width cannot hold the certified event-count bound",
+            Code::AL001 => "per-event heap allocation site on the certified hot path",
+            Code::AL002 => "shared-ownership (Rc/RefCell) access on the certified hot path",
+            Code::AL003 => "message buffer escapes past the epoch barrier",
             Code::TC001 => "measured value below the certified lower bound",
             Code::TC002 => "measured value above the certified upper bound",
             Code::TC003 => "certified quantity absent from the trace",
@@ -150,8 +170,9 @@ impl Code {
         &[
             WF001, WF002, WF003, WF004, WF005, WF006, WF007, WF008, WF009, WF010, RD001, RD002,
             RD003, RD004, GM001, GM002, GM003, GM004, GM005, DL001, DL002, CB001, CB002, CB003,
-            CB004, CC001, CC002, CC003, CC004, CC005, SI001, SI002, SI003, SI004, TC001, TC002,
-            TC003, TC004, TC005, TC006, TC007, TC008, TC009,
+            CB004, CC001, CC002, CC003, CC004, CC005, SI001, SI002, SI003, SI004, FL001, FL002,
+            FL003, FL004, FL005, AL001, AL002, AL003, TC001, TC002, TC003, TC004, TC005, TC006,
+            TC007, TC008, TC009,
         ]
     }
 }
@@ -535,6 +556,6 @@ mod tests {
         for &c in Code::all() {
             assert!(!c.description().is_empty(), "{c}");
         }
-        assert_eq!(Code::all().len(), 43);
+        assert_eq!(Code::all().len(), 51);
     }
 }

@@ -39,6 +39,18 @@
 //!                                  record the planted-leak run TC009 must catch
 //! wsn-lint --shard-gate            CI gate: shard-check + TC009 on sides 4 and 8
 //!                                  at cut levels 1 and 2
+//! wsn-lint --frame-check [depth] [--emit-frame-cert]
+//!                                  frame-layout & allocation certification
+//!                                  (FL001–FL005 / AL001–AL003) of the Figure-4
+//!                                  program; --emit-frame-cert prints the
+//!                                  machine-checkable certificate JSON;
+//!                                  --mutate-payload-overflow analyzes the
+//!                                  side-32 deployment the frame cannot carry
+//!                                  (FL001 must trip)
+//! wsn-lint --alloc-gate            certify the frame layout, then prove the
+//!                                  steady-state framed hot path dispatches
+//!                                  with zero heap allocations (this binary's
+//!                                  counting allocator measures the round)
 //! wsn-lint --check                 CI gate: paper deployments must be error-free
 //! wsn-lint --codes                 list the diagnostic catalog
 //! ```
@@ -46,12 +58,57 @@
 //! `--json` switches the report to JSON. Exit status: 0 when no
 //! error-severity diagnostics were found, 1 otherwise, 2 on usage or
 //! decode errors.
+//!
+//! This binary deliberately lives in `cli/`, not `src/bin/`: it installs
+//! a counting `#[global_allocator]` (an `unsafe impl`, required by the
+//! allocator API) to measure the `--alloc-gate` round, while everything
+//! under the workspace's `src/` trees stays `#![forbid(unsafe_code)]`
+//! and is audited for it in CI.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use wsn_analyze::{Code, Diagnostics};
 use wsn_bench::lint;
 
+/// [`System`], plus a relaxed counter of every allocation call — the
+/// probe `wsn_bench::hotpath::allocprobe` reads around the measured
+/// steady-state round. Deallocation stays uncounted: the gate's claim is
+/// "no allocations per event", so only acquisition matters.
+struct CountingAlloc;
+
+static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_calls() -> u64 {
+    ALLOCATION_CALLS.load(Ordering::Relaxed)
+}
+
 fn main() -> ExitCode {
+    wsn_bench::hotpath::allocprobe::install(allocation_calls);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     // Flags that consume the following argument as their value.
@@ -282,6 +339,55 @@ fn main() -> ExitCode {
             }
             Err(report) => {
                 eprint!("{report}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.iter().any(|a| a == "--frame-check") {
+        let mutate = args.iter().any(|a| a == "--mutate-payload-overflow");
+        let depth = match parse_depth(&positional) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        let (cert, diags) = lint::frame_check_figure4(depth, mutate);
+        if args.iter().any(|a| a == "--emit-frame-cert") {
+            match &cert {
+                Some(c) => println!("{}", wsn_analyze::frame_cert_to_json(c).render()),
+                None => {
+                    eprintln!("wsn-lint: no certificate to emit (the frame layout did not certify)")
+                }
+            }
+        } else if json {
+            println!("{}", diags.to_json().render());
+        } else {
+            if let Some(c) = &cert {
+                print!("{}", c.render_text());
+            }
+            if diags.is_empty() {
+                println!(
+                    "frame check: clean — every message fits the fixed frame and the \
+                     hot path owns its buffers"
+                );
+            } else {
+                print!("{}", diags.render_text());
+            }
+        }
+        return if diags.has_errors() || cert.is_none() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if args.iter().any(|a| a == "--alloc-gate") {
+        return match lint::alloc_gate(8, 200) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("wsn-lint: alloc gate failed: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -564,6 +670,7 @@ fn print_usage() {
          --shard-check --program <file.json> [--cut-level N] | \
          --shard-conform <trace.jsonl> [--cut-level N] | \
          --record-shard-leak-trace <out.jsonl> [depth] | --shard-gate | \
-         --check | --codes   [--json]"
+         --frame-check [depth] [--emit-frame-cert] [--mutate-payload-overflow] | \
+         --alloc-gate | --check | --codes   [--json]"
     );
 }

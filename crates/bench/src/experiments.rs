@@ -782,8 +782,11 @@ pub enum RunEngine {
 }
 
 impl RunEngine {
-    /// Runs the application phase of `rt` on this engine.
-    pub fn run_application(self, rt: &mut PhysicalRuntime<wsn_topoquery::DandcMsg>) -> AppReport {
+    /// Runs the application phase of `rt` on this engine. Generic over
+    /// the payload so the same engines drive both the legacy in-memory
+    /// payload (`DandcMsg`) and the certified zero-copy frame
+    /// (`wsn_net::FrameBuf`).
+    pub fn run_application<P: Clone + 'static>(self, rt: &mut PhysicalRuntime<P>) -> AppReport {
         match self {
             RunEngine::Sequential => rt.run_application(),
             RunEngine::Sharded { cut_level, workers } => {
@@ -840,11 +843,44 @@ pub fn record_end_to_end_trace_with(
     trace_events: bool,
     engine: RunEngine,
 ) -> (wsn_obs::TraceDocument, wsn_core::RunMetrics) {
+    // The certified zero-copy hot path: whenever the frame-layout
+    // certificate covers this side (every payload bound fits the fixed
+    // frame), summaries travel as encoded `FrameBuf`s instead of
+    // heap-owning `DandcMsg` values. Both engines take the same path, so
+    // the differential suite keeps comparing byte-identical artifacts.
+    if wsn_core::framed_payload_fits(side) {
+        traced_topoquery_run::<wsn_net::FrameBuf>(side, per_cell, seed, trace_events, engine, |s| {
+            Box::new(wsn_runtime::FramedProgram::new(
+                wsn_topoquery::DandcProgram::new(s, 5.0),
+            ))
+        })
+    } else {
+        traced_topoquery_run::<wsn_topoquery::DandcMsg>(
+            side,
+            per_cell,
+            seed,
+            trace_events,
+            engine,
+            |s| Box::new(wsn_topoquery::DandcProgram::new(s, 5.0)),
+        )
+    }
+}
+
+/// Shared body of [`record_end_to_end_trace_with`], generic over the
+/// payload representation on the air.
+fn traced_topoquery_run<P: Clone + 'static>(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    trace_events: bool,
+    engine: RunEngine,
+    make_program: impl Fn(u32) -> Box<dyn NodeProgram<P>> + 'static,
+) -> (wsn_obs::TraceDocument, wsn_core::RunMetrics) {
     let field = blob_field(side, seed);
     let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
     let range = deployment.grid().range_for_adjacent_cell_reachability();
     let f2 = field.clone();
-    let mut rt: PhysicalRuntime<wsn_topoquery::DandcMsg> = PhysicalRuntime::new(
+    let mut rt: PhysicalRuntime<P> = PhysicalRuntime::new(
         deployment,
         RadioModel::uniform(range),
         LinkModel::ideal(),
@@ -858,7 +894,7 @@ pub fn record_end_to_end_trace_with(
     assert!(topo.complete, "topology emulation must complete");
     let bind = rt.run_binding();
     assert!(bind.unique, "binding must elect unique leaders");
-    rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    rt.install_programs(move |_| make_program(side));
     // Causal tracing goes on after the control phases so the exported
     // happens-before DAG covers exactly the application — the shape the
     // critical-path profiler walks.

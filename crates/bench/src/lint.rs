@@ -7,9 +7,9 @@
 
 use crate::experiments::{record_end_to_end_trace_with, RunEngine};
 use wsn_analyze::{
-    analyze_deployment, analyze_program, analyze_shards, certify, check_conformance,
-    check_deadlock, check_shard_conformance, CertConfig, Certificate, Diagnostics, ReachConfig,
-    ShardCertificate,
+    analyze_deployment, analyze_frames, analyze_program, analyze_shards, certify,
+    check_conformance, check_deadlock, check_shard_conformance, CertConfig, Certificate,
+    Diagnostics, FrameCertificate, ReachConfig, ShardCertificate,
 };
 use wsn_core::{Hierarchy, ShardPlan};
 use wsn_obs::{Json, TraceDocument};
@@ -283,6 +283,75 @@ pub fn shard_gate(configs: &[(u8, u8)]) -> Result<usize, Vec<(u8, u8, Diagnostic
     }
 }
 
+/// The Figure-4 program in a deployment the fixed frame cannot carry:
+/// the faithful depth-5 synthesis analyzed at side 32, where the root
+/// exfiltration's full-boundary summary (5624 bytes) exceeds the
+/// certified payload capacity — the `--mutate-payload-overflow` defect
+/// `FL001` must catch. Unlike the other planted mutations this one is a
+/// *deployment* overflow, not a program edit: every payload bound is a
+/// closed form in the extent side, so scaling the deployment past the
+/// frame envelope is exactly how a real overflow would arrive.
+pub fn overflow_mutated_figure4() -> (wsn_synth::GuardedProgram, u32) {
+    (synthesize_quadtree_program(5), 32)
+}
+
+/// Runs the frame-layout and allocation certifier (`wsn-analyze` pass 7,
+/// `FL001`–`FL005` / `AL001`–`AL003`) on the paper's Figure-4 program at
+/// hierarchy depth `depth`. `mutate` analyzes the
+/// [`overflow_mutated_figure4`] deployment instead — the planted payload
+/// overflow the CI inverted check proves the pass catches.
+pub fn frame_check_figure4(depth: u8, mutate: bool) -> (Option<FrameCertificate>, Diagnostics) {
+    let (program, side) = if mutate {
+        overflow_mutated_figure4()
+    } else {
+        (
+            synthesize_quadtree_program(depth),
+            2u32.pow(u32::from(depth)),
+        )
+    };
+    analyze_frames(&program, side, ReachConfig::default())
+}
+
+/// The no-alloc gate behind `wsn-lint --alloc-gate`: the frame
+/// certificate must hold at the gate side, and the measured steady-state
+/// round of the framed ping-pong mission must dispatch its events with
+/// **zero** heap allocations (when a counting allocator is installed —
+/// see [`crate::hotpath::allocprobe`]; without one the run still checks
+/// the certificate but reports the allocation column unmeasured).
+/// Returns the rendered report, or what went over budget.
+pub fn alloc_gate(side: u32, volleys: u64) -> Result<String, String> {
+    let depth = u8::try_from(side.trailing_zeros()).expect("side fits");
+    let (cert, diags) = frame_check_figure4(depth, false);
+    if cert.is_none() || diags.has_errors() {
+        return Err(format!(
+            "frame certificate refused at side {side}:\n{}",
+            diags.render_text()
+        ));
+    }
+    let report = crate::hotpath::steady_state_hotpath(side, volleys, 2);
+    let mut out = format!(
+        "alloc gate: side {side}, {volleys} volleys, {} events in the measured round\n",
+        report.events
+    );
+    match report.allocations {
+        Some(0) => {
+            out.push_str("  steady-state allocations: 0 (zero-copy hot path holds)\n");
+            Ok(out)
+        }
+        Some(n) => Err(format!(
+            "{out}  steady-state allocations: {n} ({:.4}/event) — the certified hot path \
+             must not touch the heap",
+            report.allocs_per_event().unwrap_or(0.0)
+        )),
+        None => {
+            out.push_str(
+                "  steady-state allocations: unmeasured (no counting allocator installed)\n",
+            );
+            Ok(out)
+        }
+    }
+}
+
 /// Certificate-gated engine selection: the sharded kernel engages only
 /// when the Figure-4 program shard-checks clean (no SI/CC errors and a
 /// certificate was produced) under the level-`cut` quadrant plan at the
@@ -447,6 +516,42 @@ mod tests {
         let leak = crate::experiments::record_shard_leak_trace(4, 3, 5);
         let (_, diags) = shard_conform_trace_text(&leak.to_jsonl(), 1).unwrap();
         assert!(diags.has_code(Code::TC009), "{}", diags.render_text());
+    }
+
+    #[test]
+    fn frame_check_certifies_the_paper_depths() {
+        for depth in [2u8, 3] {
+            let (cert, diags) = frame_check_figure4(depth, false);
+            assert_eq!(
+                diags.error_count(),
+                0,
+                "depth {depth}: {}",
+                diags.render_text()
+            );
+            let cert = cert.expect("certificate");
+            assert!(cert.fits());
+            assert_eq!(cert.side, 2u32.pow(u32::from(depth)));
+        }
+    }
+
+    #[test]
+    fn payload_overflow_mutation_trips_fl001() {
+        let (cert, diags) = frame_check_figure4(2, true);
+        assert!(cert.is_none());
+        assert!(diags.has_code(Code::FL001), "{}", diags.render_text());
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn alloc_gate_runs_unprobed_and_refuses_overflowing_sides() {
+        // Without a counting allocator the gate still certifies and runs
+        // the mission; the allocation column is unmeasured.
+        let report = alloc_gate(4, 10).unwrap();
+        assert!(report.contains("unmeasured"), "{report}");
+        // A side past the frame envelope is refused by the certificate,
+        // not by a runtime panic.
+        let err = alloc_gate(32, 1).unwrap_err();
+        assert!(err.contains("frame certificate refused"), "{err}");
     }
 
     #[test]

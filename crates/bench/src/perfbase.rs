@@ -43,6 +43,13 @@ pub struct RunSnapshot {
     /// Process peak RSS after the run, from `/proc/self/status` VmHWM
     /// (machine-dependent; 0 where the proc interface is unavailable).
     pub peak_rss_bytes: u64,
+    /// Heap allocations per dispatched event in the steady-state round
+    /// of the framed hot-path mission (see
+    /// [`crate::hotpath::steady_state_hotpath`]). Deterministic — the
+    /// zero-copy contract pins it to exactly `0.0` — but measurable only
+    /// under a counting allocator; `-1.0` means unmeasured, and the gate
+    /// only compares the column when both sides measured it.
+    pub allocs_per_event: f64,
     /// Scale-experiment row (sharded kernel at a large side): exempt
     /// from the default gate's missing-side check so routine `--perf-gate`
     /// runs stay cheap.
@@ -101,6 +108,7 @@ pub fn snapshot_from_trace(
         events,
         events_per_sec: events as f64 / wall_secs.max(1e-9),
         peak_rss_bytes: peak_rss_bytes(),
+        allocs_per_event: -1.0,
         scale: false,
     })
 }
@@ -128,6 +136,10 @@ pub fn render_snapshots(runs: &[RunSnapshot]) -> String {
                 (
                     "peak_rss_bytes".to_string(),
                     Json::from_u64(r.peak_rss_bytes),
+                ),
+                (
+                    "allocs_per_event".to_string(),
+                    Json::Num((r.allocs_per_event * 10000.0).round() / 10000.0),
                 ),
                 ("scale".to_string(), Json::Bool(r.scale)),
             ])
@@ -171,6 +183,10 @@ pub fn parse_snapshots(text: &str) -> Result<Vec<RunSnapshot>, String> {
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0),
                 peak_rss_bytes: u("peak_rss_bytes").unwrap_or(0),
+                allocs_per_event: r
+                    .get("allocs_per_event")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(-1.0),
                 scale: r.get("scale").and_then(Json::as_bool).unwrap_or(false),
             })
         })
@@ -223,6 +239,15 @@ pub fn perf_snapshots_with(
             snapshot_from_trace(side, &doc, wall)
                 .map(|mut s| {
                     s.scale = scale;
+                    // The per-event allocation column rides the standard
+                    // rows only: the steady-state framed mission is a
+                    // fixed side-`side` workload, pointless (and slow) to
+                    // repeat at scale sides outside the frame envelope.
+                    if !scale && wsn_core::framed_payload_fits(side) {
+                        s.allocs_per_event = crate::hotpath::steady_state_hotpath(side, 100, 2)
+                            .allocs_per_event()
+                            .unwrap_or(-1.0);
+                    }
                     s
                 })
                 .map_err(|e| format!("side {side}: {e}"))
@@ -275,7 +300,7 @@ pub fn regression_gate(
             continue;
         };
         // (name, baseline, current, gated)
-        let metrics: [(&str, f64, f64, bool); 8] = [
+        let metrics: [(&str, f64, f64, bool); 9] = [
             (
                 "latency_ticks",
                 base.latency_ticks as f64,
@@ -308,6 +333,15 @@ pub fn regression_gate(
                 base.peak_rss_bytes as f64,
                 cur.peak_rss_bytes as f64,
                 gate_throughput,
+            ),
+            // Deterministic (a seeded count, not wall clock), so gated
+            // like latency — but only when both sides measured it
+            // (`-1.0` = no counting allocator was installed).
+            (
+                "allocs_per_event",
+                base.allocs_per_event,
+                cur.allocs_per_event,
+                base.allocs_per_event >= 0.0 && cur.allocs_per_event >= 0.0,
             ),
         ];
         for (name, b, c, gated) in metrics {
@@ -366,6 +400,7 @@ mod tests {
             events: 500,
             events_per_sec: 120000.0,
             peak_rss_bytes: 40 * 1024 * 1024,
+            allocs_per_event: 0.0,
             scale: false,
         }
     }
@@ -393,6 +428,7 @@ mod tests {
         assert_eq!(parsed[0].events, 0);
         assert_eq!(parsed[0].events_per_sec, 0.0);
         assert_eq!(parsed[0].peak_rss_bytes, 0);
+        assert_eq!(parsed[0].allocs_per_event, -1.0);
         assert!(!parsed[0].scale);
     }
 
@@ -400,9 +436,25 @@ mod tests {
     fn gate_passes_identical_runs_and_reports_every_metric() {
         let runs = vec![snap(4)];
         let report = regression_gate(&runs, &runs, 10.0, false).unwrap();
-        assert_eq!(report.matches(" ok\n").count(), 6);
+        assert_eq!(report.matches(" ok\n").count(), 7);
         assert_eq!(report.matches(" info\n").count(), 2);
         assert!(!report.contains("FAIL"));
+    }
+
+    #[test]
+    fn any_steady_state_allocation_trips_the_gate() {
+        let baseline = vec![snap(4)];
+        let mut current = vec![snap(4)];
+        // The committed contract is exactly zero; a single allocation
+        // per thousand events is infinite drift from it.
+        current[0].allocs_per_event = 0.001;
+        let err = regression_gate(&current, &baseline, 10.0, false).unwrap_err();
+        assert!(err.contains("allocs_per_event"), "{err}");
+        assert!(err.contains("FAIL"), "{err}");
+        // Unmeasured on either side: informational, never gated.
+        current[0].allocs_per_event = -1.0;
+        let report = regression_gate(&current, &baseline, 10.0, false).unwrap();
+        assert!(!report.contains("FAIL"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The no-alloc gate, measured for real: this test binary installs a
+//! counting `#[global_allocator]` (integration tests live outside the
+//! `src/` trees the CI unsafe audit covers, exactly like the `wsn-lint`
+//! binary in `cli/`) and proves the certified zero-copy hot path
+//! dispatches steady-state events **without touching the heap**.
+//!
+//! It also pins the allocation regression fixed alongside the codec
+//! swap: repeated application rounds on a warm runtime used to clone
+//! per-epoch energy/leader snapshots; they now reuse struct-held
+//! scratch, so a warmed-up round performs zero allocations end to end.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use wsn_bench::hotpath::{allocprobe, steady_state_hotpath};
+use wsn_bench::lint;
+
+struct CountingAlloc;
+
+static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_calls() -> u64 {
+    ALLOCATION_CALLS.load(Ordering::Relaxed)
+}
+
+fn install_probe() {
+    allocprobe::install(allocation_calls);
+}
+
+#[test]
+fn steady_state_hot_path_performs_zero_heap_allocations() {
+    install_probe();
+    let report = steady_state_hotpath(8, 200, 2);
+    assert!(report.events > 0, "measured round dispatched no events");
+    assert_eq!(
+        report.allocations,
+        Some(0),
+        "the certified hot path allocated on {} events",
+        report.events
+    );
+    assert_eq!(report.allocs_per_event(), Some(0.0));
+}
+
+#[test]
+fn the_alloc_gate_passes_end_to_end() {
+    install_probe();
+    let report = lint::alloc_gate(8, 200).expect("alloc gate must pass with the probe installed");
+    assert!(
+        report.contains("zero-copy hot path holds"),
+        "unexpected gate report: {report}"
+    );
+}
+
+#[test]
+fn warm_application_rounds_reuse_runtime_scratch() {
+    // The satellite regression pin: snapshot clones in the epoch loop
+    // (energy ledger reads, leader healing, kernel outbox) must not
+    // reappear. Two warmed-up rounds at a second side both measure zero.
+    install_probe();
+    let a = steady_state_hotpath(4, 50, 3);
+    let b = steady_state_hotpath(4, 50, 3);
+    assert_eq!(a.allocations, Some(0));
+    assert_eq!(b.allocations, Some(0));
+    assert_eq!(a.events, b.events, "warm rounds must be deterministic");
+}

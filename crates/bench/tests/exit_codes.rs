@@ -108,6 +108,75 @@ fn shard_cert_json_is_machine_checkable() {
 }
 
 #[test]
+fn frame_check_paths() {
+    let matrix: &[(&[&str], i32)] = &[
+        (&["--frame-check"], 0),
+        (&["--frame-check", "2"], 0),
+        (&["--frame-check", "3"], 0),
+        (&["--frame-check", "--emit-frame-cert"], 0),
+        // The planted mutation: a deployment whose top-level summary
+        // cannot fit the fixed frame. FL001, exit 1 — CI inverts this.
+        (&["--frame-check", "--mutate-payload-overflow"], 1),
+        (&["--frame-check", "--mutate-payload-overflow", "--json"], 1),
+        (&["--frame-check", "9"], 2),
+        (&["--alloc-gate"], 0),
+    ];
+    for (args, want) in matrix {
+        assert_eq!(run(args), *want, "wsn-lint {}", args.join(" "));
+    }
+}
+
+#[test]
+fn frame_cert_json_is_machine_checkable() {
+    let out = lint()
+        .args(["--frame-check", "2", "--emit-frame-cert"])
+        .output()
+        .expect("spawn wsn-lint");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8 cert");
+    let json = wsn_obs::Json::parse(text.trim()).expect("cert parses");
+    let cert = wsn_analyze::frame_cert_from_json(&json).expect("cert decodes");
+    assert_eq!(cert.side, 4);
+    assert_eq!(cert.depth, 2);
+    assert_eq!(cert.frame_bytes, 2048);
+    assert_eq!(cert.payload_capacity, 1968);
+    assert_eq!(cert.max_payload_bytes, 248);
+    assert_eq!(cert.levels.len(), 3, "levels 0..=2 at depth 2");
+    assert_eq!(cert.roles.len(), 3);
+}
+
+#[test]
+fn overflow_mutation_names_fl001_and_matches_the_golden_fixture() {
+    let out = lint()
+        .args(["--frame-check", "--mutate-payload-overflow", "--json"])
+        .output()
+        .expect("spawn wsn-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).expect("utf8 diags");
+    assert!(text.contains("\"FL001\""), "missing FL001 in: {text}");
+    let golden =
+        std::fs::read_to_string(fixture("frame_overflow_diags.json")).expect("read golden fixture");
+    assert_eq!(
+        text, golden,
+        "frame-check --json drifted from the golden fixture; if the change \
+         is intentional, regenerate tests/fixtures/frame_overflow_diags.json \
+         with wsn-lint --frame-check --mutate-payload-overflow --json"
+    );
+}
+
+#[test]
+fn frame_and_alloc_codes_are_catalogued() {
+    let out = lint().args(["--codes"]).output().expect("spawn wsn-lint");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8 catalog");
+    for code in [
+        "FL001", "FL002", "FL003", "FL004", "FL005", "AL001", "AL002", "AL003",
+    ] {
+        assert!(text.contains(code), "--codes misses {code}");
+    }
+}
+
+#[test]
 fn conformance_paths_trip_on_recorded_mutations() {
     // Record the faithful and mutated runs once, then drive every
     // trace-checking entry point through both.

@@ -33,6 +33,7 @@ pub mod arch;
 pub mod collective;
 pub mod cost;
 pub mod estimate;
+pub mod framelayout;
 pub mod grid;
 pub mod groups;
 pub mod metrics;
@@ -50,6 +51,10 @@ pub use cost::{BudgetViolation, CostBudget, CostModel};
 pub use estimate::{
     centralized_collection_estimate, follower_to_leader_hops, full_boundary_units,
     quadtree_merge_estimate, Estimate,
+};
+pub use framelayout::{
+    framed_payload_fits, payload_bound_bytes, payload_bound_units, summary_wire_bound_bytes,
+    FrameField, VariantLayout, FRAME_LAYOUT_VERSION, HEADER_FIELDS, RTMSG_VARIANTS,
 };
 pub use grid::{Direction, GridCoord, VirtualGrid};
 pub use groups::Hierarchy;

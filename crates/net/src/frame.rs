@@ -1,0 +1,463 @@
+//! Fixed-size wire frames — the zero-copy transport representation.
+//!
+//! The §4 payload analysis gives closed-form bounds on every message the
+//! synthesized program can send; the frame-layout certifier (`wsn-analyze`
+//! pass 7) turns those bounds into a proof that all reachable traffic fits
+//! one statically chosen frame size. This module supplies the runtime side
+//! of that contract, following the dot15d4 discipline of keeping *one*
+//! representation — the buffer is the frame:
+//!
+//! * [`FrameBuf`] — a fixed `[u8; FRAME_BYTES]` buffer plus a fill length.
+//!   Cloning is a memcpy; no heap allocation ever occurs per frame, which
+//!   is what lets the counting-allocator gate assert zero allocations per
+//!   event in steady state.
+//! * [`WirePayload`] — bounded little-endian encodings for application
+//!   payloads carried in a frame's payload region.
+//! * [`FramePool`] — a run-sized arena of frames, allocated once up front
+//!   (sized from the certificate's message bound) and recycled.
+//!
+//! Field offsets for the full `RtMsg`-on-frame layout are declared in
+//! `wsn_core::framelayout` (the certifier's source of truth); this module
+//! only fixes the buffer geometry those offsets must respect.
+
+use wsn_sim::Payload;
+
+/// Total size of one wire frame in bytes.
+pub const FRAME_BYTES: usize = 2048;
+
+/// Bytes reserved at the front of a frame for the message header (tag,
+/// routing fields, causal stamp). The stamp is written in place inside
+/// this region — see `wsn_core::framelayout`.
+pub const FRAME_HEADER_BYTES: usize = 80;
+
+/// Maximum payload bytes a frame can carry after the header.
+pub const FRAME_PAYLOAD_CAPACITY: usize = FRAME_BYTES - FRAME_HEADER_BYTES;
+
+/// Why an encode or decode refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The value needs more bytes than the destination region offers.
+    Overflow {
+        /// Bytes the encoding requires.
+        needed: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+    /// The byte region ended before the named field was complete.
+    Truncated(&'static str),
+    /// An unknown discriminant tag was read.
+    BadTag(u8),
+    /// The value has no wire representation by design (e.g. an
+    /// accumulator that must never travel).
+    Unrepresentable(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Overflow { needed, capacity } => {
+                write!(
+                    out,
+                    "encoding needs {needed} bytes, only {capacity} available"
+                )
+            }
+            WireError::Truncated(field) => write!(out, "frame truncated reading {field}"),
+            WireError::BadTag(tag) => write!(out, "unknown frame tag {tag}"),
+            WireError::Unrepresentable(what) => {
+                write!(out, "{what} has no wire representation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A fixed-size wire frame: `FRAME_BYTES` of storage plus the number of
+/// bytes currently meaningful. Copying one is a flat memcpy.
+#[derive(Clone)]
+pub struct FrameBuf {
+    len: u16,
+    bytes: [u8; FRAME_BYTES],
+}
+
+impl Default for FrameBuf {
+    fn default() -> Self {
+        FrameBuf {
+            len: 0,
+            bytes: [0; FRAME_BYTES],
+        }
+    }
+}
+
+impl PartialEq for FrameBuf {
+    fn eq(&self, other: &Self) -> bool {
+        // Only the filled prefix is compared: recycled frames may carry
+        // stale bytes past `len`, which must not affect equality.
+        self.bytes() == other.bytes()
+    }
+}
+
+impl std::fmt::Debug for FrameBuf {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            out,
+            "FrameBuf {{ len: {}, tag: {} }}",
+            self.len, self.bytes[0]
+        )
+    }
+}
+
+impl Payload for FrameBuf {
+    /// A frame's kernel discriminant is its tag byte, so dispatch traces
+    /// of framed runs are byte-identical to their typed equivalents.
+    fn discriminant(&self) -> u64 {
+        u64::from(self.bytes[0])
+    }
+}
+
+impl FrameBuf {
+    /// A zeroed, empty frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently meaningful.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The filled prefix.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes[..self.len()]
+    }
+
+    /// The whole storage array (layout-offset writers use this).
+    pub fn storage(&self) -> &[u8; FRAME_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable whole storage.
+    pub fn storage_mut(&mut self) -> &mut [u8; FRAME_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Declares the filled length (after writing through
+    /// [`FrameBuf::storage_mut`]). Panics if `len > FRAME_BYTES`.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            len <= FRAME_BYTES,
+            "frame length {len} exceeds {FRAME_BYTES}"
+        );
+        self.len = len as u16;
+    }
+
+    /// Resets to empty without touching the storage (recycled frames are
+    /// overwritten field by field).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Writes `v` little-endian at `offset`.
+    pub fn put_u8(&mut self, offset: usize, v: u8) {
+        self.bytes[offset] = v;
+    }
+
+    /// Writes `v` little-endian at `offset`.
+    pub fn put_u16(&mut self, offset: usize, v: u16) {
+        self.bytes[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes `v` little-endian at `offset`.
+    pub fn put_u32(&mut self, offset: usize, v: u32) {
+        self.bytes[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes `v` little-endian at `offset`.
+    pub fn put_u64(&mut self, offset: usize, v: u64) {
+        self.bytes[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes `v` little-endian at `offset`.
+    pub fn put_f64(&mut self, offset: usize, v: f64) {
+        self.put_u64(offset, v.to_bits());
+    }
+
+    /// Reads the byte at `offset`.
+    pub fn get_u8(&self, offset: usize) -> u8 {
+        self.bytes[offset]
+    }
+
+    /// Reads a little-endian `u16` at `offset`.
+    pub fn get_u16(&self, offset: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[offset..offset + 2].try_into().expect("2 bytes"))
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    pub fn get_u32(&self, offset: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[offset..offset + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `u64` at `offset`.
+    pub fn get_u64(&self, offset: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `f64` at `offset`.
+    pub fn get_f64(&self, offset: usize) -> f64 {
+        f64::from_bits(self.get_u64(offset))
+    }
+
+    /// Encodes `payload` into the frame starting at offset 0 (the
+    /// payload-region convention used when a frame *is* the application
+    /// payload of a typed envelope).
+    pub fn encode_payload<P: WirePayload>(payload: &P) -> Result<FrameBuf, WireError> {
+        let mut frame = FrameBuf::new();
+        let written = payload.encode(&mut frame.bytes)?;
+        frame.set_len(written);
+        Ok(frame)
+    }
+
+    /// Decodes a payload previously written by [`FrameBuf::encode_payload`].
+    pub fn decode_payload<P: WirePayload>(&self) -> Result<P, WireError> {
+        P::decode(self.bytes())
+    }
+}
+
+/// A bounded little-endian wire encoding for an application payload.
+///
+/// Implementations must be *total* on decode over their own encodings
+/// (`decode(encode(x)) == x`) and must report [`WireError::Overflow`]
+/// rather than truncate. Values without a wire form (accumulators that
+/// never travel) return [`WireError::Unrepresentable`] — the certifier's
+/// `FL003` proves such values never reach a send site.
+pub trait WirePayload: Sized {
+    /// Exact encoded size of `self` in bytes.
+    fn encoded_bytes(&self) -> usize;
+
+    /// Writes `self` into the front of `out`, returning the bytes written.
+    fn encode(&self, out: &mut [u8]) -> Result<usize, WireError>;
+
+    /// Reads a value back from the front of `bytes`.
+    fn decode(bytes: &[u8]) -> Result<Self, WireError>;
+}
+
+impl WirePayload for f64 {
+    fn encoded_bytes(&self) -> usize {
+        8
+    }
+    fn encode(&self, out: &mut [u8]) -> Result<usize, WireError> {
+        if out.len() < 8 {
+            return Err(WireError::Overflow {
+                needed: 8,
+                capacity: out.len(),
+            });
+        }
+        out[..8].copy_from_slice(&self.to_bits().to_le_bytes());
+        Ok(8)
+    }
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 8 {
+            return Err(WireError::Truncated("f64"));
+        }
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes[..8].try_into().expect("8 bytes"),
+        )))
+    }
+}
+
+impl WirePayload for u64 {
+    fn encoded_bytes(&self) -> usize {
+        8
+    }
+    fn encode(&self, out: &mut [u8]) -> Result<usize, WireError> {
+        if out.len() < 8 {
+            return Err(WireError::Overflow {
+                needed: 8,
+                capacity: out.len(),
+            });
+        }
+        out[..8].copy_from_slice(&self.to_le_bytes());
+        Ok(8)
+    }
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 8 {
+            return Err(WireError::Truncated("u64"));
+        }
+        Ok(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")))
+    }
+}
+
+impl WirePayload for u32 {
+    fn encoded_bytes(&self) -> usize {
+        4
+    }
+    fn encode(&self, out: &mut [u8]) -> Result<usize, WireError> {
+        if out.len() < 4 {
+            return Err(WireError::Overflow {
+                needed: 4,
+                capacity: out.len(),
+            });
+        }
+        out[..4].copy_from_slice(&self.to_le_bytes());
+        Ok(4)
+    }
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < 4 {
+            return Err(WireError::Truncated("u32"));
+        }
+        Ok(u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")))
+    }
+}
+
+impl WirePayload for () {
+    fn encoded_bytes(&self) -> usize {
+        0
+    }
+    fn encode(&self, _out: &mut [u8]) -> Result<usize, WireError> {
+        Ok(0)
+    }
+    fn decode(_bytes: &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+/// A run-sized arena of reusable frames.
+///
+/// All storage is allocated once at construction (size it from the frame
+/// certificate's per-run message bound); [`FramePool::acquire`] and
+/// [`FramePool::release`] never touch the heap. The pool refuses to grow —
+/// exhausting it is a sizing bug the caller should surface, not paper over
+/// with a hidden allocation.
+pub struct FramePool {
+    free: Vec<FrameBuf>,
+    capacity: usize,
+}
+
+impl FramePool {
+    /// A pool of `frames` zeroed frames.
+    pub fn with_capacity(frames: usize) -> Self {
+        let mut free = Vec::with_capacity(frames);
+        free.resize_with(frames, FrameBuf::new);
+        FramePool {
+            free,
+            capacity: frames,
+        }
+    }
+
+    /// Total frames owned by the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently checked out.
+    pub fn in_use(&self) -> usize {
+        self.capacity - self.free.len()
+    }
+
+    /// Takes a frame out of the arena, or `None` when the run outgrew its
+    /// certified sizing.
+    pub fn acquire(&mut self) -> Option<FrameBuf> {
+        self.free.pop()
+    }
+
+    /// Returns a frame to the arena. The contents are kept as-is (frames
+    /// are overwritten field by field on reuse); only the length resets.
+    pub fn release(&mut self, mut frame: FrameBuf) {
+        assert!(
+            self.free.len() < self.capacity,
+            "released more frames than the pool owns"
+        );
+        frame.clear();
+        self.free.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_payloads_round_trip() {
+        for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            let frame = FrameBuf::encode_payload(&v).unwrap();
+            assert_eq!(frame.decode_payload::<f64>().unwrap(), v);
+            assert_eq!(frame.len(), 8);
+        }
+        let frame = FrameBuf::encode_payload(&0xDEAD_BEEFu32).unwrap();
+        assert_eq!(frame.decode_payload::<u32>().unwrap(), 0xDEAD_BEEF);
+        let frame = FrameBuf::encode_payload(&u64::MAX).unwrap();
+        assert_eq!(frame.decode_payload::<u64>().unwrap(), u64::MAX);
+        let frame = FrameBuf::encode_payload(&()).unwrap();
+        assert!(frame.is_empty());
+        frame.decode_payload::<()>().unwrap();
+    }
+
+    #[test]
+    fn fixed_offset_accessors_round_trip() {
+        let mut f = FrameBuf::new();
+        f.put_u8(0, 4);
+        f.put_u16(2, 0xBEEF);
+        f.put_u32(4, 77);
+        f.put_u64(48, u64::MAX - 3);
+        f.put_f64(56, -2.25);
+        assert_eq!(f.get_u8(0), 4);
+        assert_eq!(f.get_u16(2), 0xBEEF);
+        assert_eq!(f.get_u32(4), 77);
+        assert_eq!(f.get_u64(48), u64::MAX - 3);
+        assert_eq!(f.get_f64(56), -2.25);
+        assert_eq!(f.discriminant(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_stale_bytes_past_len() {
+        let mut a = FrameBuf::new();
+        a.put_u64(0, 42);
+        a.set_len(8);
+        let mut b = FrameBuf::new();
+        b.put_u64(0, 42);
+        b.put_u64(8, 999); // stale garbage past the fill
+        b.set_len(8);
+        assert_eq!(a, b);
+        b.set_len(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truncated_decode_refuses() {
+        let frame = FrameBuf::new();
+        assert_eq!(
+            frame.decode_payload::<f64>(),
+            Err(WireError::Truncated("f64"))
+        );
+    }
+
+    #[test]
+    fn pool_recycles_without_growth() {
+        let mut pool = FramePool::with_capacity(2);
+        assert_eq!(pool.capacity(), 2);
+        let a = pool.acquire().unwrap();
+        let mut b = pool.acquire().unwrap();
+        assert_eq!(pool.in_use(), 2);
+        assert!(pool.acquire().is_none(), "run-sized pool must not grow");
+        b.put_u64(0, 7);
+        b.set_len(8);
+        pool.release(b);
+        let b2 = pool.acquire().unwrap();
+        assert!(b2.is_empty(), "recycled frames come back empty");
+        pool.release(a);
+        pool.release(b2);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn header_region_leaves_certified_payload_capacity() {
+        assert_eq!(FRAME_BYTES, FRAME_HEADER_BYTES + FRAME_PAYLOAD_CAPACITY);
+        const { assert!(FRAME_HEADER_BYTES >= 64, "header must fit the RtMsg fields") };
+        assert_eq!(FRAME_BYTES % 8, 0, "frames stay 8-byte aligned");
+    }
+}

@@ -21,13 +21,16 @@
 //!   unicast/broadcast to radio neighbors through the simulation kernel,
 //!   with configurable latency, jitter, and loss;
 //! * [`fault`] — chaos injection: crashes, recoveries, link degradation,
-//!   partitions, delivery anomalies, and energy shocks on a schedule.
+//!   partitions, delivery anomalies, and energy shocks on a schedule;
+//! * [`frame`] — fixed-size wire frames, bounded payload encodings, and
+//!   the run-sized frame arena behind the certified zero-copy hot path.
 
 #![forbid(unsafe_code)]
 
 pub mod deployment;
 pub mod energy;
 pub mod fault;
+pub mod frame;
 pub mod geometry;
 pub mod graph;
 pub mod medium;
@@ -37,6 +40,10 @@ pub mod terrain;
 pub use deployment::{Deployment, DeploymentSpec, Placement};
 pub use energy::{EnergyKind, EnergyLedger, EnergySnapshot};
 pub use fault::{ChaosError, ChaosEvent, ChaosPlan, FaultKind, FaultPlan};
+pub use frame::{
+    FrameBuf, FramePool, WireError, WirePayload, FRAME_BYTES, FRAME_HEADER_BYTES,
+    FRAME_PAYLOAD_CAPACITY,
+};
 pub use geometry::{Point, Rect};
 pub use graph::UnitDiskGraph;
 pub use medium::{DeliveryChaos, LinkModel, MacModel, Medium, SharedMedium};

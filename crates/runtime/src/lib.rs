@@ -33,6 +33,7 @@
 pub mod messages;
 pub mod node;
 pub mod runner;
+pub mod wire;
 
 #[cfg(test)]
 mod arq_tests;
@@ -44,4 +45,8 @@ pub use node::{
 pub use runner::{
     AppReport, BindReport, ChaosMissionReport, MissionConfig, MissionReport, ParallelConfig,
     PhysicalRuntime, SelfHealConfig, TopoReport,
+};
+pub use wire::{
+    decode_framed, decode_rtmsg, encode_rtmsg, frame_stamp, is_stamped_tag, set_frame_stamp,
+    FramedProgram,
 };

@@ -328,6 +328,16 @@ impl<P: Clone + 'static> RtNode<P> {
         }
     }
 
+    /// Drops the per-round deduplication state (application and ARQ
+    /// `seen` sets) while keeping leadership, routes, and the spanning
+    /// tree intact. `clear` retains each set's capacity, so a
+    /// steady-state loop that prunes between rounds re-inserts into
+    /// already-sized tables — the no-alloc gate's maintenance hook.
+    pub fn prune_dedup_state(&mut self) {
+        self.app_seen.clear();
+        self.seen_arq.clear();
+    }
+
     /// Clears all protocol-derived state (routing table, election,
     /// spanning tree) so the protocols can re-run after churn. Energy
     /// already spent stays spent.

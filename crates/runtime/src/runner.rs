@@ -30,8 +30,8 @@ use wsn_core::{
     CTR_MESSAGES,
 };
 use wsn_net::{
-    ChaosError, ChaosPlan, Deployment, EnergyLedger, LinkModel, Medium, RadioModel, SharedMedium,
-    UnitDiskGraph,
+    ChaosError, ChaosPlan, Deployment, EnergyKind, EnergyLedger, LinkModel, Medium, RadioModel,
+    SharedMedium, UnitDiskGraph,
 };
 use wsn_obs::{
     FixedHistogram, NodeSnapshot, Registry, SpanNode, SpanRecorder, TraceDocument, TraceMeta,
@@ -236,6 +236,13 @@ pub struct PhysicalRuntime<P: Clone + 'static> {
     /// Causal event log shared with the medium and every node; `None`
     /// unless [`PhysicalRuntime::enable_causal_tracing`] was called.
     causal: Option<SharedCausalLog>,
+    /// Reusable per-node transmit-energy scratch for the application
+    /// phase's telemetry delta — indexed ledger reads instead of a fresh
+    /// [`wsn_net::EnergySnapshot`] vector per run.
+    tx_scratch: Vec<f64>,
+    /// Reusable per-cell leader scratch for the self-heal loop — the
+    /// steady-state hot path must not allocate per epoch.
+    leader_scratch: Vec<Option<usize>>,
 }
 
 impl<P: Clone + 'static> PhysicalRuntime<P> {
@@ -314,6 +321,8 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             telemetry: Registry::disabled(),
             spans: SpanRecorder::new(),
             causal: None,
+            tx_scratch: Vec::new(),
+            leader_scratch: Vec::new(),
         }
     }
 
@@ -784,12 +793,16 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let h0 = self.kernel.stats().counter("rt.app_hops");
         let r0 = self.kernel.stats().counter("rt.arq_retx");
         let u0 = self.kernel.stats().counter("rt.data_units");
-        let tx_before: Vec<f64> = if self.telemetry.is_enabled() {
+        // Indexed ledger reads into a struct-held scratch: the hot path
+        // must not materialize an `EnergySnapshot` vector per run.
+        let mut tx_before = std::mem::take(&mut self.tx_scratch);
+        tx_before.clear();
+        if self.telemetry.is_enabled() {
             let medium = self.medium.borrow();
-            medium.ledger().snapshot().iter().map(|s| s.tx).collect()
-        } else {
-            Vec::new()
-        };
+            let ledger = medium.ledger();
+            tx_before
+                .extend((0..ledger.node_count()).map(|n| ledger.consumed_kind(n, EnergyKind::Tx)));
+        }
         self.span_open("application");
         for &a in &self.actors {
             self.kernel.schedule_timer(start, a, TAG_APP);
@@ -828,6 +841,7 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         self.telemetry
             .incr_by("phase.app.exfiltrations", report.exfil_count as u64);
         self.record_app_tx_by_class(&tx_before);
+        self.tx_scratch = tx_before;
         report
     }
 
@@ -845,9 +859,11 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let hierarchy = wsn_core::Hierarchy::new(self.grid.side());
         let mut by_class = vec![0.0f64; usize::from(hierarchy.max_level()) + 1];
         let medium = self.medium.borrow();
-        for snap in medium.ledger().snapshot() {
-            let delta = snap.tx - tx_before.get(snap.node).copied().unwrap_or(0.0);
-            let cell = self.deployment.cell_of_node(snap.node);
+        let ledger = medium.ledger();
+        for node in 0..ledger.node_count() {
+            let delta = ledger.consumed_kind(node, EnergyKind::Tx)
+                - tx_before.get(node).copied().unwrap_or(0.0);
+            let cell = self.deployment.cell_of_node(node);
             let class = hierarchy.highest_leader_level(GridCoord::new(cell.col, cell.row));
             by_class[usize::from(class)] += delta;
         }
@@ -1051,9 +1067,14 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// run out — the self-healing loop's trigger signal.
     pub fn expired_leases(&self) -> usize {
         let now = self.kernel.now();
-        self.live_nodes()
-            .iter()
-            .filter(|&&i| {
+        // Index scan, not a `live_nodes()` vector: this runs once per
+        // chaos epoch and must stay off the allocator.
+        let medium = self.medium.borrow();
+        (0..self.deployment.node_count())
+            .filter(|&i| {
+                if !medium.is_alive(i) {
+                    return false;
+                }
                 let node = self.node(i);
                 node.phase == crate::node::Phase::App
                     && !node.ldr
@@ -1077,6 +1098,28 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         run
     }
 
+    /// Prunes every node's per-round deduplication sets (capacity
+    /// retained — see [`RtNode::prune_dedup_state`]). Steady-state
+    /// drivers call this between measured rounds so the dedup tables
+    /// stop growing; paired with [`PhysicalRuntime::clear_exfiltrated`]
+    /// it keeps a long-running hot loop off the allocator.
+    pub fn prune_dedup_state(&mut self) {
+        for &a in &self.actors {
+            if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
+                node.prune_dedup_state();
+            }
+        }
+    }
+
+    /// Clears the exfiltration buffer *in place* (capacity retained) and
+    /// resets the per-run cursor — the steady-state counterpart of
+    /// [`PhysicalRuntime::take_exfiltrated`], which swaps in a fresh
+    /// (capacity-zero) vector.
+    pub fn clear_exfiltrated(&mut self) {
+        self.exfil_seen = 0;
+        self.shared.exfil.borrow_mut().clear();
+    }
+
     fn bump_app_round(&mut self) {
         for &a in &self.actors {
             if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
@@ -1085,8 +1128,13 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         }
     }
 
-    fn current_leaders(&self) -> HashMap<GridCoord, Option<usize>> {
-        self.grid.nodes().map(|c| (c, self.leader_of(c))).collect()
+    /// Fills `out` with the current leader of every cell, in the grid's
+    /// canonical iteration order. Reuses the caller's buffer so the
+    /// self-heal loop holds one scratch instead of building a map per
+    /// heal.
+    fn collect_leaders(&self, out: &mut Vec<Option<usize>>) {
+        out.clear();
+        out.extend(self.grid.nodes().map(|c| self.leader_of(c)));
     }
 
     /// One self-heal: reset protocol state, bump the application round
@@ -1095,7 +1143,8 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// programs on the (possibly new) leaders, and restart the
     /// application. Returns the number of cells whose leader changed.
     fn heal(&mut self, cfg: &SelfHealConfig) -> u64 {
-        let before = self.current_leaders();
+        let mut before = std::mem::take(&mut self.leader_scratch);
+        self.collect_leaders(&mut before);
         for &a in &self.actors {
             if let Some(node) = self.kernel.actor_mut::<RtNode<P>>(a) {
                 node.reset_protocols();
@@ -1114,11 +1163,16 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         for &a in &self.actors {
             self.kernel.schedule_timer(now, a, TAG_APP);
         }
-        let after = self.current_leaders();
-        before
-            .iter()
-            .filter(|(cell, old)| after.get(cell) != Some(old))
-            .count() as u64
+        // Compare in place: `collect_leaders` walks the grid in the same
+        // canonical order both times.
+        let changed = self
+            .grid
+            .nodes()
+            .zip(before.iter())
+            .filter(|(cell, old)| self.leader_of(*cell) != **old)
+            .count() as u64;
+        self.leader_scratch = before;
+        changed
     }
 
     /// Runs the application under chaos with automatic self-healing: the
@@ -1258,6 +1312,13 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// Current simulated time (accumulates across phases).
     pub fn now(&self) -> SimTime {
         self.kernel.now()
+    }
+
+    /// Kernel events dispatched across every phase so far — the
+    /// denominator of per-event cost metrics (allocations per event,
+    /// nanoseconds per event).
+    pub fn events_total(&self) -> u64 {
+        self.events_total
     }
 }
 

@@ -169,6 +169,10 @@ pub struct Kernel<M: Payload> {
     pub(crate) tracer: Tracer,
     pub(crate) metrics: bool,
     pub(crate) started: bool,
+    /// Dispatch staging buffer, held on the struct so repeated runs on a
+    /// warm kernel reuse its capacity instead of allocating a fresh
+    /// outbox per run (the no-alloc gate measures exactly this path).
+    outbox_scratch: Vec<(SimTime, ActorId, EventKind<M>)>,
 }
 
 impl<M: Payload> Kernel<M> {
@@ -184,6 +188,7 @@ impl<M: Payload> Kernel<M> {
             tracer: Tracer::disabled(),
             metrics: false,
             started: false,
+            outbox_scratch: Vec::new(),
         }
     }
 
@@ -311,7 +316,8 @@ impl<M: Payload> Kernel<M> {
 
     /// Runs `on_start` for one actor and flushes anything it scheduled.
     fn start_actor(&mut self, id: ActorId) {
-        let mut outbox = Vec::new();
+        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+        outbox.clear();
         let mut stop = false;
         let mut actor = self.actors[id].take().expect("actor re-entered");
         {
@@ -330,6 +336,7 @@ impl<M: Payload> Kernel<M> {
         for (time, target, kind) in outbox.drain(..) {
             self.queue.push_from(self.now, time, target, kind);
         }
+        self.outbox_scratch = outbox;
     }
 
     /// Runs until the queue drains. Panics if one billion events pass
@@ -358,12 +365,13 @@ impl<M: Payload> Kernel<M> {
     ) -> RunReport {
         self.start_actors();
         let mut processed = 0u64;
-        let mut outbox: Vec<(SimTime, ActorId, EventKind<M>)> = Vec::new();
+        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+        outbox.clear();
         let mut stop = false;
-        loop {
+        let report = loop {
             if let Some(budget) = max_events {
                 if processed >= budget {
-                    return RunReport {
+                    break RunReport {
                         events_processed: processed,
                         end_time: self.now,
                         stop: StopReason::EventLimit,
@@ -371,7 +379,7 @@ impl<M: Payload> Kernel<M> {
                 }
             }
             let Some(next_time) = self.queue.peek_time() else {
-                return RunReport {
+                break RunReport {
                     events_processed: processed,
                     end_time: self.now,
                     stop: StopReason::QueueEmpty,
@@ -380,7 +388,7 @@ impl<M: Payload> Kernel<M> {
             if let Some(horizon) = until {
                 if next_time > horizon {
                     self.now = horizon;
-                    return RunReport {
+                    break RunReport {
                         events_processed: processed,
                         end_time: self.now,
                         stop: StopReason::TimeLimit,
@@ -438,13 +446,15 @@ impl<M: Payload> Kernel<M> {
                 self.queue.push_from(self.now, time, target, kind);
             }
             if stop {
-                return RunReport {
+                break RunReport {
                     events_processed: processed,
                     end_time: self.now,
                     stop: StopReason::Stopped,
                 };
             }
-        }
+        };
+        self.outbox_scratch = outbox;
+        report
     }
 }
 

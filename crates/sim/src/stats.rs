@@ -25,8 +25,18 @@ impl Stats {
     }
 
     /// Adds `delta` to the counter `key` (creating it at zero).
+    ///
+    /// The fast path is allocation-free: a counter that already exists is
+    /// bumped through `get_mut` without cloning the key, so per-event
+    /// counters settle after their first touch and stay off the heap —
+    /// the invariant the no-alloc gate (`wsn-lint --alloc-gate`) measures.
     pub fn add(&mut self, key: &str, delta: u64) {
-        *self.counters.entry(key.to_owned()).or_insert(0) += delta;
+        match self.counters.get_mut(key) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(key.to_owned(), delta);
+            }
+        }
     }
 
     /// Increments the counter `key` by one.
@@ -39,9 +49,15 @@ impl Stats {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
-    /// Sets the gauge `key` to `value`.
+    /// Sets the gauge `key` to `value`. Allocation-free once the gauge
+    /// exists, like [`Stats::add`].
     pub fn set_gauge(&mut self, key: &str, value: f64) {
-        self.gauges.insert(key.to_owned(), value);
+        match self.gauges.get_mut(key) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(key.to_owned(), value);
+            }
+        }
     }
 
     /// Current value of gauge `key`.
@@ -49,12 +65,18 @@ impl Stats {
         self.gauges.get(key).copied()
     }
 
-    /// Records `value` into the histogram `key`.
+    /// Records `value` into the histogram `key`. The key lookup is
+    /// allocation-free once the histogram exists; the record itself
+    /// appends to the sample vector (amortized growth).
     pub fn observe(&mut self, key: &str, value: f64) {
-        self.histograms
-            .entry(key.to_owned())
-            .or_default()
-            .record(value);
+        match self.histograms.get_mut(key) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                self.histograms.insert(key.to_owned(), h);
+            }
+        }
     }
 
     /// The histogram `key`, if any value was ever observed.
@@ -62,12 +84,17 @@ impl Stats {
         self.histograms.get(key)
     }
 
-    /// Appends `(tick, value)` to the time series `key`.
+    /// Appends `(tick, value)` to the time series `key`. The key lookup
+    /// is allocation-free once the series exists.
     pub fn sample(&mut self, key: &str, tick: u64, value: f64) {
-        self.series
-            .entry(key.to_owned())
-            .or_default()
-            .push(tick, value);
+        match self.series.get_mut(key) {
+            Some(s) => s.push(tick, value),
+            None => {
+                let mut s = TimeSeries::default();
+                s.push(tick, value);
+                self.series.insert(key.to_owned(), s);
+            }
+        }
     }
 
     /// The time series `key`, if any sample was recorded.

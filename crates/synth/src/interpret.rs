@@ -55,6 +55,52 @@ pub struct SummaryMsg<D> {
     pub data: D,
 }
 
+/// Fixed wire size of the `SummaryMsg` header: sender cell (two `u32`s),
+/// merge level, and padding to an 8-byte boundary for the data section.
+pub const SUMMARY_MSG_HEADER_BYTES: usize = 16;
+
+/// A summary message encodes as its 16-byte header followed by the wire
+/// form of its data — the first term of the certified
+/// `summary_wire_bound_bytes` accounting. The data type supplies the
+/// rest, so the bounded-payload property composes: `SummaryMsg<D>` fits
+/// the frame whenever `D` does with 16 bytes to spare.
+impl<D: wsn_core::framelayout::WirePayload> wsn_core::framelayout::WirePayload for SummaryMsg<D> {
+    fn encoded_bytes(&self) -> usize {
+        SUMMARY_MSG_HEADER_BYTES + self.data.encoded_bytes()
+    }
+
+    fn encode(&self, out: &mut [u8]) -> Result<usize, wsn_core::framelayout::WireError> {
+        if out.len() < SUMMARY_MSG_HEADER_BYTES {
+            return Err(wsn_core::framelayout::WireError::Overflow {
+                needed: self.encoded_bytes(),
+                capacity: out.len(),
+            });
+        }
+        out[0..4].copy_from_slice(&self.sender.col.to_le_bytes());
+        out[4..8].copy_from_slice(&self.sender.row.to_le_bytes());
+        out[8] = self.level;
+        out[9..SUMMARY_MSG_HEADER_BYTES].fill(0);
+        let data = self.data.encode(&mut out[SUMMARY_MSG_HEADER_BYTES..])?;
+        Ok(SUMMARY_MSG_HEADER_BYTES + data)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, wsn_core::framelayout::WireError> {
+        if bytes.len() < SUMMARY_MSG_HEADER_BYTES {
+            return Err(wsn_core::framelayout::WireError::Truncated(
+                "summary-message header",
+            ));
+        }
+        Ok(SummaryMsg {
+            sender: GridCoord::new(
+                u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+                u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            ),
+            level: bytes[8],
+            data: D::decode(&bytes[SUMMARY_MSG_HEADER_BYTES..])?,
+        })
+    }
+}
+
 /// A node executing a synthesized program under the given semantics.
 pub struct SynthesizedNode<S: SummarySemantics> {
     program: Rc<GuardedProgram>,

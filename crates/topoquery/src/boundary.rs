@@ -187,6 +187,46 @@ impl BoundarySummary {
         &self.open_areas
     }
 
+    /// Class of each border cell, clockwise from the NW corner (`None` =
+    /// not a feature cell) — the border walk the wire codec serializes.
+    pub fn border(&self) -> &[Option<u32>] {
+        &self.border
+    }
+
+    /// Reassembles a summary from its wire-decoded parts. The parts must
+    /// come from [`Self::border`]/[`Self::open_areas`]/[`Self::closed_areas`]
+    /// of a canonical summary — the constructor checks the structural
+    /// invariants (border length matches the perimeter, class ids index
+    /// `open_areas`) and panics otherwise, so a corrupted frame fails loud
+    /// rather than yielding a silently wrong summary.
+    pub fn from_wire_parts(
+        origin: GridCoord,
+        side: u32,
+        border: Vec<Option<u32>>,
+        open_areas: Vec<u64>,
+        closed_areas: Vec<u64>,
+    ) -> Self {
+        assert_eq!(
+            border.len(),
+            perimeter_cells(side).len(),
+            "border walk length does not match the extent perimeter"
+        );
+        assert!(
+            border
+                .iter()
+                .flatten()
+                .all(|&class| (class as usize) < open_areas.len()),
+            "border class id out of range"
+        );
+        BoundarySummary {
+            origin,
+            side,
+            border,
+            open_areas,
+            closed_areas,
+        }
+    }
+
     /// Total regions this summary accounts for, treating each open class
     /// as one region — exact at the root (where nothing lies outside) and
     /// a lower-bound elsewhere.

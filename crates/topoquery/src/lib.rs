@@ -7,8 +7,10 @@
 //! (native and synthesized) with virtual-machine and physical drivers
 //! ([`dandc`]), the centralized baseline ([`centralized`]), the
 //! topographic queries answerable from the aggregated result
-//! ([`queries`]), and the differential chaos fuzzer that checks the
-//! self-healing runtime against the centralized oracle ([`chaos`]).
+//! ([`queries`]), the differential chaos fuzzer that checks the
+//! self-healing runtime against the centralized oracle ([`chaos`]), and
+//! the bounded frame encoding of the summary messages ([`wirecodec`])
+//! behind the certified zero-copy hot path.
 
 #![forbid(unsafe_code)]
 
@@ -21,6 +23,7 @@ pub mod merge;
 pub mod queries;
 pub mod regions;
 pub mod viz;
+pub mod wirecodec;
 
 pub use boundary::{merge_four, BoundarySummary};
 pub use centralized::{

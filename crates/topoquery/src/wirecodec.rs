@@ -1,0 +1,244 @@
+//! Wire encoding of region summaries onto the certified fixed frame.
+//!
+//! [`DandcMsg`](crate::DandcMsg) (`SummaryMsg<RegionSummary>`) is the
+//! only variable-size
+//! payload the case study puts on the air, so it is the payload the
+//! frame-layout certifier's byte bounds are about:
+//! `wsn_core::summary_wire_bound_bytes(s)` is exactly the worst case of
+//! this encoding over an `s × s` extent. `SummaryMsg` contributes its
+//! 16-byte header (implemented in `wsn-synth`, where the type lives);
+//! this module supplies the [`RegionSummary`] section, mirroring the
+//! bound's remaining terms:
+//!
+//! * 24-byte boundary header — region kind, origin cell, extent side,
+//!   three section lengths;
+//! * 4 bytes per border cell (class id, `u32::MAX` = not a feature cell);
+//! * 8 bytes per open class area;
+//! * 8 bytes per closed region area.
+//!
+//! Only [`RegionSummary::Complete`] travels: `Partial` is a leader-local
+//! accumulator that never reaches a send site (the certifier proves this
+//! — diagnostic `FL003` otherwise), so encoding one is a
+//! [`WireError::Unrepresentable`].
+
+use crate::boundary::BoundarySummary;
+use crate::merge::RegionSummary;
+use wsn_core::GridCoord;
+use wsn_net::{WireError, WirePayload};
+
+const BOUNDARY_HEADER_BYTES: usize = 24;
+/// Border entry sentinel for "not a feature cell".
+const NO_CLASS: u32 = u32::MAX;
+/// Region kind byte: a complete (mergeable) summary.
+const KIND_COMPLETE: u8 = 1;
+
+fn put_u32(out: &mut [u8], offset: usize, value: u32) {
+    out[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+fn put_u16(out: &mut [u8], offset: usize, value: u16) {
+    out[offset..offset + 2].copy_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(out: &mut [u8], offset: usize, value: u64) {
+    out[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+fn get_u32(bytes: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap())
+}
+
+fn get_u16(bytes: &[u8], offset: usize) -> u16 {
+    u16::from_le_bytes(bytes[offset..offset + 2].try_into().unwrap())
+}
+
+fn get_u64(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap())
+}
+
+/// Exact wire size of a complete summary's section.
+fn boundary_bytes(summary: &BoundarySummary) -> usize {
+    BOUNDARY_HEADER_BYTES
+        + summary.border().len() * 4
+        + (summary.open_areas().len() + summary.closed_areas().len()) * 8
+}
+
+impl WirePayload for RegionSummary {
+    fn encoded_bytes(&self) -> usize {
+        match self {
+            RegionSummary::Complete(s) => boundary_bytes(s),
+            // Unencodable; encode() refuses before sizing matters.
+            RegionSummary::Partial(_) => BOUNDARY_HEADER_BYTES,
+        }
+    }
+
+    fn encode(&self, out: &mut [u8]) -> Result<usize, WireError> {
+        let summary = match self {
+            RegionSummary::Complete(s) => s,
+            RegionSummary::Partial(_) => {
+                return Err(WireError::Unrepresentable(
+                    "RegionSummary::Partial is a leader-local accumulator with no wire form",
+                ))
+            }
+        };
+        let needed = boundary_bytes(summary);
+        if out.len() < needed {
+            return Err(WireError::Overflow {
+                needed,
+                capacity: out.len(),
+            });
+        }
+        out[..BOUNDARY_HEADER_BYTES].fill(0);
+        out[0] = KIND_COMPLETE;
+        put_u32(out, 4, summary.origin.col);
+        put_u32(out, 8, summary.origin.row);
+        put_u32(out, 12, summary.side);
+        put_u16(out, 16, summary.border().len() as u16);
+        put_u16(out, 18, summary.open_areas().len() as u16);
+        put_u16(out, 20, summary.closed_areas().len() as u16);
+        let mut at = BOUNDARY_HEADER_BYTES;
+        for entry in summary.border() {
+            put_u32(out, at, entry.unwrap_or(NO_CLASS));
+            at += 4;
+        }
+        for &area in summary.open_areas() {
+            put_u64(out, at, area);
+            at += 8;
+        }
+        for &area in summary.closed_areas() {
+            put_u64(out, at, area);
+            at += 8;
+        }
+        debug_assert_eq!(at, needed);
+        Ok(needed)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < BOUNDARY_HEADER_BYTES {
+            return Err(WireError::Truncated("boundary header"));
+        }
+        if bytes[0] != KIND_COMPLETE {
+            return Err(WireError::Unrepresentable("unknown region-summary kind"));
+        }
+        let origin = GridCoord::new(get_u32(bytes, 4), get_u32(bytes, 8));
+        let side = get_u32(bytes, 12);
+        let border_len = usize::from(get_u16(bytes, 16));
+        let open_len = usize::from(get_u16(bytes, 18));
+        let closed_len = usize::from(get_u16(bytes, 20));
+        let needed = BOUNDARY_HEADER_BYTES + border_len * 4 + (open_len + closed_len) * 8;
+        if bytes.len() < needed {
+            return Err(WireError::Truncated("boundary sections"));
+        }
+        let mut at = BOUNDARY_HEADER_BYTES;
+        let mut border = Vec::with_capacity(border_len);
+        for _ in 0..border_len {
+            let raw = get_u32(bytes, at);
+            border.push((raw != NO_CLASS).then_some(raw));
+            at += 4;
+        }
+        let mut open_areas = Vec::with_capacity(open_len);
+        for _ in 0..open_len {
+            open_areas.push(get_u64(bytes, at));
+            at += 8;
+        }
+        let mut closed_areas = Vec::with_capacity(closed_len);
+        for _ in 0..closed_len {
+            closed_areas.push(get_u64(bytes, at));
+            at += 8;
+        }
+        Ok(RegionSummary::Complete(BoundarySummary::from_wire_parts(
+            origin,
+            side,
+            border,
+            open_areas,
+            closed_areas,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dandc::DandcMsg;
+    use crate::field::{Field, FieldSpec};
+    use wsn_core::summary_wire_bound_bytes;
+    use wsn_synth::SummaryMsg;
+
+    fn map_summary(side: u32, seed: u64) -> BoundarySummary {
+        let map = Field::generate(
+            FieldSpec::RandomCells {
+                p: 0.45,
+                hot: 10.0,
+                cold: 0.0,
+            },
+            side,
+            seed,
+        )
+        .threshold(5.0);
+        BoundarySummary::from_feature_map(&map, GridCoord::new(0, 0), side)
+    }
+
+    fn msg(summary: BoundarySummary, level: u8) -> DandcMsg {
+        SummaryMsg {
+            sender: GridCoord::new(1, 2),
+            level,
+            data: RegionSummary::Complete(summary),
+        }
+    }
+
+    #[test]
+    fn summaries_round_trip_and_respect_the_certified_bound() {
+        for side in [1u32, 2, 4, 8, 16] {
+            for seed in 0..4 {
+                let m = msg(map_summary(side, seed), side.trailing_zeros() as u8);
+                let mut buf = vec![0u8; m.encoded_bytes()];
+                let written = m.encode(&mut buf).unwrap();
+                assert_eq!(written, m.encoded_bytes());
+                assert!(
+                    written as u64 <= summary_wire_bound_bytes(side),
+                    "side {side} seed {seed}: {written} bytes exceeds the closed-form bound"
+                );
+                assert_eq!(DandcMsg::decode(&buf).unwrap(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_summaries_have_no_wire_form() {
+        let m = SummaryMsg {
+            sender: GridCoord::new(0, 0),
+            level: 1,
+            data: RegionSummary::Partial(vec![map_summary(2, 0)]),
+        };
+        let mut buf = vec![0u8; 256];
+        assert!(matches!(
+            m.encode(&mut buf),
+            Err(WireError::Unrepresentable(_))
+        ));
+    }
+
+    #[test]
+    fn undersized_buffers_and_truncated_bytes_refuse() {
+        let m = msg(map_summary(4, 7), 2);
+        let mut small = vec![0u8; m.encoded_bytes() - 1];
+        assert!(matches!(
+            m.encode(&mut small),
+            Err(WireError::Overflow { .. })
+        ));
+        let mut buf = vec![0u8; m.encoded_bytes()];
+        m.encode(&mut buf).unwrap();
+        assert!(matches!(
+            DandcMsg::decode(&buf[..buf.len() - 1]),
+            Err(WireError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn whole_messages_fit_the_frame_at_certified_sides() {
+        use wsn_net::FrameBuf;
+        let m = msg(map_summary(16, 3), 4);
+        let frame = FrameBuf::encode_payload(&m).unwrap();
+        let back: DandcMsg = frame.decode_payload().unwrap();
+        assert_eq!(back, m);
+    }
+}
