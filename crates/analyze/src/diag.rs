@@ -104,6 +104,7 @@ pub enum Code {
     TC007,
     TC008,
     TC009,
+    TC010,
 }
 
 impl Code {
@@ -161,6 +162,7 @@ impl Code {
             Code::TC007 => "trace metadata incompatible with the certificate's config",
             Code::TC008 => "critical path disagrees with the span or certified latency",
             Code::TC009 => "observed cross-shard delivery off the certified boundary edge set",
+            Code::TC010 => "per-shard telemetry fails to reconcile with the certified totals",
         }
     }
 
@@ -172,7 +174,7 @@ impl Code {
             RD003, RD004, GM001, GM002, GM003, GM004, GM005, DL001, DL002, CB001, CB002, CB003,
             CB004, CC001, CC002, CC003, CC004, CC005, SI001, SI002, SI003, SI004, FL001, FL002,
             FL003, FL004, FL005, AL001, AL002, AL003, TC001, TC002, TC003, TC004, TC005, TC006,
-            TC007, TC008, TC009,
+            TC007, TC008, TC009, TC010,
         ]
     }
 }
@@ -556,6 +558,6 @@ mod tests {
         for &c in Code::all() {
             assert!(!c.description().is_empty(), "{c}");
         }
-        assert_eq!(Code::all().len(), 51);
+        assert_eq!(Code::all().len(), 52);
     }
 }

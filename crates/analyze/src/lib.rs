@@ -74,8 +74,8 @@ pub use model_json::{program_from_json, program_to_json, PROGRAM_SCHEMA_VERSION}
 pub use opt::{optimize_program, AbsVal, OptFacts};
 pub use reach::{check_dynamics, explore, explore_with_levels, ReachConfig, ReachReport};
 pub use shard::{
-    analyze_shards, check_shard_conformance, shard_cert_from_json, shard_cert_to_json,
-    ShardCertificate, SHARD_CERT_SCHEMA_VERSION,
+    analyze_shards, check_shard_accounting, check_shard_conformance, shard_cert_from_json,
+    shard_cert_to_json, ShardCertificate, SHARD_CERT_SCHEMA_VERSION,
 };
 pub use sym::Sym;
 pub use verified::{render_figure4_checked, synthesize_checked, CheckedError, Enforcement};

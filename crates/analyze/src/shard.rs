@@ -639,6 +639,156 @@ pub fn check_shard_conformance(cert: &ShardCertificate, doc: &TraceDocument) -> 
     diags
 }
 
+/// `TC010`: reconciles a trace's per-shard telemetry (the
+/// `shard=`-labeled counters the sharded runtime publishes) against the
+/// [`ShardCertificate`] and the kernel's own independent totals:
+///
+/// 1. the telemetry covers exactly the certificate's shard count;
+/// 2. the per-shard event counters (including the global pseudo-shard)
+///    sum to `shard.events.total`, the kernel's own dispatch count for
+///    the same runs — an undercounting or double-counting tap anywhere
+///    in the per-shard accounting breaks this exactly;
+/// 3. cross-shard events staged and applied balance;
+/// 4. the observed cross-shard event total lies inside the certified
+///    envelope `[cross_shard_messages, total_messages]`: every certified
+///    boundary merge (`Σ 3k(s/2^l)²` above the cut) crosses at least
+///    once, query dissemination may add more, and no conforming run can
+///    cross more often than the certified message total.
+///
+/// Refuses — with an error, so gates trip — when the trace carries no
+/// per-shard telemetry at all.
+pub fn check_shard_accounting(cert: &ShardCertificate, doc: &TraceDocument) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if let Some(meta) = &doc.meta {
+        if meta.grid != u64::from(cert.side) {
+            diags.push(Diagnostic::error(
+                Code::TC007,
+                Span::Program,
+                format!(
+                    "trace records a side-{} grid but the shard certificate covers side {}",
+                    meta.grid, cert.side
+                ),
+            ));
+            diags.sort();
+            return diags;
+        }
+    }
+    let counter = |name: &str| {
+        doc.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    };
+    let Some(total) = counter("shard.events.total") else {
+        diags.push(
+            Diagnostic::error(
+                Code::TC010,
+                Span::Program,
+                "trace has no per-shard telemetry (no shard.events.total counter); the \
+                 accounting cannot be reconciled"
+                    .to_owned(),
+            )
+            .with_suggestion(
+                "record the trace from a sharded run with telemetry enabled and the shard \
+                 registry absorbed",
+            ),
+        );
+        diags.sort();
+        return diags;
+    };
+    let shard_series =
+        |metric: &str, shard: &str| counter(&wsn_obs::labeled(metric, &[("shard", shard)]));
+    if let Some(count) = doc
+        .gauges
+        .iter()
+        .find(|(k, _)| k == "shard.count")
+        .map(|&(_, v)| v)
+    {
+        if count != f64::from(cert.shard_count) {
+            diags.push(Diagnostic::error(
+                Code::TC010,
+                Span::Program,
+                format!(
+                    "trace telemetry covers {count} shards but the certificate's cut-{} plan \
+                     has {}",
+                    cert.cut_level, cert.shard_count
+                ),
+            ));
+            diags.sort();
+            return diags;
+        }
+    }
+    let mut events_sum = 0u64;
+    let mut staged_sum = 0u64;
+    let mut applied_sum = 0u64;
+    for shard in 0..cert.shard_count {
+        let label = shard.to_string();
+        match shard_series("shard.events", &label) {
+            Some(v) => events_sum += v,
+            None => diags.push(Diagnostic::error(
+                Code::TC010,
+                Span::Program,
+                format!("trace telemetry has no shard.events series for shard {shard}"),
+            )),
+        }
+        staged_sum += shard_series("shard.cross.staged", &label).unwrap_or(0);
+        applied_sum += shard_series("shard.cross.applied", &label).unwrap_or(0);
+    }
+    events_sum += shard_series("shard.events", "global").unwrap_or(0);
+    if diags.has_errors() {
+        diags.sort();
+        return diags;
+    }
+    if events_sum != total {
+        diags.push(
+            Diagnostic::error(
+                Code::TC010,
+                Span::Program,
+                format!(
+                    "per-shard event counters sum to {events_sum} but the kernel dispatched \
+                     {total} events in the same runs"
+                ),
+            )
+            .with_suggestion(
+                "some dispatches were counted on no shard (undercount) or on several \
+                 (double count); the per-shard accounting arrays are corrupted",
+            ),
+        );
+    }
+    if staged_sum != applied_sum {
+        diags.push(Diagnostic::error(
+            Code::TC010,
+            Span::Program,
+            format!(
+                "cross-shard events do not balance: {staged_sum} staged but {applied_sum} \
+                 applied"
+            ),
+        ));
+    }
+    if applied_sum < cert.cross_shard_messages || applied_sum > cert.total_messages {
+        diags.push(
+            Diagnostic::error(
+                Code::TC010,
+                Span::Program,
+                format!(
+                    "observed {applied_sum} cross-shard events, outside the certified \
+                     envelope [{}, {}] ({} boundary merges, {} total messages)",
+                    cert.cross_shard_messages,
+                    cert.total_messages,
+                    cert.symbolic,
+                    cert.total_messages
+                ),
+            )
+            .with_suggestion(
+                "either traffic leaks across the cut beyond the certified workload or \
+                 certified boundary merges never crossed",
+            ),
+        );
+    }
+    diags.sort();
+    diags
+}
+
 /// Convenience wrapper for role-footprint inspection (used by the CLI's
 /// verbose output and tests): footprints of `program` at the plan's side.
 pub fn plan_footprints(
@@ -775,5 +925,128 @@ mod tests {
         let doc = TraceDocument::new();
         let d = check_shard_conformance(&cert, &doc);
         assert!(d.has_code(Code::TC009), "{}", d.render_text());
+    }
+
+    /// A side-4 cut-1 telemetry document whose accounting reconciles:
+    /// 4 shards plus the global slot summing to the kernel total, with
+    /// balanced cross counters inside the certified envelope [3, 20].
+    fn balanced_accounting_doc() -> TraceDocument {
+        let mut doc = TraceDocument::new();
+        doc.counters.push(("shard.events.total".to_string(), 100));
+        for (shard, events, staged, applied) in [
+            ("0", 30u64, 2u64, 1u64),
+            ("1", 25, 1, 2),
+            ("2", 20, 1, 1),
+            ("3", 15, 0, 0),
+            ("global", 10, 0, 0),
+        ] {
+            let l = [("shard", shard)];
+            doc.counters
+                .push((wsn_obs::labeled("shard.events", &l), events));
+            if shard != "global" {
+                doc.counters
+                    .push((wsn_obs::labeled("shard.cross.staged", &l), staged));
+                doc.counters
+                    .push((wsn_obs::labeled("shard.cross.applied", &l), applied));
+            }
+        }
+        doc.gauges.push(("shard.count".to_string(), 4.0));
+        doc
+    }
+
+    #[test]
+    fn tc010_accepts_reconciled_accounting() {
+        let (cert, _) = fig4_cert(4, 1);
+        let cert = cert.unwrap();
+        let d = check_shard_accounting(&cert, &balanced_accounting_doc());
+        assert!(!d.has_errors(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn tc010_rejects_traces_without_shard_telemetry() {
+        let (cert, _) = fig4_cert(4, 1);
+        let cert = cert.unwrap();
+        let d = check_shard_accounting(&cert, &TraceDocument::new());
+        assert!(d.has_code(Code::TC010), "{}", d.render_text());
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn tc010_catches_an_event_undercount() {
+        let (cert, _) = fig4_cert(4, 1);
+        let cert = cert.unwrap();
+        let mut doc = balanced_accounting_doc();
+        for (k, v) in &mut doc.counters {
+            if k == "shard.events|shard=0" {
+                *v -= 1;
+            }
+        }
+        let d = check_shard_accounting(&cert, &doc);
+        assert!(d.has_code(Code::TC010), "{}", d.render_text());
+        assert!(d.render_text().contains("sum to 99"), "{}", d.render_text());
+    }
+
+    #[test]
+    fn tc010_catches_unbalanced_and_out_of_envelope_cross_counts() {
+        let (cert, _) = fig4_cert(4, 1);
+        let cert = cert.unwrap();
+        let mut doc = balanced_accounting_doc();
+        for (k, v) in &mut doc.counters {
+            if k == "shard.cross.applied|shard=1" {
+                *v += 30; // unbalanced AND beyond total_messages = 20
+            }
+        }
+        let d = check_shard_accounting(&cert, &doc);
+        assert!(d.has_code(Code::TC010), "{}", d.render_text());
+        let text = d.render_text();
+        assert!(text.contains("do not balance"), "{text}");
+        assert!(text.contains("envelope [3, 20]"), "{text}");
+        // Too few crossings (below the certified boundary merges) also
+        // trips the envelope.
+        let mut doc = balanced_accounting_doc();
+        for (k, v) in &mut doc.counters {
+            if k.starts_with("shard.cross.") {
+                *v = 0;
+            }
+        }
+        let d = check_shard_accounting(&cert, &doc);
+        assert!(d.has_code(Code::TC010), "{}", d.render_text());
+    }
+
+    #[test]
+    fn tc010_catches_shard_count_and_grid_mismatches() {
+        let (cert, _) = fig4_cert(4, 1);
+        let cert = cert.unwrap();
+        let mut doc = balanced_accounting_doc();
+        for (k, v) in &mut doc.gauges {
+            if k == "shard.count" {
+                *v = 16.0;
+            }
+        }
+        let d = check_shard_accounting(&cert, &doc);
+        assert!(d.has_code(Code::TC010), "{}", d.render_text());
+        let mut doc = balanced_accounting_doc();
+        doc.meta = Some(wsn_obs::TraceMeta {
+            grid: 8,
+            ..Default::default()
+        });
+        let d = check_shard_accounting(&cert, &doc);
+        assert!(d.has_code(Code::TC007), "{}", d.render_text());
+    }
+
+    #[test]
+    fn tc010_reports_a_missing_shard_series() {
+        let (cert, _) = fig4_cert(4, 1);
+        let cert = cert.unwrap();
+        let mut doc = balanced_accounting_doc();
+        doc.counters.retain(|(k, _)| k != "shard.events|shard=2");
+        let d = check_shard_accounting(&cert, &doc);
+        assert!(d.has_code(Code::TC010), "{}", d.render_text());
+        assert!(
+            d.render_text()
+                .contains("no shard.events series for shard 2"),
+            "{}",
+            d.render_text()
+        );
     }
 }

@@ -37,6 +37,23 @@
 //!                                  cross-shard delivery is a certified boundary edge
 //! wsn-lint --record-shard-leak-trace <out.jsonl> [depth]
 //!                                  record the planted-leak run TC009 must catch
+//! wsn-lint --shard-metrics [depth] [--cut-level N] [--mutate-shard-skew]
+//!                                  TC010: re-record the seeded sharded run and
+//!                                  reconcile the per-shard telemetry against the
+//!                                  shard certificate and the kernel's dispatch
+//!                                  total; --mutate-shard-skew arms the planted
+//!                                  undercounting tap the check must catch
+//! wsn-lint --record-shard-metrics-trace <out.jsonl> [depth] [--cut-level N]
+//!                                  record the sharded run with per-shard counters
+//!                                  merged into the trace (netscope shards reads it)
+//! wsn-lint --record-flight-dump <out.jsonl> [depth] [--cut-level N]
+//!                                  record the sharded run with the flight recorder
+//!                                  armed and write the ring dump (netscope flight)
+//! wsn-lint --obs-gate [--tolerance pct]
+//!                                  overhead gate: the instrumented steady-state
+//!                                  hot path must stay within the bound (default
+//!                                  10%) of the bare run's per-event cost; a trip
+//!                                  writes obs-gate-flight.jsonl for post-mortem
 //! wsn-lint --shard-gate            CI gate: shard-check + TC009 on sides 4 and 8
 //!                                  at cut levels 1 and 2
 //! wsn-lint --frame-check [depth] [--emit-frame-cert]
@@ -486,6 +503,122 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.iter().any(|a| a == "--shard-metrics") {
+        let cut = match parse_flag_value(&args, "--cut-level", 1u8) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        let skew = args.iter().any(|a| a == "--mutate-shard-skew");
+        let depth = match parse_depth(&positional) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        return match lint::shard_metrics_figure4(depth, cut, skew) {
+            Ok((cert, diags)) => {
+                if json {
+                    println!("{}", diags.to_json().render());
+                } else {
+                    print!("{}", cert.render_text());
+                    if diags.is_empty() {
+                        println!(
+                            "shard metrics reconcile: per-shard counters sum to the kernel \
+                             total and cross-shard traffic sits inside the certified envelope"
+                        );
+                    } else {
+                        print!("{}", diags.render_text());
+                    }
+                }
+                if diags.has_errors() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => usage_error(&e),
+        };
+    }
+
+    if args.iter().any(|a| a == "--record-shard-metrics-trace") {
+        let Some(path) = positional.first() else {
+            return usage_error("--record-shard-metrics-trace needs an output path");
+        };
+        let depth = match parse_depth(&positional[1..]) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        let cut = match parse_flag_value(&args, "--cut-level", 1u8) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        if cut < 1 || cut > depth {
+            return usage_error(&format!("cut level {cut} is outside 1..={depth}"));
+        }
+        let skew = args.iter().any(|a| a == "--mutate-shard-skew");
+        let side = 2u32.pow(u32::from(depth));
+        let doc = wsn_bench::experiments::record_shard_metrics_trace(side, 3, 5, cut, skew);
+        if let Err(e) = std::fs::write(path, doc.to_jsonl()) {
+            return usage_error(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "recorded side-{side} cut-{cut} shard-metrics trace to {path}{}",
+            if skew { " (skew-mutated)" } else { "" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--record-flight-dump") {
+        let Some(path) = positional.first() else {
+            return usage_error("--record-flight-dump needs an output path");
+        };
+        let depth = match parse_depth(&positional[1..]) {
+            Ok(d) => d,
+            Err(e) => return usage_error(&e),
+        };
+        let cut = match parse_flag_value(&args, "--cut-level", 1u8) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        if cut < 1 || cut > depth {
+            return usage_error(&format!("cut level {cut} is outside 1..={depth}"));
+        }
+        let side = 2u32.pow(u32::from(depth));
+        let dump = wsn_bench::experiments::record_flight_dump(side, 3, 5, cut, 64, "recorded");
+        if let Err(e) = std::fs::write(path, dump.to_jsonl()) {
+            return usage_error(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "recorded side-{side} cut-{cut} flight dump to {path} ({} dispatches stamped)",
+            dump.recorded
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--obs-gate") {
+        let tolerance = match parse_flag_value(&args, "--tolerance", 10.0f64) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
+        return match lint::obs_gate(8, 1000, tolerance) {
+            Ok(report) => {
+                print!("{report}");
+                println!("obs gate: instrumented hot path within the bound");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                // Leave a post-mortem: the last dispatches of a fresh
+                // seeded sharded run, for `netscope flight` / the CI
+                // artifact upload.
+                let dump = wsn_bench::experiments::record_flight_dump(8, 1, 5, 1, 64, "obs-gate");
+                match std::fs::write("obs-gate-flight.jsonl", dump.to_jsonl()) {
+                    Ok(()) => eprintln!("flight dump written to obs-gate-flight.jsonl"),
+                    Err(e) => eprintln!("cannot write obs-gate-flight.jsonl: {e}"),
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.iter().any(|a| a == "--record-shard-leak-trace") {
         let Some(path) = positional.first() else {
             return usage_error("--record-shard-leak-trace needs an output path");
@@ -669,6 +802,11 @@ fn print_usage() {
          --shard-check [depth] [--cut-level N] [--emit-shard-cert] [--mutate-shard-leak] | \
          --shard-check --program <file.json> [--cut-level N] | \
          --shard-conform <trace.jsonl> [--cut-level N] | \
+         --shard-metrics [depth] [--cut-level N] [--mutate-shard-skew] | \
+         --record-shard-metrics-trace <out.jsonl> [depth] [--cut-level N] \
+         [--mutate-shard-skew] | \
+         --record-flight-dump <out.jsonl> [depth] [--cut-level N] | \
+         --obs-gate [--tolerance pct] | \
          --record-shard-leak-trace <out.jsonl> [depth] | --shard-gate | \
          --frame-check [depth] [--emit-frame-cert] [--mutate-payload-overflow] | \
          --alloc-gate | --check | --codes   [--json]"

@@ -11,12 +11,19 @@
 //! netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]
 //! netscope critical-path <trace.jsonl> [--width W]
 //! netscope critical-path --demo [--side N] [--per-cell K] [--seed S] [--width W]
+//! netscope shards <trace.jsonl>
+//! netscope shards --demo [--side N] [--per-cell K] [--seed S] [--cut-level L]
+//! netscope flight <dump.jsonl> [--width W]
+//! netscope flight --demo [--side N] [--per-cell K] [--seed S] [--cut-level L] [--width W]
 //! netscope diff <a.jsonl> <b.jsonl>
 //! ```
 //!
 //! `--demo` records a fresh end-to-end run (topology emulation → binding →
 //! divide-and-conquer application, 16×16 virtual grid by default) and
 //! inspects it in place; `--out` additionally writes the JSONL to a file.
+//! On power-of-two demo grids the report also re-runs the mission on the
+//! sharded engine to show the per-shard telemetry table and a sample
+//! flight-recorder dump.
 //!
 //! `critical-path` walks the trace's causal log back from the final
 //! exfiltration, renders the per-hop/per-merge-level waterfall, and
@@ -24,11 +31,19 @@
 //! application span — exiting non-zero on a mismatch, so CI can assert
 //! the exactness invariant. `diff` prints per-counter/per-span deltas
 //! between two traces.
+//!
+//! `shards` decodes a shard-metrics trace (`wsn-lint
+//! --record-shard-metrics-trace`, or its own `--demo` run) into the
+//! per-shard utilization/skew/barrier-stall table, exiting 1 when the
+//! per-shard counters fail to reconcile with the kernel's dispatch total.
+//! `flight` renders a flight-recorder dump (`wsn-lint
+//! --record-flight-dump`, or a crash artifact) as a per-dispatch
+//! waterfall. Both exit 2 on unreadable input.
 
 use std::process::ExitCode;
 use wsn_obs::{
-    extract_critical_path, render_span_forest, render_timeline, render_trace_diff, TimelineConfig,
-    TraceDocument,
+    extract_critical_path, render_span_forest, render_timeline, render_trace_diff, shard_table,
+    FlightDump, TimelineConfig, TraceDocument,
 };
 
 struct Options {
@@ -46,6 +61,10 @@ const USAGE: &str = "usage: netscope <trace.jsonl> [--top K] [--no-timeline]
        netscope --demo [--side N] [--per-cell K] [--seed S] [--out FILE] [--top K]
        netscope critical-path <trace.jsonl> [--width W]
        netscope critical-path --demo [--side N] [--per-cell K] [--seed S] [--width W]
+       netscope shards <trace.jsonl>
+       netscope shards --demo [--side N] [--per-cell K] [--seed S] [--cut-level L]
+       netscope flight <dump.jsonl> [--width W]
+       netscope flight --demo [--side N] [--per-cell K] [--seed S] [--cut-level L] [--width W]
        netscope diff <a.jsonl> <b.jsonl>";
 
 fn parse_args() -> Result<Options, String> {
@@ -170,6 +189,114 @@ fn cmd_critical_path(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `netscope shards …`: the per-shard utilization/skew/barrier-stall
+/// table of a shard-metrics trace. Returns the rendered table plus the
+/// reconciliation verdict (`false` → exit 1); `Err` is a usage or decode
+/// problem (exit 2).
+fn cmd_shards(args: &[String]) -> Result<(String, bool), String> {
+    let mut input = None;
+    let mut demo = false;
+    let mut side: u32 = 4;
+    let mut per_cell: usize = 3;
+    let mut seed: u64 = 5;
+    let mut cut: u8 = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--demo" => demo = true,
+            "--side" => side = parse_num(&value("--side")?)?,
+            "--per-cell" => per_cell = parse_num(&value("--per-cell")?)?,
+            "--seed" => seed = parse_num(&value("--seed")?)?,
+            "--cut-level" => cut = parse_num(&value("--cut-level")?)?,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let doc = match (&input, demo) {
+        (Some(path), false) => load_trace(path)?,
+        (None, true) => {
+            validate_shard_demo(side, cut)?;
+            wsn_bench::experiments::record_shard_metrics_trace(side, per_cell, seed, cut, false)
+        }
+        _ => {
+            return Err(format!(
+                "pass exactly one of a trace file or --demo\n{USAGE}"
+            ))
+        }
+    };
+    let table = shard_table(&doc)?;
+    Ok((table.render(), table.reconciled))
+}
+
+/// `netscope flight …`: renders a flight-recorder dump as a
+/// per-dispatch waterfall. `Err` is a usage or decode problem (exit 2).
+fn cmd_flight(args: &[String]) -> Result<String, String> {
+    let mut input = None;
+    let mut demo = false;
+    let mut side: u32 = 4;
+    let mut per_cell: usize = 3;
+    let mut seed: u64 = 5;
+    let mut cut: u8 = 1;
+    let mut width: usize = 32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--demo" => demo = true,
+            "--side" => side = parse_num(&value("--side")?)?,
+            "--per-cell" => per_cell = parse_num(&value("--per-cell")?)?,
+            "--seed" => seed = parse_num(&value("--seed")?)?,
+            "--cut-level" => cut = parse_num(&value("--cut-level")?)?,
+            "--width" => width = parse_num(&value("--width")?)?,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let dump = match (&input, demo) {
+        (Some(path), false) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            FlightDump::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        (None, true) => {
+            validate_shard_demo(side, cut)?;
+            wsn_bench::experiments::record_flight_dump(side, per_cell, seed, cut, 8, "demo")
+        }
+        _ => {
+            return Err(format!(
+                "pass exactly one of a dump file or --demo\n{USAGE}"
+            ))
+        }
+    };
+    Ok(dump.render_waterfall(width))
+}
+
+/// The sharded demo runs need a quad-tree plan: power-of-two side, cut
+/// within the depth.
+fn validate_shard_demo(side: u32, cut: u8) -> Result<(), String> {
+    if side < 2 || !side.is_power_of_two() {
+        return Err(format!("--side {side} is not a power of two >= 2"));
+    }
+    let depth = side.trailing_zeros() as u8;
+    if cut < 1 || cut > depth {
+        return Err(format!("--cut-level {cut} is outside 1..={depth}"));
+    }
+    Ok(())
+}
+
 /// `netscope diff a.jsonl b.jsonl`: per-counter/per-span deltas.
 fn cmd_diff(args: &[String]) -> Result<String, String> {
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
@@ -205,6 +332,34 @@ fn main() -> ExitCode {
                 Err(msg) => {
                     eprintln!("{msg}");
                     ExitCode::FAILURE
+                }
+            }
+        }
+        Some("shards") => {
+            return match cmd_shards(&argv[1..]) {
+                Ok((out, reconciled)) => {
+                    print!("{out}");
+                    if reconciled {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("flight") => {
+            return match cmd_flight(&argv[1..]) {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::from(2)
                 }
             }
         }
@@ -252,6 +407,34 @@ fn main() -> ExitCode {
     };
 
     print!("{}", report(&doc, opts.top, opts.timeline));
+    // Demo runs on a quad-tree-shardable grid also show the engine's
+    // per-shard telemetry and a sample flight-recorder dump, so the
+    // demo exercises every view netscope has.
+    if opts.demo && opts.side >= 2 && opts.side.is_power_of_two() {
+        let shard_doc = wsn_bench::experiments::record_shard_metrics_trace(
+            opts.side,
+            opts.per_cell,
+            opts.seed,
+            1,
+            false,
+        );
+        match shard_table(&shard_doc) {
+            Ok(table) => print!("\n== shard telemetry (cut level 1) ==\n{}", table.render()),
+            Err(e) => eprintln!("shard telemetry unavailable: {e}"),
+        }
+        let dump = wsn_bench::experiments::record_flight_dump(
+            opts.side,
+            opts.per_cell,
+            opts.seed,
+            1,
+            8,
+            "demo",
+        );
+        print!(
+            "\n== flight dump (sample, capacity 8/shard) ==\n{}",
+            dump.render_waterfall(32)
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -104,6 +104,13 @@ fn main() -> ExitCode {
                     scenario.per_cell,
                     scenario.plan.len(),
                 );
+                if let Some(jsonl) = &outcome.flight_jsonl {
+                    let path = format!("chaos-flight-{seed}.jsonl");
+                    match std::fs::write(&path, jsonl) {
+                        Ok(()) => eprintln!("  flight dump written to {path} (netscope flight)"),
+                        Err(e) => eprintln!("  cannot write flight dump {path}: {e}"),
+                    }
+                }
                 if shrink {
                     let minimal = shrink_plan(&scenario, |o| !o.verdict.is_safe());
                     eprintln!("  minimal failing schedule:");

@@ -971,6 +971,97 @@ pub fn record_model_fidelity_trace_with(
     rt.record_trace()
 }
 
+/// Records the seeded model-fidelity run on the sharded engine at
+/// `cut`, with the per-shard telemetry (`shard=`-labeled counters,
+/// gauges, and window histograms from [`PhysicalRuntime::shard_telemetry`])
+/// merged into the exported trace — the document the TC010 shard
+/// accounting check reconciles against the shard certificate.
+///
+/// `skew` arms the runtime's `WSN_SHARD_SKEW` undercounting tap, the
+/// planted mutation the CI inverted check proves TC010 catches.
+pub fn record_shard_metrics_trace(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    cut: u8,
+    skew: bool,
+) -> wsn_obs::TraceDocument {
+    let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
+    let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let f2 = field.clone();
+    let mut rt: PhysicalRuntime<wsn_topoquery::DandcMsg> = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        None,
+        1,
+        seed,
+        move |c| f2.value(c),
+    );
+    rt.enable_telemetry(false);
+    let topo = rt.run_topology_emulation();
+    assert!(topo.complete, "topology emulation must complete");
+    let bind = rt.run_binding();
+    assert!(bind.unique, "binding must elect unique leaders");
+    rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    rt.enable_causal_tracing();
+    if skew {
+        std::env::set_var("WSN_SHARD_SKEW", "1");
+    }
+    let engine = RunEngine::Sharded {
+        cut_level: u32::from(cut),
+        workers: 1,
+    };
+    engine.run_application(&mut rt);
+    if skew {
+        std::env::remove_var("WSN_SHARD_SKEW");
+    }
+    let mut doc = rt.record_trace();
+    doc.absorb_registry(rt.shard_telemetry());
+    doc
+}
+
+/// Records the seeded uniform-field topoquery run with the per-shard
+/// flight recorder armed (cut-`cut` quadrant map, `capacity` retained
+/// dispatches per shard) and snapshots the rings into a
+/// [`wsn_obs::FlightDump`] tagged `reason` — the post-mortem artifact
+/// `netscope flight` renders and CI uploads on gate failures.
+pub fn record_flight_dump(
+    side: u32,
+    per_cell: usize,
+    seed: u64,
+    cut: u8,
+    capacity: usize,
+    reason: &str,
+) -> wsn_obs::FlightDump {
+    let field = Field::generate(FieldSpec::Uniform(10.0), side, 1);
+    let deployment = DeploymentSpec::per_cell(side, per_cell).generate(seed);
+    let range = deployment.grid().range_for_adjacent_cell_reachability();
+    let f2 = field.clone();
+    let mut rt: PhysicalRuntime<wsn_topoquery::DandcMsg> = PhysicalRuntime::new(
+        deployment,
+        RadioModel::uniform(range),
+        LinkModel::ideal(),
+        None,
+        1,
+        seed,
+        move |c| f2.value(c),
+    );
+    rt.enable_flight_recorder(u32::from(cut), capacity);
+    let topo = rt.run_topology_emulation();
+    assert!(topo.complete, "topology emulation must complete");
+    let bind = rt.run_binding();
+    assert!(bind.unique, "binding must elect unique leaders");
+    rt.install_programs(move |_| Box::new(wsn_topoquery::DandcProgram::new(side, 5.0)));
+    let engine = RunEngine::Sharded {
+        cut_level: u32::from(cut),
+        workers: 1,
+    };
+    engine.run_application(&mut rt);
+    rt.flight_dump(reason).expect("recorder was armed")
+}
+
 /// EXP-20: parallel-kernel scaling. For each side, runs the seeded
 /// uniform-field topoquery mission on the given engine and reports the
 /// event throughput and memory high-water mark — the `events_per_sec` /

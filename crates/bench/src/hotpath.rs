@@ -123,9 +123,29 @@ impl HotpathReport {
 /// ping-pong rounds to bring every buffer, table, and queue to its
 /// steady-state capacity, then measures one more round.
 ///
+/// The per-shard flight recorder rides along armed (cut level 1,
+/// preallocated rings): the no-alloc contract explicitly covers
+/// recording, so the alloc gate measures the hot path *with* its
+/// post-mortem instrumentation, not a stripped build.
+///
 /// Requires [`wsn_core::framed_payload_fits`]`(side)` — the harness
 /// refuses to drive the framed codec outside its certified envelope.
 pub fn steady_state_hotpath(side: u32, volleys: u64, warmup_rounds: u32) -> HotpathReport {
+    steady_state_hotpath_with(side, volleys, warmup_rounds, false)
+}
+
+/// [`steady_state_hotpath`] with the telemetry registry switchable: the
+/// `telemetry` variant runs the same mission with every counter, gauge,
+/// and kernel metric live, so the bare-vs-instrumented throughput ratio
+/// is the `telemetry_overhead_pct` column the `--obs-gate` bounds. (The
+/// instrumented round is *allowed* to allocate — registry series are
+/// heap-keyed; only the bare configuration carries the no-alloc claim.)
+pub fn steady_state_hotpath_with(
+    side: u32,
+    volleys: u64,
+    warmup_rounds: u32,
+    telemetry: bool,
+) -> HotpathReport {
     assert!(
         wsn_core::framed_payload_fits(side),
         "side {side} is outside the certified frame envelope"
@@ -141,6 +161,12 @@ pub fn steady_state_hotpath(side: u32, volleys: u64, warmup_rounds: u32) -> Hotp
         5,
         |c| f64::from(c.col + c.row),
     );
+    if telemetry {
+        rt.enable_telemetry(false);
+    }
+    if side.is_power_of_two() && side >= 2 {
+        rt.enable_flight_recorder(1, 256);
+    }
     let topo = rt.run_topology_emulation();
     assert!(topo.complete, "topology emulation must complete");
     let bind = rt.run_binding();
@@ -195,6 +221,16 @@ mod tests {
     fn hotpath_refuses_uncertified_sides() {
         let caught = std::panic::catch_unwind(|| steady_state_hotpath(32, 1, 1));
         assert!(caught.is_err(), "side 32 exceeds the frame envelope");
+    }
+
+    #[test]
+    fn instrumented_variant_dispatches_identically() {
+        // Telemetry must observe the run, not perturb it: the
+        // instrumented mission dispatches exactly the events the bare
+        // one does, so the overhead ratio compares equal workloads.
+        let bare = steady_state_hotpath_with(4, 10, 1, false);
+        let instr = steady_state_hotpath_with(4, 10, 1, true);
+        assert_eq!(bare.events, instr.events);
     }
 
     #[test]

@@ -253,6 +253,75 @@ fn parallel_gate_paths() {
 }
 
 #[test]
+fn shard_metrics_paths() {
+    let matrix: &[(&[&str], i32)] = &[
+        (&["--shard-metrics"], 0),
+        (&["--shard-metrics", "3", "--cut-level", "2"], 0),
+        // The planted undercounting tap: shard 0 drops one dispatch per
+        // window from its counter, so the per-shard sum falls short of
+        // the certified total. TC010, exit 1 — CI inverts this.
+        (&["--shard-metrics", "--mutate-shard-skew"], 1),
+        // Cut level beyond the hierarchy depth is a usage error.
+        (&["--shard-metrics", "--cut-level", "9"], 2),
+        (&["--shard-metrics", "--cut-level"], 2),
+        (&["--obs-gate", "--tolerance", "abc"], 2),
+    ];
+    for (args, want) in matrix {
+        assert_eq!(run(args), *want, "wsn-lint {}", args.join(" "));
+    }
+}
+
+fn netscope(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_netscope"))
+        .args(args)
+        .output()
+        .expect("spawn netscope")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+#[test]
+fn netscope_shard_and_flight_paths() {
+    let clean = temp("shard-metrics.jsonl");
+    let skewed = temp("shard-metrics-skew.jsonl");
+    let dump = temp("flight-dump.jsonl");
+    assert_eq!(
+        run(&["--record-shard-metrics-trace", clean.to_str().unwrap(), "2"]),
+        0
+    );
+    assert_eq!(
+        run(&[
+            "--record-shard-metrics-trace",
+            skewed.to_str().unwrap(),
+            "2",
+            "--mutate-shard-skew",
+        ]),
+        0
+    );
+    assert_eq!(
+        run(&["--record-flight-dump", dump.to_str().unwrap(), "2"]),
+        0
+    );
+
+    // netscope shards: 0 reconciled, 1 mismatch, 2 usage/decode.
+    assert_eq!(netscope(&["shards", clean.to_str().unwrap()]), 0);
+    assert_eq!(netscope(&["shards", skewed.to_str().unwrap()]), 1);
+    assert_eq!(netscope(&["shards", "--demo", "--side", "4"]), 0);
+    assert_eq!(netscope(&["shards", "/nonexistent/nope.jsonl"]), 2);
+    assert_eq!(netscope(&["shards", "--demo", "--side", "3"]), 2);
+
+    // netscope flight: 0 rendered, 2 usage/decode.
+    assert_eq!(netscope(&["flight", dump.to_str().unwrap()]), 0);
+    assert_eq!(netscope(&["flight", "--demo", "--side", "4"]), 0);
+    assert_eq!(netscope(&["flight", "/nonexistent/nope.jsonl"]), 2);
+
+    for p in [clean, skewed, dump] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn perf_gate_path_round_trips_and_trips() {
     let baseline = temp("perf-baseline.json");
     assert_eq!(run(&["--perf-baseline", baseline.to_str().unwrap()]), 0);

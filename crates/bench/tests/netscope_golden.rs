@@ -1,0 +1,83 @@
+//! Golden-output tests for the `netscope shards` and `netscope flight`
+//! subcommands: the demo renders are fully seeded (deployment seed,
+//! barrier schedule, and recorder stamps are all deterministic), so the
+//! exact bytes are pinned against committed fixtures. A drift here means
+//! the telemetry or flight-recorder pipeline changed what it records —
+//! regenerate the fixture only when that change is intentional.
+
+use std::process::Command;
+
+fn netscope(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_netscope"))
+        .args(args)
+        .output()
+        .expect("spawn netscope");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+    )
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn shard_table_demo_matches_the_golden_fixture() {
+    let (code, stdout) = netscope(&["shards", "--demo", "--side", "4", "--cut-level", "1"]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        stdout,
+        fixture("shard_table_demo.txt"),
+        "netscope shards --demo drifted from the golden fixture; if the \
+         change is intentional, regenerate tests/fixtures/shard_table_demo.txt \
+         with netscope shards --demo --side 4 --cut-level 1"
+    );
+}
+
+#[test]
+fn flight_waterfall_demo_matches_the_golden_fixture() {
+    let (code, stdout) = netscope(&["flight", "--demo", "--side", "4"]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        stdout,
+        fixture("flight_waterfall_demo.txt"),
+        "netscope flight --demo drifted from the golden fixture; if the \
+         change is intentional, regenerate tests/fixtures/flight_waterfall_demo.txt \
+         with netscope flight --demo --side 4"
+    );
+}
+
+#[test]
+fn library_renderers_produce_the_same_bytes_as_the_binary() {
+    // The subcommands are thin shells over the wsn-obs renderers: the
+    // library path must agree byte-for-byte with the binary transcript.
+    let doc = wsn_bench::experiments::record_shard_metrics_trace(4, 3, 5, 1, false);
+    let table = wsn_obs::shard_table(&doc).expect("demo trace carries shard telemetry");
+    assert!(table.reconciled);
+    assert_eq!(table.render(), fixture("shard_table_demo.txt"));
+
+    let dump = wsn_bench::experiments::record_flight_dump(4, 3, 5, 1, 8, "demo");
+    assert_eq!(
+        dump.render_waterfall(32),
+        fixture("flight_waterfall_demo.txt")
+    );
+}
+
+#[test]
+fn full_demo_includes_the_telemetry_and_flight_sections() {
+    // `netscope --demo` is the one-command tour: it must now end with
+    // the shard-telemetry table and a sample flight waterfall.
+    let (code, stdout) = netscope(&["--demo", "--side", "4"]);
+    assert_eq!(code, 0);
+    for section in [
+        "== shard telemetry (cut level 1) ==",
+        "== flight dump (sample, capacity 8/shard) ==",
+        "reconciliation: per-shard sum",
+        "utilization skew (max/mean):",
+        "flight dump: reason \"demo\"",
+    ] {
+        assert!(stdout.contains(section), "demo output misses {section:?}");
+    }
+}

@@ -1,0 +1,492 @@
+//! Flight-dump document: the JSONL snapshot a run writes when something
+//! goes wrong.
+//!
+//! The kernel-side [`wsn_sim::FlightRecorder`] retains the most recent
+//! dispatches per shard in preallocated rings; this module is the
+//! serialization boundary. A [`FlightDump`] is built from a recorder at
+//! the moment of failure (panic, perf-gate trip, chaos `Wrong` verdict),
+//! written as schema-versioned JSON Lines, and read back by `netscope
+//! flight` for rendering. Like [`crate::trace`], the format round-trips
+//! losslessly and refuses records from an unknown schema version.
+//!
+//! Line layout, in order:
+//!
+//! ```text
+//! {"t":"flightmeta","schema_version":1,"reason":"...","shard_count":4,
+//!  "capacity":64,"recorded":9000}
+//! {"t":"flightshard","slot":0,"dropped":12}
+//! {"t":"flight","slot":0,"stamp":...,"time":...,"target":...,
+//!  "kind":"msg"|"timer","a":...,"b":...}
+//! ...
+//! ```
+//!
+//! Slots follow the recorder's layout: `0..shard_count` are the shards,
+//! `shard_count` is the global pseudo-shard (injectors, the sink driver).
+
+use crate::json::{Json, JsonError};
+use std::fmt;
+use wsn_sim::{FlightRecorder, TraceKind};
+
+/// Version stamp written into every dump's `flightmeta` line. Bump when
+/// the line layout changes; the parser refuses other versions.
+pub const FLIGHT_SCHEMA_VERSION: u64 = 1;
+
+/// One retained dispatch, as serialized (mirrors `wsn_sim::FlightRec`
+/// plus the slot it was retained on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightDumpRec {
+    /// Canonical dispatch index within the run.
+    pub stamp: u64,
+    /// Dispatch instant in ticks.
+    pub time: u64,
+    /// Receiving actor.
+    pub target: u64,
+    /// Message or timer.
+    pub kind: TraceKind,
+    /// Sender (messages) — unused for timers.
+    pub a: u64,
+    /// Payload discriminant (messages) or tag (timers).
+    pub b: u64,
+}
+
+/// One slot's retained window: drop count plus the surviving records in
+/// stamp order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightShard {
+    /// Dispatches overwritten or discarded on this slot.
+    pub dropped: u64,
+    /// Retained dispatches, oldest first.
+    pub records: Vec<FlightDumpRec>,
+}
+
+/// A complete flight dump: metadata plus one [`FlightShard`] per slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Schema version (see [`FLIGHT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Why the dump was taken (`panic`, `perf-gate`, `chaos-wrong`,
+    /// `demo`, ...).
+    pub reason: String,
+    /// Shards in the run (slots are `shard_count + 1`, global last).
+    pub shard_count: u32,
+    /// Ring capacity per slot at record time.
+    pub capacity: u64,
+    /// Total dispatches stamped by the recorder.
+    pub recorded: u64,
+    /// Per-slot windows, slot order (global pseudo-shard last).
+    pub shards: Vec<FlightShard>,
+}
+
+/// Failure to parse a flight dump, with the 1-based offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub message: String,
+}
+
+impl fmt::Display for FlightParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flight dump line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FlightParseError {}
+
+impl FlightDump {
+    /// Snapshots a recorder into a dump tagged with `reason`.
+    pub fn from_recorder(rec: &FlightRecorder, reason: &str) -> Self {
+        let shards = (0..rec.slot_count())
+            .map(|slot| FlightShard {
+                dropped: rec.dropped(slot),
+                records: rec
+                    .snapshot(slot)
+                    .iter()
+                    .map(|r| FlightDumpRec {
+                        stamp: r.stamp,
+                        time: r.time.ticks(),
+                        target: r.target as u64,
+                        kind: r.kind,
+                        a: r.a as u64,
+                        b: r.b,
+                    })
+                    .collect(),
+            })
+            .collect();
+        FlightDump {
+            schema_version: FLIGHT_SCHEMA_VERSION,
+            reason: reason.to_string(),
+            shard_count: rec.shard_count(),
+            capacity: rec.capacity() as u64,
+            recorded: rec.recorded(),
+            shards,
+        }
+    }
+
+    /// Human-readable slot label: the shard number, or `global` for the
+    /// pseudo-shard slot.
+    pub fn slot_label(&self, slot: usize) -> String {
+        if slot == self.shard_count as usize {
+            "global".to_string()
+        } else {
+            slot.to_string()
+        }
+    }
+
+    /// All records across slots, merged into canonical stamp order (what
+    /// a waterfall renders).
+    pub fn merged_records(&self) -> Vec<(usize, FlightDumpRec)> {
+        let mut all: Vec<(usize, FlightDumpRec)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, s)| s.records.iter().map(move |&r| (slot, r)))
+            .collect();
+        all.sort_by_key(|(_, r)| r.stamp);
+        all
+    }
+
+    /// Renders the merged record stream as a per-dispatch waterfall (the
+    /// `netscope flight` output): one line per retained dispatch in
+    /// canonical stamp order, with a time-scaled position marker
+    /// `width` characters wide.
+    pub fn render_waterfall(&self, width: usize) -> String {
+        let width = width.max(8);
+        let dropped: u64 = self.shards.iter().map(|s| s.dropped).sum();
+        let mut out = format!(
+            "flight dump: reason {:?}, {} shard(s) + global, capacity {}, {} stamped, \
+             {} retained, {} dropped\n",
+            self.reason,
+            self.shard_count,
+            self.capacity,
+            self.recorded,
+            self.shards.iter().map(|s| s.records.len()).sum::<usize>(),
+            dropped,
+        );
+        let merged = self.merged_records();
+        if merged.is_empty() {
+            out.push_str("(no retained dispatches)\n");
+            return out;
+        }
+        let lo = merged.iter().map(|(_, r)| r.time).min().unwrap_or(0);
+        let hi = merged.iter().map(|(_, r)| r.time).max().unwrap_or(0);
+        let span = (hi - lo).max(1);
+        out.push_str(&format!(
+            "{:>7} {:>7} {:<7} {:>6} {:>7} {:>7} {:>7}  ticks {lo}..{hi}\n",
+            "stamp", "time", "slot", "kind", "target", "a", "b"
+        ));
+        for (slot, rec) in &merged {
+            let pos = ((rec.time - lo) * (width as u64 - 1) / span) as usize;
+            let bar: String = (0..width)
+                .map(|i| if i == pos { '#' } else { '-' })
+                .collect();
+            let kind = match rec.kind {
+                TraceKind::Message => "msg",
+                TraceKind::Timer => "timer",
+            };
+            out.push_str(&format!(
+                "{:>7} {:>7} {:<7} {:>6} {:>7} {:>7} {:>7}  |{bar}|\n",
+                rec.stamp,
+                rec.time,
+                self.slot_label(*slot),
+                kind,
+                rec.target,
+                rec.a,
+                rec.b,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the dump to JSON Lines (see the module docs for the
+    /// line layout).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        push_line(
+            &mut out,
+            Json::Obj(vec![
+                ("t".to_string(), Json::Str("flightmeta".to_string())),
+                (
+                    "schema_version".to_string(),
+                    Json::from_u64(self.schema_version),
+                ),
+                ("reason".to_string(), Json::Str(self.reason.clone())),
+                (
+                    "shard_count".to_string(),
+                    Json::from_u64(u64::from(self.shard_count)),
+                ),
+                ("capacity".to_string(), Json::from_u64(self.capacity)),
+                ("recorded".to_string(), Json::from_u64(self.recorded)),
+            ]),
+        );
+        for (slot, shard) in self.shards.iter().enumerate() {
+            push_line(
+                &mut out,
+                Json::Obj(vec![
+                    ("t".to_string(), Json::Str("flightshard".to_string())),
+                    ("slot".to_string(), Json::from_u64(slot as u64)),
+                    ("dropped".to_string(), Json::from_u64(shard.dropped)),
+                ]),
+            );
+            for rec in &shard.records {
+                let kind = match rec.kind {
+                    TraceKind::Message => "msg",
+                    TraceKind::Timer => "timer",
+                };
+                push_line(
+                    &mut out,
+                    Json::Obj(vec![
+                        ("t".to_string(), Json::Str("flight".to_string())),
+                        ("slot".to_string(), Json::from_u64(slot as u64)),
+                        ("stamp".to_string(), Json::from_u64(rec.stamp)),
+                        ("time".to_string(), Json::from_u64(rec.time)),
+                        ("target".to_string(), Json::from_u64(rec.target)),
+                        ("kind".to_string(), Json::Str(kind.to_string())),
+                        ("a".to_string(), Json::from_u64(rec.a)),
+                        ("b".to_string(), Json::from_u64(rec.b)),
+                    ]),
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses a JSON Lines flight dump. Blank lines are skipped; an
+    /// unknown tag or schema version is an error.
+    pub fn from_jsonl(text: &str) -> Result<Self, FlightParseError> {
+        let mut dump: Option<FlightDump> = None;
+        for (idx, line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e: JsonError| FlightParseError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+            let fail = |message: &str| FlightParseError {
+                line: line_no,
+                message: message.to_string(),
+            };
+            let tag = v
+                .get("t")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("missing record tag \"t\""))?;
+            match tag {
+                "flightmeta" => {
+                    let version = v
+                        .get("schema_version")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("flightmeta without schema_version"))?;
+                    if version != FLIGHT_SCHEMA_VERSION {
+                        return Err(fail(&format!(
+                            "unsupported flight schema version {version} \
+                             (this build reads {FLIGHT_SCHEMA_VERSION})"
+                        )));
+                    }
+                    let shard_count = v
+                        .get("shard_count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("flightmeta without shard_count"))?;
+                    dump = Some(FlightDump {
+                        schema_version: version,
+                        reason: v
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                        shard_count: shard_count as u32,
+                        capacity: v.get("capacity").and_then(Json::as_u64).unwrap_or(0),
+                        recorded: v.get("recorded").and_then(Json::as_u64).unwrap_or(0),
+                        shards: vec![FlightShard::default(); shard_count as usize + 1],
+                    });
+                }
+                "flightshard" => {
+                    let dump = dump
+                        .as_mut()
+                        .ok_or_else(|| fail("flightshard before flightmeta"))?;
+                    let slot = v
+                        .get("slot")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("flightshard without slot"))?
+                        as usize;
+                    let shard = dump
+                        .shards
+                        .get_mut(slot)
+                        .ok_or_else(|| fail("flightshard slot out of range"))?;
+                    shard.dropped = v.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+                }
+                "flight" => {
+                    let dump = dump
+                        .as_mut()
+                        .ok_or_else(|| fail("flight record before flightmeta"))?;
+                    let slot = v
+                        .get("slot")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail("flight record without slot"))?
+                        as usize;
+                    let kind = match v.get("kind").and_then(Json::as_str) {
+                        Some("msg") => TraceKind::Message,
+                        Some("timer") => TraceKind::Timer,
+                        _ => return Err(fail("flight record with unknown kind")),
+                    };
+                    let field = |name: &str| {
+                        v.get(name)
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| fail(&format!("flight record without {name}")))
+                    };
+                    let rec = FlightDumpRec {
+                        stamp: field("stamp")?,
+                        time: field("time")?,
+                        target: field("target")?,
+                        kind,
+                        a: field("a")?,
+                        b: field("b")?,
+                    };
+                    dump.shards
+                        .get_mut(slot)
+                        .ok_or_else(|| fail("flight record slot out of range"))?
+                        .records
+                        .push(rec);
+                }
+                other => return Err(fail(&format!("unknown record tag {other:?}"))),
+            }
+        }
+        dump.ok_or(FlightParseError {
+            line: 0,
+            message: "no flightmeta line".to_string(),
+        })
+    }
+}
+
+fn push_line(out: &mut String, v: Json) {
+    out.push_str(&v.render());
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::{SimTime, TraceEntry};
+
+    fn recorder_with_traffic() -> FlightRecorder {
+        let mut rec = FlightRecorder::new(vec![0, 1, 0, 1], 2, 3);
+        for t in 0..10u64 {
+            rec.record(&TraceEntry {
+                time: SimTime::from_ticks(t),
+                target: (t % 5) as usize, // actor 4 is unmapped: global slot
+                kind: if t % 2 == 0 {
+                    TraceKind::Message
+                } else {
+                    TraceKind::Timer
+                },
+                a: 1,
+                b: t,
+            });
+        }
+        rec
+    }
+
+    #[test]
+    fn dump_round_trips_through_jsonl() {
+        let dump = FlightDump::from_recorder(&recorder_with_traffic(), "perf-gate");
+        let text = dump.to_jsonl();
+        let parsed = FlightDump::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, dump);
+        // Serialize → parse → serialize is a fixed point.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn empty_dump_round_trips() {
+        let rec = FlightRecorder::new(vec![0], 1, 4);
+        let dump = FlightDump::from_recorder(&rec, "panic");
+        assert_eq!(dump.recorded, 0);
+        assert!(dump.shards.iter().all(|s| s.records.is_empty()));
+        let parsed = FlightDump::from_jsonl(&dump.to_jsonl()).unwrap();
+        assert_eq!(parsed, dump);
+        assert!(parsed.merged_records().is_empty());
+    }
+
+    #[test]
+    fn merged_records_are_in_stamp_order() {
+        let dump = FlightDump::from_recorder(&recorder_with_traffic(), "demo");
+        let merged = dump.merged_records();
+        assert!(!merged.is_empty());
+        assert!(merged.windows(2).all(|w| w[0].1.stamp < w[1].1.stamp));
+        // Slots agree with the recorder's actor map (targets 0,2 -> slot
+        // 0; 1,3 -> slot 1; 4 -> global slot 2).
+        for (slot, rec) in &merged {
+            let expect = match rec.target {
+                0 | 2 => 0,
+                1 | 3 => 1,
+                _ => 2,
+            };
+            assert_eq!(*slot, expect);
+        }
+    }
+
+    #[test]
+    fn slot_labels_name_the_global_slot() {
+        let dump = FlightDump::from_recorder(&recorder_with_traffic(), "demo");
+        assert_eq!(dump.slot_label(0), "0");
+        assert_eq!(dump.slot_label(1), "1");
+        assert_eq!(dump.slot_label(2), "global");
+    }
+
+    #[test]
+    fn unknown_schema_version_is_refused() {
+        let dump = FlightDump::from_recorder(&recorder_with_traffic(), "x");
+        let text = dump
+            .to_jsonl()
+            .replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+        let err = FlightDump::from_jsonl(&text).unwrap_err();
+        assert!(err.message.contains("unsupported flight schema version 99"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn malformed_dumps_are_rejected_with_line_numbers() {
+        for (text, needle) in [
+            ("", "no flightmeta"),
+            ("{\"t\":\"flight\",\"slot\":0}", "before flightmeta"),
+            ("{\"no_tag\":1}", "missing record tag"),
+            ("{\"t\":\"bogus\"}", "unknown record tag"),
+            ("{\"t\":\"flightmeta\",\"shard_count\":1}", "schema_version"),
+        ] {
+            let err = FlightDump::from_jsonl(text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{text:?} gave {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn waterfall_renders_every_retained_dispatch_in_stamp_order() {
+        let dump = FlightDump::from_recorder(&recorder_with_traffic(), "demo");
+        let text = dump.render_waterfall(16);
+        assert!(text.contains("reason \"demo\""), "{text}");
+        let body: Vec<&str> = text.lines().skip(2).collect();
+        assert_eq!(body.len(), dump.merged_records().len());
+        assert!(body.iter().all(|l| l.contains('#')), "{text}");
+        // Empty dumps render a placeholder, not a panic.
+        let empty = FlightDump::from_recorder(&FlightRecorder::new(vec![0], 1, 4), "x");
+        assert!(empty.render_waterfall(16).contains("no retained"),);
+    }
+
+    #[test]
+    fn dropped_counts_survive_round_trip() {
+        let dump = FlightDump::from_recorder(&recorder_with_traffic(), "demo");
+        // Slot 0 saw targets 0 and 2 (stamps 0,2,5,7): 4 records in a
+        // cap-3 ring drops 1.
+        assert_eq!(dump.shards[0].dropped, 1);
+        assert_eq!(dump.shards[0].records.len(), 3);
+        let stamps: Vec<u64> = dump.shards[0].records.iter().map(|r| r.stamp).collect();
+        assert_eq!(stamps, vec![2, 5, 7]);
+        let parsed = FlightDump::from_jsonl(&dump.to_jsonl()).unwrap();
+        assert_eq!(parsed.shards[0].dropped, 1);
+    }
+}

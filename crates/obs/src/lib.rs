@@ -40,8 +40,10 @@
 pub mod causal;
 pub mod critpath;
 pub mod diff;
+pub mod flight;
 pub mod json;
 pub mod registry;
+pub mod shardview;
 pub mod span;
 pub mod timeline;
 pub mod trace;
@@ -49,8 +51,10 @@ pub mod trace;
 pub use causal::{DagError, HbDag};
 pub use critpath::{extract_critical_path, CriticalPath, PathSegment, SegmentKind};
 pub use diff::render_trace_diff;
+pub use flight::{FlightDump, FlightDumpRec, FlightParseError, FlightShard, FLIGHT_SCHEMA_VERSION};
 pub use json::{Json, JsonError};
-pub use registry::{FixedHistogram, Registry, TICK_BUCKETS};
+pub use registry::{labeled, split_labels, FixedHistogram, Registry, TICK_BUCKETS};
+pub use shardview::{shard_table, ShardRow, ShardTable};
 pub use span::{render_span_forest, SpanNode, SpanRecorder};
 pub use timeline::{render_timeline, TimelineConfig};
 pub use trace::{

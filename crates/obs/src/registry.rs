@@ -10,10 +10,43 @@
 //! histograms count observations into a fixed set of upper-bound buckets
 //! (Prometheus-style `le` semantics: bucket `i` counts values `<=
 //! uppers[i]`, with an implicit `+Inf` bucket at the end).
+//!
+//! ## Label dimensions
+//!
+//! Metric keys may carry label pairs after `|` separators:
+//! `shard.events|shard=3` is the metric `shard.events` with label
+//! `shard="3"` (build keys with [`labeled`]). Storage and JSONL traces
+//! keep the raw key; [`Registry::render_prometheus`] splits it and emits
+//! proper exposition-format series — metric and label names sanitized to
+//! the Prometheus charset, label values escaped per the text format
+//! (`\` → `\\`, `"` → `\"`, newline → `\n`).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Builds a registry key carrying label dimensions: `name|k=v|k2=v2`.
+/// Keys compare textually, so series of one metric sort together.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut key = String::from(name);
+    for (k, v) in labels {
+        key.push('|');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+/// Splits a registry key into its metric name and label pairs.
+pub fn split_labels(key: &str) -> (&str, Vec<(&str, &str)>) {
+    let mut parts = key.split('|');
+    let base = parts.next().unwrap_or(key);
+    let labels = parts
+        .map(|p| p.split_once('=').unwrap_or((p, "")))
+        .collect();
+    (base, labels)
+}
 
 /// Default histogram buckets for tick-valued observations: powers of two
 /// up to 4096 ticks.
@@ -277,6 +310,19 @@ impl Registry {
             .and_then(|i| i.borrow().gauges.get(name).copied())
     }
 
+    /// Installs a prebuilt histogram under `name` (merging by replace).
+    /// Used by recorders that aggregate outside the registry — e.g. the
+    /// per-shard window histograms the sharded kernel fills in plain
+    /// arrays — and publish the finished snapshot afterwards.
+    pub fn install_histogram(&self, name: &str, histogram: FixedHistogram) {
+        if let Some(inner) = &self.inner {
+            inner
+                .borrow_mut()
+                .histograms
+                .insert(name.to_string(), histogram);
+        }
+    }
+
     /// Snapshot of a histogram.
     pub fn histogram(&self, name: &str) -> Option<FixedHistogram> {
         self.inner
@@ -327,20 +373,34 @@ impl Registry {
     }
 
     /// Renders every metric in the Prometheus text exposition format.
-    /// Metric names are sanitized (`.` and `-` become `_`).
+    /// Metric names are sanitized to the exposition charset, label-keyed
+    /// series (see [`labeled`]) get proper `{k="v"}` label sets with
+    /// escaped values, and a `# TYPE` line is emitted once per metric
+    /// name even when many label series share it.
     pub fn render_prometheus(&self) -> String {
+        fn type_line(out: &mut String, typed: &mut Option<String>, name: &str, kind: &str) {
+            if typed.as_deref() != Some(name) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                *typed = Some(name.to_string());
+            }
+        }
         let mut out = String::new();
-        for (name, value) in self.counters() {
-            let name = sanitize(&name);
-            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        let mut typed: Option<String> = None;
+        for (key, value) in self.counters() {
+            let (name, labels) = split_series(&key);
+            type_line(&mut out, &mut typed, &name, "counter");
+            out.push_str(&format!("{name}{labels} {value}\n"));
         }
-        for (name, value) in self.gauges() {
-            let name = sanitize(&name);
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        typed = None;
+        for (key, value) in self.gauges() {
+            let (name, labels) = split_series(&key);
+            type_line(&mut out, &mut typed, &name, "gauge");
+            out.push_str(&format!("{name}{labels} {value}\n"));
         }
-        for (name, h) in self.histograms() {
-            let name = sanitize(&name);
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+        typed = None;
+        for (key, h) in self.histograms() {
+            let (name, labels) = split_series(&key);
+            type_line(&mut out, &mut typed, &name, "histogram");
             let mut cumulative = 0u64;
             for (i, &c) in h.bucket_counts().iter().enumerate() {
                 cumulative += c;
@@ -349,19 +409,69 @@ impl Registry {
                 } else {
                     "+Inf".to_string()
                 };
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                let le_labels = merge_label(&labels, &format!("le=\"{le}\""));
+                out.push_str(&format!("{name}_bucket{le_labels} {cumulative}\n"));
             }
-            out.push_str(&format!("{name}_sum {}\n", h.sum()));
-            out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!("{name}_sum{labels} {}\n", h.sum()));
+            out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
         }
         out
     }
 }
 
+/// Splits a raw registry key into a sanitized metric name and a rendered
+/// label block (`{k="v",...}`, or empty when the key carries no labels).
+fn split_series(key: &str) -> (String, String) {
+    let (base, labels) = split_labels(key);
+    let name = sanitize(base);
+    if labels.is_empty() {
+        return (name, String::new());
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
+        .collect();
+    (name, format!("{{{}}}", rendered.join(",")))
+}
+
+/// Inserts `extra` (an already-rendered `k="v"` pair) into a rendered
+/// label block, opening one if the series had no labels.
+fn merge_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed have escape sequences; every
+/// other character passes through (values are free-form UTF-8).
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Sanitizes a metric or label name to `[a-zA-Z0-9_]` (the exposition
+/// charset minus the colon, which this codebase never emits); a leading
+/// digit gets an underscore prefix so the name stays lexable.
 fn sanitize(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -479,5 +589,87 @@ mod tests {
         assert!(text.contains("latency_bucket{le=\"4\"} 1"));
         assert!(text.contains("latency_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("latency_count 1"));
+    }
+
+    #[test]
+    fn labeled_round_trips_through_split_labels() {
+        let key = labeled("shard.events", &[("shard", "3"), ("lane", "a")]);
+        assert_eq!(key, "shard.events|shard=3|lane=a");
+        let (base, labels) = split_labels(&key);
+        assert_eq!(base, "shard.events");
+        assert_eq!(labels, vec![("shard", "3"), ("lane", "a")]);
+        let (bare, none) = split_labels("plain.metric");
+        assert_eq!(bare, "plain.metric");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn prometheus_renders_label_series_under_one_type_line() {
+        let r = Registry::enabled();
+        r.incr_by(&labeled("shard.events", &[("shard", "0")]), 7);
+        r.incr_by(&labeled("shard.events", &[("shard", "1")]), 9);
+        r.incr_by(&labeled("shard.events", &[("shard", "global")]), 2);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE shard_events counter").count(), 1);
+        assert!(text.contains("shard_events{shard=\"0\"} 7\n"));
+        assert!(text.contains("shard_events{shard=\"1\"} 9\n"));
+        assert!(text.contains("shard_events{shard=\"global\"} 2\n"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Registry::enabled();
+        r.incr(&labeled("paths", &[("dir", "a\\b\"c\nd")]));
+        let text = r.render_prometheus();
+        // Exposition format: \ -> \\, " -> \", newline -> the two
+        // characters `\n`. Locked byte-for-byte.
+        assert!(
+            text.contains("paths{dir=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "escaped series missing from:\n{text}"
+        );
+        assert!(!text.contains('\u{0}'));
+        // No raw newline may survive inside a label value: every line
+        // must still be a well-formed `name{...} value` or comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_sanitizes_metric_and_label_names() {
+        let r = Registry::enabled();
+        r.gauge_set(&labeled("queue-depth.max", &[("shard-id", "2")]), 5.0);
+        r.incr("0weird");
+        let text = r.render_prometheus();
+        assert!(text.contains("queue_depth_max{shard_id=\"2\"} 5\n"));
+        // A leading digit is not a valid metric-name start.
+        assert!(text.contains("_0weird 1\n"));
+    }
+
+    #[test]
+    fn prometheus_merges_le_into_histogram_label_sets() {
+        let r = Registry::enabled();
+        let key = labeled("shard.window", &[("shard", "1")]);
+        r.observe_with(&key, 3.0, &[1.0, 4.0]);
+        r.observe_with(&key, 9.0, &[1.0, 4.0]);
+        let text = r.render_prometheus();
+        assert!(text.contains("shard_window_bucket{shard=\"1\",le=\"4\"} 1\n"));
+        assert!(text.contains("shard_window_bucket{shard=\"1\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("shard_window_sum{shard=\"1\"} 12\n"));
+        assert!(text.contains("shard_window_count{shard=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn install_histogram_publishes_prebuilt_snapshot() {
+        let r = Registry::enabled();
+        let h = FixedHistogram::from_parts(vec![1.0, 2.0], vec![3, 4, 5], 12, 30.0, 0.5, 9.0);
+        r.install_histogram(&labeled("shard.win", &[("shard", "0")]), h.clone());
+        assert_eq!(r.histogram("shard.win|shard=0"), Some(h));
+        let text = r.render_prometheus();
+        assert!(text.contains("shard_win_bucket{shard=\"0\",le=\"2\"} 7\n"));
+        assert!(text.contains("shard_win_count{shard=\"0\"} 12\n"));
     }
 }

@@ -34,11 +34,13 @@ use wsn_net::{
     SharedMedium, UnitDiskGraph,
 };
 use wsn_obs::{
-    FixedHistogram, NodeSnapshot, Registry, SpanNode, SpanRecorder, TraceDocument, TraceMeta,
+    labeled, FixedHistogram, FlightDump, NodeSnapshot, Registry, SpanNode, SpanRecorder,
+    TraceDocument, TraceMeta,
 };
 use wsn_sim::{
-    order_tap, shared_causal_log, ActorId, Kernel, RunReport, ShardSchedule, SharedCausalLog,
-    SimTime, Stats, StopReason, Tracer,
+    order_tap, shared_causal_log, ActorId, FlightRecorder, Kernel, RunReport, ShardObs,
+    ShardSchedule, SharedCausalLog, SimTime, Stats, StopReason, Tracer, WindowHist,
+    WINDOW_HIST_UPPERS,
 };
 
 /// Result of one topology-emulation run.
@@ -231,6 +233,12 @@ pub struct PhysicalRuntime<P: Clone + 'static> {
     /// Phase-scoped counters/histograms; disabled unless
     /// [`PhysicalRuntime::enable_telemetry`] was called.
     telemetry: Registry,
+    /// Per-shard accounting from sharded runs (`shard=`-labeled keys),
+    /// kept apart from `telemetry` because it exists only on the sharded
+    /// engine: folding it into the main registry would make
+    /// [`PhysicalRuntime::record_trace`] documents differ between
+    /// engines, which the bit-identical differential suite forbids.
+    shard_telemetry: Registry,
     /// Phase span tree, populated only while telemetry is enabled.
     spans: SpanRecorder,
     /// Causal event log shared with the medium and every node; `None`
@@ -319,6 +327,7 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
             seed,
             events_total: 0,
             telemetry: Registry::disabled(),
+            shard_telemetry: Registry::disabled(),
             spans: SpanRecorder::new(),
             causal: None,
             tx_scratch: Vec::new(),
@@ -333,6 +342,7 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// for inspection traces, not parameter sweeps).
     pub fn enable_telemetry(&mut self, trace_events: bool) {
         self.telemetry = Registry::enabled();
+        self.shard_telemetry = Registry::enabled();
         self.kernel.enable_metrics();
         if trace_events {
             self.kernel.set_tracer(Tracer::enabled());
@@ -343,6 +353,53 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     /// [`PhysicalRuntime::enable_telemetry`] was called).
     pub fn telemetry(&self) -> &Registry {
         &self.telemetry
+    }
+
+    /// Per-shard accounting registry filled by sharded runs (empty and
+    /// disabled unless telemetry is on — and untouched by sequential
+    /// runs, which have no shards). Keys carry a `shard=` label built
+    /// with [`wsn_obs::labeled`]; merge it into a trace document with
+    /// [`TraceDocument::absorb_registry`] when exporting shard metrics.
+    pub fn shard_telemetry(&self) -> &Registry {
+        &self.shard_telemetry
+    }
+
+    /// Arms the per-shard flight recorder: the last `capacity`
+    /// dispatches of every shard at `cut_level` (plus the global
+    /// pseudo-shard) are retained in preallocated rings for post-mortem
+    /// dumps. The actor→shard map is the same quad-tree assignment the
+    /// sharded scheduler uses, and both the sequential and sharded
+    /// engines feed the recorder in canonical dispatch order — so
+    /// same-seed dumps are byte-identical across engines. Recording
+    /// never allocates, so the recorder may stay armed under the
+    /// `allocs_per_event = 0` gate.
+    ///
+    /// Requires a power-of-two grid side and a cut level within the
+    /// quad-tree depth (the same constraint as sharded execution).
+    pub fn enable_flight_recorder(&mut self, cut_level: u32, capacity: usize) {
+        let side = self.grid.side();
+        assert!(
+            side.is_power_of_two() && cut_level >= 1 && cut_level <= side.trailing_zeros(),
+            "flight recorder needs a power-of-two side and a valid cut level"
+        );
+        let plan = ShardPlan::new(side, cut_level as u8);
+        let map: Vec<u32> = (0..self.deployment.node_count())
+            .map(|i| {
+                let cell = self.deployment.cell_of_node(i);
+                plan.shard_of(GridCoord::new(cell.col, cell.row))
+            })
+            .collect();
+        self.kernel
+            .set_flight_recorder(FlightRecorder::new(map, plan.shard_count(), capacity));
+    }
+
+    /// Snapshots the armed flight recorder into a dump tagged with
+    /// `reason`; `None` when [`PhysicalRuntime::enable_flight_recorder`]
+    /// was never called.
+    pub fn flight_dump(&self, reason: &str) -> Option<FlightDump> {
+        self.kernel
+            .flight_recorder()
+            .map(|rec| FlightDump::from_recorder(rec, reason))
     }
 
     /// Turns causal tracing on: every subsequent radio transmission,
@@ -753,14 +810,82 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
         let medium = self.medium.clone();
         let causal = self.causal.clone();
         let shared = self.shared.clone();
-        self.kernel
-            .run_sharded(schedule, until, max_events, Some(&tap), |tags| {
+        // Per-shard accounting rides along whenever telemetry is on. The
+        // arrays are write-only bookkeeping outside every kernel
+        // observable, so the bit-identical contract with the sequential
+        // engine is untouched. WSN_SHARD_SKEW is the sabotage knob for
+        // the CI inverted-mutation step: an undercounting tap must make
+        // the TC010 reconciliation fail. Never set outside that check.
+        let mut obs = if self.shard_telemetry.is_enabled() {
+            let obs = ShardObs::new(schedule.shard_count());
+            Some(if std::env::var_os("WSN_SHARD_SKEW").is_some() {
+                obs.with_undercount_tap()
+            } else {
+                obs
+            })
+        } else {
+            None
+        };
+        let run = self.kernel.run_sharded_observed(
+            schedule,
+            until,
+            max_events,
+            Some(&tap),
+            |tags| {
                 medium.borrow_mut().apply_energy_journal(tags);
                 if let Some(log) = &causal {
                     log.borrow_mut().assign_order(tags);
                 }
                 shared.assign_exfil_order(tags);
-            })
+            },
+            obs.as_mut(),
+        );
+        if let Some(obs) = &obs {
+            self.publish_shard_obs(obs, run.events_processed);
+        }
+        run
+    }
+
+    /// Publishes one sharded run's accounting into the telemetry
+    /// registry under `shard=`-labeled keys. `dispatched` is the
+    /// kernel's own event total for the run — an independent count the
+    /// TC010 conformance check reconciles the per-shard counters
+    /// against. Counters accumulate across runs; the per-shard window
+    /// histograms are replaced with the latest run's snapshot.
+    fn publish_shard_obs(&self, obs: &ShardObs, dispatched: u64) {
+        let t = &self.shard_telemetry;
+        t.gauge_set("shard.count", f64::from(obs.shard_count()));
+        t.incr_by("shard.windows", obs.windows());
+        t.incr_by("shard.events.total", dispatched);
+        let shards = obs.shard_count() as usize;
+        for slot in 0..obs.slot_count() {
+            let label = if slot == shards {
+                "global".to_string()
+            } else {
+                slot.to_string()
+            };
+            let l = [("shard", label.as_str())];
+            t.incr_by(&labeled("shard.events", &l), obs.events(slot));
+            t.gauge_set(
+                &labeled("shard.queue.depth.max", &l),
+                obs.depth_max(slot) as f64,
+            );
+            let mean = if obs.windows() == 0 {
+                0.0
+            } else {
+                obs.depth_sum(slot) as f64 / obs.windows() as f64
+            };
+            t.gauge_set(&labeled("shard.queue.depth.mean", &l), mean);
+            t.install_histogram(
+                &labeled("shard.window.events", &l),
+                window_hist_to_fixed(obs.window_hist(slot)),
+            );
+            if slot < shards {
+                t.incr_by(&labeled("shard.cross.staged", &l), obs.cross_staged(slot));
+                t.incr_by(&labeled("shard.cross.applied", &l), obs.cross_applied(slot));
+                t.incr_by(&labeled("shard.barrier.stall", &l), obs.barrier_stall(slot));
+            }
+        }
     }
 
     /// Phase 3: runs the application to quiescence.
@@ -1320,6 +1445,19 @@ impl<P: Clone + 'static> PhysicalRuntime<P> {
     pub fn events_total(&self) -> u64 {
         self.events_total
     }
+}
+
+/// Converts the kernel's fixed-array per-window histogram into the
+/// registry's [`FixedHistogram`] for publication.
+fn window_hist_to_fixed(h: &WindowHist) -> FixedHistogram {
+    FixedHistogram::from_parts(
+        WINDOW_HIST_UPPERS.iter().map(|&u| u as f64).collect(),
+        h.counts.to_vec(),
+        h.count,
+        h.sum as f64,
+        h.min as f64,
+        h.max as f64,
+    )
 }
 
 #[cfg(test)]
@@ -2152,6 +2290,86 @@ mod tests {
             run(true),
             "sharded chaos mission diverged from sequential"
         );
+    }
+
+    #[test]
+    fn sharded_run_publishes_reconcilable_shard_telemetry() {
+        let mut rt = runtime(4, 3, 7);
+        rt.enable_telemetry(false);
+        assert!(rt.run_topology_emulation().complete);
+        assert!(rt.run_binding().unique);
+        rt.install_programs(move |_| {
+            Box::new(Gather {
+                expected: 16,
+                seen: 0,
+                sum: 0.0,
+            })
+        });
+        let app = rt.run_application_parallel(&ParallelConfig::at_cut(1));
+        assert_eq!(app.exfil_count, 1);
+        let t = rt.shard_telemetry();
+        assert_eq!(t.gauge("shard.count"), Some(4.0));
+        assert!(t.counter("shard.windows") > 0);
+        // The per-shard counters must sum to the kernel's own dispatch
+        // total for the run — the reconciliation TC010 automates.
+        let total = t.counter("shard.events.total");
+        assert!(total > 0);
+        let sum: u64 = (0..4)
+            .map(|s| t.counter(&labeled("shard.events", &[("shard", &s.to_string())])))
+            .sum::<u64>()
+            + t.counter(&labeled("shard.events", &[("shard", "global")]));
+        assert_eq!(sum, total);
+        // Staged and applied cross-shard counts balance.
+        let staged: u64 = (0..4)
+            .map(|s| t.counter(&labeled("shard.cross.staged", &[("shard", &s.to_string())])))
+            .sum();
+        let applied: u64 = (0..4)
+            .map(|s| {
+                t.counter(&labeled(
+                    "shard.cross.applied",
+                    &[("shard", &s.to_string())],
+                ))
+            })
+            .sum();
+        assert_eq!(staged, applied);
+        assert!(staged > 0, "the gather app must cross quadrant boundaries");
+        // The window histograms were published for every slot.
+        for label in ["0", "1", "2", "3", "global"] {
+            assert!(t
+                .histogram(&labeled("shard.window.events", &[("shard", label)]))
+                .is_some());
+        }
+        // Shard accounting never leaks into the main registry — that
+        // would break bit-identical traces across engines.
+        assert_eq!(rt.telemetry().counter("shard.events.total"), 0);
+    }
+
+    #[test]
+    fn flight_dump_is_identical_across_engines() {
+        let run = |parallel: bool| {
+            let mut rt = runtime(4, 3, 7);
+            rt.enable_flight_recorder(1, 8);
+            assert!(rt.run_topology_emulation().complete);
+            assert!(rt.run_binding().unique);
+            rt.install_programs(move |_| {
+                Box::new(Gather {
+                    expected: 16,
+                    seen: 0,
+                    sum: 0.0,
+                })
+            });
+            if parallel {
+                rt.run_application_parallel(&ParallelConfig::at_cut(1));
+            } else {
+                rt.run_application();
+            }
+            rt.flight_dump("test").unwrap()
+        };
+        let seq = run(false);
+        let par = run(true);
+        assert!(seq.recorded > 0);
+        assert_eq!(seq, par, "flight dumps diverged across engines");
+        assert_eq!(seq.to_jsonl(), par.to_jsonl());
     }
 
     #[test]

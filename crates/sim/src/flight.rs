@@ -1,0 +1,534 @@
+//! Per-shard observability: dispatch accounting and the flight recorder.
+//!
+//! PR 7's sharded kernel made side-512 runs possible but left the shards
+//! themselves invisible: the only kernel metrics are the two global
+//! histograms, so load skew across quadrants and epoch-barrier stalls —
+//! the blockers ROADMAP names before true OS-thread workers — cannot be
+//! measured, and nothing is retained for post-mortem when a gate trips.
+//! This module adds both halves of that visibility with the no-alloc
+//! discipline of PR 8:
+//!
+//! * [`ShardObs`] — fixed per-slot accounting arrays the sharded
+//!   scheduler fills while it runs: events dispatched, cross-shard
+//!   events staged/applied, barrier-stall units, and per-lane queue
+//!   depth. Every update is an array index; nothing allocates after
+//!   construction, and nothing is written into the kernel's own stats,
+//!   tracer, or metrics — the bit-identical-observables contract of
+//!   [`crate::shard`] is untouched.
+//! * [`FlightRecorder`] — a preallocated fixed-capacity ring buffer per
+//!   shard holding the most recent dispatched events with a monotonic
+//!   dispatch stamp. Both the sequential loop and the sharded barrier
+//!   (which emits in canonical sequential order) feed it, so a
+//!   same-seed sequential and sharded run produce **byte-identical**
+//!   snapshots — the recorder is itself a deterministic observable.
+//!
+//! Barrier-stall attribution: within one window every slot dispatches
+//! independently and the epoch barrier waits for the straggler. With
+//! deterministic lanes the wait is virtual, so the stall charged to a
+//! slot is the skew proxy `straggler_events − own_events` — how many
+//! dispatches the busiest shard performed while this shard's window was
+//! already drained. Summed over windows it ranks exactly the quadrants
+//! that would idle real OS threads.
+
+use crate::time::SimTime;
+use crate::trace::{TraceEntry, TraceKind};
+
+/// Bucket upper bounds for the per-shard window-size histograms
+/// (events dispatched by one slot in one window).
+pub const WINDOW_HIST_UPPERS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// A fixed-bucket histogram of per-window dispatch counts; plain arrays
+/// so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowHist {
+    /// Bucket counts: one per upper bound plus the overflow bucket.
+    pub counts: [u64; WINDOW_HIST_UPPERS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl Default for WindowHist {
+    fn default() -> Self {
+        WindowHist {
+            counts: [0; WINDOW_HIST_UPPERS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl WindowHist {
+    fn record(&mut self, v: u64) {
+        let idx = WINDOW_HIST_UPPERS
+            .iter()
+            .position(|&u| v <= u)
+            .unwrap_or(WINDOW_HIST_UPPERS.len());
+        self.counts[idx] += 1;
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+/// Per-slot dispatch accounting filled by
+/// [`Kernel::run_sharded_observed`](crate::kernel::Kernel); slots are the
+/// shards `0..shard_count` plus the global pseudo-shard at index
+/// `shard_count`.
+#[derive(Debug, Clone)]
+pub struct ShardObs {
+    shard_count: u32,
+    events: Vec<u64>,
+    cross_staged: Vec<u64>,
+    cross_applied: Vec<u64>,
+    barrier_stall: Vec<u64>,
+    depth_max: Vec<u64>,
+    depth_sum: Vec<u64>,
+    window_hist: Vec<WindowHist>,
+    /// Scratch: this window's per-slot dispatch counts.
+    window_events: Vec<u64>,
+    windows: u64,
+    undercount: bool,
+}
+
+impl ShardObs {
+    /// Accounting arrays for `shard_count` shards (plus the global slot).
+    /// All storage is allocated here; recording is allocation-free.
+    pub fn new(shard_count: u32) -> Self {
+        let slots = shard_count as usize + 1;
+        ShardObs {
+            shard_count,
+            events: vec![0; slots],
+            cross_staged: vec![0; slots],
+            cross_applied: vec![0; slots],
+            barrier_stall: vec![0; slots],
+            depth_max: vec![0; slots],
+            depth_sum: vec![0; slots],
+            window_hist: vec![WindowHist::default(); slots],
+            window_events: vec![0; slots],
+            windows: 0,
+            undercount: false,
+        }
+    }
+
+    /// Deliberately drops the first dispatch of every window from shard
+    /// 0's event counter. Exists so TC010 can prove it notices a
+    /// per-shard accounting leak — never use outside mutation tests.
+    #[doc(hidden)]
+    pub fn with_undercount_tap(mut self) -> Self {
+        self.undercount = true;
+        self
+    }
+
+    /// Shard count this accounting covers (excluding the global slot).
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// Number of processing slots: one per shard plus the global slot.
+    pub fn slot_count(&self) -> usize {
+        self.shard_count as usize + 1
+    }
+
+    /// Barrier windows completed.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Events dispatched on `slot`.
+    pub fn events(&self, slot: usize) -> u64 {
+        self.events[slot]
+    }
+
+    /// Sum of per-slot event counters (the quantity TC010 holds to the
+    /// kernel's independent dispatch total).
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Cross-shard events staged *from* `slot` (outgoing).
+    pub fn cross_staged(&self, slot: usize) -> u64 {
+        self.cross_staged[slot]
+    }
+
+    /// Cross-shard events applied *into* `slot` (incoming).
+    pub fn cross_applied(&self, slot: usize) -> u64 {
+        self.cross_applied[slot]
+    }
+
+    /// Total cross-shard events (shard-to-shard; global-slot traffic is
+    /// not counted — the certificate's closed form covers only the
+    /// quadrant boundary).
+    pub fn cross_total(&self) -> u64 {
+        self.cross_applied.iter().sum()
+    }
+
+    /// Barrier-stall units charged to `slot` (see the module docs).
+    pub fn barrier_stall(&self, slot: usize) -> u64 {
+        self.barrier_stall[slot]
+    }
+
+    /// Deepest post-barrier queue observed on `slot`'s lane.
+    pub fn depth_max(&self, slot: usize) -> u64 {
+        self.depth_max[slot]
+    }
+
+    /// Sum of post-barrier queue depths on `slot` (divide by
+    /// [`ShardObs::windows`] for the mean).
+    pub fn depth_sum(&self, slot: usize) -> u64 {
+        self.depth_sum[slot]
+    }
+
+    /// Histogram of `slot`'s per-window dispatch counts.
+    pub fn window_hist(&self, slot: usize) -> &WindowHist {
+        &self.window_hist[slot]
+    }
+
+    /// Records one dispatch on `slot` (in canonical barrier order).
+    pub(crate) fn note_dispatch(&mut self, slot: usize) {
+        if !(self.undercount && slot == 0 && self.window_events[0] == 0) {
+            self.events[slot] += 1;
+        }
+        self.window_events[slot] += 1;
+    }
+
+    /// Records one cross-shard event staged from `from` toward `to`.
+    /// Only shard-to-shard traffic counts; the global pseudo-slot is
+    /// outside the certified boundary geometry.
+    pub(crate) fn note_cross(&mut self, from: usize, to: usize) {
+        let shards = self.shard_count as usize;
+        if from < shards && to < shards {
+            self.cross_staged[from] += 1;
+            self.cross_applied[to] += 1;
+        }
+    }
+
+    /// Records `slot`'s post-exchange queue depth for this window.
+    pub(crate) fn note_depth(&mut self, slot: usize, depth: u64) {
+        if depth > self.depth_max[slot] {
+            self.depth_max[slot] = depth;
+        }
+        self.depth_sum[slot] += depth;
+    }
+
+    /// Closes one window: charges barrier stall against the straggler,
+    /// folds the per-window counts into the histograms, and resets the
+    /// scratch counters.
+    pub(crate) fn end_window(&mut self) {
+        let shards = self.shard_count as usize;
+        let straggler = self.window_events[..shards]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        for slot in 0..self.slot_count() {
+            let own = self.window_events[slot];
+            if slot < shards {
+                self.barrier_stall[slot] += straggler - own;
+            }
+            self.window_hist[slot].record(own);
+            self.window_events[slot] = 0;
+        }
+        self.windows += 1;
+    }
+}
+
+/// One retained dispatch: the trace fields plus the monotonic dispatch
+/// stamp assigned in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRec {
+    /// Canonical dispatch index within the recorder's lifetime.
+    pub stamp: u64,
+    /// Dispatch instant.
+    pub time: SimTime,
+    /// Receiving actor.
+    pub target: usize,
+    /// Message or timer.
+    pub kind: TraceKind,
+    /// Sender (messages) — unused for timers.
+    pub a: usize,
+    /// Payload discriminant (messages) or tag (timers).
+    pub b: u64,
+}
+
+/// One shard's preallocated ring of recent dispatches.
+#[derive(Debug, Clone)]
+struct FlightRing {
+    entries: Vec<FlightRec>,
+    cap: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl FlightRing {
+    fn new(cap: usize) -> Self {
+        FlightRing {
+            entries: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn record(&mut self, rec: FlightRec) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() < self.cap {
+            // Capacity was reserved up front; this push never reallocates.
+            self.entries.push(rec);
+        } else {
+            self.entries[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    fn snapshot(&self) -> Vec<FlightRec> {
+        if self.entries.len() == self.cap && self.head > 0 {
+            let mut out = Vec::with_capacity(self.entries.len());
+            out.extend_from_slice(&self.entries[self.head..]);
+            out.extend_from_slice(&self.entries[..self.head]);
+            out
+        } else {
+            self.entries.clone()
+        }
+    }
+}
+
+/// A per-shard flight recorder: the most recent `capacity` dispatches of
+/// each shard (and the global pseudo-shard), stamped in canonical
+/// dispatch order. All storage is allocated at construction; recording
+/// is allocation-free, so the recorder may stay enabled under the
+/// `allocs_per_event = 0` gate.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    shard_of_actor: Vec<u32>,
+    shard_count: u32,
+    capacity: usize,
+    rings: Vec<FlightRing>,
+    stamp: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder mapping actor `i` to shard `shard_of_actor[i]` (actors
+    /// beyond the map, e.g. late-installed injectors, land on the global
+    /// pseudo-shard), retaining the last `capacity` dispatches per slot.
+    pub fn new(shard_of_actor: Vec<u32>, shard_count: u32, capacity: usize) -> Self {
+        assert!(shard_count > 0, "recorder needs at least one shard");
+        let slots = shard_count as usize + 1;
+        FlightRecorder {
+            shard_of_actor,
+            shard_count,
+            capacity,
+            rings: (0..slots).map(|_| FlightRing::new(capacity)).collect(),
+            stamp: 0,
+        }
+    }
+
+    /// Shard count (excluding the global pseudo-slot).
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// Ring capacity per slot.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of slots: one per shard plus the global pseudo-shard.
+    pub fn slot_count(&self) -> usize {
+        self.shard_count as usize + 1
+    }
+
+    /// Dispatches stamped so far.
+    pub fn recorded(&self) -> u64 {
+        self.stamp
+    }
+
+    /// The slot an actor's dispatches land in.
+    pub fn slot_of_actor(&self, actor: usize) -> usize {
+        let shard = self
+            .shard_of_actor
+            .get(actor)
+            .copied()
+            .unwrap_or(crate::shard::GLOBAL_SHARD);
+        if shard == crate::shard::GLOBAL_SHARD || shard >= self.shard_count {
+            self.shard_count as usize
+        } else {
+            shard as usize
+        }
+    }
+
+    /// Records one dispatched event (must be called in canonical
+    /// dispatch order — the sequential loop and the sharded barrier both
+    /// satisfy this by construction).
+    pub fn record(&mut self, entry: &TraceEntry) {
+        let slot = self.slot_of_actor(entry.target);
+        let rec = FlightRec {
+            stamp: self.stamp,
+            time: entry.time,
+            target: entry.target,
+            kind: entry.kind,
+            a: entry.a,
+            b: entry.b,
+        };
+        self.stamp += 1;
+        self.rings[slot].record(rec);
+    }
+
+    /// `slot`'s retained dispatches in chronological (stamp) order.
+    pub fn snapshot(&self, slot: usize) -> Vec<FlightRec> {
+        self.rings[slot].snapshot()
+    }
+
+    /// Dispatches overwritten (or discarded at capacity 0) on `slot`.
+    pub fn dropped(&self, slot: usize) -> u64 {
+        self.rings[slot].dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, target: usize) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_ticks(t),
+            target,
+            kind: TraceKind::Timer,
+            a: 0,
+            b: t,
+        }
+    }
+
+    #[test]
+    fn recorder_slots_and_stamps() {
+        let mut rec = FlightRecorder::new(vec![0, 1, 0], 2, 4);
+        assert_eq!(rec.slot_count(), 3);
+        rec.record(&entry(1, 0));
+        rec.record(&entry(2, 1));
+        rec.record(&entry(3, 2));
+        rec.record(&entry(4, 9)); // beyond the map: global slot
+        assert_eq!(rec.recorded(), 4);
+        let s0 = rec.snapshot(0);
+        assert_eq!(s0.len(), 2);
+        assert_eq!((s0[0].stamp, s0[1].stamp), (0, 2));
+        assert_eq!(rec.snapshot(1).len(), 1);
+        assert_eq!(rec.snapshot(2)[0].stamp, 3);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_in_order() {
+        let mut rec = FlightRecorder::new(vec![0], 1, 3);
+        for t in 0..8 {
+            rec.record(&entry(t, 0));
+        }
+        assert_eq!(rec.dropped(0), 5);
+        let stamps: Vec<u64> = rec.snapshot(0).iter().map(|r| r.stamp).collect();
+        assert_eq!(stamps, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_latest() {
+        let mut rec = FlightRecorder::new(vec![0], 1, 1);
+        for t in 0..5 {
+            rec.record(&entry(t, 0));
+        }
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].stamp, 4);
+        assert_eq!(rec.dropped(0), 4);
+    }
+
+    #[test]
+    fn capacity_zero_drops_everything() {
+        let mut rec = FlightRecorder::new(vec![0], 1, 0);
+        rec.record(&entry(1, 0));
+        assert!(rec.snapshot(0).is_empty());
+        assert_eq!(rec.dropped(0), 1);
+        assert_eq!(rec.recorded(), 1);
+    }
+
+    #[test]
+    fn shard_obs_accounts_dispatches_and_stall() {
+        let mut obs = ShardObs::new(2);
+        // Window 0: shard 0 dispatches 3, shard 1 dispatches 1.
+        for _ in 0..3 {
+            obs.note_dispatch(0);
+        }
+        obs.note_dispatch(1);
+        obs.note_cross(0, 1);
+        obs.note_depth(0, 5);
+        obs.note_depth(1, 2);
+        obs.end_window();
+        assert_eq!(obs.windows(), 1);
+        assert_eq!(obs.events(0), 3);
+        assert_eq!(obs.events(1), 1);
+        assert_eq!(obs.total_events(), 4);
+        // Stall: straggler did 3, shard 1 idled for 2 of them.
+        assert_eq!(obs.barrier_stall(0), 0);
+        assert_eq!(obs.barrier_stall(1), 2);
+        assert_eq!(obs.cross_staged(0), 1);
+        assert_eq!(obs.cross_applied(1), 1);
+        assert_eq!(obs.cross_total(), 1);
+        assert_eq!(obs.depth_max(0), 5);
+        assert_eq!(obs.window_hist(0).max, 3);
+        assert_eq!(obs.window_hist(0).count, 1);
+    }
+
+    #[test]
+    fn global_slot_traffic_is_not_cross_shard() {
+        let mut obs = ShardObs::new(2);
+        obs.note_cross(0, 2); // to the global slot
+        obs.note_cross(2, 1); // from the global slot
+        assert_eq!(obs.cross_total(), 0);
+        obs.note_cross(1, 0);
+        assert_eq!(obs.cross_total(), 1);
+    }
+
+    #[test]
+    fn undercount_tap_leaks_one_event_per_window() {
+        let mut obs = ShardObs::new(2).with_undercount_tap();
+        for _ in 0..3 {
+            obs.note_dispatch(0);
+        }
+        obs.note_dispatch(1);
+        obs.end_window();
+        obs.note_dispatch(0);
+        obs.end_window();
+        // 4 + 1 dispatches, two windows with shard-0 activity: 2 leaked.
+        assert_eq!(obs.total_events(), 3);
+        // The window histograms still see the true counts.
+        assert_eq!(obs.window_hist(0).sum, 4);
+    }
+
+    #[test]
+    fn window_hist_buckets_and_bounds() {
+        let mut h = WindowHist::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1004);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.counts[0], 2); // 0 and 1 both <= 1
+        assert_eq!(h.counts[2], 1); // 3 <= 4
+        assert_eq!(h.counts[WINDOW_HIST_UPPERS.len()], 1); // overflow
+    }
+}

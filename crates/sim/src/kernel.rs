@@ -1,6 +1,7 @@
 //! The simulation kernel: actors, contexts, and the run loop.
 
 use crate::event::{EventKind, EventQueue};
+use crate::flight::FlightRecorder;
 use crate::rng::DetRng;
 use crate::stats::Stats;
 use crate::time::SimTime;
@@ -168,11 +169,19 @@ pub struct Kernel<M: Payload> {
     pub(crate) stats: Stats,
     pub(crate) tracer: Tracer,
     pub(crate) metrics: bool,
+    pub(crate) flight: Option<FlightRecorder>,
     pub(crate) started: bool,
     /// Dispatch staging buffer, held on the struct so repeated runs on a
     /// warm kernel reuse its capacity instead of allocating a fresh
     /// outbox per run (the no-alloc gate measures exactly this path).
     outbox_scratch: Vec<(SimTime, ActorId, EventKind<M>)>,
+    /// Per-run self-metrics staging (dispatch latencies, queue depths):
+    /// the hot loop pushes raw observations here and
+    /// [`Kernel::flush_metrics_scratch`] folds them into the named
+    /// stats histograms at run exit — a string-keyed map lookup per
+    /// *run* instead of two per *event*, which is what keeps the
+    /// instrumented hot path inside the `--obs-gate` overhead bound.
+    pub(crate) metrics_scratch: (Vec<f64>, Vec<f64>),
 }
 
 impl<M: Payload> Kernel<M> {
@@ -187,8 +196,10 @@ impl<M: Payload> Kernel<M> {
             stats: Stats::new(),
             tracer: Tracer::disabled(),
             metrics: false,
+            flight: None,
             started: false,
             outbox_scratch: Vec::new(),
+            metrics_scratch: (Vec::new(), Vec::new()),
         }
     }
 
@@ -216,14 +227,46 @@ impl<M: Payload> Kernel<M> {
     /// Enables kernel self-metrics: each dispatched event records
     /// [`METRIC_DISPATCH_LATENCY`] and [`METRIC_QUEUE_DEPTH`] into the
     /// stats sink. Off by default — the hot loop then pays only a bool
-    /// check.
+    /// check. When on, the per-event cost is two vector pushes into a
+    /// capacity-retaining scratch; the named histograms materialize
+    /// when the run returns (see the `--obs-gate` overhead bound).
     pub fn enable_metrics(&mut self) {
         self.metrics = true;
+    }
+
+    /// Folds the per-run metrics scratch into the named stats
+    /// histograms, in dispatch order. Every run exit point (sequential
+    /// and sharded) calls this, so [`Kernel::stats`] readers between
+    /// runs see exactly what per-event `observe` calls would have
+    /// produced — without paying a string-keyed map lookup per event.
+    pub(crate) fn flush_metrics_scratch(&mut self) {
+        self.stats
+            .observe_drain(METRIC_DISPATCH_LATENCY, &mut self.metrics_scratch.0);
+        self.stats
+            .observe_drain(METRIC_QUEUE_DEPTH, &mut self.metrics_scratch.1);
     }
 
     /// Whether kernel self-metrics are being recorded.
     pub fn metrics_enabled(&self) -> bool {
         self.metrics
+    }
+
+    /// Installs a [`FlightRecorder`]: every subsequent dispatch (in
+    /// canonical order, sequential or sharded) lands in the recorder's
+    /// per-shard ring. Recording is allocation-free and touches none of
+    /// the kernel's other observables.
+    pub fn set_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.flight = Some(recorder);
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Removes and returns the flight recorder.
+    pub fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        self.flight.take()
     }
 
     /// The trace recorded so far (storage order; see [`Tracer::entries`]).
@@ -402,25 +445,28 @@ impl<M: Payload> Kernel<M> {
 
             if self.metrics {
                 let latency = ev.time.ticks().saturating_sub(ev.enqueued_at.ticks());
-                self.stats.observe(METRIC_DISPATCH_LATENCY, latency as f64);
-                self.stats
-                    .observe(METRIC_QUEUE_DEPTH, self.queue.len() as f64);
+                self.metrics_scratch.0.push(latency as f64);
+                self.metrics_scratch.1.push(self.queue.len() as f64);
             }
 
-            if self.tracer.is_enabled() {
+            if self.tracer.is_enabled() || self.flight.is_some() {
                 let (kind, a, b) = match &ev.kind {
                     EventKind::Message { from, msg } => {
                         (TraceKind::Message, *from, msg.discriminant())
                     }
                     EventKind::Timer { tag } => (TraceKind::Timer, 0, *tag),
                 };
-                self.tracer.record(TraceEntry {
+                let entry = TraceEntry {
                     time: ev.time,
                     target: ev.target,
                     kind,
                     a,
                     b,
-                });
+                };
+                if let Some(flight) = self.flight.as_mut() {
+                    flight.record(&entry);
+                }
+                self.tracer.record(entry);
             }
 
             let mut actor = self.actors[ev.target]
@@ -454,6 +500,7 @@ impl<M: Payload> Kernel<M> {
             }
         };
         self.outbox_scratch = outbox;
+        self.flush_metrics_scratch();
         report
     }
 }

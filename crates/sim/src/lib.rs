@@ -48,6 +48,7 @@
 
 pub mod causal;
 pub mod event;
+pub mod flight;
 pub mod kernel;
 pub mod rng;
 pub mod shard;
@@ -59,6 +60,7 @@ pub use causal::{
     shared_causal_log, CausalEvent, CausalKind, CausalLog, CausalStamp, SharedCausalLog,
 };
 pub use event::{EventKind, ScheduledEvent};
+pub use flight::{FlightRec, FlightRecorder, ShardObs, WindowHist, WINDOW_HIST_UPPERS};
 pub use kernel::{
     Actor, ActorId, Context, Kernel, Payload, RunReport, StopReason, METRIC_DISPATCH_LATENCY,
     METRIC_QUEUE_DEPTH,

@@ -55,9 +55,8 @@
 //!   use budgets as livelock guards, not as precise cutoffs.
 
 use crate::event::{EventKind, EventQueue, ScheduledEvent};
-use crate::kernel::{
-    Context, Kernel, Payload, RunReport, StopReason, METRIC_DISPATCH_LATENCY, METRIC_QUEUE_DEPTH,
-};
+use crate::flight::ShardObs;
+use crate::kernel::{Context, Kernel, Payload, RunReport, StopReason};
 use crate::stats::Stats;
 use crate::time::SimTime;
 use crate::trace::{TraceEntry, TraceKind};
@@ -254,7 +253,25 @@ impl<M: Payload> Kernel<M> {
         until: Option<SimTime>,
         max_events: Option<u64>,
         tap: Option<&OrderTap>,
+        barrier_hook: impl FnMut(&[DispatchTag]),
+    ) -> RunReport {
+        self.run_sharded_observed(schedule, until, max_events, tap, barrier_hook, None)
+    }
+
+    /// [`Kernel::run_sharded`] with per-shard accounting: when `obs` is
+    /// provided, the scheduler fills its [`ShardObs`] arrays (events per
+    /// slot, cross-shard staged/applied, barrier stall, lane queue
+    /// depth) as it runs. The accounting is write-only bookkeeping into
+    /// preallocated arrays — it perturbs no kernel observable and
+    /// allocates nothing.
+    pub fn run_sharded_observed(
+        &mut self,
+        schedule: &ShardSchedule,
+        until: Option<SimTime>,
+        max_events: Option<u64>,
+        tap: Option<&OrderTap>,
         mut barrier_hook: impl FnMut(&[DispatchTag]),
+        mut obs: Option<&mut ShardObs>,
     ) -> RunReport {
         self.start_actors();
         let slots = schedule.slot_count();
@@ -287,6 +304,7 @@ impl<M: Payload> Kernel<M> {
                 }
             }
             kernel.queue.set_next_seq(next_seq);
+            kernel.flush_metrics_scratch();
         };
 
         loop {
@@ -352,7 +370,7 @@ impl<M: Payload> Kernel<M> {
                     };
                     idx_in_slot += 1;
                     set_tap(tag);
-                    let trace = if self.tracer.is_enabled() {
+                    let trace = if self.tracer.is_enabled() || self.flight.is_some() {
                         let (tk, a, b) = match &kind {
                             EventKind::Message { from, msg } => {
                                 (TraceKind::Message, *from, msg.discriminant())
@@ -412,6 +430,11 @@ impl<M: Payload> Kernel<M> {
                                 tick.ticks(),
                                 time.ticks(),
                             );
+                            if target_slot != slot {
+                                if let Some(o) = obs.as_deref_mut() {
+                                    o.note_cross(slot, target_slot);
+                                }
+                            }
                             pushes.push(PushRec::Future {
                                 time,
                                 target: push_target,
@@ -493,12 +516,18 @@ impl<M: Payload> Kernel<M> {
                 pending -= 1;
                 if self.metrics {
                     let latency = rec.time.ticks().saturating_sub(rec.enqueued_at.ticks());
-                    self.stats.observe(METRIC_DISPATCH_LATENCY, latency as f64);
-                    self.stats.observe(METRIC_QUEUE_DEPTH, pending as f64);
+                    self.metrics_scratch.0.push(latency as f64);
+                    self.metrics_scratch.1.push(pending as f64);
                 }
                 pending += n_pushes;
                 if let Some(entry) = &rec.trace {
+                    if let Some(flight) = self.flight.as_mut() {
+                        flight.record(entry);
+                    }
                     self.tracer.record(entry.clone());
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.note_dispatch(rec.tag.slot as usize);
                 }
                 self.stats.absorb(&rec.stats);
                 tags_in_order.push(rec.tag);
@@ -509,6 +538,12 @@ impl<M: Payload> Kernel<M> {
             for ev in staged_future {
                 let slot = schedule.slot_of_actor(ev.target);
                 queues[slot].push_scheduled(ev);
+            }
+            if let Some(o) = obs.as_deref_mut() {
+                for (slot, q) in queues.iter().enumerate() {
+                    o.note_depth(slot, q.len() as u64);
+                }
+                o.end_window();
             }
 
             window += 1;
@@ -772,6 +807,66 @@ mod tests {
         let schedule = parity_schedule(4);
         let par_report = par.run_sharded(&schedule, None, None, None, |_| {});
         assert_eq!(seq_report, par_report);
+        assert_eq!(observables(&seq), observables(&par));
+    }
+
+    #[test]
+    fn shard_obs_accounting_matches_the_run_report() {
+        let mut par = build_relay_ring(8, 20);
+        let schedule = parity_schedule(8);
+        let mut obs = ShardObs::new(2);
+        let report = par.run_sharded_observed(&schedule, None, None, None, |_| {}, Some(&mut obs));
+        // Exact accounting: per-slot sums equal the kernel's own total.
+        assert_eq!(obs.total_events(), report.events_processed);
+        // The relay ring alternates parities, so every send is
+        // cross-shard: staged and applied totals match and are nonzero.
+        let staged: u64 = (0..obs.slot_count()).map(|s| obs.cross_staged(s)).sum();
+        assert_eq!(staged, obs.cross_total());
+        assert!(obs.cross_total() > 0);
+        assert!(obs.windows() > 0);
+        // Observing changes no observable: a blind run is bit-identical.
+        let mut blind = build_relay_ring(8, 20);
+        let blind_report = blind.run_sharded(&schedule, None, None, None, |_| {});
+        assert_eq!(report, blind_report);
+        assert_eq!(observables(&par), observables(&blind));
+    }
+
+    #[test]
+    fn undercount_tap_breaks_exact_accounting() {
+        let mut par = build_relay_ring(8, 20);
+        let schedule = parity_schedule(8);
+        let mut obs = ShardObs::new(2).with_undercount_tap();
+        let report = par.run_sharded_observed(&schedule, None, None, None, |_| {}, Some(&mut obs));
+        assert!(obs.total_events() < report.events_processed);
+    }
+
+    #[test]
+    fn flight_recorder_is_identical_across_engines() {
+        let shard_map: Vec<u32> = (0..8).map(|i| (i % 2) as u32).collect();
+        let snapshot_all = |k: &Kernel<u32>| -> Vec<Vec<crate::flight::FlightRec>> {
+            let rec = k.flight_recorder().expect("recorder installed");
+            (0..rec.slot_count()).map(|s| rec.snapshot(s)).collect()
+        };
+        let mut seq = build_relay_ring(8, 20);
+        seq.set_flight_recorder(crate::flight::FlightRecorder::new(shard_map.clone(), 2, 16));
+        seq.run();
+
+        let mut par = build_relay_ring(8, 20);
+        par.set_flight_recorder(crate::flight::FlightRecorder::new(shard_map, 2, 16));
+        par.run_sharded(&parity_schedule(8), None, None, None, |_| {});
+
+        // Same stamps, same retained events, same drop counts — the
+        // recorder itself is a deterministic observable.
+        assert_eq!(snapshot_all(&seq), snapshot_all(&par));
+        let (s, p) = (
+            seq.flight_recorder().unwrap(),
+            par.flight_recorder().unwrap(),
+        );
+        assert_eq!(s.recorded(), p.recorded());
+        for slot in 0..s.slot_count() {
+            assert_eq!(s.dropped(slot), p.dropped(slot));
+        }
+        // And it did not perturb the ordinary observables either.
         assert_eq!(observables(&seq), observables(&par));
     }
 

@@ -79,6 +79,25 @@ impl Stats {
         }
     }
 
+    /// Drains `values` into the histogram `key` in order: one key
+    /// lookup for the whole batch instead of one per observation. The
+    /// vector keeps its capacity, so a per-run scratch buffer settles
+    /// after its first fill. This is the flush half of the kernel's
+    /// self-metrics fast path — the hot loop pushes raw observations
+    /// into plain vectors and folds them here when the run returns.
+    pub fn observe_drain(&mut self, key: &str, values: &mut Vec<f64>) {
+        if values.is_empty() {
+            return;
+        }
+        if !self.histograms.contains_key(key) {
+            self.histograms.insert(key.to_owned(), Histogram::default());
+        }
+        let h = self.histograms.get_mut(key).expect("just ensured");
+        for v in values.drain(..) {
+            h.record(v);
+        }
+    }
+
     /// The histogram `key`, if any value was ever observed.
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {
         self.histograms.get(key)

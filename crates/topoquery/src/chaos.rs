@@ -88,6 +88,11 @@ pub struct ScenarioOutcome {
     pub answers: Vec<usize>,
     /// The oracle's region count for the scenario's field.
     pub oracle: usize,
+    /// Flight-recorder dump (JSONL, see `wsn_obs::FlightDump`) of the
+    /// last dispatches before a [`ChaosVerdict::Wrong`] answer; `None`
+    /// on safe verdicts. `wsn-chaos` writes it next to the failure
+    /// report so the wrong answer's tail is post-mortem inspectable.
+    pub flight_jsonl: Option<String>,
 }
 
 impl ChaosScenario {
@@ -205,6 +210,10 @@ pub fn run_scenario_with_plan(scenario: &ChaosScenario, plan: ChaosPlan) -> Scen
         move |c| field.value(c),
     );
     let (side, threshold) = (scenario.side, scenario.threshold);
+    // Scenario sides are always powers of two, so the cut-1 flight
+    // recorder can ride along: it retains the last dispatches per
+    // quadrant in preallocated rings, and costs nothing observable.
+    rt.enable_flight_recorder(1, 64);
     rt.install_programs(move |_| Box::new(DandcProgram::new(side, threshold)));
     if let Some((max_retries, timeout_ticks)) = scenario.arq {
         rt.enable_arq(max_retries, timeout_ticks);
@@ -229,11 +238,17 @@ pub fn run_scenario_with_plan(scenario: &ChaosScenario, plan: ChaosPlan) -> Scen
         None if answers.is_empty() => ChaosVerdict::Stall,
         None => ChaosVerdict::Correct,
     };
+    let flight_jsonl = if verdict.is_safe() {
+        None
+    } else {
+        rt.flight_dump("chaos-wrong").map(|d| d.to_jsonl())
+    };
     ScenarioOutcome {
         verdict,
         report,
         answers,
         oracle,
+        flight_jsonl,
     }
 }
 
